@@ -1,0 +1,341 @@
+// Package checkpoint is a from-scratch Go implementation of
+// "Checkpointing strategies for parallel jobs" (Bougeret, Casanova, Rabie,
+// Robert, Vivien — INRIA RR-7520 / SC 2011).
+//
+// It provides:
+//
+//   - failure models (Exponential, Weibull, Gamma, LogNormal, Empirical
+//     log-based distributions) and renewal failure-trace generation;
+//   - an event-driven simulator for tightly-coupled parallel jobs with
+//     synchronized checkpoints, cascading downtimes and interruptible
+//     recoveries;
+//   - the paper's checkpointing policies: the classical periodic
+//     heuristics (Young, Daly low/high order), the analytically optimal
+//     OptExp (Theorem 1 / Proposition 5), reconstructions of the Bouguerra
+//     and Liu policies, and the paper's two dynamic programs — DPMakespan
+//     (Algorithm 1) and DPNextFailure (Algorithm 2 with the §3.3
+//     multiprocessor state approximation);
+//   - the closed-form theory (optimal chunk counts via Lambert W, expected
+//     makespans, E(Tlost)/E(Trec), platform-MTBF rejuvenation analysis);
+//   - an experiment harness reproducing every table and figure of the
+//     paper's evaluation (see the cmd/ tools and internal/exper).
+//
+// The package re-exports the library surface through type aliases and thin
+// constructors, so downstream users never import internal packages.
+//
+// Quick start:
+//
+//	law := checkpoint.WeibullFromMeanShape(125*checkpoint.Year, 0.7)
+//	traces := checkpoint.GenerateTraces(law, 64, 11*checkpoint.Year, 60, 42)
+//	job := &checkpoint.Job{Work: 86400, C: 600, R: 600, D: 60, Units: 64}
+//	pol := checkpoint.NewDPNextFailure(law, law.Mean())
+//	res, err := checkpoint.Simulate(job, pol, traces)
+package checkpoint
+
+import (
+	"repro/internal/dist"
+	"repro/internal/harness"
+	"repro/internal/platform"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/theory"
+	"repro/internal/trace"
+)
+
+// Time unit constants (seconds).
+const (
+	Second = platform.Second
+	Minute = platform.Minute
+	Hour   = platform.Hour
+	Day    = platform.Day
+	Week   = platform.Week
+	Year   = platform.Year
+)
+
+// Failure distributions.
+type (
+	// Distribution is a failure inter-arrival time law.
+	Distribution = dist.Distribution
+	// Exponential is the memoryless law with rate Lambda.
+	Exponential = dist.Exponential
+	// Weibull is the two-parameter Weibull law (Shape k, Scale lambda).
+	Weibull = dist.Weibull
+	// Gamma is the two-parameter Gamma law.
+	Gamma = dist.Gamma
+	// LogNormal is the log-normal law.
+	LogNormal = dist.LogNormal
+	// Empirical is the discrete law built from observed availability
+	// intervals (the paper's §4.3 log-based model).
+	Empirical = dist.Empirical
+)
+
+// NewExponentialMean returns an Exponential law with the given MTBF.
+func NewExponentialMean(mean float64) Exponential { return dist.NewExponentialMean(mean) }
+
+// NewExponentialRate returns an Exponential law with the given rate.
+func NewExponentialRate(rate float64) Exponential { return dist.NewExponentialRate(rate) }
+
+// NewWeibull returns a Weibull law with the given shape and scale.
+func NewWeibull(shape, scale float64) Weibull { return dist.NewWeibull(shape, scale) }
+
+// WeibullFromMeanShape returns the Weibull with the given mean and shape,
+// the paper's parameterization (lambda = MTBF / Gamma(1 + 1/k)).
+func WeibullFromMeanShape(mean, shape float64) Weibull {
+	return dist.WeibullFromMeanShape(mean, shape)
+}
+
+// NewGamma returns a Gamma law with the given shape and scale.
+func NewGamma(shape, scale float64) Gamma { return dist.NewGamma(shape, scale) }
+
+// GammaFromMeanShape returns the Gamma with the given mean and shape.
+func GammaFromMeanShape(mean, shape float64) Gamma { return dist.GammaFromMeanShape(mean, shape) }
+
+// LogNormalFromMeanSigma returns the LogNormal with the given mean and
+// log-space sigma.
+func LogNormalFromMeanSigma(mean, sigma float64) LogNormal {
+	return dist.LogNormalFromMeanSigma(mean, sigma)
+}
+
+// NewLogNormal returns a LogNormal law with the given log-space
+// parameters.
+func NewLogNormal(mu, sigma float64) LogNormal { return dist.NewLogNormal(mu, sigma) }
+
+// NewEmpirical builds the discrete log-based law from availability
+// durations.
+func NewEmpirical(durations []float64) *Empirical { return dist.NewEmpirical(durations) }
+
+// FitWeibull computes the maximum-likelihood Weibull fit of availability
+// durations (the §4.3 log-analysis step).
+func FitWeibull(samples []float64) (Weibull, error) { return dist.FitWeibull(samples) }
+
+// FitExponential computes the maximum-likelihood Exponential fit.
+func FitExponential(samples []float64) (Exponential, error) { return dist.FitExponential(samples) }
+
+// LogLikelihood scores samples under a law, for model comparison.
+func LogLikelihood(d Distribution, samples []float64) float64 {
+	return dist.LogLikelihood(d, samples)
+}
+
+// Failure traces.
+type (
+	// TraceSet holds per-unit absolute failure dates over a horizon.
+	TraceSet = trace.Set
+	// LogSpec parameterizes the synthetic LANL-like availability logs.
+	LogSpec = trace.LogSpec
+)
+
+// Synthetic log presets mimicking the two LANL clusters used in §6.
+var (
+	Cluster18 = trace.Cluster18
+	Cluster19 = trace.Cluster19
+)
+
+// GenerateTraces draws failure dates for `units` units over the horizon:
+// renewal inter-arrival times from d, each failure followed by `downtime`
+// before a fresh lifetime starts. Unit u always uses substream u of the
+// seed, so traces for small platforms are prefixes of larger ones.
+func GenerateTraces(d Distribution, units int, horizon, downtime float64, seed uint64) *TraceSet {
+	return trace.GenerateRenewal(d, units, horizon, downtime, seed)
+}
+
+// SyntheticLog draws availability durations following the spec (see
+// DESIGN.md for the calibration against the published LANL statistics).
+func SyntheticLog(spec LogSpec, n int, seed uint64) []float64 {
+	return trace.SyntheticLog(spec, n, seed)
+}
+
+// Simulation.
+type (
+	// Job describes a checkpointed tightly-coupled parallel job.
+	Job = sim.Job
+	// State is the information a policy sees at each decision point.
+	State = sim.State
+	// Policy decides chunk sizes between checkpoints.
+	Policy = sim.Policy
+	// Result is a simulated run's accounting.
+	Result = sim.Result
+)
+
+// Simulate runs the job under the policy against the failure trace.
+func Simulate(job *Job, pol Policy, ts *TraceSet) (Result, error) {
+	return sim.Run(job, pol, ts)
+}
+
+// SimulateLowerBound runs the omniscient bound of §4.1: it knows every
+// failure date, checkpoints just in time and never loses work.
+func SimulateLowerBound(job *Job, ts *TraceSet) (Result, error) {
+	return sim.LowerBound(job, ts)
+}
+
+// SimulateReplicated runs the job under n-way replication — the §8
+// future-work scheme the paper sketches: the platform is split into n
+// groups that all execute each chunk from the shared checkpoint, the first
+// group to finish commits it. job.Units is the per-replica unit count; the
+// run consumes job.Units*n units of the trace.
+func SimulateReplicated(job *Job, pol Policy, ts *TraceSet, n int) (Result, error) {
+	return sim.RunReplicated(job, pol, ts, n)
+}
+
+// Policies.
+type (
+	// Periodic checkpoints after every Period() units of work.
+	Periodic = policy.Periodic
+	// DPNextFailure is the paper's Algorithm 2 policy.
+	DPNextFailure = policy.DPNextFailure
+	// DPMakespan walks a shared DPMakespanTable (Algorithm 1).
+	DPMakespan = policy.DPMakespan
+	// DPMakespanTable is the immutable memoized Algorithm 1 solution.
+	DPMakespanTable = policy.DPMakespanTable
+	// Liu is the reconstruction of Liu et al.'s non-periodic policy.
+	Liu = policy.Liu
+	// DPNextFailureOption customizes DPNextFailure.
+	DPNextFailureOption = policy.DPNextFailureOption
+)
+
+// NewPeriodic returns a fixed-period policy.
+func NewPeriodic(name string, period float64) *Periodic { return policy.NewPeriodic(name, period) }
+
+// NewYoung returns Young's policy: period sqrt(2*C*platformMTBF).
+func NewYoung(c, platformMTBF float64) *Periodic { return policy.NewYoung(c, platformMTBF) }
+
+// NewDalyLow returns Daly's first-order policy.
+func NewDalyLow(c, platformMTBF, d, r float64) *Periodic {
+	return policy.NewDalyLow(c, platformMTBF, d, r)
+}
+
+// NewDalyHigh returns Daly's higher-order policy.
+func NewDalyHigh(c, platformMTBF float64) *Periodic { return policy.NewDalyHigh(c, platformMTBF) }
+
+// NewOptExp returns the paper's optimal periodic policy for Exponential
+// failures (Theorem 1 / Proposition 5): work W(p), aggregated platform
+// rate p*lambda, checkpoint cost C(p).
+func NewOptExp(work, platformRate, c float64) (*Periodic, error) {
+	return policy.NewOptExp(work, platformRate, c)
+}
+
+// NewBouguerra returns the reconstruction of Bouguerra et al.'s periodic
+// policy (all-processor rejuvenation assumption).
+func NewBouguerra(work float64, units int, d Distribution, c, down, rec float64) (*Periodic, error) {
+	return policy.NewBouguerra(work, units, d, c, down, rec)
+}
+
+// NewLiu returns the reconstruction of Liu et al.'s frequency-function
+// policy; check Feasible before use.
+func NewLiu(work float64, units int, d Distribution, c float64) (*Liu, error) {
+	return policy.NewLiu(work, units, d, c)
+}
+
+// NewDPNextFailure returns a fresh DPNextFailure policy for the given
+// per-unit failure law and its MTBF.
+func NewDPNextFailure(d Distribution, unitMean float64, opts ...DPNextFailureOption) *DPNextFailure {
+	return policy.NewDPNextFailure(d, unitMean, opts...)
+}
+
+// WithQuanta sets the DPNextFailure planning resolution.
+func WithQuanta(n int) DPNextFailureOption { return policy.WithQuanta(n) }
+
+// WithStateApprox sets the §3.3 state-approximation sizes (paper: 10, 100).
+func WithStateApprox(nExact, nApprox int) DPNextFailureOption {
+	return policy.WithStateApprox(nExact, nApprox)
+}
+
+// BuildDPMakespanTable precomputes the Algorithm 1 table; share it across
+// runs with NewDPMakespan.
+func BuildDPMakespanTable(d Distribution, work, c, r, down, tau0 float64, quanta int) (*DPMakespanTable, error) {
+	return policy.BuildDPMakespanTable(d, work, c, r, down, tau0, quanta)
+}
+
+// NewDPMakespan returns a fresh per-run policy over the shared table.
+func NewDPMakespan(t *DPMakespanTable) *DPMakespan { return policy.NewDPMakespan(t) }
+
+// AggregateRenewal returns the platform-level failure law under the
+// rejuvenate-everything assumption (the distribution of the minimum of
+// `units` iid lifetimes): Exponential rate p*lambda, or Weibull scale
+// lambda/p^(1/k).
+func AggregateRenewal(d Distribution, units int) (Distribution, error) {
+	return policy.AggregateRenewal(d, units)
+}
+
+// Theory (closed forms).
+
+// OptimalExp solves Theorem 1: optimal chunk count and period for work w
+// under Exponential(lambda) failures with checkpoint cost c.
+func OptimalExp(w, lambda, c float64) (k0 float64, kStar int, period float64, err error) {
+	return theory.OptimalExp(w, lambda, c)
+}
+
+// ExpectedMakespanExp returns the optimal expected makespan E(T*) of
+// Theorem 1.
+func ExpectedMakespanExp(w, lambda, c, d, r float64) (float64, error) {
+	return theory.ExpectedMakespanExp(w, lambda, c, d, r)
+}
+
+// ExpTlost returns E(Tlost(x|tau)) for an arbitrary law (Weibull uses a
+// closed incomplete-gamma form).
+func ExpTlost(d Distribution, x, tau float64) float64 { return theory.ExpTlost(d, x, tau) }
+
+// ExpTrec returns E(Trec), the expected failure-to-recovered duration.
+func ExpTrec(d Distribution, down, rec float64) float64 { return theory.ExpTrec(d, down, rec) }
+
+// PlatformMTBFRejuvenateAll returns the platform MTBF when every failure
+// rejuvenates all p processors (Figure 1, upper model).
+func PlatformMTBFRejuvenateAll(w Weibull, p int, d float64) float64 {
+	return theory.PlatformMTBFRejuvenateAll(w, p, d)
+}
+
+// PlatformMTBFSingleRejuvenation returns the platform MTBF when only the
+// failed processor is rejuvenated (Figure 1, lower model).
+func PlatformMTBFSingleRejuvenation(mean float64, p int, d float64) float64 {
+	return theory.PlatformMTBFSingleRejuvenation(mean, p, d)
+}
+
+// Platform and experiment harness.
+type (
+	// PlatformSpec is a Table 1 platform configuration.
+	PlatformSpec = platform.Spec
+	// Overhead selects constant vs proportional checkpoint costs.
+	Overhead = platform.Overhead
+	// WorkModel selects the parallel work model.
+	WorkModel = platform.WorkModel
+	// Work pairs a work model with its gamma parameter.
+	Work = platform.Work
+	// Scenario is one experimental configuration.
+	Scenario = harness.Scenario
+	// CandidateConfig tunes the standard policy set.
+	CandidateConfig = harness.CandidateConfig
+	// Candidate is one policy entered into an evaluation.
+	Candidate = harness.Candidate
+	// Evaluation aggregates degradation-from-best results.
+	Evaluation = harness.Evaluation
+	// Stats is a sample summary.
+	Stats = harness.Stats
+)
+
+// Overhead and work model constants.
+const (
+	OverheadConstant     = platform.OverheadConstant
+	OverheadProportional = platform.OverheadProportional
+	WorkEmbarrassing     = platform.WorkEmbarrassing
+	WorkAmdahl           = platform.WorkAmdahl
+	WorkKernel           = platform.WorkKernel
+)
+
+// Platform presets (Table 1).
+func OneProcPlatform(mtbf float64) PlatformSpec        { return platform.OneProc(mtbf) }
+func PetascalePlatform(mtbfYears float64) PlatformSpec { return platform.Petascale(mtbfYears) }
+func ExascalePlatform() PlatformSpec                   { return platform.Exascale() }
+func LANLNodesPlatform(nodeMTBF float64) PlatformSpec  { return platform.LANLNodes(nodeMTBF) }
+
+// DefaultCandidateConfig mirrors the paper's §4.1 policy list.
+func DefaultCandidateConfig() CandidateConfig { return harness.DefaultCandidateConfig() }
+
+// StandardCandidates builds the paper's policy set for a scenario.
+func StandardCandidates(sc Scenario, cfg CandidateConfig) ([]Candidate, error) {
+	return harness.StandardCandidates(sc, cfg)
+}
+
+// Evaluate runs every candidate over the scenario's traces with the §4.1
+// degradation-from-best methodology.
+func Evaluate(sc Scenario, cands []Candidate) (*Evaluation, error) {
+	return harness.Evaluate(sc, cands)
+}

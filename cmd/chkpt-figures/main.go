@@ -1,0 +1,74 @@
+// Command chkpt-figures regenerates the data series behind the paper's
+// figures (Figure 1 through the appendix sweeps) as aligned text tables
+// and optional CSV.
+//
+// Examples:
+//
+//	chkpt-figures -list
+//	chkpt-figures -exp fig4
+//	chkpt-figures -exp fig2,fig4,fig7 -csv
+//	chkpt-figures -exp fig5 -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exper"
+)
+
+func figureIDs() []string {
+	var out []string
+	for _, e := range exper.All() {
+		if strings.HasPrefix(e.ID, "fig") {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+func main() {
+	var (
+		ids    = flag.String("exp", "all", "comma-separated figure ids or 'all'")
+		list   = flag.Bool("list", false, "list available figures and exit")
+		full   = flag.Bool("full", false, "paper-scale parameters; slow")
+		traces = flag.Int("traces", 0, "override trace count")
+		seed   = flag.Uint64("seed", 0, "override random seed")
+		quanta = flag.Int("quanta", 0, "override DP resolution")
+		csv    = flag.Bool("csv", false, "also emit CSV")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exper.All() {
+			if strings.HasPrefix(e.ID, "fig") {
+				fmt.Printf("%-22s %s\n", e.ID, e.Title)
+			}
+		}
+		return
+	}
+
+	p := exper.Params{Full: *full, Traces: *traces, Seed: *seed, CSV: *csv, Quanta: *quanta}
+	selected := figureIDs()
+	if *ids != "all" {
+		selected = strings.Split(*ids, ",")
+	}
+	for _, id := range selected {
+		id = strings.TrimSpace(id)
+		e, ok := exper.Find(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "chkpt-figures: unknown figure %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s ==\n%s\n\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(os.Stdout, p); err != nil {
+			fmt.Fprintf(os.Stderr, "chkpt-figures: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1f s)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,208 @@
+// Command chkpt-sim runs a single checkpointing simulation: one platform,
+// one failure law, one policy, a configurable number of traces, and prints
+// the makespan accounting. It is the fastest way to poke at the library.
+//
+// Examples:
+//
+//	chkpt-sim -platform petascale -p 45208 -law weibull -shape 0.7 -policy dpnextfailure
+//	chkpt-sim -platform oneproc -mtbf 86400 -law exp -policy young -traces 100
+//	chkpt-sim -platform petascale -p 4096 -law exp -policy period -period 3600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	checkpoint "repro"
+)
+
+func main() {
+	var (
+		platformName = flag.String("platform", "petascale", "platform preset: oneproc | petascale | exascale")
+		procs        = flag.Int("p", 0, "processors enrolled (default: whole platform)")
+		mtbf         = flag.Float64("mtbf", 0, "per-processor MTBF in seconds (default: preset value)")
+		lawName      = flag.String("law", "exp", "failure law: exp | weibull | gamma | lognormal")
+		shape        = flag.Float64("shape", 0.7, "shape parameter for weibull/gamma, sigma for lognormal")
+		policyName   = flag.String("policy", "optexp", "policy: young | dalylow | dalyhigh | optexp | bouguerra | liu | dpnextfailure | dpmakespan | period | lowerbound")
+		period       = flag.Float64("period", 0, "fixed period in seconds (policy=period)")
+		traces       = flag.Int("traces", 20, "number of random traces")
+		seed         = flag.Uint64("seed", 42, "random seed")
+		quanta       = flag.Int("quanta", 120, "dynamic-programming resolution")
+		proportional = flag.Bool("proportional", false, "use proportional checkpoint overheads C(p)=C*ptotal/p")
+	)
+	flag.Parse()
+
+	if err := run(*platformName, *procs, *mtbf, *lawName, *shape, *policyName, *period, *traces, *seed, *quanta, *proportional); err != nil {
+		fmt.Fprintln(os.Stderr, "chkpt-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(platformName string, procs int, mtbf float64, lawName string, shape float64,
+	policyName string, period float64, traces int, seed uint64, quanta int, proportional bool) error {
+
+	var spec checkpoint.PlatformSpec
+	switch platformName {
+	case "oneproc":
+		if mtbf == 0 {
+			mtbf = checkpoint.Day
+		}
+		spec = checkpoint.OneProcPlatform(mtbf)
+	case "petascale":
+		spec = checkpoint.PetascalePlatform(125)
+	case "exascale":
+		spec = checkpoint.ExascalePlatform()
+	default:
+		return fmt.Errorf("unknown platform %q", platformName)
+	}
+	if mtbf > 0 {
+		spec.MTBF = mtbf
+	}
+	if procs == 0 {
+		procs = spec.PTotal
+	}
+
+	var law checkpoint.Distribution
+	switch lawName {
+	case "exp", "exponential":
+		law = checkpoint.NewExponentialMean(spec.MTBF)
+	case "weibull":
+		law = checkpoint.WeibullFromMeanShape(spec.MTBF, shape)
+	case "gamma":
+		law = checkpoint.GammaFromMeanShape(spec.MTBF, shape)
+	case "lognormal":
+		law = checkpoint.LogNormalFromMeanSigma(spec.MTBF, shape)
+	default:
+		return fmt.Errorf("unknown law %q", lawName)
+	}
+
+	overhead := checkpoint.OverheadConstant
+	if proportional {
+		overhead = checkpoint.OverheadProportional
+	}
+	units := spec.Units(procs)
+	work := checkpoint.Work{Model: checkpoint.WorkEmbarrassing}
+	job := &checkpoint.Job{
+		Work:  work.Time(spec.W, procs),
+		C:     spec.C(overhead, procs),
+		R:     spec.R(overhead, procs),
+		D:     spec.D,
+		Units: units,
+		Start: checkpoint.Year,
+	}
+	platformMTBF := (law.Mean() + spec.D) / float64(units)
+	horizon := 11*checkpoint.Year + 20*job.Work
+
+	newPolicy, err := buildPolicy(policyName, period, quanta, law, job, platformMTBF, units)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("platform %s: p=%d (units=%d), W(p)=%.0f s (%.2f days), C=R=%.0f s, D=%.0f s\n",
+		spec.Name, procs, units, job.Work, job.Work/checkpoint.Day, job.C, job.D)
+	fmt.Printf("failure law %s, platform MTBF %.0f s\n", law.Name(), platformMTBF)
+	fmt.Printf("policy %s, %d traces, seed %d\n\n", policyName, traces, seed)
+
+	var mkSum, lostSum, cpSum, waitSum, recSum, failSum float64
+	var chunkSum int
+	for i := 0; i < traces; i++ {
+		ts := checkpoint.GenerateTraces(law, units, horizon, spec.D, seed+uint64(i)*0x9e3779b97f4a7c15)
+		var res checkpoint.Result
+		if strings.EqualFold(policyName, "lowerbound") {
+			res, err = checkpoint.SimulateLowerBound(job, ts)
+		} else {
+			var pol checkpoint.Policy
+			pol, err = newPolicy()
+			if err == nil {
+				res, err = checkpoint.Simulate(job, pol, ts)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		mkSum += res.Makespan
+		lostSum += res.LostTime
+		cpSum += res.CheckpointTime
+		waitSum += res.WaitTime
+		recSum += res.RecoveryTime
+		failSum += float64(res.Failures)
+		chunkSum += res.Chunks
+	}
+	n := float64(traces)
+	fmt.Printf("average makespan     %12.0f s (%.2f days)\n", mkSum/n, mkSum/n/checkpoint.Day)
+	fmt.Printf("  work               %12.0f s\n", job.Work)
+	fmt.Printf("  checkpointing      %12.0f s\n", cpSum/n)
+	fmt.Printf("  lost to failures   %12.0f s\n", lostSum/n)
+	fmt.Printf("  downtime waits     %12.0f s\n", waitSum/n)
+	fmt.Printf("  recoveries         %12.0f s\n", recSum/n)
+	fmt.Printf("average failures     %12.1f\n", failSum/n)
+	fmt.Printf("average chunks       %12.1f\n", float64(chunkSum)/n)
+	return nil
+}
+
+func buildPolicy(name string, period float64, quanta int, law checkpoint.Distribution,
+	job *checkpoint.Job, platformMTBF float64, units int) (func() (checkpoint.Policy, error), error) {
+
+	switch strings.ToLower(name) {
+	case "young":
+		p := checkpoint.NewYoung(job.C, platformMTBF)
+		return func() (checkpoint.Policy, error) { return p, nil }, nil
+	case "dalylow":
+		p := checkpoint.NewDalyLow(job.C, platformMTBF, job.D, job.R)
+		return func() (checkpoint.Policy, error) { return p, nil }, nil
+	case "dalyhigh":
+		p := checkpoint.NewDalyHigh(job.C, platformMTBF)
+		return func() (checkpoint.Policy, error) { return p, nil }, nil
+	case "optexp":
+		p, err := checkpoint.NewOptExp(job.Work, float64(units)/law.Mean(), job.C)
+		if err != nil {
+			return nil, err
+		}
+		return func() (checkpoint.Policy, error) { return p, nil }, nil
+	case "bouguerra":
+		p, err := checkpoint.NewBouguerra(job.Work, units, law, job.C, job.D, job.R)
+		if err != nil {
+			return nil, err
+		}
+		return func() (checkpoint.Policy, error) { return p, nil }, nil
+	case "liu":
+		l, err := checkpoint.NewLiu(job.Work, units, law, job.C)
+		if err != nil {
+			return nil, err
+		}
+		if !l.Feasible() {
+			return nil, fmt.Errorf("liu schedule infeasible for this configuration")
+		}
+		return func() (checkpoint.Policy, error) { return checkpoint.NewLiu(job.Work, units, law, job.C) }, nil
+	case "dpnextfailure", "dpnf":
+		return func() (checkpoint.Policy, error) {
+			return checkpoint.NewDPNextFailure(law, law.Mean(), checkpoint.WithQuanta(quanta)), nil
+		}, nil
+	case "dpmakespan", "dpm":
+		macro := law
+		if units > 1 {
+			var err error
+			macro, err = checkpoint.AggregateRenewal(law, units)
+			if err != nil {
+				return nil, err
+			}
+		}
+		table, err := checkpoint.BuildDPMakespanTable(macro, job.Work, job.C, job.R, job.D, 0, quanta)
+		if err != nil {
+			return nil, err
+		}
+		return func() (checkpoint.Policy, error) { return checkpoint.NewDPMakespan(table), nil }, nil
+	case "period":
+		if period <= 0 {
+			return nil, fmt.Errorf("policy=period needs -period")
+		}
+		p := checkpoint.NewPeriodic("period", period)
+		return func() (checkpoint.Policy, error) { return p, nil }, nil
+	case "lowerbound":
+		return func() (checkpoint.Policy, error) { return nil, nil }, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}

@@ -1,0 +1,54 @@
+// Command chkpt-tables regenerates the paper's result tables (Tables 2-4
+// and the §5.2.2 spare-processor statistics).
+//
+// Examples:
+//
+//	chkpt-tables                      # quick mode, all tables
+//	chkpt-tables -exp table4          # one table
+//	chkpt-tables -full -traces 600    # paper-scale methodology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exper"
+)
+
+var tableIDs = []string{"table2", "table3", "table4", "spares"}
+
+func main() {
+	var (
+		ids    = flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(tableIDs, ", ")+") or 'all'")
+		full   = flag.Bool("full", false, "paper-scale parameters (600 traces, fine DP quanta); slow")
+		traces = flag.Int("traces", 0, "override trace count")
+		seed   = flag.Uint64("seed", 0, "override random seed")
+		quanta = flag.Int("quanta", 0, "override DP resolution")
+		csv    = flag.Bool("csv", false, "also emit CSV")
+	)
+	flag.Parse()
+
+	p := exper.Params{Full: *full, Traces: *traces, Seed: *seed, CSV: *csv, Quanta: *quanta}
+	selected := tableIDs
+	if *ids != "all" {
+		selected = strings.Split(*ids, ",")
+	}
+	for _, id := range selected {
+		id = strings.TrimSpace(id)
+		e, ok := exper.Find(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "chkpt-tables: unknown experiment %q (have: %s)\n", id, strings.Join(tableIDs, ", "))
+			os.Exit(1)
+		}
+		fmt.Printf("== %s ==\n%s\n\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(os.Stdout, p); err != nil {
+			fmt.Fprintf(os.Stderr, "chkpt-tables: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1f s)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

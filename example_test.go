@@ -1,0 +1,51 @@
+package checkpoint_test
+
+import (
+	"fmt"
+
+	checkpoint "repro"
+)
+
+// ExampleOptimalExp computes the Theorem 1 optimum for a 20-day job on a
+// processor with a 1-day MTBF and 600 s checkpoints.
+func ExampleOptimalExp() {
+	_, kStar, period, err := checkpoint.OptimalExp(20*checkpoint.Day, 1/checkpoint.Day, 600)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("split the job into %d chunks of %.0f s\n", kStar, period)
+	// Output: split the job into 177 chunks of 9763 s
+}
+
+// ExampleSimulate runs one job under Young's policy on a reproducible
+// failure trace.
+func ExampleSimulate() {
+	law := checkpoint.NewExponentialMean(4 * checkpoint.Hour)
+	traces := checkpoint.GenerateTraces(law, 1, 1e8, 60, 7)
+	job := &checkpoint.Job{
+		Work:  checkpoint.Day,
+		C:     600,
+		R:     600,
+		D:     60,
+		Units: 1,
+	}
+	pol := checkpoint.NewYoung(job.C, law.Mean())
+	res, err := checkpoint.Simulate(job, pol, traces)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("failures: %d, checkpoints: %d, work done: %.0f s\n",
+		res.Failures, res.Checkpoints, res.WorkTime)
+	// Output: failures: 7, checkpoints: 21, work done: 86400 s
+}
+
+// ExamplePlatformMTBFSingleRejuvenation reproduces the §3.1 observation
+// behind Figure 1: at scale, rejuvenating every processor after each
+// failure destroys the platform MTBF when failures have decreasing hazard.
+func ExamplePlatformMTBFSingleRejuvenation() {
+	w := checkpoint.WeibullFromMeanShape(125*checkpoint.Year, 0.7)
+	all := checkpoint.PlatformMTBFRejuvenateAll(w, 1<<20, 60)
+	single := checkpoint.PlatformMTBFSingleRejuvenation(w.Mean(), 1<<20, 60)
+	fmt.Printf("rejuvenate-all: %.0f s, single-rejuvenation: %.0f s\n", all, single)
+	// Output: rejuvenate-all: 70 s, single-rejuvenation: 3759 s
+}

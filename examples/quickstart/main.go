@@ -1,0 +1,73 @@
+// Quickstart: simulate one checkpointed parallel job on a failure-prone
+// platform and compare the classical Young period with the paper's
+// DPNextFailure dynamic program, on identical failure traces.
+//
+// The advantage of DPNextFailure grows with platform size (see
+// examples/petascale for the paper's 45,208-processor headline setting);
+// this quickstart uses a 4,096-processor slice of the Jaguar-like platform
+// so it finishes in well under a minute.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	checkpoint "repro"
+)
+
+func main() {
+	// Jaguar-like parameters (Table 1): 125-year per-processor MTBF,
+	// Weibull shape 0.7 as measured on production clusters, 600 s
+	// checkpoints, 60 s downtime.
+	law := checkpoint.WeibullFromMeanShape(125*checkpoint.Year, 0.7)
+	const units = 4096
+	job := &checkpoint.Job{
+		Work:  30 * checkpoint.Day, // W(p): failure-free execution time
+		C:     600,                 // checkpoint cost
+		R:     600,                 // recovery cost
+		D:     60,                  // downtime of a failed processor
+		Units: units,
+		Start: checkpoint.Year, // release one year into the trace
+	}
+	platformMTBF := law.Mean() / units
+	fmt.Printf("%d processors, platform MTBF %.1f days, job %.0f days\n\n",
+		units, platformMTBF/checkpoint.Day, job.Work/checkpoint.Day)
+
+	young := checkpoint.NewYoung(job.C, platformMTBF)
+	fmt.Printf("Young's period: %.0f s of work between checkpoints\n\n", young.Period())
+
+	const traces = 5
+	var sumYoung, sumDPNF, sumLB float64
+	var failures int
+	for i := uint64(0); i < traces; i++ {
+		ts := checkpoint.GenerateTraces(law, units, 3*checkpoint.Year, job.D, 1000+i)
+
+		resY, err := checkpoint.Simulate(job, young, ts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dpnf := checkpoint.NewDPNextFailure(law, law.Mean(), checkpoint.WithQuanta(120))
+		resD, err := checkpoint.Simulate(job, dpnf, ts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lb, err := checkpoint.SimulateLowerBound(job, ts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sumYoung += resY.Makespan
+		sumDPNF += resD.Makespan
+		sumLB += lb.Makespan
+		failures += resD.Failures
+	}
+
+	fmt.Printf("average makespan over %d traces (%.1f failures/run):\n",
+		traces, float64(failures)/traces)
+	fmt.Printf("  omniscient lower bound  %8.2f days\n", sumLB/traces/checkpoint.Day)
+	fmt.Printf("  DPNextFailure           %8.2f days\n", sumDPNF/traces/checkpoint.Day)
+	fmt.Printf("  Young                   %8.2f days\n", sumYoung/traces/checkpoint.Day)
+	saved := (sumYoung - sumDPNF) / traces
+	fmt.Printf("\nDPNextFailure saves %.1f hours (%.0f processor-hours) per run vs Young;\n",
+		saved/checkpoint.Hour, saved/checkpoint.Hour*units)
+	fmt.Println("the gap widens with platform size — see examples/petascale.")
+}

@@ -1,0 +1,68 @@
+// Tracedriven: the paper's §6 log-based methodology — build an empirical
+// failure distribution from an availability log (here the synthetic LANL
+// cluster-19 stand-in; see DESIGN.md for the substitution) and compare
+// periodic heuristics against DPNextFailure on a node-based platform.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	checkpoint "repro"
+)
+
+func main() {
+	// 1. Generate (or load) an availability log and build the empirical
+	// conditional-survival distribution the paper defines in §4.3.
+	logDurations := checkpoint.SyntheticLog(checkpoint.Cluster19, 30000, 7)
+	emp := checkpoint.NewEmpirical(logDurations)
+	fmt.Printf("log: %d availability intervals, mean uptime %.1f days\n",
+		len(logDurations), emp.Mean()/checkpoint.Day)
+	window := emp.Mean() / 10
+	fmt.Printf("decreasing hazard: P(survive %.1f d | fresh) = %.3f vs P(... | aged) = %.3f\n\n",
+		window/checkpoint.Day, emp.CondSurvival(window, 0), emp.CondSurvival(window, emp.Mean()))
+
+	// 2. A 4,096-processor job on 4-processor nodes (1,024 failure units).
+	spec := checkpoint.LANLNodesPlatform(emp.Mean())
+	const procs = 4096
+	units := spec.Units(procs)
+	work := checkpoint.Work{Model: checkpoint.WorkEmbarrassing}
+	job := &checkpoint.Job{
+		Work:  work.Time(spec.W, procs),
+		C:     spec.C(checkpoint.OverheadConstant, procs),
+		R:     spec.R(checkpoint.OverheadConstant, procs),
+		D:     spec.D,
+		Units: units,
+		Start: checkpoint.Year,
+	}
+	platformMTBF := (emp.Mean() + spec.D) / float64(units)
+	fmt.Printf("p=%d (%d nodes), W(p)=%.1f days, platform MTBF %.0f s\n\n",
+		procs, units, job.Work/checkpoint.Day, platformMTBF)
+
+	// 3. Compare Young (the best MTBF-only heuristic on logs, per the
+	// paper) with DPNextFailure, which queries the empirical conditional
+	// survival directly.
+	young := checkpoint.NewYoung(job.C, platformMTBF)
+	const traces = 6
+	var sumY, sumD float64
+	horizon := 2*checkpoint.Year + 40*job.Work
+	for i := uint64(0); i < traces; i++ {
+		ts := checkpoint.GenerateTraces(emp, units, horizon, spec.D, 500+i)
+		resY, err := checkpoint.Simulate(job, young, ts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dpnf := checkpoint.NewDPNextFailure(emp, emp.Mean(), checkpoint.WithQuanta(100))
+		resD, err := checkpoint.Simulate(job, dpnf, ts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sumY += resY.Makespan
+		sumD += resD.Makespan
+	}
+	fmt.Printf("average makespan over %d traces:\n", traces)
+	fmt.Printf("  Young          %8.2f days\n", sumY/traces/checkpoint.Day)
+	fmt.Printf("  DPNextFailure  %8.2f days\n", sumD/traces/checkpoint.Day)
+	saved := (sumY - sumD) / traces / 3600 * float64(procs)
+	fmt.Printf("\nDPNextFailure saves %.0f processor-hours per run on this platform.\n", saved)
+}

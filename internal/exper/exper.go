@@ -1,0 +1,127 @@
+// Package exper registers one runnable experiment per table and figure of
+// the paper's evaluation (§5-§6 plus the appendices). Each experiment has
+// laptop-scale "quick" defaults and a paper-scale mode (-full): the quick
+// mode preserves the qualitative findings (orderings, crossovers) with
+// fewer traces, coarser processor grids and coarser DP quanta, while the
+// full mode restores the 600-trace, full-grid methodology of §4.
+package exper
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/harness"
+)
+
+// Params controls an experiment run.
+type Params struct {
+	// Full switches to paper-scale parameters (600 traces, full grids).
+	Full bool
+	// Traces overrides the trace count (0 keeps the mode default).
+	Traces int
+	// Seed drives all randomness.
+	Seed uint64
+	// CSV additionally emits the table as CSV after the aligned text.
+	CSV bool
+	// Quanta overrides the dynamic-programming resolutions (0 keeps the
+	// mode defaults). Lower values trade fidelity for speed.
+	Quanta int
+	// PeriodLBTraces overrides the PeriodLB search trace count.
+	PeriodLBTraces int
+}
+
+func (p Params) traces(quick, full int) int {
+	if p.Traces > 0 {
+		return p.Traces
+	}
+	if p.Full {
+		return full
+	}
+	return quick
+}
+
+// quantaOr returns the DP resolution: the explicit override, or the mode
+// default.
+func (p Params) quantaOr(quick, full int) int {
+	if p.Quanta > 0 {
+		return p.Quanta
+	}
+	return p.pick(quick, full)
+}
+
+func (p Params) pick(quick, full int) int {
+	if p.Full {
+		return full
+	}
+	return quick
+}
+
+func (p Params) seed() uint64 {
+	if p.Seed != 0 {
+		return p.Seed
+	}
+	return 0x5eed
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, p Params) error
+}
+
+var registry = map[string]Experiment{}
+var order []string
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("exper: duplicate experiment id %q", e.ID))
+	}
+	registry[e.ID] = e
+	order = append(order, e.ID)
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every registered experiment in registration order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(order))
+	for _, id := range order {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// IDs returns the sorted experiment ids.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// emit renders a table as text (and CSV when requested).
+func emit(w io.Writer, p Params, t *harness.Table) error {
+	if err := t.WriteText(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if p.CSV {
+		if err := t.WriteCSV(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/harness"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Figure 7: log-based failures (synthetic LANL cluster 19), degradation vs processors",
+		Run: func(w io.Writer, p Params) error {
+			return runLogBased(w, p, trace.Cluster19)
+		},
+	})
+	register(Experiment{
+		ID:    "fig100",
+		Title: "Figure 100: log-based failures, both synthetic LANL clusters",
+		Run: func(w io.Writer, p Params) error {
+			if err := runLogBased(w, p, trace.Cluster18); err != nil {
+				return err
+			}
+			return runLogBased(w, p, trace.Cluster19)
+		},
+	})
+}
+
+// runLogBased reproduces the §6 methodology: build the empirical
+// availability distribution from the (synthetic, see DESIGN.md §4) cluster
+// log, simulate 4-processor nodes as failure units, and compare the
+// MTBF-based heuristics with DPNextFailure. Liu, Bouguerra and DPMakespan
+// cannot be adapted to empirical laws (§6) and are omitted, as in the
+// paper.
+func runLogBased(w io.Writer, p Params, spec trace.LogSpec) error {
+	logSize := p.pick(20000, 100000)
+	log := trace.SyntheticLog(spec, logSize, p.seed())
+	emp := trace.EmpiricalFromLog(log)
+	plat := platform.LANLNodes(emp.Mean())
+
+	var grid []int
+	if p.Full {
+		grid = []int{1 << 12, 1 << 13, 1 << 14, 1 << 15}
+	} else {
+		grid = []int{1 << 12, 1 << 14}
+	}
+	traces := p.traces(8, 600)
+
+	scs := make([]harness.Scenario, 0, len(grid))
+	xs := make([]float64, 0, len(grid))
+	for _, procs := range grid {
+		scs = append(scs, harness.Scenario{
+			Name:     fmt.Sprintf("%s-p=%d", spec.Name, procs),
+			Spec:     plat,
+			P:        procs,
+			Dist:     emp,
+			Overhead: platform.OverheadConstant,
+			Work:     platform.Work{Model: platform.WorkEmbarrassing},
+			// Node MTBFs are short; leave room for long degraded runs.
+			Horizon: 30*platform.Year + 50*plat.W/float64(procs),
+			Start:   platform.Year,
+			Traces:  traces,
+			Seed:    p.seed(),
+		})
+		xs = append(xs, float64(procs))
+	}
+	cfgFor := func(sc harness.Scenario) harness.CandidateConfig {
+		return harness.CandidateConfig{
+			DPNextFailureQuanta: p.quantaOr(100, 200),
+			IncludeLiu:          false,
+			IncludeBouguerra:    false,
+		}
+	}
+	series, err := degradationSeriesX(scs, xs, cfgFor, true, p)
+	if err != nil {
+		return err
+	}
+	t := harness.SeriesTable(
+		fmt.Sprintf("Log-based failures (%s, %d intervals): degradation vs processors (%d traces/point)",
+			spec.Name, logSize, traces),
+		"processors", series)
+	return emit(w, p, t)
+}

@@ -1,0 +1,191 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dist"
+	"repro/internal/harness"
+	"repro/internal/platform"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table2",
+		Title: "Table 2: degradation from best, single processor, Exponential failures",
+		Run:   func(w io.Writer, p Params) error { return runSingleProcTable(w, p, false) },
+	})
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table 3: degradation from best, single processor, Weibull (k=0.7) failures",
+		Run:   func(w io.Writer, p Params) error { return runSingleProcTable(w, p, true) },
+	})
+	register(Experiment{
+		ID:    "table4",
+		Title: "Table 4: degradation from best, 45,208 processors, Weibull (k=0.7) failures",
+		Run:   runTable4,
+	})
+	register(Experiment{
+		ID:    "spares",
+		Title: "§5.2.2: failures per run on the Table 4 scenario (spare processor sizing)",
+		Run:   runSpares,
+	})
+}
+
+// singleProcScenario builds the Table 2/3 configuration for one MTBF.
+func singleProcScenario(mtbf float64, weibull bool, traces int, seed uint64) harness.Scenario {
+	spec := platform.OneProc(mtbf)
+	var d dist.Distribution
+	if weibull {
+		d = dist.WeibullFromMeanShape(mtbf, 0.7)
+	} else {
+		d = dist.NewExponentialMean(mtbf)
+	}
+	return harness.Scenario{
+		Name:     fmt.Sprintf("1proc-mtbf=%gh", mtbf/platform.Hour),
+		Spec:     spec,
+		P:        1,
+		Dist:     d,
+		Overhead: platform.OverheadConstant,
+		Work:     platform.Work{Model: platform.WorkEmbarrassing},
+		// The paper uses a 1-year horizon for single-processor runs; a
+		// 20-day job with an MTBF of one hour runs ~45 days in expectation,
+		// so we keep a 2-year margin to avoid trace truncation.
+		Horizon: 2 * platform.Year,
+		Start:   0,
+		Traces:  traces,
+		Seed:    seed,
+	}
+}
+
+func runSingleProcTable(w io.Writer, p Params, weibull bool) error {
+	traces := p.traces(24, 600)
+	dpnfQ := p.quantaOr(60, 150)
+	dpmQ := p.quantaOr(600, 1500)
+	for _, mtbf := range []float64{platform.Hour, platform.Day, platform.Week} {
+		sc := singleProcScenario(mtbf, weibull, traces, p.seed())
+		cfg := harness.DefaultCandidateConfig()
+		cfg.DPNextFailureQuanta = dpnfQ
+		cfg.DPMakespanQuanta = dpmQ
+		plbCfg := periodLBConfig(p)
+		period, err := harness.SearchPeriodLB(sc, plbCfg)
+		if err != nil {
+			return err
+		}
+		cfg.PeriodLBPeriod = period
+		cands, err := harness.StandardCandidates(sc, cfg)
+		if err != nil {
+			return err
+		}
+		ev, err := harness.Evaluate(sc, cands)
+		if err != nil {
+			return err
+		}
+		law := "Exponential"
+		if weibull {
+			law = "Weibull(k=0.7)"
+		}
+		title := fmt.Sprintf("Single processor, %s, MTBF = %s, W = 20 days, C=R=600s, D=60s (%d traces)",
+			law, humanDuration(mtbf), traces)
+		if err := emit(w, p, harness.DegradationTable(title, ev)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// table4Scenario is the §5.2.2 headline configuration.
+func table4Scenario(traces int, seed uint64) harness.Scenario {
+	spec := platform.Petascale(125)
+	return harness.Scenario{
+		Name:     "table4",
+		Spec:     spec,
+		P:        spec.PTotal,
+		Dist:     dist.WeibullFromMeanShape(125*platform.Year, 0.7),
+		Overhead: platform.OverheadConstant,
+		Work:     platform.Work{Model: platform.WorkEmbarrassing},
+		Horizon:  11 * platform.Year,
+		Start:    platform.Year,
+		Traces:   traces,
+		Seed:     seed,
+	}
+}
+
+func runTable4(w io.Writer, p Params) error {
+	sc := table4Scenario(p.traces(16, 600), p.seed())
+	cfg := harness.DefaultCandidateConfig()
+	cfg.DPNextFailureQuanta = p.quantaOr(120, 200)
+	period, err := harness.SearchPeriodLB(sc, periodLBConfig(p))
+	if err != nil {
+		return err
+	}
+	cfg.PeriodLBPeriod = period
+	cands, err := harness.StandardCandidates(sc, cfg)
+	if err != nil {
+		return err
+	}
+	ev, err := harness.Evaluate(sc, cands)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("45,208 processors, Weibull k=0.7, MTBF 125y, embarrassingly parallel, constant C=R=600s (%d traces)", sc.Traces)
+	return emit(w, p, harness.DegradationTable(title, ev))
+}
+
+func runSpares(w io.Writer, p Params) error {
+	sc := table4Scenario(p.traces(16, 600), p.seed())
+	cfg := harness.DefaultCandidateConfig()
+	cfg.DPNextFailureQuanta = p.quantaOr(120, 200)
+	cfg.IncludeLiu = false
+	cfg.IncludeBouguerra = false
+	cands, err := harness.StandardCandidates(sc, cfg)
+	if err != nil {
+		return err
+	}
+	ev, err := harness.Evaluate(sc, cands)
+	if err != nil {
+		return err
+	}
+	t := &harness.Table{
+		Title:  fmt.Sprintf("Failures per run on the Table 4 scenario (%d traces); the paper reports avg 38.0, max 66 for DPNextFailure", sc.Traces),
+		Header: []string{"Heuristic", "avg failures", "max failures", "avg makespan (days)"},
+	}
+	for _, name := range ev.Order {
+		if name == "LowerBound" {
+			continue
+		}
+		f := ev.Failures[name]
+		mk := ev.MakespanSec[name]
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.1f", f.Mean),
+			fmt.Sprintf("%.0f", f.Max),
+			fmt.Sprintf("%.2f", mk.Mean/platform.Day),
+		})
+	}
+	return emit(w, p, t)
+}
+
+func periodLBConfig(p Params) harness.PeriodLBConfig {
+	cfg := harness.DefaultPeriodLBConfig()
+	if p.Full {
+		cfg.EvalTraces = 1000
+		cfg.GeometricSteps = 60
+		cfg.LinearSteps = 180
+	}
+	if p.PeriodLBTraces > 0 {
+		cfg.EvalTraces = p.PeriodLBTraces
+	}
+	return cfg
+}
+
+func humanDuration(sec float64) string {
+	switch {
+	case sec >= platform.Week:
+		return fmt.Sprintf("%g week(s)", sec/platform.Week)
+	case sec >= platform.Day:
+		return fmt.Sprintf("%g day(s)", sec/platform.Day)
+	default:
+		return fmt.Sprintf("%g hour(s)", sec/platform.Hour)
+	}
+}

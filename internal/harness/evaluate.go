@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Stats summarizes a sample.
+type Stats struct {
+	Mean, Std, Min, Max float64
+	N                   int
+}
+
+// NewStats computes summary statistics (population standard deviation, as
+// in the paper's tables).
+func NewStats(xs []float64) Stats {
+	if len(xs) == 0 {
+		return Stats{Min: math.NaN(), Max: math.NaN(), Mean: math.NaN(), Std: math.NaN()}
+	}
+	s := Stats{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.Std = math.Sqrt(sq / float64(len(xs)))
+	return s
+}
+
+// Evaluation is the result of running a candidate set over a scenario's
+// traces with the paper's §4.1 methodology.
+type Evaluation struct {
+	Scenario Scenario
+	Derived  Derived
+	// Order lists result rows in display order: LowerBound first, then the
+	// candidates in their given order (skipped ones excluded).
+	Order []string
+	// Degradation maps policy -> degradation-from-best statistics, where
+	// the per-trace reference is the best makespan among the runnable
+	// heuristics (LowerBound excluded from the reference, as in §4.1).
+	Degradation map[string]Stats
+	// MakespanSec maps policy -> raw makespan statistics in seconds.
+	MakespanSec map[string]Stats
+	// Failures maps policy -> failures-per-run statistics (§5.2.2's spare
+	// processor discussion).
+	Failures map[string]Stats
+	// Skipped maps policies that could not run to the reason.
+	Skipped map[string]string
+	// HorizonExceededRuns counts runs that consumed the entire trace.
+	HorizonExceededRuns int
+}
+
+// Evaluate runs every candidate over the scenario's traces and aggregates
+// the degradation-from-best metric. All candidates (and the omniscient
+// LowerBound) see identical failure traces.
+func Evaluate(sc Scenario, cands []Candidate) (*Evaluation, error) {
+	d, err := sc.Derive()
+	if err != nil {
+		return nil, err
+	}
+	var runnable []Candidate
+	skipped := map[string]string{}
+	for _, c := range cands {
+		if c.SkipReason != "" {
+			skipped[c.Name] = c.SkipReason
+			continue
+		}
+		runnable = append(runnable, c)
+	}
+	if len(runnable) == 0 {
+		return nil, ErrNoCandidates
+	}
+
+	nc := len(runnable)
+	makespans := make([][]float64, sc.Traces) // [trace][candidate]
+	failures := make([][]float64, sc.Traces)
+	lower := make([]float64, sc.Traces)
+	horizonExceeded := make([]int, sc.Traces)
+	errs := make([]error, sc.Traces)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > sc.Traces {
+		workers = sc.Traces
+	}
+	var wg sync.WaitGroup
+	traceCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range traceCh {
+				makespans[i] = make([]float64, nc)
+				failures[i] = make([]float64, nc)
+				ts := trace.GenerateRenewal(sc.Dist, d.Units, sc.Horizon, sc.Spec.D, sc.TraceSeed(i))
+				job := d.Job(sc.Start)
+				lb, err := sim.LowerBound(job, ts)
+				if err != nil {
+					errs[i] = fmt.Errorf("trace %d: LowerBound: %w", i, err)
+					continue
+				}
+				lower[i] = lb.Makespan
+				for j, c := range runnable {
+					pol, err := c.New()
+					if err != nil {
+						errs[i] = fmt.Errorf("trace %d: %s: %w", i, c.Name, err)
+						break
+					}
+					res, err := sim.Run(job, pol, ts)
+					if err != nil {
+						errs[i] = fmt.Errorf("trace %d: %s: %w", i, c.Name, err)
+						break
+					}
+					makespans[i][j] = res.Makespan
+					failures[i][j] = float64(res.Failures)
+					if res.HorizonExceeded {
+						horizonExceeded[i]++
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < sc.Traces; i++ {
+		traceCh <- i
+	}
+	close(traceCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ev := &Evaluation{
+		Scenario:    sc,
+		Derived:     d,
+		Degradation: map[string]Stats{},
+		MakespanSec: map[string]Stats{},
+		Failures:    map[string]Stats{},
+		Skipped:     skipped,
+	}
+	for _, n := range horizonExceeded {
+		ev.HorizonExceededRuns += n
+	}
+
+	// Per-trace reference: best heuristic makespan (§4.1).
+	degr := make([][]float64, nc)
+	for j := range degr {
+		degr[j] = make([]float64, sc.Traces)
+	}
+	lbDegr := make([]float64, sc.Traces)
+	for i := 0; i < sc.Traces; i++ {
+		best := math.Inf(1)
+		for j := 0; j < nc; j++ {
+			best = math.Min(best, makespans[i][j])
+		}
+		for j := 0; j < nc; j++ {
+			degr[j][i] = makespans[i][j] / best
+		}
+		lbDegr[i] = lower[i] / best
+	}
+
+	ev.Order = append(ev.Order, "LowerBound")
+	ev.Degradation["LowerBound"] = NewStats(lbDegr)
+	ev.MakespanSec["LowerBound"] = NewStats(lower)
+	for j, c := range runnable {
+		ev.Order = append(ev.Order, c.Name)
+		ev.Degradation[c.Name] = NewStats(degr[j])
+		ev.MakespanSec[c.Name] = newStatsColumn(makespans, j)
+		ev.Failures[c.Name] = newStatsColumn(failures, j)
+	}
+	return ev, nil
+}
+
+func newStatsColumn(rows [][]float64, j int) Stats {
+	xs := make([]float64, len(rows))
+	for i := range rows {
+		xs[i] = rows[i][j]
+	}
+	return NewStats(xs)
+}

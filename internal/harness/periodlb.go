@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// PeriodLBConfig tunes the numerical period search of §4.1: the paper
+// multiplies and divides OptExp's period by (1 + 0.05 i), i in 1..180, and
+// by 1.1^j, j in 1..60, evaluating each candidate on 1,000 random
+// scenarios. The defaults here are scaled down; raise them for
+// paper-fidelity runs.
+type PeriodLBConfig struct {
+	// EvalTraces is the number of independent traces per candidate period.
+	EvalTraces int
+	// GeometricSteps is j's range for the 1.1^j grid.
+	GeometricSteps int
+	// LinearSteps is i's range for the (1+0.05i) refinement grid.
+	LinearSteps int
+	// SeedOffset decorrelates the search traces from the evaluation
+	// traces.
+	SeedOffset uint64
+}
+
+// DefaultPeriodLBConfig returns a laptop-scale search configuration.
+func DefaultPeriodLBConfig() PeriodLBConfig {
+	return PeriodLBConfig{
+		EvalTraces:     24,
+		GeometricSteps: 16,
+		LinearSteps:    10,
+		SeedOffset:     0x5eed0ff5e7,
+	}
+}
+
+// SearchPeriodLB finds the best fixed checkpointing period for the
+// scenario by numerical search around OptExp's period, evaluating every
+// candidate period on the same freshly generated traces (paired search).
+func SearchPeriodLB(sc Scenario, cfg PeriodLBConfig) (float64, error) {
+	d, err := sc.Derive()
+	if err != nil {
+		return 0, err
+	}
+	base, err := basePeriod(d)
+	if err != nil {
+		return 0, err
+	}
+	if cfg.EvalTraces <= 0 {
+		return 0, fmt.Errorf("harness: PeriodLB needs eval traces")
+	}
+
+	// Pre-generate the shared evaluation traces.
+	searchSc := sc
+	searchSc.Seed ^= cfg.SeedOffset
+	sets := make([]*trace.Set, cfg.EvalTraces)
+	for i := range sets {
+		sets[i] = trace.GenerateRenewal(sc.Dist, d.Units, sc.Horizon, sc.Spec.D, searchSc.TraceSeed(i))
+	}
+	job := d.Job(sc.Start)
+
+	score := func(period float64) float64 {
+		if !(period > 0) {
+			return math.Inf(1)
+		}
+		pol := policy.NewPeriodic("search", period)
+		var total float64
+		for _, ts := range sets {
+			res, err := sim.Run(job, pol, ts)
+			if err != nil {
+				return math.Inf(1)
+			}
+			total += res.Makespan
+		}
+		return total
+	}
+
+	bestPeriod, bestScore := base, score(base)
+	try := func(period float64) {
+		if period <= 0 || period > d.WorkP {
+			return
+		}
+		if s := score(period); s < bestScore {
+			bestScore, bestPeriod = s, period
+		}
+	}
+	for j := 1; j <= cfg.GeometricSteps; j++ {
+		f := math.Pow(1.1, float64(j))
+		try(base * f)
+		try(base / f)
+	}
+	coarse := bestPeriod
+	for i := 1; i <= cfg.LinearSteps; i++ {
+		f := 1 + 0.05*float64(i)
+		try(coarse * f)
+		try(coarse / f)
+	}
+	return bestPeriod, nil
+}
+
+// basePeriod returns OptExp's period for the derived scenario, falling
+// back to Young's if the Lambert evaluation fails.
+func basePeriod(d Derived) (float64, error) {
+	if opt, err := policy.NewOptExp(d.WorkP, d.PlatformRate, d.C); err == nil {
+		return opt.Period(), nil
+	}
+	young := policy.NewYoung(d.C, d.PlatformMTBF)
+	if !(young.Period() > 0) {
+		return 0, fmt.Errorf("harness: cannot derive a base period")
+	}
+	return young.Period(), nil
+}
+
+// PeriodVariationPoint is one point of the Appendix A/B period-sweep
+// figures: the average degradation of the fixed period base*2^Factor.
+type PeriodVariationPoint struct {
+	Log2Factor  float64
+	Degradation Stats
+}
+
+// PeriodVariation reproduces the PeriodVariation curves: it evaluates
+// fixed-period policies at base*2^f for the given f grid, together with
+// the standard candidate set (which defines the per-trace reference), and
+// returns one point per factor.
+func PeriodVariation(sc Scenario, cfg CandidateConfig, log2Factors []float64) ([]PeriodVariationPoint, *Evaluation, error) {
+	d, err := sc.Derive()
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err := basePeriod(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	cands, err := StandardCandidates(sc, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, len(log2Factors))
+	for i, f := range log2Factors {
+		period := base * math.Pow(2, f)
+		if period > d.WorkP {
+			period = d.WorkP
+		}
+		names[i] = fmt.Sprintf("PeriodVar[%+.2f]", f)
+		cands = append(cands, Candidate{
+			Name: names[i],
+			New: func(p float64, n string) func() (sim.Policy, error) {
+				return func() (sim.Policy, error) { return policy.NewPeriodic(n, p), nil }
+			}(period, names[i]),
+		})
+	}
+	ev, err := Evaluate(sc, cands)
+	if err != nil {
+		return nil, nil, err
+	}
+	points := make([]PeriodVariationPoint, len(log2Factors))
+	for i, f := range log2Factors {
+		points[i] = PeriodVariationPoint{Log2Factor: f, Degradation: ev.Degradation[names[i]]}
+	}
+	return points, ev, nil
+}

@@ -1,0 +1,103 @@
+// Package harness implements the paper's experimental methodology (§4):
+// scenario generation, the average-degradation-from-best metric, the
+// PeriodLB/PeriodVariation numerical period searches, and text/CSV
+// renderers for the tables and figure series.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Scenario is a fully specified experimental configuration: one point of
+// one table or figure.
+type Scenario struct {
+	Name string
+	// Spec provides the Table 1 platform parameters.
+	Spec platform.Spec
+	// P is the number of processors enrolled by the job.
+	P int
+	// Dist is the per-unit failure inter-arrival law.
+	Dist dist.Distribution
+	// Overhead selects constant vs proportional C(p)/R(p).
+	Overhead platform.Overhead
+	// Work selects the parallel work model W(p).
+	Work platform.Work
+	// Horizon is the failure-trace length in seconds (the paper uses 1
+	// year for single-processor experiments and 11 years otherwise).
+	Horizon float64
+	// Start is the job release date within the trace (the paper uses 0
+	// for single-processor experiments and 1 year otherwise).
+	Start float64
+	// Traces is the number of random traces to average over (the paper
+	// uses 600).
+	Traces int
+	// Seed drives all randomness; evaluations are fully reproducible.
+	Seed uint64
+}
+
+// Derived holds the job-level quantities computed from a scenario.
+type Derived struct {
+	Units        int     // failure units enrolled
+	WorkP        float64 // W(p)
+	C, R, D      float64 // overheads at p
+	UnitMean     float64 // mean inter-arrival time of one unit
+	UnitMTBF     float64 // unit MTBF = mean + D (§4.3 convention)
+	PlatformMTBF float64 // unit MTBF / units
+	PlatformRate float64 // units / unit mean (exponential-equivalent rate)
+}
+
+// Derive computes the derived quantities, validating the scenario.
+func (sc Scenario) Derive() (Derived, error) {
+	if sc.P <= 0 {
+		return Derived{}, fmt.Errorf("harness: non-positive processor count %d", sc.P)
+	}
+	if sc.Dist == nil {
+		return Derived{}, fmt.Errorf("harness: scenario %q has no distribution", sc.Name)
+	}
+	if sc.Traces <= 0 {
+		return Derived{}, fmt.Errorf("harness: scenario %q has no traces", sc.Name)
+	}
+	units := sc.Spec.Units(sc.P)
+	mean := sc.Dist.Mean()
+	d := Derived{
+		Units:        units,
+		WorkP:        sc.Work.Time(sc.Spec.W, sc.P),
+		C:            sc.Spec.C(sc.Overhead, sc.P),
+		R:            sc.Spec.R(sc.Overhead, sc.P),
+		D:            sc.Spec.D,
+		UnitMean:     mean,
+		UnitMTBF:     mean + sc.Spec.D,
+		PlatformMTBF: (mean + sc.Spec.D) / float64(units),
+		PlatformRate: float64(units) / mean,
+	}
+	if !(d.WorkP > 0) {
+		return Derived{}, fmt.Errorf("harness: scenario %q has non-positive work %v", sc.Name, d.WorkP)
+	}
+	if sc.Horizon < sc.Start+d.WorkP {
+		return Derived{}, fmt.Errorf("harness: scenario %q horizon %v too short for start %v + work %v",
+			sc.Name, sc.Horizon, sc.Start, d.WorkP)
+	}
+	return d, nil
+}
+
+// Job builds the simulator job for the scenario.
+func (d Derived) Job(start float64) *sim.Job {
+	return &sim.Job{
+		Work:  d.WorkP,
+		C:     d.C,
+		R:     d.R,
+		D:     d.D,
+		Units: d.Units,
+		Start: start,
+	}
+}
+
+// TraceSeed derives the per-trace seed; the golden-ratio multiplier keeps
+// consecutive trace indices statistically independent.
+func (sc Scenario) TraceSeed(trace int) uint64 {
+	return sc.Seed + uint64(trace+1)*0x9e3779b97f4a7c15
+}

@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a rendered result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// WriteText writes the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+		return err
+	}
+	if err := line(t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the table as comma-separated values.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Header, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// DegradationTable renders an evaluation in the layout of the paper's
+// Tables 2-4: one row per policy with average degradation and standard
+// deviation.
+func DegradationTable(title string, ev *Evaluation) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"Heuristic", "avg degradation", "std", "avg makespan (h)", "failures/run"},
+	}
+	for _, name := range ev.Order {
+		deg := ev.Degradation[name]
+		mk := ev.MakespanSec[name]
+		failCell := ""
+		if f, ok := ev.Failures[name]; ok {
+			failCell = fmt.Sprintf("%.1f", f.Mean)
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.5f", deg.Mean),
+			fmt.Sprintf("%.5f", deg.Std),
+			fmt.Sprintf("%.2f", mk.Mean/3600),
+			failCell,
+		})
+	}
+	var skippedNames []string
+	for name := range ev.Skipped {
+		skippedNames = append(skippedNames, name)
+	}
+	sort.Strings(skippedNames)
+	for _, name := range skippedNames {
+		t.Rows = append(t.Rows, []string{name, "n/a", "n/a", "n/a", ""})
+	}
+	return t
+}
+
+// Series is one curve of a figure: Y[i] observed at X[i].
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// SeriesTable renders a family of curves sharing an X axis into a table
+// with one row per X value, matching the paper's figure data.
+func SeriesTable(title, xLabel string, series []Series) *Table {
+	t := &Table{Title: title, Header: []string{xLabel}}
+	// Collect the union of X values.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	for _, s := range series {
+		t.Header = append(t.Header, s.Label)
+	}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					if !math.IsNaN(s.Y[i]) {
+						cell = fmt.Sprintf("%.5f", s.Y[i])
+					} else {
+						cell = "n/a"
+					}
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}

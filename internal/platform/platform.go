@@ -1,0 +1,223 @@
+// Package platform encodes the paper's platform and application models:
+// the Table 1 parameter presets (one-processor, Petascale/Jaguar-like,
+// Exascale), the two checkpoint/recovery overhead models of §3.1
+// (constant and proportional), and the three parallel work models
+// (embarrassingly parallel, Amdahl, numerical kernel).
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time unit helpers (seconds). The paper converts a 1-day platform MTBF to
+// a 125-year processor MTBF with 365-day years (ptotal/365), so Year uses
+// 365 days.
+const (
+	Second = 1.0
+	Minute = 60.0
+	Hour   = 3600.0
+	Day    = 86400.0
+	Week   = 7 * Day
+	Year   = 365 * Day
+)
+
+// Overhead selects how the checkpoint and recovery costs scale with the
+// number of enrolled processors (§3.1).
+type Overhead int
+
+const (
+	// OverheadConstant models a resilient-storage ingress bottleneck:
+	// C(p) = R(p) = alpha*V, independent of p.
+	OverheadConstant Overhead = iota
+	// OverheadProportional models per-processor link bottlenecks:
+	// C(p) = R(p) = alpha*V/p. Following the paper's experiments, the cost
+	// is CBase at p = PTotal and grows as PTotal/p for smaller p
+	// (C(p) = 600 * 45208/p in Appendix B).
+	OverheadProportional
+)
+
+// String implements fmt.Stringer.
+func (o Overhead) String() string {
+	switch o {
+	case OverheadConstant:
+		return "constant"
+	case OverheadProportional:
+		return "proportional"
+	}
+	return fmt.Sprintf("Overhead(%d)", int(o))
+}
+
+// WorkModel selects the parallel execution-time model W(p) of §3.1.
+type WorkModel int
+
+const (
+	// WorkEmbarrassing: W(p) = W/p.
+	WorkEmbarrassing WorkModel = iota
+	// WorkAmdahl: W(p) = W/p + gamma*W, gamma the sequential fraction.
+	WorkAmdahl
+	// WorkKernel: W(p) = W/p + gamma*W^(2/3)/sqrt(p), representative of
+	// matrix product and LU/QR factorization on a 2D grid.
+	WorkKernel
+)
+
+// String implements fmt.Stringer.
+func (m WorkModel) String() string {
+	switch m {
+	case WorkEmbarrassing:
+		return "embarrassing"
+	case WorkAmdahl:
+		return "amdahl"
+	case WorkKernel:
+		return "kernel"
+	}
+	return fmt.Sprintf("WorkModel(%d)", int(m))
+}
+
+// Work pairs a work model with its gamma parameter.
+type Work struct {
+	Model WorkModel
+	Gamma float64
+}
+
+// Time returns W(p), the failure-free execution time of a job of total
+// sequential work w on p processors.
+func (wk Work) Time(w float64, p int) float64 {
+	if p <= 0 {
+		panic(fmt.Sprintf("platform: non-positive processor count %d", p))
+	}
+	fp := float64(p)
+	switch wk.Model {
+	case WorkEmbarrassing:
+		return w / fp
+	case WorkAmdahl:
+		return w/fp + wk.Gamma*w
+	case WorkKernel:
+		return w/fp + wk.Gamma*math.Cbrt(w*w)/math.Sqrt(fp)
+	}
+	panic(fmt.Sprintf("platform: unknown work model %d", wk.Model))
+}
+
+// String implements fmt.Stringer.
+func (wk Work) String() string {
+	if wk.Model == WorkEmbarrassing {
+		return wk.Model.String()
+	}
+	return fmt.Sprintf("%s(gamma=%g)", wk.Model, wk.Gamma)
+}
+
+// Spec is a platform configuration (one row of Table 1).
+type Spec struct {
+	Name string
+	// PTotal is the total processor count of the platform.
+	PTotal int
+	// ProcsPerUnit is the number of processors per failure unit (1 for the
+	// synthetic experiments; 4 for the LANL-node-based experiments).
+	ProcsPerUnit int
+	// D is the downtime after a failure, in seconds.
+	D float64
+	// CBase and RBase are the checkpoint and recovery costs at p = PTotal,
+	// in seconds.
+	CBase, RBase float64
+	// MTBF is the per-processor (or per-unit) mean time between failures,
+	// in seconds.
+	MTBF float64
+	// W is the total sequential work of the reference job, in seconds.
+	W float64
+}
+
+// OneProc returns the single-processor configuration of Table 1 with the
+// given MTBF (the paper uses 1 hour, 1 day and 1 week).
+func OneProc(mtbf float64) Spec {
+	return Spec{
+		Name:         "1-proc",
+		PTotal:       1,
+		ProcsPerUnit: 1,
+		D:            60,
+		CBase:        600,
+		RBase:        600,
+		MTBF:         mtbf,
+		W:            20 * Day,
+	}
+}
+
+// Petascale returns the Jaguar-like configuration of Table 1 (45,208
+// processors, W = 1,000 years, about 8 days on the full platform) with the
+// given per-processor MTBF in years (125 or 500 in the paper).
+func Petascale(mtbfYears float64) Spec {
+	return Spec{
+		Name:         "petascale",
+		PTotal:       45208,
+		ProcsPerUnit: 1,
+		D:            60,
+		CBase:        600,
+		RBase:        600,
+		MTBF:         mtbfYears * Year,
+		W:            1000 * Year,
+	}
+}
+
+// Exascale returns the Exascale configuration of Table 1 (2^20 processors,
+// W = 10,000 years, about 3.5 days on the full platform, MTBF 1,250 years).
+func Exascale() Spec {
+	return Spec{
+		Name:         "exascale",
+		PTotal:       1 << 20,
+		ProcsPerUnit: 1,
+		D:            60,
+		CBase:        600,
+		RBase:        600,
+		MTBF:         1250 * Year,
+		W:            10000 * Year,
+	}
+}
+
+// LANLNodes returns a Petascale-shaped platform whose failure units are
+// 4-processor nodes, as in the paper's log-based experiments (11,302 nodes
+// for 45,208 processors). The MTBF field is the per-node mean availability,
+// which callers derive from the log.
+func LANLNodes(nodeMTBF float64) Spec {
+	s := Petascale(125)
+	s.Name = "lanl-nodes"
+	s.ProcsPerUnit = 4
+	s.MTBF = nodeMTBF
+	return s
+}
+
+// C returns the checkpoint cost C(p) under the given overhead model.
+func (s Spec) C(o Overhead, p int) float64 { return s.scaleOverhead(s.CBase, o, p) }
+
+// R returns the recovery cost R(p) under the given overhead model.
+func (s Spec) R(o Overhead, p int) float64 { return s.scaleOverhead(s.RBase, o, p) }
+
+func (s Spec) scaleOverhead(base float64, o Overhead, p int) float64 {
+	if p <= 0 {
+		panic(fmt.Sprintf("platform: non-positive processor count %d", p))
+	}
+	switch o {
+	case OverheadConstant:
+		return base
+	case OverheadProportional:
+		return base * float64(s.PTotal) / float64(p)
+	}
+	panic(fmt.Sprintf("platform: unknown overhead model %d", o))
+}
+
+// Units returns the number of failure units when p processors are enrolled.
+// It panics if p is not a multiple of ProcsPerUnit.
+func (s Spec) Units(p int) int {
+	if s.ProcsPerUnit <= 0 {
+		panic("platform: ProcsPerUnit must be positive")
+	}
+	if p%s.ProcsPerUnit != 0 {
+		panic(fmt.Sprintf("platform: %d processors not a multiple of %d per unit", p, s.ProcsPerUnit))
+	}
+	return p / s.ProcsPerUnit
+}
+
+// PlatformMTBF returns the aggregate MTBF seen by a job on p processors
+// under the no-rejuvenation model used throughout the paper's experiments:
+// unit MTBF divided by the number of units.
+func (s Spec) PlatformMTBF(p int) float64 {
+	return s.MTBF * float64(s.ProcsPerUnit) / float64(p)
+}

@@ -1,0 +1,171 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable1Presets(t *testing.T) {
+	one := OneProc(Hour)
+	if one.PTotal != 1 || one.D != 60 || one.CBase != 600 || one.W != 20*Day {
+		t.Errorf("OneProc preset wrong: %+v", one)
+	}
+	peta := Petascale(125)
+	if peta.PTotal != 45208 {
+		t.Errorf("Petascale processors = %d", peta.PTotal)
+	}
+	if peta.MTBF != 125*Year {
+		t.Errorf("Petascale MTBF = %v", peta.MTBF)
+	}
+	// W chosen so the full platform runs ~8 days failure-free.
+	days := peta.W / float64(peta.PTotal) / Day
+	if days < 7.5 || days > 8.5 {
+		t.Errorf("Petascale full-platform job = %v days, want ~8", days)
+	}
+	exa := Exascale()
+	if exa.PTotal != 1<<20 {
+		t.Errorf("Exascale processors = %d", exa.PTotal)
+	}
+	days = exa.W / float64(exa.PTotal) / Day
+	if days < 3 || days > 4 {
+		t.Errorf("Exascale full-platform job = %v days, want ~3.5", days)
+	}
+}
+
+func TestJaguarMTBFDerivation(t *testing.T) {
+	// §4.3: a 1-failure-per-day platform of 45,208 processors gives a
+	// ~125-year processor MTBF (ptotal/365 years).
+	peta := Petascale(125)
+	platformMTBF := peta.PlatformMTBF(peta.PTotal)
+	if math.Abs(platformMTBF-Day) > 0.015*Day {
+		t.Errorf("platform MTBF = %v s, want ~1 day", platformMTBF)
+	}
+}
+
+func TestOverheadModels(t *testing.T) {
+	s := Petascale(125)
+	if got := s.C(OverheadConstant, 1024); got != 600 {
+		t.Errorf("constant C(1024) = %v", got)
+	}
+	if got := s.C(OverheadConstant, 45208); got != 600 {
+		t.Errorf("constant C(45208) = %v", got)
+	}
+	// Proportional: C(p) = 600 * 45208 / p (Appendix B).
+	if got := s.C(OverheadProportional, 45208); math.Abs(got-600) > 1e-9 {
+		t.Errorf("proportional C(ptotal) = %v, want 600", got)
+	}
+	if got := s.C(OverheadProportional, 22604); math.Abs(got-1200) > 1e-9 {
+		t.Errorf("proportional C(ptotal/2) = %v, want 1200", got)
+	}
+	if got := s.R(OverheadProportional, 11302); math.Abs(got-2400) > 1e-9 {
+		t.Errorf("proportional R(ptotal/4) = %v, want 2400", got)
+	}
+}
+
+func TestWorkModels(t *testing.T) {
+	const w = 1e9
+	cases := []struct {
+		wk   Work
+		p    int
+		want float64
+	}{
+		{Work{WorkEmbarrassing, 0}, 1000, w / 1000},
+		{Work{WorkAmdahl, 1e-4}, 1000, w/1000 + 1e-4*w},
+		{Work{WorkAmdahl, 1e-6}, 45208, w/45208 + 1e-6*w},
+		{Work{WorkKernel, 0.1}, 10000, w/10000 + 0.1*math.Cbrt(w*w)/100},
+		{Work{WorkKernel, 10}, 45208, w/45208 + 10*math.Cbrt(w*w)/math.Sqrt(45208)},
+	}
+	for _, c := range cases {
+		if got := c.wk.Time(w, c.p); math.Abs(got-c.want) > 1e-6*c.want {
+			t.Errorf("%v.Time(%v, %d) = %v, want %v", c.wk, w, c.p, got, c.want)
+		}
+	}
+}
+
+func TestWorkModelsDecreaseWithP(t *testing.T) {
+	const w = 1e9
+	for _, wk := range []Work{
+		{WorkEmbarrassing, 0},
+		{WorkAmdahl, 1e-6},
+		{WorkKernel, 1},
+	} {
+		prev := math.Inf(1)
+		for p := 1024; p <= 1<<20; p *= 2 {
+			cur := wk.Time(w, p)
+			if cur >= prev {
+				t.Errorf("%v: W(p) not decreasing at p=%d", wk, p)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestAmdahlFloor(t *testing.T) {
+	// Amdahl work converges to gamma*W as p grows.
+	wk := Work{WorkAmdahl, 1e-4}
+	const w = 1e9
+	limit := wk.Gamma * w
+	if got := wk.Time(w, 1<<30); math.Abs(got-limit) > 0.01*limit {
+		t.Errorf("Amdahl limit = %v, want ~%v", got, limit)
+	}
+}
+
+func TestUnitsMapping(t *testing.T) {
+	s := LANLNodes(1.466e7)
+	if s.ProcsPerUnit != 4 {
+		t.Fatalf("LANLNodes procs/unit = %d", s.ProcsPerUnit)
+	}
+	if got := s.Units(45208); got != 11302 {
+		t.Errorf("Units(45208) = %d, want 11302", got)
+	}
+	if got := s.Units(4096); got != 1024 {
+		t.Errorf("Units(4096) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Units with non-multiple should panic")
+		}
+	}()
+	s.Units(45207)
+}
+
+func TestPlatformMTBFWithNodes(t *testing.T) {
+	s := LANLNodes(1.466e7)
+	// 45,208 processors = 11,302 nodes; platform MTBF = nodeMTBF/11302.
+	got := s.PlatformMTBF(45208)
+	want := 1.466e7 / 11302
+	if math.Abs(got-want) > 1e-6*want {
+		t.Errorf("PlatformMTBF = %v, want %v", got, want)
+	}
+}
+
+func TestOverheadString(t *testing.T) {
+	if OverheadConstant.String() != "constant" || OverheadProportional.String() != "proportional" {
+		t.Error("Overhead.String broken")
+	}
+	if WorkEmbarrassing.String() != "embarrassing" {
+		t.Error("WorkModel.String broken")
+	}
+	if s := (Work{WorkAmdahl, 1e-4}).String(); s != "amdahl(gamma=0.0001)" {
+		t.Errorf("Work.String = %q", s)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	s := Petascale(125)
+	for i, fn := range []func(){
+		func() { s.C(OverheadConstant, 0) },
+		func() { s.C(Overhead(99), 10) },
+		func() { (Work{WorkEmbarrassing, 0}).Time(1, 0) },
+		func() { (Work{WorkModel(99), 0}).Time(1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

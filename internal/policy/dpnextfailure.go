@@ -1,0 +1,352 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/sim"
+)
+
+// DPNextFailure is the paper's main heuristic contribution (Algorithm 2,
+// §2.4/§3.3): a dynamic program that maximizes the expected amount of work
+// completed before the next failure, re-planned after every failure.
+//
+// Implementation notes mirroring §3.3:
+//
+//   - Because chunks are only re-planned at failures, the per-state
+//     processor ages are fully determined by the elapsed execution time, so
+//     the joint success probability collapses to a single scalar function
+//     G(t) = sum_g w_g H(tau_g + t) over processor groups (H = cumulative
+//     hazard), precomputed on a grid: each DP transition costs O(1).
+//   - The processor-age state is approximated: the NExact smallest ages are
+//     kept exact; the rest are binned onto NApprox reference values placed
+//     at survival-interpolated quantiles of the failure law.
+//   - The planning horizon is truncated to min(remaining, 2*MTBF/p) and
+//     only the first half of the planned chunks is executed before
+//     re-planning, exactly as the paper prescribes to keep the algorithm
+//     fast enough for production use.
+type DPNextFailure struct {
+	d        dist.Distribution
+	unitMean float64 // per-unit MTBF used for the horizon truncation
+	quanta   int
+	nExact   int
+	nApprox  int
+	halfPlan bool
+
+	plan     []float64
+	failures int
+}
+
+// DPNextFailureOption customizes the policy.
+type DPNextFailureOption func(*DPNextFailure)
+
+// WithQuanta sets the DP resolution (number of work quanta in the planning
+// horizon; the paper's time quantum u is horizon/quanta).
+func WithQuanta(n int) DPNextFailureOption {
+	return func(p *DPNextFailure) { p.quanta = n }
+}
+
+// WithStateApprox sets the §3.3 state-approximation parameters (the paper
+// uses nExact=10, nApprox=100).
+func WithStateApprox(nExact, nApprox int) DPNextFailureOption {
+	return func(p *DPNextFailure) { p.nExact, p.nApprox = nExact, nApprox }
+}
+
+// WithFullPlan disables the execute-only-half-the-plan optimization
+// (useful for tests on tiny instances).
+func WithFullPlan() DPNextFailureOption {
+	return func(p *DPNextFailure) { p.halfPlan = false }
+}
+
+// NewDPNextFailure returns a fresh per-run policy instance. d is the
+// per-unit failure law and unitMean its MTBF (used only to truncate the
+// planning horizon).
+func NewDPNextFailure(d dist.Distribution, unitMean float64, opts ...DPNextFailureOption) *DPNextFailure {
+	p := &DPNextFailure{
+		d:        d,
+		unitMean: unitMean,
+		quanta:   150,
+		nExact:   10,
+		nApprox:  100,
+		halfPlan: true,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Name implements sim.Policy.
+func (p *DPNextFailure) Name() string { return "DPNextFailure" }
+
+// Start implements sim.Policy.
+func (p *DPNextFailure) Start(job *sim.Job) error {
+	if p.quanta < 2 {
+		return fmt.Errorf("policy: DPNextFailure needs at least 2 quanta, got %d", p.quanta)
+	}
+	if !(p.unitMean > 0) {
+		return fmt.Errorf("policy: DPNextFailure: non-positive unit MTBF %v", p.unitMean)
+	}
+	p.plan = nil
+	p.failures = 0
+	return nil
+}
+
+// OnFailure invalidates the current plan.
+func (p *DPNextFailure) OnFailure(s *sim.State) {
+	p.plan = nil
+	p.failures = s.Failures
+}
+
+// NextChunk implements sim.Policy.
+func (p *DPNextFailure) NextChunk(s *sim.State) float64 {
+	if s.Failures != p.failures {
+		p.plan = nil
+		p.failures = s.Failures
+	}
+	if len(p.plan) == 0 {
+		p.plan = p.replan(s)
+	}
+	if len(p.plan) == 0 {
+		// Degenerate state (e.g. empirical law past its support): creep
+		// forward one quantum at a time.
+		return math.Min(s.Remaining, math.Max(s.Remaining/float64(p.quanta), 1e-9))
+	}
+	chunk := p.plan[0]
+	p.plan = p.plan[1:]
+	return math.Min(chunk, s.Remaining)
+}
+
+// taugroup is a group of units sharing (exactly or approximately) the same
+// age since renewal.
+type taugroup struct {
+	tau    float64
+	weight float64
+}
+
+// replan solves the truncated NextFailure DP and returns the chunk plan.
+func (p *DPNextFailure) replan(s *sim.State) []float64 {
+	// Horizon truncation: min(remaining, 2 * platform MTBF) (§3.3). On
+	// mid-size platforms 2*MTBF/p can span only a handful of optimal
+	// chunks, which would make the quantum coarser than the decisions it
+	// must resolve; we additionally cap the horizon at ~30 Young periods
+	// so the quantum stays a small fraction of a chunk. At the paper's
+	// Petascale/Exascale scales the 2*MTBF/p term is the smaller one and
+	// the behavior is exactly the paper's.
+	platformMTBF := p.unitMean / float64(s.Job.Units)
+	target := math.Min(s.Remaining, 2*platformMTBF)
+	if young := 30 * math.Sqrt(2*s.Job.C*platformMTBF); young > 0 && young < target {
+		target = young
+	}
+	if target <= 0 {
+		return nil
+	}
+	truncated := target < s.Remaining*(1-1e-12)
+	x := p.quanta
+	u := target / float64(x)
+
+	groups := p.buildGroups(s)
+	grid := newSurvivalGrid(p.d, groups, float64(x)*(u+s.Job.C)+u+s.Job.C)
+
+	plan, _ := solveNextFailureDP(x, u, s.Job.C, grid)
+	if truncated && p.halfPlan && len(plan) > 1 {
+		plan = plan[:(len(plan)+1)/2]
+	}
+	return plan
+}
+
+// buildGroups constructs the §3.3 approximate age state: the NExact
+// smallest ages exactly, the rest binned onto NApprox survival-quantile
+// reference values. Units that never failed share a single group (their
+// age is simply Now), which keeps the construction O(#failed log #failed)
+// even on million-unit platforms.
+func (p *DPNextFailure) buildGroups(s *sim.State) []taugroup {
+	taus := make([]float64, 0, len(s.FailedUnits))
+	for _, u := range s.FailedUnits {
+		taus = append(taus, s.Tau(int(u)))
+	}
+	sort.Float64s(taus)
+	neverCount := s.Job.Units - len(taus)
+	neverTau := s.Now // renewal at trace time 0
+
+	var groups []taugroup
+	nExact := p.nExact
+	if nExact > len(taus) {
+		nExact = len(taus)
+	}
+	for _, t := range taus[:nExact] {
+		groups = append(groups, taugroup{tau: t, weight: 1})
+	}
+	rest := taus[nExact:]
+	if len(rest)+boolToInt(neverCount > 0) <= p.nApprox {
+		// Few enough distinct ages: keep them all exactly.
+		for _, t := range rest {
+			groups = append(groups, taugroup{tau: t, weight: 1})
+		}
+		if neverCount > 0 {
+			groups = append(groups, taugroup{tau: neverTau, weight: float64(neverCount)})
+		}
+		return groups
+	}
+
+	// Reference values: tau1 = smallest remaining age, tauM = largest;
+	// intermediate values interpolate linearly in survival-probability
+	// space (§3.3).
+	tauLo := rest[0]
+	tauHi := rest[len(rest)-1]
+	if neverCount > 0 && neverTau > tauHi {
+		tauHi = neverTau
+	}
+	m := p.nApprox
+	refs := make([]float64, m)
+	refs[0] = tauLo
+	refs[m-1] = tauHi
+	sLo := p.d.Survival(tauLo)
+	sHi := p.d.Survival(tauHi)
+	for i := 2; i < m; i++ {
+		q := float64(m-i)/float64(m-1)*sLo + float64(i-1)/float64(m-1)*sHi
+		refs[i-1] = dist.InverseSurvival(p.d, q)
+	}
+	sort.Float64s(refs)
+	weights := make([]float64, m)
+	assign := func(t float64, w float64) {
+		// Nearest reference by age.
+		i := sort.SearchFloat64s(refs, t)
+		switch {
+		case i == 0:
+			weights[0] += w
+		case i >= m:
+			weights[m-1] += w
+		case t-refs[i-1] <= refs[i]-t:
+			weights[i-1] += w
+		default:
+			weights[i] += w
+		}
+	}
+	for _, t := range rest {
+		assign(t, 1)
+	}
+	if neverCount > 0 {
+		assign(neverTau, float64(neverCount))
+	}
+	for i, w := range weights {
+		if w > 0 {
+			groups = append(groups, taugroup{tau: refs[i], weight: w})
+		}
+	}
+	return groups
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// survivalGrid tabulates G(t) = sum_g w_g H(tau_g + t) on a uniform grid
+// so the DP can evaluate joint success probabilities in O(1):
+// Psuc over elapsed [a, b] = exp(G(a) - G(b)).
+type survivalGrid struct {
+	step float64
+	g    []float64
+}
+
+func newSurvivalGrid(d dist.Distribution, groups []taugroup, tmax float64) *survivalGrid {
+	// Resolution: fine enough that linear interpolation of the cumulative
+	// hazard is accurate; 1024 points over the horizon suffices for the
+	// smooth laws used here.
+	const n = 1024
+	sg := &survivalGrid{step: tmax / float64(n), g: make([]float64, n+2)}
+	for j := range sg.g {
+		t := float64(j) * sg.step
+		var acc float64
+		for _, gr := range groups {
+			acc += gr.weight * d.CumHazard(gr.tau+t)
+		}
+		sg.g[j] = acc
+	}
+	return sg
+}
+
+// at linearly interpolates G(t).
+func (sg *survivalGrid) at(t float64) float64 {
+	if t <= 0 {
+		return sg.g[0]
+	}
+	f := t / sg.step
+	i := int(f)
+	if i >= len(sg.g)-1 {
+		return sg.g[len(sg.g)-1]
+	}
+	frac := f - float64(i)
+	return sg.g[i]*(1-frac) + sg.g[i+1]*frac
+}
+
+// psuc returns the probability that no unit fails while elapsed time runs
+// from a to b.
+func (sg *survivalGrid) psuc(a, b float64) float64 {
+	return math.Exp(sg.at(a) - sg.at(b))
+}
+
+// solveNextFailureDP runs Algorithm 2 on x quanta of size u with
+// checkpoint cost c and returns the optimal chunk plan (chunk sizes in
+// work time) along with its objective value, the expected work before the
+// next failure. State (x', n): x' quanta remaining, n chunks committed;
+// the elapsed execution time is (x-x')*u + n*c, which makes the whole
+// transition structure expressible through the survival grid.
+func solveNextFailureDP(x int, u, c float64, grid *survivalGrid) ([]float64, float64) {
+	stride := x + 1
+	val := make([]float64, stride*stride)
+	choice := make([]int32, stride*stride)
+	idx := func(rem, n int) int { return rem*stride + n }
+
+	for rem := 1; rem <= x; rem++ {
+		maxN := x - rem
+		for n := 0; n <= maxN; n++ {
+			a := float64(x-rem)*u + float64(n)*c
+			best := 0.0
+			bestI := int32(0)
+			for i := 1; i <= rem; i++ {
+				b := a + float64(i)*u + c
+				v := grid.psuc(a, b) * (float64(i)*u + val[idx(rem-i, n+1)])
+				if v > best {
+					best = v
+					bestI = int32(i)
+				}
+			}
+			val[idx(rem, n)] = best
+			choice[idx(rem, n)] = bestI
+		}
+	}
+
+	// Extract the plan from the initial state.
+	var plan []float64
+	rem, n := x, 0
+	for rem > 0 {
+		i := int(choice[idx(rem, n)])
+		if i <= 0 {
+			break
+		}
+		plan = append(plan, float64(i)*u)
+		rem -= i
+		n++
+	}
+	return plan, val[idx(x, 0)]
+}
+
+// PlanAndValue solves the DP for the given state and returns the full
+// (untruncated-by-half) plan and its objective value, the expected work
+// completed before the next failure. Used by tests to compare against the
+// brute-force oracle of Proposition 3.
+func (p *DPNextFailure) PlanAndValue(s *sim.State) ([]float64, float64) {
+	platformMTBF := p.unitMean / float64(s.Job.Units)
+	target := math.Min(s.Remaining, 2*platformMTBF)
+	x := p.quanta
+	u := target / float64(x)
+	groups := p.buildGroups(s)
+	grid := newSurvivalGrid(p.d, groups, float64(x)*(u+s.Job.C)+u+s.Job.C)
+	return solveNextFailureDP(x, u, s.Job.C, grid)
+}

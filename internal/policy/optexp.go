@@ -1,0 +1,36 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/theory"
+)
+
+// NewOptExp returns the paper's analytically optimal periodic policy for
+// Exponential failures (Theorem 1 / Proposition 5): the work W(p) is split
+// into K* equal chunks where K* derives from the Lambert W function
+// evaluated on the aggregated platform failure rate.
+//
+// work is W(p), platformRate is p*lambda (the aggregated macro-processor
+// rate), and c is C(p). Following the paper, OptExp is also applied to
+// Weibull and log-based failures by pretending they are Exponential with
+// the same MTBF (§4.1).
+func NewOptExp(work, platformRate, c float64) (*Periodic, error) {
+	_, kStar, period, err := theory.OptimalExp(work, platformRate, c)
+	if err != nil {
+		return nil, fmt.Errorf("policy: OptExp: %w", err)
+	}
+	if kStar < 1 || !(period > 0) {
+		return nil, fmt.Errorf("policy: OptExp produced invalid K*=%d period=%v", kStar, period)
+	}
+	return NewPeriodic("OptExp", period), nil
+}
+
+// MustOptExp is NewOptExp for static configurations known to be valid.
+func MustOptExp(work, platformRate, c float64) *Periodic {
+	p, err := NewOptExp(work, platformRate, c)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

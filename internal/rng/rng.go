@@ -1,0 +1,143 @@
+// Package rng provides small, fast, deterministic random number sources
+// for the checkpointing simulator.
+//
+// Reproducibility is a hard requirement of the experiment harness: the same
+// (seed, stream) pair must generate the same failure trace on every platform
+// and in every Go release, so the package implements its own generators
+// instead of relying on math/rand's unspecified algorithm. The core
+// generator is xoshiro256++ seeded through splitmix64, the combination
+// recommended by the xoshiro authors. Independent streams are derived by
+// mixing a stream identifier into the seed with splitmix64, which gives
+// 2^64 statistically independent substreams.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random number source implementing
+// xoshiro256++. It is not safe for concurrent use; create one Source per
+// goroutine (e.g. one per simulated processor or per worker).
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances the splitmix64 state and returns the next output.
+// It is used for seeding only.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Two Sources created with the same
+// seed produce identical output sequences.
+func New(seed uint64) *Source {
+	return NewStream(seed, 0)
+}
+
+// NewStream returns a Source for substream stream of the given seed.
+// Distinct (seed, stream) pairs yield statistically independent sequences;
+// the experiment harness uses the trace index and processor index as
+// streams.
+func NewStream(seed, stream uint64) *Source {
+	// Mix the stream id into the seed through an extra splitmix64 round so
+	// that consecutive stream ids do not produce correlated states.
+	st := seed
+	mix := splitmix64(&st) ^ (stream * 0x9e3779b97f4a7c15)
+	var s Source
+	s.s0 = splitmix64(&mix)
+	s.s1 = splitmix64(&mix)
+	s.s2 = splitmix64(&mix)
+	s.s3 = splitmix64(&mix)
+	// xoshiro must not start from the all-zero state; splitmix64 of any
+	// input cannot produce four consecutive zeros, but guard anyway.
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s0 = 0x9e3779b97f4a7c15
+	}
+	return &s
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s0+s.s3, 23) + s.s0
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = rotl(s.s3, 45)
+	return result
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1) with 53 bits of
+// precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniformly distributed float64 in the open interval
+// (0, 1). It never returns 0, which makes it safe to pass to quantile
+// functions that diverge at the endpoints (e.g. -log(1-u)).
+func (s *Source) Float64Open() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// IntN returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (s *Source) IntN(n int) int {
+	if n <= 0 {
+		panic("rng: IntN with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation would be overkill
+	// here; modulo bias is negligible for the n values used by the
+	// simulator (n << 2^64), but we use rejection sampling to stay exact.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := s.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate using the polar
+// (Marsaglia) method.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed variate with rate 1,
+// via inverse transform sampling.
+func (s *Source) ExpFloat64() float64 {
+	return -math.Log(1 - s.Float64())
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice,
+// using the Fisher-Yates shuffle.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.IntN(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

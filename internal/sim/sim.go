@@ -1,0 +1,372 @@
+// Package sim implements the event-driven simulator for checkpointed,
+// tightly-coupled parallel jobs under processor failures.
+//
+// The execution model follows §2.1 and §3.1 of the paper: the job executes
+// chunks of work on all enrolled units synchronously and checkpoints after
+// every chunk (cost C). When any unit fails, the execution since the last
+// checkpoint is lost; the failed unit is down for D time units (during
+// which further units may fail, extending the outage); once all units are
+// simultaneously up the job attempts an uninterrupted recovery of length R,
+// restarting the outage resolution whenever a failure strikes mid-recovery.
+// Failure dates come from a pre-generated trace and are independent of job
+// activity, so competing policies are evaluated on identical failure
+// scenarios.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Job describes one simulation instance. All durations are in seconds of
+// simulated time; Work is the failure-free execution time W(p) of the job
+// on the enrolled units.
+type Job struct {
+	Work  float64 // W(p): total work to execute
+	C     float64 // checkpoint cost C(p)
+	R     float64 // recovery cost R(p)
+	D     float64 // downtime of a failed unit
+	Units int     // number of enrolled failure units
+	Start float64 // job release date within the trace (the paper uses 1 year)
+}
+
+// Validate reports whether the job parameters are usable.
+func (j *Job) Validate() error {
+	switch {
+	case !(j.Work > 0):
+		return fmt.Errorf("sim: non-positive work %v", j.Work)
+	case j.C < 0 || j.R < 0 || j.D < 0:
+		return fmt.Errorf("sim: negative overhead C=%v R=%v D=%v", j.C, j.R, j.D)
+	case j.Units <= 0:
+		return fmt.Errorf("sim: non-positive unit count %d", j.Units)
+	case j.Start < 0:
+		return fmt.Errorf("sim: negative start %v", j.Start)
+	}
+	return nil
+}
+
+// State is the information available to a checkpointing policy at a
+// decision point (after the initial release, a committed chunk, or a
+// completed recovery).
+type State struct {
+	Job       *Job
+	Now       float64 // absolute simulated time
+	Remaining float64 // work not yet committed to a checkpoint
+	Failures  int     // failures observed so far during this run
+
+	// LastRenewal[u] is the absolute time at which unit u last began a
+	// lifetime: 0 if it never failed, otherwise failure time + D (§2.1: a
+	// unit starts a fresh lifetime at the beginning of the recovery
+	// period). Policies must treat it as read-only.
+	LastRenewal []float64
+
+	// FailedUnits lists the distinct units that have failed at least once,
+	// in first-failure order. Units not listed have LastRenewal 0, i.e.
+	// their age is simply Now. This lets policies on million-unit
+	// platforms build their state in O(#failed) instead of O(#units).
+	FailedUnits []int32
+}
+
+// Tau returns the time elapsed since unit u's last renewal.
+func (s *State) Tau(u int) float64 { return s.Now - s.LastRenewal[u] }
+
+// Policy decides the size of the next chunk to execute before
+// checkpointing.
+type Policy interface {
+	// Name returns the policy's display name.
+	Name() string
+	// Start is invoked once per run before the first decision. It returns
+	// an error when the policy cannot produce a meaningful schedule for
+	// the job (e.g. Liu's frequency function yielding intervals shorter
+	// than C, see §5.2.2 footnote 2).
+	Start(job *Job) error
+	// NextChunk returns the amount of work to attempt before the next
+	// checkpoint, in (0, s.Remaining]. The simulator clamps out-of-range
+	// values defensively.
+	NextChunk(s *State) float64
+}
+
+// FailureObserver is implemented by policies that need to know when a
+// failure occurred (e.g. to invalidate a planned chunk sequence).
+type FailureObserver interface {
+	OnFailure(s *State)
+}
+
+// CommitObserver is implemented by policies that track successfully
+// committed chunks (e.g. to walk a precomputed DP table).
+type CommitObserver interface {
+	OnChunkCommitted(s *State, chunk float64)
+}
+
+// Result aggregates one simulated run. The time components partition the
+// makespan exactly:
+//
+//	Makespan = WorkTime + CheckpointTime + LostTime + WaitTime + RecoveryTime.
+type Result struct {
+	Makespan       float64 // completion time minus release time
+	WorkTime       float64 // committed work (== Job.Work on success)
+	CheckpointTime float64 // successful checkpoints
+	LostTime       float64 // computation, checkpointing and recovery time destroyed by failures
+	WaitTime       float64 // time spent waiting for downtimes to clear
+	RecoveryTime   float64 // successful recoveries
+	Failures       int     // failures that struck during the run
+	Checkpoints    int     // committed checkpoints
+	Recoveries     int     // successful recoveries
+	Chunks         int     // committed chunks (== Checkpoints)
+	// HorizonExceeded reports that the run consumed the whole failure
+	// trace; the tail of the execution was simulated as failure-free.
+	HorizonExceeded bool
+}
+
+// Run simulates the job under the policy against the failure trace and
+// returns the accounting. The trace must cover at least job.Units units.
+func Run(job *Job, pol Policy, ts *trace.Set) (Result, error) {
+	if err := job.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(ts.Units) < job.Units {
+		return Result{}, fmt.Errorf("sim: trace has %d units, job needs %d", len(ts.Units), job.Units)
+	}
+	if err := pol.Start(job); err != nil {
+		return Result{}, fmt.Errorf("sim: policy %s cannot start: %w", pol.Name(), err)
+	}
+
+	r := newRun(job, ts)
+	fo, _ := pol.(FailureObserver)
+	co, _ := pol.(CommitObserver)
+
+	// Work smaller than workEps is considered done; protects against
+	// floating-point residue from repeated subtraction.
+	workEps := 1e-9 * job.Work
+
+	for r.state.Remaining > workEps {
+		chunk := pol.NextChunk(&r.state)
+		chunk = r.clampChunk(pol, chunk)
+		end := r.state.Now + chunk + job.C
+		ev, ok := r.nextFailureBefore(end)
+		if !ok {
+			// Chunk and checkpoint commit.
+			r.res.WorkTime += chunk
+			r.res.CheckpointTime += job.C
+			r.res.Checkpoints++
+			r.res.Chunks++
+			r.state.Remaining -= chunk
+			r.state.Now = end
+			if co != nil {
+				co.OnChunkCommitted(&r.state, chunk)
+			}
+			continue
+		}
+		// Failure strikes during the chunk or its checkpoint.
+		r.res.LostTime += ev.Time - r.state.Now
+		r.state.Now = ev.Time
+		r.recordFailure(ev)
+		r.settleOutage()
+		if fo != nil {
+			fo.OnFailure(&r.state)
+		}
+	}
+	r.state.Remaining = 0
+	r.res.Makespan = r.state.Now - job.Start
+	r.res.HorizonExceeded = r.state.Now > ts.Horizon
+	return r.res, nil
+}
+
+// run carries the mutable simulation state shared by Run and LowerBound.
+type run struct {
+	job    *Job
+	ts     *trace.Set
+	events []trace.Event
+	evIdx  int // next unprocessed event
+	// barrier is the earliest time at which all units are simultaneously
+	// up: the max over all processed failures of failureTime + D. It is
+	// monotone, so a single scalar suffices even for millions of units.
+	barrier float64
+	state   State
+	res     Result
+}
+
+func newRun(job *Job, ts *trace.Set) *run {
+	r := &run{
+		job:    job,
+		ts:     ts,
+		events: ts.MergedEvents(job.Units),
+	}
+	r.state = State{
+		Job:         job,
+		Now:         job.Start,
+		Remaining:   job.Work,
+		LastRenewal: make([]float64, job.Units),
+	}
+	// Process failures that occurred before the release date: they set the
+	// units' renewal times (and possibly an initial outage barrier).
+	for r.evIdx < len(r.events) && r.events[r.evIdx].Time < job.Start {
+		ev := r.events[r.evIdx]
+		r.evIdx++
+		r.markFailed(ev)
+	}
+	// If a unit is still down at release, wait for the platform.
+	if r.barrier > r.state.Now {
+		r.res.WaitTime += r.barrier - r.state.Now
+		r.state.Now = r.barrier
+	}
+	return r
+}
+
+// markFailed updates renewal bookkeeping for a failure event without
+// counting it against the run (used for pre-release failures).
+func (r *run) markFailed(ev trace.Event) {
+	if r.state.LastRenewal[ev.Unit] == 0 {
+		r.state.FailedUnits = append(r.state.FailedUnits, ev.Unit)
+	}
+	up := ev.Time + r.job.D
+	r.state.LastRenewal[ev.Unit] = up
+	if up > r.barrier {
+		r.barrier = up
+	}
+}
+
+// recordFailure counts and books an in-run failure.
+func (r *run) recordFailure(ev trace.Event) {
+	r.res.Failures++
+	r.state.Failures++
+	r.markFailed(ev)
+	r.evIdx++ // the event is consumed
+}
+
+// nextFailureBefore returns the earliest unconsumed failure event strictly
+// before t, without consuming it.
+func (r *run) nextFailureBefore(t float64) (trace.Event, bool) {
+	if r.evIdx >= len(r.events) {
+		return trace.Event{}, false
+	}
+	ev := r.events[r.evIdx]
+	if ev.Time < t {
+		return ev, true
+	}
+	return trace.Event{}, false
+}
+
+// settleOutage resolves a failure: wait until every unit is up (failures
+// during the wait extend it), then attempt an uninterrupted recovery of
+// length R, restarting the whole resolution if a failure strikes
+// mid-recovery. On return the platform has a freshly restored checkpoint.
+func (r *run) settleOutage() {
+	for {
+		// Wait for the downtime barrier, absorbing failures that land
+		// inside the waiting interval.
+		for {
+			ev, ok := r.nextFailureBefore(r.barrier)
+			if !ok {
+				break
+			}
+			r.res.WaitTime += ev.Time - r.state.Now
+			r.state.Now = ev.Time
+			r.recordFailure(ev)
+		}
+		if r.barrier > r.state.Now {
+			r.res.WaitTime += r.barrier - r.state.Now
+			r.state.Now = r.barrier
+		}
+		// Attempt the recovery.
+		recEnd := r.state.Now + r.job.R
+		ev, ok := r.nextFailureBefore(recEnd)
+		if !ok {
+			r.res.RecoveryTime += r.job.R
+			r.res.Recoveries++
+			r.state.Now = recEnd
+			return
+		}
+		// Recovery interrupted; the partial recovery is lost time.
+		r.res.LostTime += ev.Time - r.state.Now
+		r.state.Now = ev.Time
+		r.recordFailure(ev)
+	}
+}
+
+// clampChunk sanitizes a policy decision.
+func (r *run) clampChunk(pol Policy, chunk float64) float64 {
+	if math.IsNaN(chunk) {
+		panic(fmt.Sprintf("sim: policy %s returned NaN chunk", pol.Name()))
+	}
+	minChunk := 1e-9 * r.job.Work
+	if minChunk <= 0 {
+		minChunk = 1e-9
+	}
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	if chunk > r.state.Remaining {
+		chunk = r.state.Remaining
+	}
+	return chunk
+}
+
+// LowerBound simulates the omniscient policy of §4.1: it knows every
+// failure date in advance, computes continuously, checkpoints exactly C
+// before each failure (losing nothing), and skips the final checkpoint.
+// If the gap to the next failure is shorter than C, no work fits and the
+// bound idles until the failure. Its makespan lower-bounds every policy on
+// the same trace.
+func LowerBound(job *Job, ts *trace.Set) (Result, error) {
+	if err := job.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(ts.Units) < job.Units {
+		return Result{}, fmt.Errorf("sim: trace has %d units, job needs %d", len(ts.Units), job.Units)
+	}
+	r := newRun(job, ts)
+	for r.state.Remaining > 1e-9*job.Work {
+		var window float64
+		ev, ok := trace.Event{}, false
+		if r.evIdx < len(r.events) {
+			ev, ok = r.events[r.evIdx], true
+		}
+		if ok {
+			window = ev.Time - r.state.Now
+		} else {
+			window = math.Inf(1)
+		}
+		if r.state.Remaining <= window {
+			// Finish before the next failure; no final checkpoint.
+			r.res.WorkTime += r.state.Remaining
+			r.state.Now += r.state.Remaining
+			r.state.Remaining = 0
+			break
+		}
+		// Work as much as the window allows, checkpoint just in time.
+		useful := window - job.C
+		if useful > 0 {
+			if useful > r.state.Remaining {
+				useful = r.state.Remaining
+			}
+			r.res.WorkTime += useful
+			r.res.CheckpointTime += job.C
+			r.res.Checkpoints++
+			r.res.Chunks++
+			r.state.Remaining -= useful
+			// Any slack between checkpoint end and the failure is waiting.
+			r.res.WaitTime += window - useful - job.C
+		} else {
+			// The window cannot even fit a checkpoint: idle through it.
+			r.res.WaitTime += window
+		}
+		r.state.Now = ev.Time
+		r.recordFailure(ev)
+		r.settleOutage()
+	}
+	r.state.Remaining = 0
+	r.res.Makespan = r.state.Now - job.Start
+	r.res.HorizonExceeded = r.state.Now > ts.Horizon
+	return r.res, nil
+}
+
+// AccountingError returns the discrepancy between the makespan and the sum
+// of its components; it should be ~0 for every run and is asserted by the
+// test suite.
+func (res Result) AccountingError() float64 {
+	sum := res.WorkTime + res.CheckpointTime + res.LostTime + res.WaitTime + res.RecoveryTime
+	return res.Makespan - sum
+}

@@ -1,0 +1,281 @@
+// Package specialfn implements the special functions needed by the
+// checkpointing theory: the principal branch of the Lambert W function
+// (Theorem 1 and Proposition 5 of the paper), the regularized incomplete
+// gamma functions (closed-form E(Tlost) for Weibull failures), and adaptive
+// Simpson quadrature (generic E(Tlost) for arbitrary distributions).
+//
+// Everything is implemented from scratch on top of the math package; the
+// algorithms are the classical ones (Halley iteration for Lambert W, the
+// series/continued-fraction split for the incomplete gamma).
+package specialfn
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDomain is returned when a function is evaluated outside its domain.
+var ErrDomain = errors.New("specialfn: argument outside domain")
+
+// LambertW0 returns the principal branch W0 of the Lambert W function,
+// the solution w >= -1 of w*exp(w) = z, for z >= -1/e.
+//
+// The checkpointing optimum (Theorem 1) needs W0 at z = -exp(-lambda*C-1),
+// which lies in (-1/e, 0); the function is nevertheless implemented for the
+// whole principal-branch domain and validated against the defining identity.
+func LambertW0(z float64) (float64, error) {
+	const minZ = -1.0 / math.E
+	if math.IsNaN(z) || z < minZ-1e-12 {
+		return math.NaN(), ErrDomain
+	}
+	if z <= minZ {
+		return -1, nil
+	}
+	if z == 0 {
+		return 0, nil
+	}
+
+	// Initial guess.
+	var w float64
+	switch {
+	case z < -0.25:
+		// Near the branch point use the series in p = sqrt(2(e z + 1)).
+		p := math.Sqrt(2 * (math.E*z + 1))
+		w = -1 + p - p*p/3 + 11.0/72.0*p*p*p
+	case z < 1:
+		// Series around 0: W ~ z - z^2 + 3/2 z^3.
+		w = z * (1 - z*(1-1.5*z))
+	default:
+		// Asymptotic: W ~ ln z - ln ln z.
+		l1 := math.Log(z)
+		l2 := math.Log(l1)
+		w = l1 - l2 + l2/l1
+	}
+
+	// Halley iteration: cubic convergence, a handful of steps suffice.
+	for i := 0; i < 60; i++ {
+		ew := math.Exp(w)
+		f := w*ew - z
+		denom := ew*(w+1) - (w+2)*f/(2*(w+1))
+		step := f / denom
+		w -= step
+		if math.Abs(step) <= 1e-14*(1+math.Abs(w)) {
+			break
+		}
+	}
+	return w, nil
+}
+
+// GammaRegP returns the regularized lower incomplete gamma function
+// P(a, x) = gamma(a, x) / Gamma(a) for a > 0, x >= 0.
+func GammaRegP(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return math.NaN(), ErrDomain
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	if x < a+1 {
+		return gammaPSeries(a, x), nil
+	}
+	return 1 - gammaQContinuedFraction(a, x), nil
+}
+
+// GammaRegQ returns the regularized upper incomplete gamma function
+// Q(a, x) = 1 - P(a, x).
+func GammaRegQ(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return math.NaN(), ErrDomain
+	}
+	if x == 0 {
+		return 1, nil
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x), nil
+	}
+	return gammaQContinuedFraction(a, x), nil
+}
+
+// GammaLowerIncomplete returns the (unnormalized) lower incomplete gamma
+// function gamma(a, x) = integral_0^x t^(a-1) e^(-t) dt.
+func GammaLowerIncomplete(a, x float64) (float64, error) {
+	p, err := GammaRegP(a, x)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return p * math.Gamma(a), nil
+}
+
+// gammaPSeries evaluates P(a,x) by its power series, accurate for x < a+1.
+func gammaPSeries(a, x float64) float64 {
+	// P(a,x) = x^a e^{-x} / Gamma(a) * sum_{n>=0} x^n / (a(a+1)...(a+n)).
+	lg, _ := math.Lgamma(a)
+	prefix := math.Exp(a*math.Log(x) - x - lg)
+	sum := 1.0 / a
+	term := sum
+	ai := a
+	for n := 0; n < 500; n++ {
+		ai++
+		term *= x / ai
+		sum += term
+		if math.Abs(term) < math.Abs(sum)*1e-16 {
+			break
+		}
+	}
+	return prefix * sum
+}
+
+// gammaQContinuedFraction evaluates Q(a,x) via Lentz's algorithm for the
+// continued fraction, accurate for x >= a+1.
+func gammaQContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	prefix := math.Exp(a*math.Log(x) - x - lg)
+
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-16 {
+			break
+		}
+	}
+	return prefix * h
+}
+
+// Simpson integrates f over [a, b] with composite Simpson's rule using n
+// subintervals (n is rounded up to the next even number, minimum 2).
+func Simpson(f func(float64) float64, a, b float64, n int) float64 {
+	if a == b {
+		return 0
+	}
+	if n < 2 {
+		n = 2
+	}
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	sum := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// AdaptiveSimpson integrates f over [a, b] to the requested absolute
+// tolerance using recursive adaptive Simpson quadrature with a depth cap.
+func AdaptiveSimpson(f func(float64) float64, a, b, tol float64) float64 {
+	if a == b {
+		return 0
+	}
+	fa, fb := f(a), f(b)
+	m := (a + b) / 2
+	fm := f(m)
+	whole := (b - a) / 6 * (fa + 4*fm + fb)
+	return adaptiveSimpsonAux(f, a, b, fa, fb, fm, whole, tol, 30)
+}
+
+func adaptiveSimpsonAux(f func(float64) float64, a, b, fa, fb, fm, whole, tol float64, depth int) float64 {
+	m := (a + b) / 2
+	lm := (a + m) / 2
+	rm := (m + b) / 2
+	flm, frm := f(lm), f(rm)
+	left := (m - a) / 6 * (fa + 4*flm + fm)
+	right := (b - m) / 6 * (fm + 4*frm + fb)
+	if depth <= 0 || math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15
+	}
+	return adaptiveSimpsonAux(f, a, m, fa, fm, flm, left, tol/2, depth-1) +
+		adaptiveSimpsonAux(f, m, b, fm, fb, frm, right, tol/2, depth-1)
+}
+
+// Brent finds a root of f in [a, b] (f(a) and f(b) must have opposite
+// signs) using Brent's method with the given tolerance.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if fa*fb > 0 {
+		return math.NaN(), errors.New("specialfn: Brent requires a sign change")
+	}
+	c, fc := a, fa
+	d, e := b-a, b-a
+	for i := 0; i < 200; i++ {
+		if math.Abs(fc) < math.Abs(fb) {
+			a, b, c = b, c, b
+			fa, fb, fc = fb, fc, fb
+		}
+		tol1 := 2*1e-16*math.Abs(b) + tol/2
+		xm := (c - b) / 2
+		if math.Abs(xm) <= tol1 || fb == 0 {
+			return b, nil
+		}
+		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
+			// Attempt inverse quadratic interpolation.
+			s := fb / fa
+			var p, q float64
+			if a == c {
+				p = 2 * xm * s
+				q = 1 - s
+			} else {
+				q = fa / fc
+				r := fb / fc
+				p = s * (2*xm*q*(q-r) - (b-a)*(r-1))
+				q = (q - 1) * (r - 1) * (s - 1)
+			}
+			if p > 0 {
+				q = -q
+			}
+			p = math.Abs(p)
+			if 2*p < math.Min(3*xm*q-math.Abs(tol1*q), math.Abs(e*q)) {
+				e = d
+				d = p / q
+			} else {
+				d = xm
+				e = d
+			}
+		} else {
+			d = xm
+			e = d
+		}
+		a, fa = b, fb
+		if math.Abs(d) > tol1 {
+			b += d
+		} else if xm > 0 {
+			b += tol1
+		} else {
+			b -= tol1
+		}
+		fb = f(b)
+		if (fb > 0) == (fc > 0) {
+			c, fc = a, fa
+			d = b - a
+			e = d
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,270 @@
+package specialfn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLambertW0KnownValues(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0},
+		{math.E, 1},
+		{2 * math.E * math.E, 2},
+		{-1 / math.E, -1},
+		{1, 0.5671432904097838},     // omega constant
+		{-0.2, -0.2591711018190738}, // negative branch-0 value
+		{10, 1.7455280027406994},    // W0(10)
+		{100, 3.3856301402900502},   // W0(100)
+	}
+	for _, c := range cases {
+		got, err := LambertW0(c.z)
+		if err != nil {
+			t.Fatalf("LambertW0(%v): %v", c.z, err)
+		}
+		if math.Abs(got-c.want) > 1e-9*(1+math.Abs(c.want)) {
+			t.Errorf("LambertW0(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+	// Near the branch point the defining identity is the ground truth.
+	for _, z := range []float64{-0.3, -0.36, -0.3678, -0.36787} {
+		w, err := LambertW0(z)
+		if err != nil {
+			t.Fatalf("LambertW0(%v): %v", z, err)
+		}
+		if back := w * math.Exp(w); math.Abs(back-z) > 1e-9 {
+			t.Errorf("identity violated at z=%v: W=%v, W e^W=%v", z, w, back)
+		}
+	}
+}
+
+func TestLambertW0Identity(t *testing.T) {
+	// Property: W(z) exp(W(z)) == z over the principal branch domain.
+	f := func(raw float64) bool {
+		// Map raw into (-1/e, 1e6).
+		z := -1/math.E + math.Mod(math.Abs(raw), 1e6) + 1e-9
+		w, err := LambertW0(z)
+		if err != nil {
+			return false
+		}
+		back := w * math.Exp(w)
+		return math.Abs(back-z) <= 1e-9*(1+math.Abs(z))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLambertW0CheckpointingRange(t *testing.T) {
+	// Exercise the exact arguments used by Theorem 1:
+	// z = -exp(-lambda*C - 1) for a wide range of lambda*C.
+	for _, lc := range []float64{1e-8, 1e-6, 1e-4, 1e-2, 0.1, 1, 10} {
+		z := -math.Exp(-lc - 1)
+		w, err := LambertW0(z)
+		if err != nil {
+			t.Fatalf("LambertW0(%v): %v", z, err)
+		}
+		if w <= -1 || w >= 0 {
+			t.Errorf("W0(%v) = %v, want in (-1, 0)", z, w)
+		}
+		if back := w * math.Exp(w); math.Abs(back-z) > 1e-12 {
+			t.Errorf("identity violated at lambda*C=%v: %v vs %v", lc, back, z)
+		}
+	}
+}
+
+func TestLambertW0Domain(t *testing.T) {
+	if _, err := LambertW0(-1); err == nil {
+		t.Error("LambertW0(-1) should be a domain error")
+	}
+	if _, err := LambertW0(math.NaN()); err == nil {
+		t.Error("LambertW0(NaN) should be a domain error")
+	}
+}
+
+// poissonCDFUpTo returns e^{-x} * sum_{k=0}^{n} x^k / k!, the exact upper
+// incomplete gamma Q(n+1, x) for integer shape.
+func poissonCDFUpTo(n int, x float64) float64 {
+	term := 1.0
+	sum := 1.0
+	for k := 1; k <= n; k++ {
+		term *= x / float64(k)
+		sum += term
+	}
+	return math.Exp(-x) * sum
+}
+
+func TestGammaRegPKnownValues(t *testing.T) {
+	cases := []struct{ a, x, want float64 }{
+		// P(1, x) = 1 - e^{-x}.
+		{1, 1, 1 - math.Exp(-1)},
+		{1, 0.5, 1 - math.Exp(-0.5)},
+		{1, 5, 1 - math.Exp(-5)},
+		// P(0.5, x) = erf(sqrt(x)).
+		{0.5, 1, math.Erf(1)},
+		{0.5, 4, math.Erf(2)},
+		// P(2, x) = 1 - e^{-x}(1+x).
+		{2, 3, 1 - math.Exp(-3)*4},
+		{2, 0.1, 1 - math.Exp(-0.1)*1.1},
+		// Integer a on both sides of the series/CF split:
+		// P(n, x) = 1 - e^{-x} sum_{k<n} x^k/k!.
+		{10, 5, 1 - poissonCDFUpTo(9, 5)},
+		{10, 15, 1 - poissonCDFUpTo(9, 15)},
+	}
+	for _, c := range cases {
+		got, err := GammaRegP(c.a, c.x)
+		if err != nil {
+			t.Fatalf("GammaRegP(%v,%v): %v", c.a, c.x, err)
+		}
+		if math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("GammaRegP(%v, %v) = %v, want %v", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestGammaPQComplementary(t *testing.T) {
+	f := func(rawA, rawX float64) bool {
+		a := math.Mod(math.Abs(rawA), 50) + 0.01
+		x := math.Mod(math.Abs(rawX), 100)
+		p, err1 := GammaRegP(a, x)
+		q, err2 := GammaRegQ(a, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(p+q-1) < 1e-10 && p >= -1e-15 && p <= 1+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaRegPMonotone(t *testing.T) {
+	for _, a := range []float64{0.3, 1, 2.4, 10} {
+		prev := -1.0
+		for x := 0.0; x <= 30; x += 0.25 {
+			p, err := GammaRegP(a, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p < prev-1e-12 {
+				t.Fatalf("P(%v, %v) = %v < previous %v: not monotone", a, x, p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestGammaLowerIncompleteVsQuadrature(t *testing.T) {
+	for _, c := range []struct{ a, x float64 }{{1.5, 2}, {2.428, 1.3}, {0.7, 0.4}, {3, 8}} {
+		want := AdaptiveSimpson(func(t float64) float64 {
+			if t <= 0 {
+				return 0
+			}
+			return math.Pow(t, c.a-1) * math.Exp(-t)
+		}, 1e-12, c.x, 1e-12)
+		got, err := GammaLowerIncomplete(c.a, c.x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-7*(1+want) {
+			t.Errorf("gamma(%v, %v) = %v, quadrature %v", c.a, c.x, got, want)
+		}
+	}
+}
+
+func TestGammaDomain(t *testing.T) {
+	if _, err := GammaRegP(-1, 1); err == nil {
+		t.Error("GammaRegP(-1,1) should fail")
+	}
+	if _, err := GammaRegP(1, -1); err == nil {
+		t.Error("GammaRegP(1,-1) should fail")
+	}
+	if _, err := GammaRegQ(0, 1); err == nil {
+		t.Error("GammaRegQ(0,1) should fail")
+	}
+}
+
+func TestSimpsonPolynomialExact(t *testing.T) {
+	// Simpson's rule is exact for cubics.
+	f := func(x float64) float64 { return 3*x*x*x - 2*x*x + x - 7 }
+	got := Simpson(f, -1, 3, 2)
+	want := 3.0/4*(81-1) - 2.0/3*(27+1) + 0.5*(9-1) - 7*4
+	if math.Abs(got-want) > 1e-10 {
+		t.Errorf("Simpson cubic = %v, want %v", got, want)
+	}
+}
+
+func TestSimpsonHandlesOddN(t *testing.T) {
+	got := Simpson(math.Sin, 0, math.Pi, 7) // rounded up to 8
+	if math.Abs(got-2) > 1e-3 {
+		t.Errorf("Simpson(sin, 0, pi) = %v, want ~2", got)
+	}
+}
+
+func TestAdaptiveSimpson(t *testing.T) {
+	cases := []struct {
+		f       func(float64) float64
+		a, b    float64
+		want    float64
+		tolMult float64
+	}{
+		{math.Sin, 0, math.Pi, 2, 10},
+		{math.Exp, 0, 1, math.E - 1, 10},
+		{func(x float64) float64 { return 1 / (1 + x*x) }, 0, 1, math.Pi / 4, 10},
+		{func(x float64) float64 { return math.Sqrt(x) }, 0, 1, 2.0 / 3, 1e5}, // endpoint singularity in derivative
+	}
+	for i, c := range cases {
+		got := AdaptiveSimpson(c.f, c.a, c.b, 1e-10)
+		if math.Abs(got-c.want) > 1e-10*c.tolMult {
+			t.Errorf("case %d: AdaptiveSimpson = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestBrent(t *testing.T) {
+	root, err := Brent(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-9 {
+		t.Errorf("Brent sqrt(2) = %v", root)
+	}
+	root, err = Brent(math.Cos, 1, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Pi/2) > 1e-9 {
+		t.Errorf("Brent cos root = %v, want pi/2", root)
+	}
+	if _, err := Brent(func(x float64) float64 { return 1 + x*x }, -1, 1, 1e-12); err == nil {
+		t.Error("Brent without sign change should fail")
+	}
+}
+
+func TestBrentEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if r, err := Brent(f, 0, 1, 1e-12); err != nil || r != 0 {
+		t.Errorf("Brent endpoint root: %v, %v", r, err)
+	}
+	if r, err := Brent(f, -1, 0, 1e-12); err != nil || r != 0 {
+		t.Errorf("Brent endpoint root: %v, %v", r, err)
+	}
+}
+
+func BenchmarkLambertW0(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		w, _ := LambertW0(-math.Exp(-1e-4 - 1))
+		sink += w
+	}
+	_ = sink
+}
+
+func BenchmarkGammaRegP(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		p, _ := GammaRegP(2.4285, 1.7)
+		sink += p
+	}
+	_ = sink
+}

@@ -1,0 +1,273 @@
+// Package theory implements the closed-form results of the paper:
+// Lemma 1 (expected lost time and recovery time under Exponential
+// failures), Theorem 1 (the optimal periodic strategy, the first rigorous
+// proof that periodic checkpointing is optimal), Proposition 5 (its
+// parallel-job form), the generic E(Tlost)/E(Trec) used by the dynamic
+// programs for arbitrary distributions, Proposition 3's expected
+// work-before-failure, and the §3.1 platform-MTBF formulas behind Figure 1.
+package theory
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/specialfn"
+)
+
+// ---------------------------------------------------------------------------
+// Lemma 1 — Exponential closed forms
+// ---------------------------------------------------------------------------
+
+// ExpTlostExp returns E(Tlost(omega)) for Exponential(lambda) failures:
+// the expected computation time wasted before a failure, knowing the
+// failure strikes within the next omega time units (Lemma 1):
+// 1/lambda - omega/(e^(lambda omega) - 1).
+func ExpTlostExp(lambda, omega float64) float64 {
+	if omega <= 0 {
+		return 0
+	}
+	x := lambda * omega
+	if x < 1e-8 {
+		// Series: omega/2 - lambda*omega^2/12 + ...
+		return omega/2 - x*omega/12
+	}
+	return 1/lambda - omega/math.Expm1(x)
+}
+
+// ExpTrecExp returns E(Trec) for Exponential(lambda) failures: the expected
+// time to complete a downtime and a successful recovery, accounting for
+// failures striking during recovery (Lemma 1):
+// D + R + (1-e^(-lambda R))/e^(-lambda R) * (D + E(Tlost(R))).
+func ExpTrecExp(lambda, d, r float64) float64 {
+	return d + r + math.Expm1(lambda*r)*(d+ExpTlostExp(lambda, r))
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1 / Proposition 5 — the optimal strategy under Exponential failures
+// ---------------------------------------------------------------------------
+
+// PsiExp returns psi(K) = K (e^(lambda(W/K + C)) - 1), the quantity
+// minimized by the optimal chunk count (Theorem 1). K may be fractional for
+// use in root-finding and tests.
+func PsiExp(k, w, lambda, c float64) float64 {
+	return k * math.Expm1(lambda*(w/k+c))
+}
+
+// OptimalExp solves Theorem 1: for W units of work under Exponential(lambda)
+// failures and checkpoint cost C, it returns the real-valued optimizer K0 =
+// lambda W / (1 + L(-e^(-lambda C - 1))), the optimal integer chunk count
+// K*, and the optimal chunk size (period) W/K*.
+func OptimalExp(w, lambda, c float64) (k0 float64, kStar int, period float64, err error) {
+	if !(w > 0) || !(lambda > 0) || !(c >= 0) {
+		return 0, 0, 0, fmt.Errorf("theory: invalid OptimalExp arguments w=%v lambda=%v c=%v", w, lambda, c)
+	}
+	l, lerr := specialfn.LambertW0(-math.Exp(-lambda*c - 1))
+	if lerr != nil {
+		return 0, 0, 0, fmt.Errorf("theory: Lambert evaluation failed: %w", lerr)
+	}
+	k0 = lambda * w / (1 + l)
+	lo := int(math.Floor(k0))
+	if lo < 1 {
+		lo = 1
+	}
+	hi := int(math.Ceil(k0))
+	if hi < 1 {
+		hi = 1
+	}
+	kStar = lo
+	if hi != lo && PsiExp(float64(hi), w, lambda, c) < PsiExp(float64(lo), w, lambda, c) {
+		kStar = hi
+	}
+	return k0, kStar, w / float64(kStar), nil
+}
+
+// OptimalExpParallel solves Proposition 5: the optimal strategy for a
+// parallel job on p processors with iid Exponential(lambda) failures is the
+// sequential optimum of the aggregated macro-processor with rate p*lambda,
+// work W(p) and checkpoint cost C(p).
+func OptimalExpParallel(wp float64, p int, lambda, cp float64) (k0 float64, kStar int, period float64, err error) {
+	if p <= 0 {
+		return 0, 0, 0, fmt.Errorf("theory: non-positive processor count %d", p)
+	}
+	return OptimalExp(wp, float64(p)*lambda, cp)
+}
+
+// ExpectedMakespanExpK returns the expected makespan of the K-chunk
+// periodic strategy under Exponential(lambda) failures (from the proof of
+// Theorem 1): K (e^(lambda R) (1/lambda + D)) (e^(lambda(W/K+C)) - 1).
+func ExpectedMakespanExpK(w, lambda, c, d, r float64, k int) float64 {
+	if k < 1 {
+		panic(fmt.Sprintf("theory: chunk count %d < 1", k))
+	}
+	return math.Exp(lambda*r) * (1/lambda + d) * PsiExp(float64(k), w, lambda, c)
+}
+
+// ExpectedMakespanExp returns E(T*(W)), the optimal expected makespan of
+// Theorem 1.
+func ExpectedMakespanExp(w, lambda, c, d, r float64) (float64, error) {
+	_, kStar, _, err := OptimalExp(w, lambda, c)
+	if err != nil {
+		return 0, err
+	}
+	return ExpectedMakespanExpK(w, lambda, c, d, r, kStar), nil
+}
+
+// ---------------------------------------------------------------------------
+// Generic distributions — E(Tlost), E(Trec) (Proposition 1 machinery)
+// ---------------------------------------------------------------------------
+
+// ExpTlost returns E(Tlost(x|tau)): the expected computation time before a
+// failure, knowing the failure strikes within the next x time units and the
+// last renewal was tau units ago. A closed-form incomplete-gamma path is
+// used for Weibull; everything else integrates the conditional survival
+// numerically (E = [∫₀ˣ Sτ(t)dt - x Sτ(x)] / (1 - Sτ(x))).
+func ExpTlost(d dist.Distribution, x, tau float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if tau < 0 {
+		tau = 0
+	}
+	switch dd := d.(type) {
+	case dist.Exponential:
+		return ExpTlostExp(dd.Lambda, x)
+	case dist.Weibull:
+		if v, ok := expTlostWeibull(dd, x, tau); ok {
+			return v
+		}
+	}
+	return expTlostNumeric(d, x, tau)
+}
+
+// expTlostWeibull evaluates E(Tlost(x|tau)) in closed form:
+// with S the Weibull survival and f its density,
+//
+//	E = [∫_tau^{tau+x} s f(s) ds - tau (S(tau)-S(tau+x))] / (S(tau)-S(tau+x))
+//
+// and ∫ s f(s) ds = scale * [γ(1+1/k, H(b)) - γ(1+1/k, H(a))] with H the
+// cumulative hazard. Returns ok=false when the failure probability over the
+// window is too small for the difference to be meaningful; callers fall
+// back to the numeric path.
+func expTlostWeibull(w dist.Weibull, x, tau float64) (float64, bool) {
+	ha := w.CumHazard(tau)
+	hb := w.CumHazard(tau + x)
+	sa := math.Exp(-ha)
+	sb := math.Exp(-hb)
+	deltaS := sa - sb
+	if deltaS < 1e-14 {
+		// Failure within the window is a ~zero-probability event; the
+		// conditional density is flat to first order.
+		return x / 2, true
+	}
+	a := 1 + 1/w.Shape
+	gb, err1 := specialfn.GammaLowerIncomplete(a, hb)
+	ga, err2 := specialfn.GammaLowerIncomplete(a, ha)
+	if err1 != nil || err2 != nil {
+		return 0, false
+	}
+	integral := w.Scale * (gb - ga)
+	v := (integral - tau*deltaS) / deltaS
+	// Guard against catastrophic cancellation for tau >> x: the result must
+	// lie in [0, x]; outside that, use the numeric path.
+	if v < -1e-9*x || v > x*(1+1e-9) || math.IsNaN(v) {
+		return 0, false
+	}
+	return math.Min(math.Max(v, 0), x), true
+}
+
+func expTlostNumeric(d dist.Distribution, x, tau float64) float64 {
+	sx := d.CondSurvival(x, tau)
+	pFail := 1 - sx
+	if pFail < 1e-14 {
+		return x / 2
+	}
+	integral := specialfn.AdaptiveSimpson(func(t float64) float64 {
+		return d.CondSurvival(t, tau)
+	}, 0, x, 1e-10*x)
+	v := (integral - x*sx) / pFail
+	return math.Min(math.Max(v, 0), x)
+}
+
+// ExpTrec returns E(Trec): the expected duration from a failure to the end
+// of the first successful recovery, with downtime d, recovery time r, and
+// failures (renewing at each recovery start) that may strike during
+// recovery (Proposition 1):
+//
+//	E(Trec) = D + R + (1-Psuc(R|0))/Psuc(R|0) (D + E(Tlost(R|0))).
+func ExpTrec(fd dist.Distribution, d, r float64) float64 {
+	if e, ok := fd.(dist.Exponential); ok {
+		return ExpTrecExp(e.Lambda, d, r)
+	}
+	psuc := fd.CondSurvival(r, 0)
+	if psuc <= 0 {
+		return math.Inf(1)
+	}
+	return d + r + (1-psuc)/psuc*(d+ExpTlost(fd, r, 0))
+}
+
+// ---------------------------------------------------------------------------
+// Proposition 3 — expected work before the next failure
+// ---------------------------------------------------------------------------
+
+// ExpectedWorkBeforeFailure evaluates Proposition 3's objective for a given
+// chunk sequence on a single processor (or aggregated state): the expected
+// amount of work completed before the next failure,
+//
+//	E(W) = sum_i omega_i * prod_{j<=i} Psuc(omega_j + C | t_j),
+//
+// where t_j = tau0 + sum_{l<j} (omega_l + C). It is the brute-force oracle
+// used to validate DPNextFailure.
+func ExpectedWorkBeforeFailure(d dist.Distribution, tau0, c float64, chunks []float64) float64 {
+	expected := 0.0
+	prob := 1.0
+	t := tau0
+	for _, w := range chunks {
+		prob *= d.CondSurvival(w+c, t)
+		expected += w * prob
+		t += w + c
+	}
+	return expected
+}
+
+// ExpectedWorkBeforeFailureMulti is the parallel-job version: the success
+// probability of each chunk is the product over processors of their
+// conditional survivals (§3.3).
+func ExpectedWorkBeforeFailureMulti(d dist.Distribution, taus []float64, c float64, chunks []float64) float64 {
+	expected := 0.0
+	prob := 1.0
+	elapsed := 0.0
+	for _, w := range chunks {
+		step := w + c
+		for _, tau := range taus {
+			prob *= d.CondSurvival(step, tau+elapsed)
+		}
+		expected += w * prob
+		elapsed += step
+	}
+	return expected
+}
+
+// ---------------------------------------------------------------------------
+// §3.1 — platform MTBF under the two rejuvenation models (Figure 1)
+// ---------------------------------------------------------------------------
+
+// PlatformMTBFRejuvenateAll returns the platform MTBF when every failure
+// rejuvenates all p processors: platform failures then follow a Weibull
+// with scale lambda/p^(1/k), so the MTBF is D + mu/p^(1/k).
+func PlatformMTBFRejuvenateAll(w dist.Weibull, p int, d float64) float64 {
+	if p <= 0 {
+		panic(fmt.Sprintf("theory: non-positive processor count %d", p))
+	}
+	return d + w.Mean()/math.Pow(float64(p), 1/w.Shape)
+}
+
+// PlatformMTBFSingleRejuvenation returns the platform MTBF when only the
+// failed processor is rejuvenated: each processor fails with long-run rate
+// 1/(D + mu), so the platform MTBF is (D + mu)/p.
+func PlatformMTBFSingleRejuvenation(mean float64, p int, d float64) float64 {
+	if p <= 0 {
+		panic(fmt.Sprintf("theory: non-positive processor count %d", p))
+	}
+	return (d + mean) / float64(p)
+}

@@ -1,0 +1,329 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+	"repro/internal/specialfn"
+)
+
+func TestExpTlostExpClosedForm(t *testing.T) {
+	// Cross-check Lemma 1 against direct numerical integration of
+	// E[X | X < omega] for the exponential density.
+	lambda := 1.0 / 3600
+	for _, omega := range []float64{100, 1000, 3600, 20000} {
+		pFail := -math.Expm1(-lambda * omega)
+		integral := specialfn.AdaptiveSimpson(func(x float64) float64 {
+			return x * lambda * math.Exp(-lambda*x)
+		}, 0, omega, 1e-9)
+		want := integral / pFail
+		got := ExpTlostExp(lambda, omega)
+		if math.Abs(got-want) > 1e-6*want {
+			t.Errorf("ExpTlostExp(%v) = %v, want %v", omega, got, want)
+		}
+	}
+}
+
+func TestExpTlostExpSmallOmega(t *testing.T) {
+	// For tiny windows the conditional mean tends to omega/2.
+	lambda := 1e-9
+	omega := 1.0
+	if got := ExpTlostExp(lambda, omega); math.Abs(got-0.5) > 1e-6 {
+		t.Errorf("small-window ExpTlost = %v, want ~0.5", got)
+	}
+	if ExpTlostExp(lambda, 0) != 0 {
+		t.Error("ExpTlostExp(0) should be 0")
+	}
+}
+
+func TestExpTlostBounds(t *testing.T) {
+	// 0 <= E(Tlost(x|tau)) <= x for every distribution.
+	dists := []dist.Distribution{
+		dist.NewExponentialMean(3600),
+		dist.WeibullFromMeanShape(3600, 0.7),
+		dist.WeibullFromMeanShape(125*365*86400, 0.7),
+		dist.GammaFromMeanShape(3600, 0.7),
+		dist.LogNormalFromMeanSigma(3600, 1.2),
+	}
+	for _, d := range dists {
+		d := d
+		f := func(rx, rt float64) bool {
+			x := math.Mod(math.Abs(rx), 4*3600) + 1
+			tau := math.Mod(math.Abs(rt), 10*3600)
+			v := ExpTlost(d, x, tau)
+			return v >= 0 && v <= x && !math.IsNaN(v)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: %v", d.Name(), err)
+		}
+	}
+}
+
+func TestExpTlostWeibullMatchesNumeric(t *testing.T) {
+	// The incomplete-gamma fast path must agree with the generic
+	// conditional-survival integration.
+	for _, w := range []dist.Weibull{
+		dist.WeibullFromMeanShape(3600, 0.7),
+		dist.WeibullFromMeanShape(86400, 0.5),
+		dist.NewWeibull(1.5, 1000),
+	} {
+		for _, tau := range []float64{0, 500, 5000} {
+			for _, x := range []float64{100, 1000, 10000} {
+				fast := ExpTlost(w, x, tau)
+				slow := expTlostNumeric(w, x, tau)
+				if math.Abs(fast-slow) > 1e-5*x {
+					t.Errorf("%s x=%v tau=%v: gamma path %v vs numeric %v", w.Name(), x, tau, fast, slow)
+				}
+			}
+		}
+	}
+}
+
+func TestExpTlostWeibullShape1MatchesExponential(t *testing.T) {
+	w := dist.NewWeibull(1, 3600)
+	e := dist.NewExponentialMean(3600)
+	for _, x := range []float64{10, 360, 3600, 36000} {
+		gw := ExpTlost(w, x, 1234) // tau irrelevant for k=1
+		ge := ExpTlost(e, x, 0)
+		if math.Abs(gw-ge) > 1e-6*x {
+			t.Errorf("x=%v: weibull(1) %v vs exp %v", x, gw, ge)
+		}
+	}
+}
+
+func TestExpTlostMonteCarlo(t *testing.T) {
+	// Monte-Carlo validation of E(Tlost(x|tau)) for a decreasing-hazard
+	// Weibull at nonzero tau.
+	w := dist.WeibullFromMeanShape(5000, 0.7)
+	const tau, x = 2000.0, 3000.0
+	want := ExpTlost(w, x, tau)
+	// Sample X | X >= tau via rejection; accumulate X-tau where X < tau+x.
+	r := rng.New(2024)
+	var sum float64
+	var count int
+	for i := 0; i < 2000000 && count < 100000; i++ {
+		v := w.Sample(r)
+		if v < tau {
+			continue
+		}
+		if v < tau+x {
+			sum += v - tau
+			count++
+		}
+	}
+	if count < 10000 {
+		t.Fatalf("Monte-Carlo too few hits: %d", count)
+	}
+	got := sum / float64(count)
+	if math.Abs(got-want) > 0.02*x {
+		t.Errorf("Monte-Carlo E(Tlost) = %v, closed form %v", got, want)
+	}
+}
+
+func TestExpTrecExpConsistency(t *testing.T) {
+	// The proof of Theorem 1 implicitly uses
+	// 1/lambda + E(Trec) = e^(lambda R) (1/lambda + D).
+	for _, lambda := range []float64{1.0 / 3600, 1.0 / 86400, 1e-7} {
+		const d, r = 60.0, 600.0
+		lhs := 1/lambda + ExpTrecExp(lambda, d, r)
+		rhs := math.Exp(lambda*r) * (1/lambda + d)
+		if math.Abs(lhs-rhs) > 1e-9*rhs {
+			t.Errorf("lambda=%v: 1/l+E(Trec) = %v, want %v", lambda, lhs, rhs)
+		}
+	}
+}
+
+func TestExpTrecGenericMatchesExponential(t *testing.T) {
+	e := dist.NewExponentialMean(3600)
+	w := dist.NewWeibull(1, 3600) // identical law, generic path
+	ge := ExpTrec(e, 60, 600)
+	gw := ExpTrec(w, 60, 600)
+	if math.Abs(ge-gw) > 1e-6*ge {
+		t.Errorf("generic E(Trec) %v vs exponential closed form %v", gw, ge)
+	}
+}
+
+func TestExpTrecExceedsDPlusR(t *testing.T) {
+	for _, d := range []dist.Distribution{
+		dist.NewExponentialMean(3600),
+		dist.WeibullFromMeanShape(3600, 0.7),
+	} {
+		if got := ExpTrec(d, 60, 600); got < 660 {
+			t.Errorf("%s: E(Trec) = %v < D+R", d.Name(), got)
+		}
+	}
+}
+
+func TestOptimalExpAgainstBruteForce(t *testing.T) {
+	// Theorem 1's K* must minimize psi over all integers.
+	cases := []struct{ w, lambda, c float64 }{
+		{20 * 86400, 1.0 / 3600, 600},
+		{20 * 86400, 1.0 / 86400, 600},
+		{20 * 86400, 1.0 / (7 * 86400), 600},
+		{698000, 45208.0 / (125 * 365 * 86400), 600}, // Petascale full platform
+		{1000, 1.0 / 100, 10},
+	}
+	for _, cse := range cases {
+		k0, kStar, period, err := OptimalExp(cse.w, cse.lambda, cse.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if period <= 0 || kStar < 1 {
+			t.Fatalf("invalid optimum: K*=%d period=%v", kStar, period)
+		}
+		if math.Abs(float64(kStar)-k0) > 1 {
+			t.Errorf("K*=%d not adjacent to K0=%v", kStar, k0)
+		}
+		best := math.Inf(1)
+		bestK := 0
+		for k := 1; k <= 4*kStar+10; k++ {
+			if v := PsiExp(float64(k), cse.w, cse.lambda, cse.c); v < best {
+				best, bestK = v, k
+			}
+		}
+		if bestK != kStar {
+			t.Errorf("w=%v lambda=%v: K*=%d but brute force says %d", cse.w, cse.lambda, kStar, bestK)
+		}
+	}
+}
+
+func TestOptimalExpYoungAsymptotics(t *testing.T) {
+	// For lambda*C -> 0 the optimal period approaches Young's
+	// sqrt(2*C*MTBF) approximation.
+	const mtbf = 125.0 * 365 * 86400 // large MTBF, C=600 => lambda*C ~ 1.5e-7
+	lambda := 1 / mtbf
+	const c = 600.0
+	w := 1e9
+	_, _, period, err := OptimalExp(w, lambda, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	young := math.Sqrt(2 * c * mtbf)
+	if math.Abs(period-young) > 0.02*young {
+		t.Errorf("optimal period %v vs Young %v: should agree within 2%% for tiny lambda*C", period, young)
+	}
+}
+
+func TestOptimalExpParallelMatchesAggregation(t *testing.T) {
+	// Proposition 5 == Theorem 1 on the macro-processor.
+	const lambda = 1.0 / (125 * 365 * 86400)
+	const p = 45208
+	wp := 698000.0
+	k0a, ka, pa, err := OptimalExpParallel(wp, p, lambda, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0b, kb, pb, err := OptimalExp(wp, p*lambda, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0a != k0b || ka != kb || pa != pb {
+		t.Errorf("Prop 5 disagrees with aggregated Theorem 1")
+	}
+}
+
+func TestExpectedMakespanExpSanity(t *testing.T) {
+	// E(T*) must exceed the failure-free makespan W + K*C and be finite.
+	const w, c, d, r = 20 * 86400.0, 600.0, 60.0, 600.0
+	for _, mtbf := range []float64{3600, 86400, 7 * 86400} {
+		lambda := 1 / mtbf
+		_, kStar, _, err := OptimalExp(w, lambda, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		et, err := ExpectedMakespanExp(w, lambda, c, d, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		failFree := w + float64(kStar)*c
+		if et <= failFree {
+			t.Errorf("MTBF=%v: E(T*)=%v <= failure-free %v", mtbf, et, failFree)
+		}
+		if math.IsInf(et, 1) || math.IsNaN(et) {
+			t.Errorf("MTBF=%v: E(T*)=%v", mtbf, et)
+		}
+		// And the optimal K beats single-chunk and 10x-chunks strategies.
+		if et > ExpectedMakespanExpK(w, lambda, c, d, r, 1) {
+			t.Errorf("MTBF=%v: optimum worse than single chunk", mtbf)
+		}
+		if et > ExpectedMakespanExpK(w, lambda, c, d, r, 10*kStar) {
+			t.Errorf("MTBF=%v: optimum worse than 10x chunks", mtbf)
+		}
+	}
+}
+
+func TestExpectedWorkBeforeFailure(t *testing.T) {
+	e := dist.NewExponentialMean(1000)
+	const c = 10.0
+	// Single chunk: E = w * exp(-(w+c)/1000).
+	for _, w := range []float64{50, 500, 2000} {
+		got := ExpectedWorkBeforeFailure(e, 0, c, []float64{w})
+		want := w * math.Exp(-(w+c)/1000)
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("single chunk %v: %v vs %v", w, got, want)
+		}
+	}
+	// Two chunks: E = w1 p1 + w2 p1 p2.
+	got := ExpectedWorkBeforeFailure(e, 0, c, []float64{100, 200})
+	p1 := math.Exp(-110.0 / 1000)
+	p2 := math.Exp(-210.0 / 1000)
+	want := 100*p1 + 200*p1*p2
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("two chunks: %v vs %v", got, want)
+	}
+}
+
+func TestExpectedWorkMultiMatchesPowers(t *testing.T) {
+	// For iid exponential processors, p processors behave like a single one
+	// with rate p*lambda.
+	e := dist.NewExponentialMean(1000)
+	ep := dist.NewExponentialMean(250) // 4 processors
+	chunks := []float64{100, 150, 80}
+	taus := []float64{0, 0, 0, 0}
+	multi := ExpectedWorkBeforeFailureMulti(e, taus, 10, chunks)
+	single := ExpectedWorkBeforeFailure(ep, 0, 10, chunks)
+	if math.Abs(multi-single) > 1e-9 {
+		t.Errorf("multi %v vs aggregated %v", multi, single)
+	}
+}
+
+func TestPlatformMTBFFigure1(t *testing.T) {
+	// Reproduce the qualitative content of Figure 1: Weibull k=0.7,
+	// processor MTBF 125 years, D=60s. Without rejuvenation the platform
+	// MTBF beats the all-rejuvenation MTBF for large p, and the gap grows.
+	w := dist.WeibullFromMeanShape(125*365*86400, 0.7)
+	crossedOver := false
+	for _, p := range []int{16, 256, 4096, 65536, 1 << 20} {
+		all := PlatformMTBFRejuvenateAll(w, p, 60)
+		single := PlatformMTBFSingleRejuvenation(w.Mean(), p, 60)
+		if single > all {
+			crossedOver = true
+		}
+		if p >= 4096 && single <= all {
+			t.Errorf("p=%d: single-rejuvenation MTBF %v should exceed all-rejuvenation %v", p, single, all)
+		}
+	}
+	if !crossedOver {
+		t.Error("no regime where single rejuvenation wins; Figure 1 not reproduced")
+	}
+	// For the exponential case (k=1) rejuvenating everything is beneficial.
+	we := dist.NewWeibull(1, 125*365*86400)
+	p := 1024
+	all := PlatformMTBFRejuvenateAll(we, p, 60)
+	single := PlatformMTBFSingleRejuvenation(we.Mean(), p, 60)
+	if all <= single {
+		t.Errorf("k=1: all-rejuvenation MTBF %v should exceed %v", all, single)
+	}
+}
+
+func TestPlatformMTBFFloorAtDowntime(t *testing.T) {
+	// With rejuvenation and k<1 the platform MTBF floors at D for huge p.
+	w := dist.WeibullFromMeanShape(125*365*86400, 0.7)
+	got := PlatformMTBFRejuvenateAll(w, 1<<30, 60)
+	if got > 70 {
+		t.Errorf("rejuvenate-all MTBF at huge p = %v, want ~D=60", got)
+	}
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSyntheticLogMean(t *testing.T) {
+	for _, spec := range []LogSpec{Cluster18, Cluster19} {
+		log := SyntheticLog(spec, 60000, 1)
+		var sum float64
+		for _, v := range log {
+			if v <= 0 {
+				t.Fatalf("%s: non-positive duration", spec.Name)
+			}
+			sum += v
+		}
+		mean := sum / float64(len(log))
+		if math.Abs(mean-spec.MeanUptime) > 0.1*spec.MeanUptime {
+			t.Errorf("%s: mean uptime %v, want ~%v", spec.Name, mean, spec.MeanUptime)
+		}
+	}
+}
+
+func TestSyntheticLogDecreasingHazard(t *testing.T) {
+	// The empirical distribution built from the log must have the
+	// decreasing-hazard property that motivates the paper's experiments:
+	// conditional survival over a fixed window improves with age.
+	log := SyntheticLog(Cluster19, 80000, 2)
+	e := EmpiricalFromLog(log)
+	window := e.Mean() / 10
+	young := e.CondSurvival(window, 0)
+	old := e.CondSurvival(window, e.Mean())
+	if old <= young {
+		t.Errorf("conditional survival should improve with age: young=%v old=%v", young, old)
+	}
+}
+
+func TestSyntheticLogPlatformMTBFCluster19(t *testing.T) {
+	// At 11,302 nodes the cluster-19 log should give a platform MTBF in the
+	// vicinity of the ~1,297 s the paper reports (§6).
+	log := SyntheticLog(Cluster19, 60000, 3)
+	e := EmpiricalFromLog(log)
+	platformMTBF := e.Mean() / 11302
+	if platformMTBF < 900 || platformMTBF > 1700 {
+		t.Errorf("cluster-19 platform MTBF %v s, want ~1297 s", platformMTBF)
+	}
+}
+
+func TestSyntheticLogShortPopulation(t *testing.T) {
+	log := SyntheticLog(Cluster19, 50000, 4)
+	short := 0
+	for _, v := range log {
+		if v < 4*Cluster19.ShortMean {
+			short++
+		}
+	}
+	frac := float64(short) / float64(len(log))
+	// The short population plus the Weibull body's own small values; the
+	// short fraction alone is 8%, so we expect at least that.
+	if frac < Cluster19.ShortFrac*0.8 {
+		t.Errorf("short-uptime fraction %v, want >= %v", frac, Cluster19.ShortFrac*0.8)
+	}
+}
+
+func TestSyntheticLogDeterminism(t *testing.T) {
+	a := SyntheticLog(Cluster18, 1000, 9)
+	b := SyntheticLog(Cluster18, 1000, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("log not deterministic at %d", i)
+		}
+	}
+	c := SyntheticLog(Cluster18, 1000, 10)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > len(a)/100 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestWriteReadLogRoundTrip(t *testing.T) {
+	durations := []float64{1.5, 2, 3.25, 86400, 0.001}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, "test", durations); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(durations) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(durations))
+	}
+	for i := range got {
+		if math.Abs(got[i]-durations[i]) > 1e-3 {
+			t.Errorf("index %d: %v vs %v", i, got[i], durations[i])
+		}
+	}
+}
+
+func TestReadLogSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n10.5\n# mid comment\n20\n  \n30\n"
+	got, err := ReadLog(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10.5 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("ReadLog = %v", got)
+	}
+}
+
+func TestReadLogErrors(t *testing.T) {
+	if _, err := ReadLog(strings.NewReader("abc\n")); err == nil {
+		t.Error("garbage line should fail")
+	}
+	if _, err := ReadLog(strings.NewReader("-5\n")); err == nil {
+		t.Error("negative duration should fail")
+	}
+	if _, err := ReadLog(strings.NewReader("# only comments\n")); err == nil {
+		t.Error("empty log should fail")
+	}
+}
+
+func TestSyntheticLogPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SyntheticLog(n=0) should panic")
+		}
+	}()
+	SyntheticLog(Cluster19, 0, 1)
+}

@@ -1,0 +1,152 @@
+// Package trace generates and manipulates failure traces.
+//
+// A failure trace assigns to every failure unit (a processor, or a
+// multi-processor node for log-based experiments) the absolute dates of its
+// failures over a fixed horizon. Per the paper's model (§2.1), a unit that
+// fails at time t is down for D time units and then begins a new lifetime
+// at the beginning of the recovery period, so failure dates follow the
+// renewal recursion t_{n+1} = t_n + D + X_{n+1} with iid X_n. Failure
+// dates are independent of what the job does, which lets all checkpointing
+// policies be evaluated on identical traces (paired comparison, §4.1).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// Trace holds the ascending absolute failure dates of a single unit.
+type Trace struct {
+	Times []float64
+}
+
+// Set is a failure trace for a platform of units over [0, Horizon).
+type Set struct {
+	Horizon float64
+	Units   []Trace
+
+	// mergedCache memoizes MergedEvents per unit-count: an evaluation runs
+	// many policies over the same trace, and re-sorting a six-figure event
+	// list per run dominated profiles.
+	mergedMu    sync.Mutex
+	mergedCache map[int][]Event
+}
+
+// Event is one failure of one unit in a merged platform-level view.
+type Event struct {
+	Time float64
+	Unit int32
+}
+
+// GenerateRenewal draws a failure trace for `units` units over the horizon.
+// Inter-arrival times are sampled iid from d; after each failure the unit is
+// down for `downtime` and then starts a fresh lifetime. Unit u always uses
+// substream u of the seed, which guarantees the paper's §4.3 coherence
+// property: the trace of unit u is identical whether the set was generated
+// for u+1 units or for a million.
+func GenerateRenewal(d dist.Distribution, units int, horizon, downtime float64, seed uint64) *Set {
+	if units <= 0 {
+		panic(fmt.Sprintf("trace: non-positive unit count %d", units))
+	}
+	if !(horizon > 0) {
+		panic(fmt.Sprintf("trace: non-positive horizon %v", horizon))
+	}
+	if downtime < 0 {
+		panic(fmt.Sprintf("trace: negative downtime %v", downtime))
+	}
+	s := &Set{Horizon: horizon, Units: make([]Trace, units)}
+	for u := 0; u < units; u++ {
+		r := rng.NewStream(seed, uint64(u))
+		var times []float64
+		t := 0.0
+		for {
+			t += d.Sample(r)
+			if t >= horizon {
+				break
+			}
+			times = append(times, t)
+			t += downtime
+		}
+		s.Units[u].Times = times
+	}
+	return s
+}
+
+// Prefix returns a view of the set restricted to the first p units. The
+// underlying slices are shared; the result must be treated as read-only.
+func (s *Set) Prefix(p int) *Set {
+	if p <= 0 || p > len(s.Units) {
+		panic(fmt.Sprintf("trace: prefix %d out of range [1, %d]", p, len(s.Units)))
+	}
+	return &Set{Horizon: s.Horizon, Units: s.Units[:p]}
+}
+
+// MergedEvents returns all failures of the first p units merged in
+// chronological order. The result is cached per p and shared; callers
+// must treat it as read-only.
+func (s *Set) MergedEvents(p int) []Event {
+	if p <= 0 || p > len(s.Units) {
+		panic(fmt.Sprintf("trace: merge %d out of range [1, %d]", p, len(s.Units)))
+	}
+	s.mergedMu.Lock()
+	defer s.mergedMu.Unlock()
+	if ev, ok := s.mergedCache[p]; ok {
+		return ev
+	}
+	total := 0
+	for u := 0; u < p; u++ {
+		total += len(s.Units[u].Times)
+	}
+	events := make([]Event, 0, total)
+	for u := 0; u < p; u++ {
+		for _, t := range s.Units[u].Times {
+			events = append(events, Event{Time: t, Unit: int32(u)})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Time != events[j].Time {
+			return events[i].Time < events[j].Time
+		}
+		return events[i].Unit < events[j].Unit
+	})
+	if s.mergedCache == nil {
+		s.mergedCache = map[int][]Event{}
+	}
+	s.mergedCache[p] = events
+	return events
+}
+
+// CountFailures returns the total number of failures of the first p units.
+func (s *Set) CountFailures(p int) int {
+	n := 0
+	for u := 0; u < p; u++ {
+		n += len(s.Units[u].Times)
+	}
+	return n
+}
+
+// FirstFailureAfter returns the earliest failure event of the first p units
+// with Time >= t, searching the pre-merged event slice. It returns ok=false
+// if there is none before the horizon. The events slice must come from
+// MergedEvents on the same set.
+func FirstFailureAfter(events []Event, t float64) (Event, bool) {
+	idx := sort.Search(len(events), func(i int) bool { return events[i].Time >= t })
+	if idx == len(events) {
+		return Event{}, false
+	}
+	return events[idx], true
+}
+
+// PlatformMTBF estimates the observed platform-level mean time between
+// failures of the first p units: horizon divided by total failure count.
+func (s *Set) PlatformMTBF(p int) float64 {
+	n := s.CountFailures(p)
+	if n == 0 {
+		return s.Horizon
+	}
+	return s.Horizon / float64(n)
+}

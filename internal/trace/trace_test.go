@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+)
+
+func TestGenerateRenewalBasics(t *testing.T) {
+	d := dist.NewExponentialMean(100)
+	s := GenerateRenewal(d, 10, 10000, 5, 42)
+	if len(s.Units) != 10 {
+		t.Fatalf("unit count %d", len(s.Units))
+	}
+	for u, tr := range s.Units {
+		prev := -math.Inf(1)
+		for _, ft := range tr.Times {
+			if ft <= prev {
+				t.Fatalf("unit %d: non-increasing failure times", u)
+			}
+			if ft < 0 || ft >= s.Horizon {
+				t.Fatalf("unit %d: failure time %v outside horizon", u, ft)
+			}
+			prev = ft
+		}
+	}
+}
+
+func TestRenewalGapsIncludeDowntime(t *testing.T) {
+	// Consecutive failures of the same unit must be separated by more than
+	// the downtime (gap = D + X with X > 0).
+	const down = 50.0
+	d := dist.NewExponentialMean(100)
+	s := GenerateRenewal(d, 50, 100000, down, 7)
+	checked := 0
+	for _, tr := range s.Units {
+		for i := 1; i < len(tr.Times); i++ {
+			gap := tr.Times[i] - tr.Times[i-1]
+			if gap <= down {
+				t.Fatalf("gap %v <= downtime %v", gap, down)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no consecutive failures generated; weak test")
+	}
+}
+
+func TestRenewalDeterminism(t *testing.T) {
+	d := dist.WeibullFromMeanShape(500, 0.7)
+	a := GenerateRenewal(d, 5, 50000, 10, 99)
+	b := GenerateRenewal(d, 5, 50000, 10, 99)
+	for u := range a.Units {
+		if len(a.Units[u].Times) != len(b.Units[u].Times) {
+			t.Fatalf("unit %d: trace lengths differ", u)
+		}
+		for i := range a.Units[u].Times {
+			if a.Units[u].Times[i] != b.Units[u].Times[i] {
+				t.Fatalf("unit %d: traces differ at %d", u, i)
+			}
+		}
+	}
+}
+
+func TestPrefixCoherence(t *testing.T) {
+	// §4.3: "For experiments with p processors we then simply select the
+	// first p traces" — generating for fewer units must give identical
+	// traces for the shared prefix.
+	d := dist.NewExponentialMean(200)
+	big := GenerateRenewal(d, 20, 20000, 5, 3)
+	small := GenerateRenewal(d, 7, 20000, 5, 3)
+	for u := 0; u < 7; u++ {
+		if len(big.Units[u].Times) != len(small.Units[u].Times) {
+			t.Fatalf("unit %d: prefix incoherent", u)
+		}
+		for i := range big.Units[u].Times {
+			if big.Units[u].Times[i] != small.Units[u].Times[i] {
+				t.Fatalf("unit %d: prefix incoherent at index %d", u, i)
+			}
+		}
+	}
+}
+
+func TestRenewalFailureRate(t *testing.T) {
+	// Over a long horizon, failures per unit should approximate
+	// horizon / (MTBF + D).
+	const mean, down, horizon = 100.0, 10.0, 1e6
+	d := dist.NewExponentialMean(mean)
+	s := GenerateRenewal(d, 200, horizon, down, 11)
+	total := s.CountFailures(200)
+	perUnit := float64(total) / 200
+	want := horizon / (mean + down)
+	if math.Abs(perUnit-want) > 0.03*want {
+		t.Fatalf("failures per unit %v, want ~%v", perUnit, want)
+	}
+}
+
+func TestMergedEventsSortedAndComplete(t *testing.T) {
+	d := dist.NewExponentialMean(50)
+	s := GenerateRenewal(d, 8, 5000, 2, 21)
+	ev := s.MergedEvents(8)
+	if len(ev) != s.CountFailures(8) {
+		t.Fatalf("merged %d events, want %d", len(ev), s.CountFailures(8))
+	}
+	if !sort.SliceIsSorted(ev, func(i, j int) bool { return ev[i].Time < ev[j].Time }) {
+		t.Fatal("merged events not sorted")
+	}
+	// Every event must exist in its unit's trace.
+	for _, e := range ev {
+		times := s.Units[e.Unit].Times
+		found := false
+		for _, ft := range times {
+			if ft == e.Time {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("event %v not found in unit %d", e.Time, e.Unit)
+		}
+	}
+}
+
+func TestFirstFailureAfter(t *testing.T) {
+	d := dist.NewExponentialMean(50)
+	s := GenerateRenewal(d, 4, 5000, 2, 31)
+	ev := s.MergedEvents(4)
+	if len(ev) < 3 {
+		t.Skip("trace too sparse for this seed")
+	}
+	// Exactly at an event time returns that event.
+	got, ok := FirstFailureAfter(ev, ev[1].Time)
+	if !ok || got.Time != ev[1].Time {
+		t.Fatalf("FirstFailureAfter(at event) = %+v, %v", got, ok)
+	}
+	// Between events returns the later one.
+	mid := (ev[0].Time + ev[1].Time) / 2
+	got, ok = FirstFailureAfter(ev, mid)
+	if !ok || got.Time != ev[1].Time {
+		t.Fatalf("FirstFailureAfter(mid) = %+v", got)
+	}
+	// Beyond the last event returns ok=false.
+	if _, ok := FirstFailureAfter(ev, ev[len(ev)-1].Time+1); ok {
+		t.Fatal("FirstFailureAfter past the end should fail")
+	}
+}
+
+func TestPrefixView(t *testing.T) {
+	d := dist.NewExponentialMean(50)
+	s := GenerateRenewal(d, 6, 1000, 2, 41)
+	p := s.Prefix(3)
+	if len(p.Units) != 3 || p.Horizon != s.Horizon {
+		t.Fatalf("Prefix(3) wrong shape")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Prefix(0) should panic")
+		}
+	}()
+	s.Prefix(0)
+}
+
+func TestPlatformMTBFScalesWithUnits(t *testing.T) {
+	d := dist.NewExponentialMean(1000)
+	s := GenerateRenewal(d, 64, 1e6, 0, 17)
+	m1 := s.PlatformMTBF(8)
+	m2 := s.PlatformMTBF(64)
+	// 8x more units => roughly 8x smaller MTBF.
+	ratio := m1 / m2
+	if ratio < 5 || ratio > 12 {
+		t.Fatalf("MTBF ratio %v, want ~8", ratio)
+	}
+}
+
+func TestGenerateRenewalPanics(t *testing.T) {
+	d := dist.NewExponentialMean(10)
+	for i, fn := range []func(){
+		func() { GenerateRenewal(d, 0, 10, 0, 1) },
+		func() { GenerateRenewal(d, 1, 0, 0, 1) },
+		func() { GenerateRenewal(d, 1, 10, -1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMergedEventsProperty(t *testing.T) {
+	d := dist.WeibullFromMeanShape(300, 0.7)
+	s := GenerateRenewal(d, 16, 30000, 5, 5)
+	f := func(rawP uint8) bool {
+		p := int(rawP)%16 + 1
+		ev := s.MergedEvents(p)
+		if len(ev) != s.CountFailures(p) {
+			return false
+		}
+		for i := 1; i < len(ev); i++ {
+			if ev[i].Time < ev[i-1].Time {
+				return false
+			}
+		}
+		for _, e := range ev {
+			if int(e.Unit) >= p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
