@@ -1,0 +1,184 @@
+// Package dist implements the failure inter-arrival time laws of the
+// paper: Exponential, Weibull, Gamma and LogNormal lifetimes (§2.1, §4.2)
+// plus the discrete Empirical law built from availability logs (§4.3), and
+// the maximum-likelihood fitting used by the LANL trace pipeline.
+//
+// Every law exposes the quantities the checkpointing machinery consumes:
+// the density f, the CDF F, the survival S = 1 - F, the conditional
+// survival S(tau+t)/S(tau) (the probability that a unit of age tau lives
+// another t), the cumulative hazard H = -ln S (additive across independent
+// units, which is what makes the DPNextFailure grid a single scalar
+// function), quantiles, and deterministic sampling through the
+// repro/internal/rng streams so that every trace is reproducible.
+//
+// Continuous laws are small value types (Exponential, Weibull, Gamma,
+// LogNormal) so they can be type-switched and compared cheaply; the
+// Empirical law carries its sorted sample and is handled by pointer.
+package dist
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Distribution is a failure inter-arrival time law on [0, +inf).
+type Distribution interface {
+	// Name is the family name ("Exponential", "Weibull", ...), used in
+	// error messages and experiment labels.
+	Name() string
+	// String renders the law with its parameters.
+	String() string
+	// Mean returns the expectation (the unit MTBF).
+	Mean() float64
+	// Density returns the probability density f(x). It may return +Inf at
+	// x = 0 for decreasing-hazard laws (Weibull and Gamma with shape < 1);
+	// callers that integrate near 0 must guard for that, as Liu's
+	// frequency-function integration does.
+	Density(x float64) float64
+	// CDF returns F(x) = P(X <= x).
+	CDF(x float64) float64
+	// Survival returns S(x) = P(X > x) = 1 - F(x).
+	Survival(x float64) float64
+	// CondSurvival returns P(X > tau+t | X > tau) = S(tau+t)/S(tau): the
+	// probability that a unit of age tau survives another t time units.
+	// It returns 0 once the age tau has exhausted the law's support.
+	CondSurvival(t, tau float64) float64
+	// CumHazard returns H(x) = -ln S(x), the cumulative hazard. It is
+	// +Inf past the support. Hazards of independent units add, which the
+	// DPNextFailure survival grid exploits.
+	CumHazard(x float64) float64
+	// Quantile returns the p-quantile F^{-1}(p) for p in [0, 1].
+	Quantile(p float64) float64
+	// Sample draws one variate using the given deterministic source.
+	Sample(r *rng.Source) float64
+}
+
+// InverseSurvival returns the age x with S(x) = q, i.e. S^{-1}(q). For
+// q near 1 (young ages) the generic Quantile(1-q) path loses all precision
+// to cancellation — exactly the regime the DPNextFailure reference ages
+// live in — so the closed-form laws invert their survival directly.
+func InverseSurvival(d Distribution, q float64) float64 {
+	switch {
+	case q >= 1:
+		return 0
+	case q <= 0:
+		return d.Quantile(1)
+	}
+	switch dd := d.(type) {
+	case Exponential:
+		return -math.Log(q) / dd.Lambda
+	case Weibull:
+		return dd.Scale * math.Pow(-math.Log(q), 1/dd.Shape)
+	case LogNormal:
+		// S(x) = erfc(z/sqrt2)/2 = q  =>  z = sqrt2 * erfcinv(2q).
+		return math.Exp(dd.Mu + dd.Sigma*math.Sqrt2*math.Erfcinv(2*q))
+	case *Empirical:
+		// Discrete support: the 1-q cancellation is bounded by the ECDF
+		// granularity, so the generalized-inverse quantile is exact.
+		return dd.Quantile(1 - q)
+	default:
+		return inverseSurvivalNumeric(d, q)
+	}
+}
+
+// inverseSurvivalNumeric solves H(x) = -ln q by bisection on the
+// cumulative hazard in log-x space. Working on the hazard rather than on
+// Quantile(1-q) keeps the tiny roots that arise when q is within ulps of
+// 1 — the DPNextFailure reference-age regime — from collapsing to 0.
+func inverseSurvivalNumeric(d Distribution, q float64) float64 {
+	target := -math.Log(q)
+	hi := d.Mean()
+	for d.CumHazard(hi) < target {
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			return hi
+		}
+	}
+	lo := hi
+	for d.CumHazard(lo) >= target {
+		lo /= 2
+		if lo < 1e-290 {
+			return 0
+		}
+	}
+	ly, hy := math.Log(lo), math.Log(hi)
+	for hy-ly > 1e-14*(1+math.Abs(hy)) {
+		my := (ly + hy) / 2
+		if d.CumHazard(math.Exp(my)) < target {
+			ly = my
+		} else {
+			hy = my
+		}
+	}
+	return math.Exp((ly + hy) / 2)
+}
+
+// LogLikelihood returns the log-likelihood sum_i ln f(x_i) of the samples
+// under the law, the paper's §4.3 model-comparison score. A sample outside
+// the law's support returns -Inf, as does a sample sitting on a density
+// singularity (x = 0 under a decreasing-hazard law, where the density is
+// +Inf): a boundary sample must never make one family score infinitely
+// better than another.
+func LogLikelihood(d Distribution, samples []float64) float64 {
+	if e, ok := d.(Exponential); ok {
+		// Closed form: n ln(lambda) - lambda * sum(x).
+		var sum float64
+		for _, x := range samples {
+			if x < 0 {
+				return math.Inf(-1)
+			}
+			sum += x
+		}
+		return float64(len(samples))*math.Log(e.Lambda) - e.Lambda*sum
+	}
+	var ll float64
+	for _, x := range samples {
+		f := d.Density(x)
+		if math.IsInf(f, 1) {
+			return math.Inf(-1)
+		}
+		ll += math.Log(f)
+	}
+	return ll
+}
+
+// condSurvivalRatio is the generic S(tau+t)/S(tau) shared by the laws
+// without a cheaper form.
+func condSurvivalRatio(d Distribution, t, tau float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	if tau < 0 {
+		tau = 0
+	}
+	sTau := d.Survival(tau)
+	if sTau <= 0 {
+		return 0
+	}
+	return d.Survival(tau+t) / sTau
+}
+
+// cumHazardFromSurvival is the generic H = -ln S shared by the laws whose
+// hazard has no cheaper closed form, saturating to +Inf where the
+// survival underflows to 0 (past an empirical law's support, or deep in a
+// continuous tail).
+func cumHazardFromSurvival(d Distribution, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	s := d.Survival(x)
+	if s <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log(s)
+}
+
+// checkPositive panics when a constructor parameter is not strictly
+// positive; distributions are value types, so invalid parameters must be
+// rejected at construction rather than surfacing as NaNs mid-simulation.
+func checkPositive(pkg, name string, v float64) {
+	if !(v > 0) || math.IsInf(v, 1) {
+		panic("dist: " + pkg + ": " + name + " must be positive and finite")
+	}
+}

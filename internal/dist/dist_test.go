@@ -1,0 +1,554 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/specialfn"
+)
+
+const sampleDraws = 100000
+
+// continuousLaws returns one representative of each continuous family,
+// spanning the decreasing-hazard regime the paper's experiments live in.
+func continuousLaws() []Distribution {
+	return []Distribution{
+		NewExponentialMean(3600),
+		WeibullFromMeanShape(3600, 0.7),
+		NewWeibull(1.5, 1000),
+		GammaFromMeanShape(3600, 0.7),
+		NewGamma(2.5, 800),
+		LogNormalFromMeanSigma(3600, 1.2),
+	}
+}
+
+// variance returns the closed-form variance of the supported laws.
+func variance(d Distribution) float64 {
+	switch dd := d.(type) {
+	case Exponential:
+		return 1 / (dd.Lambda * dd.Lambda)
+	case Weibull:
+		g1 := math.Gamma(1 + 1/dd.Shape)
+		g2 := math.Gamma(1 + 2/dd.Shape)
+		return dd.Scale * dd.Scale * (g2 - g1*g1)
+	case Gamma:
+		return dd.Shape * dd.Scale * dd.Scale
+	case LogNormal:
+		s2 := dd.Sigma * dd.Sigma
+		return math.Expm1(s2) * math.Exp(2*dd.Mu+s2)
+	default:
+		panic("no closed-form variance for " + d.Name())
+	}
+}
+
+func TestSampledMomentsMatchClosedForm(t *testing.T) {
+	// Acceptance criterion: sampled mean within 1% of the closed form over
+	// 1e5 deterministic draws, for every law. The draws are deterministic
+	// (fixed seed), so the tolerances are exact regression bounds, not
+	// flaky statistical ones.
+	for i, d := range continuousLaws() {
+		r := rng.NewStream(1914, uint64(i))
+		var sum, sumSq float64
+		for j := 0; j < sampleDraws; j++ {
+			x := d.Sample(r)
+			if x < 0 || math.IsNaN(x) {
+				t.Fatalf("%s: invalid sample %v", d, x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		n := float64(sampleDraws)
+		mean := sum / n
+		if rel := math.Abs(mean-d.Mean()) / d.Mean(); rel > 0.01 {
+			t.Errorf("%s: sampled mean %v vs %v (rel err %v)", d, mean, d.Mean(), rel)
+		}
+		wantVar := variance(d)
+		gotVar := sumSq/n - mean*mean
+		// Second moments of the heavy-tailed laws converge slowly; 10% is
+		// ample to catch a wrong parameterization (which would be off by
+		// tens of percent) without flaking.
+		if rel := math.Abs(gotVar-wantVar) / wantVar; rel > 0.10 {
+			t.Errorf("%s: sampled variance %v vs %v (rel err %v)", d, gotVar, wantVar, rel)
+		}
+	}
+}
+
+func TestEmpiricalSampledMeanMatches(t *testing.T) {
+	e := NewEmpirical([]float64{100, 300, 500, 700, 900, 1500, 2500, 4000})
+	r := rng.New(7)
+	var sum float64
+	for i := 0; i < sampleDraws; i++ {
+		sum += e.Sample(r)
+	}
+	mean := sum / sampleDraws
+	if rel := math.Abs(mean-e.Mean()) / e.Mean(); rel > 0.01 {
+		t.Errorf("empirical sampled mean %v vs %v (rel err %v)", mean, e.Mean(), rel)
+	}
+}
+
+func TestQuantileCDFRoundTrip(t *testing.T) {
+	ps := []float64{1e-6, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1 - 1e-6}
+	for _, d := range continuousLaws() {
+		for _, p := range ps {
+			x := d.Quantile(p)
+			if !(x >= 0) {
+				t.Fatalf("%s: Quantile(%v) = %v", d, p, x)
+			}
+			got := d.CDF(x)
+			if math.Abs(got-p) > 1e-9 {
+				t.Errorf("%s: CDF(Quantile(%v)) = %v", d, p, got)
+			}
+		}
+		if d.Quantile(0) != 0 {
+			t.Errorf("%s: Quantile(0) = %v, want 0", d, d.Quantile(0))
+		}
+		if !math.IsInf(d.Quantile(1), 1) {
+			t.Errorf("%s: Quantile(1) = %v, want +Inf", d, d.Quantile(1))
+		}
+	}
+}
+
+func TestSurvivalMonotoneAndComplementary(t *testing.T) {
+	for _, d := range continuousLaws() {
+		prev := 1.0
+		for i := 0; i <= 200; i++ {
+			x := d.Mean() * float64(i) / 20
+			s := d.Survival(x)
+			if s > prev+1e-15 {
+				t.Fatalf("%s: survival increased at x=%v", d, x)
+			}
+			prev = s
+			if f := d.CDF(x); math.Abs(f+s-1) > 1e-9 {
+				t.Errorf("%s: CDF+Survival = %v at x=%v", d, f+s, x)
+			}
+		}
+		if d.Survival(0) != 1 || d.CDF(0) != 0 {
+			t.Errorf("%s: S(0)=%v F(0)=%v", d, d.Survival(0), d.CDF(0))
+		}
+	}
+}
+
+func TestCondSurvivalMatchesRatio(t *testing.T) {
+	for _, d := range continuousLaws() {
+		for _, tau := range []float64{0, 100, 3600, 36000} {
+			for _, dt := range []float64{1, 500, 5000} {
+				want := d.Survival(tau+dt) / d.Survival(tau)
+				got := d.CondSurvival(dt, tau)
+				if math.Abs(got-want) > 1e-9 {
+					t.Errorf("%s: CondSurvival(%v|%v) = %v, want %v", d, dt, tau, got, want)
+				}
+			}
+		}
+		if got := d.CondSurvival(0, 500); got != 1 {
+			t.Errorf("%s: CondSurvival(0|500) = %v", d, got)
+		}
+	}
+}
+
+func TestExponentialMemoryless(t *testing.T) {
+	e := NewExponentialMean(1234)
+	for _, tau := range []float64{0, 10, 1e6} {
+		if got, want := e.CondSurvival(500, tau), e.Survival(500); got != want {
+			t.Errorf("tau=%v: CondSurvival %v != Survival %v", tau, got, want)
+		}
+	}
+}
+
+func TestCumHazardIsMinusLogSurvival(t *testing.T) {
+	for _, d := range continuousLaws() {
+		for _, x := range []float64{0, 1, 100, 3600, 50000} {
+			want := -math.Log(d.Survival(x))
+			got := d.CumHazard(x)
+			if math.Abs(got-want) > 1e-9*(1+want) {
+				t.Errorf("%s: CumHazard(%v) = %v, want %v", d, x, got, want)
+			}
+		}
+	}
+}
+
+func TestInverseSurvivalInverts(t *testing.T) {
+	for _, d := range continuousLaws() {
+		for _, q := range []float64{0.999, 0.9, 0.5, 0.1, 1e-3, 1e-9} {
+			x := InverseSurvival(d, q)
+			got := d.Survival(x)
+			if math.Abs(got-q) > 1e-6*q+1e-12 {
+				t.Errorf("%s: S(InverseSurvival(%v)) = %v", d, q, got)
+			}
+		}
+		if InverseSurvival(d, 1) != 0 {
+			t.Errorf("%s: InverseSurvival(1) != 0", d)
+		}
+	}
+}
+
+func TestInverseSurvivalNearOnePrecision(t *testing.T) {
+	// The DPNextFailure reference ages interpolate survival values that sit
+	// within 1e-12 of 1 for 125-year MTBFs; Quantile(1-q) would collapse
+	// them all to 0. The closed-form inversion must resolve them.
+	w := WeibullFromMeanShape(125*365*86400, 0.7)
+	q1 := 1 - 1e-13
+	q2 := 1 - 2e-13
+	x1 := InverseSurvival(w, q1)
+	x2 := InverseSurvival(w, q2)
+	if !(x2 > x1 && x1 > 0) {
+		t.Errorf("near-1 inversion collapsed: x(%v)=%v x(%v)=%v", q1, x1, q2, x2)
+	}
+	if got := w.CumHazard(x1); math.Abs(got-1e-13) > 1e-15 {
+		t.Errorf("H(x1) = %v, want 1e-13", got)
+	}
+	// The numeric (Gamma) and erfc-inverse (LogNormal) paths must resolve
+	// the same regime instead of collapsing to 0 like Quantile(1-q) would.
+	for _, d := range []Distribution{
+		GammaFromMeanShape(125*365*86400, 0.7),
+		LogNormalFromMeanSigma(125*365*86400, 1.2),
+	} {
+		for _, eps := range []float64{1e-9, 1e-12} {
+			x := InverseSurvival(d, 1-eps)
+			if !(x > 0) {
+				t.Errorf("%s: InverseSurvival(1-%v) = %v, want > 0", d, eps, x)
+				continue
+			}
+			if got := d.CumHazard(x); math.Abs(got-eps) > 1e-3*eps {
+				t.Errorf("%s: H(InverseSurvival(1-%v)) = %v", d, eps, got)
+			}
+		}
+	}
+}
+
+func TestLogLikelihoodBoundarySampleIsMinusInf(t *testing.T) {
+	// A zero duration sits on the density singularity of decreasing-hazard
+	// laws; it must sink the likelihood, not inflate it to +Inf.
+	samples := []float64{0, 100, 5000}
+	for _, d := range []Distribution{NewWeibull(0.5, 1e4), NewGamma(0.7, 1e4)} {
+		if got := LogLikelihood(d, samples); !math.IsInf(got, -1) {
+			t.Errorf("%s: LogLikelihood with boundary sample = %v, want -Inf", d, got)
+		}
+	}
+	if got := LogLikelihood(NewExponentialMean(100), []float64{-1}); !math.IsInf(got, -1) {
+		t.Errorf("negative sample under Exponential: LL = %v, want -Inf", got)
+	}
+}
+
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	w := NewWeibull(1, 3600)
+	e := NewExponentialMean(3600)
+	for _, x := range []float64{0, 10, 3600, 100000} {
+		if math.Abs(w.Survival(x)-e.Survival(x)) > 1e-12 {
+			t.Errorf("survival differs at %v: %v vs %v", x, w.Survival(x), e.Survival(x))
+		}
+		if math.Abs(w.Density(x)-e.Density(x)) > 1e-15 {
+			t.Errorf("density differs at %v: %v vs %v", x, w.Density(x), e.Density(x))
+		}
+	}
+	if math.Abs(w.Mean()-3600) > 1e-9 {
+		t.Errorf("Weibull(1, 3600) mean %v", w.Mean())
+	}
+}
+
+func TestMeanParameterizations(t *testing.T) {
+	cases := []struct {
+		d    Distribution
+		want float64
+	}{
+		{NewExponentialMean(5000), 5000},
+		{NewExponentialRate(0.001), 1000},
+		{WeibullFromMeanShape(7200, 0.7), 7200},
+		{WeibullFromMeanShape(125*365*86400, 0.49), 125 * 365 * 86400},
+		{GammaFromMeanShape(7200, 0.7), 7200},
+		{LogNormalFromMeanSigma(7200, 1.2), 7200},
+		{NewGamma(2, 300), 600},
+	}
+	for _, c := range cases {
+		if rel := math.Abs(c.d.Mean()-c.want) / c.want; rel > 1e-12 {
+			t.Errorf("%s: mean %v, want %v", c.d, c.d.Mean(), c.want)
+		}
+	}
+}
+
+func TestDensityIntegratesToCDF(t *testing.T) {
+	// Integrating the density from 0 recovers the CDF. Decreasing-hazard
+	// laws have an integrable singularity at 0, so start the quadrature a
+	// hair above it and add the analytic mass below.
+	for _, d := range continuousLaws() {
+		for _, frac := range []float64{0.25, 1, 3} {
+			x := d.Mean() * frac
+			eps := x * 1e-9
+			got := d.CDF(eps) + specialfn.AdaptiveSimpson(d.Density, eps, x, 1e-10)
+			want := d.CDF(x)
+			if math.Abs(got-want) > 1e-5 {
+				t.Errorf("%s: integral of density to %v = %v, CDF = %v", d, x, got, want)
+			}
+		}
+	}
+}
+
+func TestDecreasingHazardDensityDivergesAtZero(t *testing.T) {
+	for _, d := range []Distribution{NewWeibull(0.7, 1000), NewGamma(0.7, 1000)} {
+		if !math.IsInf(d.Density(0), 1) {
+			t.Errorf("%s: Density(0) = %v, want +Inf", d, d.Density(0))
+		}
+	}
+	if NewWeibull(2, 1000).Density(0) != 0 {
+		t.Error("increasing-hazard Weibull density at 0 should be 0")
+	}
+}
+
+func TestSampleDeterminismAcrossStreams(t *testing.T) {
+	w := WeibullFromMeanShape(500, 0.7)
+	a := rng.NewStream(11, 3)
+	b := rng.NewStream(11, 3)
+	c := rng.NewStream(11, 4)
+	same, diff := 0, 0
+	for i := 0; i < 1000; i++ {
+		va, vb, vc := w.Sample(a), w.Sample(b), w.Sample(c)
+		if va == vb {
+			same++
+		}
+		if va != vc {
+			diff++
+		}
+	}
+	if same != 1000 {
+		t.Errorf("identical streams agreed on %d/1000 draws", same)
+	}
+	if diff < 990 {
+		t.Errorf("distinct streams agreed on %d/1000 draws", 1000-diff)
+	}
+}
+
+// --- Empirical ---
+
+func TestEmpiricalCountsExactly(t *testing.T) {
+	e := NewEmpirical([]float64{5, 1, 3, 3, 9})
+	cases := []struct{ x, cdf float64 }{
+		{0.5, 0}, {1, 0.2}, {2, 0.2}, {3, 0.6}, {4, 0.6}, {5, 0.8}, {9, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.CDF(c.x); got != c.cdf {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.cdf)
+		}
+		if got := e.Survival(c.x); math.Abs(got-(1-c.cdf)) > 1e-12 {
+			t.Errorf("Survival(%v) = %v, want %v", c.x, got, 1-c.cdf)
+		}
+	}
+	if e.Mean() != 21.0/5 {
+		t.Errorf("mean %v", e.Mean())
+	}
+	if e.Len() != 5 {
+		t.Errorf("len %d", e.Len())
+	}
+}
+
+func TestEmpiricalQuantiles(t *testing.T) {
+	e := NewEmpirical([]float64{10, 20, 30, 40})
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {0.1, 10}, {0.25, 10}, {0.26, 20}, {0.5, 20}, {0.75, 30}, {0.76, 40}, {1, 40},
+	}
+	for _, c := range cases {
+		if got := e.Quantile(c.p); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Quantile is the generalized inverse: CDF(Quantile(p)) >= p always.
+	for p := 0.01; p < 1; p += 0.01 {
+		if e.CDF(e.Quantile(p)) < p {
+			t.Errorf("CDF(Quantile(%v)) = %v < p", p, e.CDF(e.Quantile(p)))
+		}
+	}
+}
+
+func TestEmpiricalCondSurvival(t *testing.T) {
+	e := NewEmpirical([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	// Of the 5 samples above 5, exactly 2 exceed 5+3.
+	if got := e.CondSurvival(3, 5); got != 0.4 {
+		t.Errorf("CondSurvival(3|5) = %v, want 0.4", got)
+	}
+	if got := e.CondSurvival(1, 100); got != 0 {
+		t.Error("past the support CondSurvival must be 0")
+	}
+	if got := e.CondSurvival(0, 4); got != 1 {
+		t.Errorf("CondSurvival(0|4) = %v", got)
+	}
+	if !math.IsInf(e.CumHazard(11), 1) {
+		t.Error("CumHazard past the support must be +Inf")
+	}
+}
+
+func TestEmpiricalSamplesFromSupport(t *testing.T) {
+	vals := []float64{3, 7, 11}
+	e := NewEmpirical(vals)
+	r := rng.New(5)
+	seen := map[float64]int{}
+	for i := 0; i < 3000; i++ {
+		seen[e.Sample(r)]++
+	}
+	for _, v := range vals {
+		if seen[v] < 800 {
+			t.Errorf("value %v drawn only %d/3000 times", v, seen[v])
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("samples outside the support: %v", seen)
+	}
+}
+
+func TestEmpiricalPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":        func() { NewEmpirical(nil) },
+		"non-positive": func() { NewEmpirical([]float64{1, 0, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEmpirical %s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// --- Fitting ---
+
+func TestFitExponentialRecovers(t *testing.T) {
+	e := NewExponentialMean(4321)
+	r := rng.New(9)
+	samples := make([]float64, sampleDraws)
+	for i := range samples {
+		samples[i] = e.Sample(r)
+	}
+	fit, err := FitExponential(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(fit.Mean()-4321) / 4321; rel > 0.01 {
+		t.Errorf("fitted mean %v, want 4321 (rel err %v)", fit.Mean(), rel)
+	}
+}
+
+func TestFitWeibullRecovers(t *testing.T) {
+	cases := []Weibull{
+		WeibullFromMeanShape(500, 0.7),
+		NewWeibull(0.49, 1.4e7), // LANL-like: tiny shape, huge scale
+		NewWeibull(1.5, 1000),
+	}
+	for i, w := range cases {
+		r := rng.NewStream(17, uint64(i))
+		samples := make([]float64, sampleDraws)
+		for j := range samples {
+			samples[j] = w.Sample(r)
+		}
+		fit, err := FitWeibull(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(fit.Shape-w.Shape) / w.Shape; rel > 0.02 {
+			t.Errorf("%s: fitted shape %v (rel err %v)", w, fit.Shape, rel)
+		}
+		if rel := math.Abs(fit.Scale-w.Scale) / w.Scale; rel > 0.02 {
+			t.Errorf("%s: fitted scale %v (rel err %v)", w, fit.Scale, rel)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitExponential(nil); err == nil {
+		t.Error("FitExponential(nil) should fail")
+	}
+	if _, err := FitExponential([]float64{-1, 2}); err == nil {
+		t.Error("negative sample should fail")
+	}
+	if _, err := FitWeibull([]float64{5}); err == nil {
+		t.Error("single sample should fail")
+	}
+	if _, err := FitWeibull([]float64{3, 3, 3, 3}); err == nil {
+		t.Error("zero-spread sample should fail")
+	}
+	if _, err := FitWeibull([]float64{1, 0, 2}); err == nil {
+		t.Error("non-positive sample should fail")
+	}
+}
+
+func TestLogLikelihoodModelSelection(t *testing.T) {
+	// On heavy-tailed Weibull data the Weibull MLE must out-score the
+	// Exponential MLE — the §4.3 conclusion for the LANL logs.
+	w := NewWeibull(0.5, 10000)
+	r := rng.New(23)
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = w.Sample(r)
+	}
+	wfit, err := FitWeibull(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	efit, err := FitExponential(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw := LogLikelihood(wfit, samples)
+	le := LogLikelihood(efit, samples)
+	if !(lw > le) {
+		t.Errorf("Weibull LL %v should beat Exponential LL %v on Weibull data", lw, le)
+	}
+}
+
+func TestLogLikelihoodExponentialFastPathMatchesGeneric(t *testing.T) {
+	e := NewExponentialMean(750)
+	samples := []float64{10, 500, 1200, 3.5, 88}
+	var want float64
+	for _, x := range samples {
+		want += math.Log(e.Density(x))
+	}
+	got := LogLikelihood(e, samples)
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("closed form %v vs generic %v", got, want)
+	}
+}
+
+// --- Constructors and metadata ---
+
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"exp mean 0":        func() { NewExponentialMean(0) },
+		"exp rate -1":       func() { NewExponentialRate(-1) },
+		"weibull shape 0":   func() { NewWeibull(0, 1) },
+		"weibull scale 0":   func() { NewWeibull(1, 0) },
+		"weibull mean -1":   func() { WeibullFromMeanShape(-1, 0.7) },
+		"gamma shape 0":     func() { NewGamma(0, 1) },
+		"gamma mean 0":      func() { GammaFromMeanShape(0, 1) },
+		"lognormal sigma 0": func() { NewLogNormal(0, 0) },
+		"lognormal mean 0":  func() { LogNormalFromMeanSigma(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNamesAndStrings(t *testing.T) {
+	cases := []struct {
+		d    Distribution
+		name string
+	}{
+		{NewExponentialMean(10), "Exponential"},
+		{NewWeibull(0.7, 10), "Weibull"},
+		{NewGamma(2, 3), "Gamma"},
+		{NewLogNormal(1, 1), "LogNormal"},
+		{NewEmpirical([]float64{1, 2}), "Empirical"},
+	}
+	for _, c := range cases {
+		if c.d.Name() != c.name {
+			t.Errorf("Name() = %q, want %q", c.d.Name(), c.name)
+		}
+		if c.d.String() == "" {
+			t.Errorf("%s: empty String()", c.name)
+		}
+	}
+}

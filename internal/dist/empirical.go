@@ -1,0 +1,143 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Empirical is the discrete law built from observed availability
+// intervals — the paper's §4.3 log-based failure model. Probabilities are
+// exact empirical-CDF counts over the sorted sample, so the conditional
+// survivals consumed by DPNextFailure reflect the log itself rather than
+// any fitted family.
+type Empirical struct {
+	values []float64 // ascending
+	mean   float64
+	// densityH is the bandwidth of the smoothed-ECDF density estimate.
+	densityH float64
+}
+
+// NewEmpirical builds the empirical law from availability durations. It
+// panics on an empty sample or non-positive durations (ReadLog and the
+// synthetic-log generator both guarantee positivity).
+func NewEmpirical(durations []float64) *Empirical {
+	if len(durations) == 0 {
+		panic("dist: Empirical: empty sample")
+	}
+	values := make([]float64, len(durations))
+	copy(values, durations)
+	sort.Float64s(values)
+	if !(values[0] > 0) {
+		panic("dist: Empirical: durations must be positive")
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	n := float64(len(values))
+	e := &Empirical{values: values, mean: sum / n}
+	// Silverman-flavored bandwidth for the defensive density estimate:
+	// spread / n^(1/3), floored to stay usable for single-point samples.
+	spread := values[len(values)-1] - values[0]
+	e.densityH = spread / math.Cbrt(n)
+	if !(e.densityH > 0) {
+		e.densityH = math.Max(e.mean*1e-6, 1e-9)
+	}
+	return e
+}
+
+// Name implements Distribution.
+func (*Empirical) Name() string { return "Empirical" }
+
+// String implements Distribution.
+func (e *Empirical) String() string {
+	return fmt.Sprintf("Empirical(n=%d, mean=%g)", len(e.values), e.mean)
+}
+
+// Mean implements Distribution.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// Len returns the sample size.
+func (e *Empirical) Len() int { return len(e.values) }
+
+// countLE returns the number of samples <= x.
+func (e *Empirical) countLE(x float64) int {
+	return sort.Search(len(e.values), func(i int) bool { return e.values[i] > x })
+}
+
+// CDF implements Distribution: the exact ECDF, #\{x_i <= x\}/n.
+func (e *Empirical) CDF(x float64) float64 {
+	return float64(e.countLE(x)) / float64(len(e.values))
+}
+
+// Survival implements Distribution: #\{x_i > x\}/n.
+func (e *Empirical) Survival(x float64) float64 {
+	return float64(len(e.values)-e.countLE(x)) / float64(len(e.values))
+}
+
+// CondSurvival implements Distribution with integer counts, which keeps
+// the ratio exact and monotone: #\{x_i > tau+t\} / #\{x_i > tau\}. Past
+// the support (no sample exceeds tau) it returns 0.
+func (e *Empirical) CondSurvival(t, tau float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	if tau < 0 {
+		tau = 0
+	}
+	alive := len(e.values) - e.countLE(tau)
+	if alive == 0 {
+		return 0
+	}
+	return float64(len(e.values)-e.countLE(tau+t)) / float64(alive)
+}
+
+// CumHazard implements Distribution: H = -ln S, +Inf past the support.
+func (e *Empirical) CumHazard(x float64) float64 {
+	return cumHazardFromSurvival(e, x)
+}
+
+// Quantile implements Distribution: the smallest sample x with
+// CDF(x) >= p (the left-continuous generalized inverse).
+func (e *Empirical) Quantile(p float64) float64 {
+	n := len(e.values)
+	switch {
+	case p <= 0:
+		return e.values[0]
+	case p >= 1:
+		return e.values[n-1]
+	}
+	idx := int(math.Ceil(p*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return e.values[idx]
+}
+
+// Density implements Distribution with a smoothed-ECDF finite difference.
+// A discrete law has no true density; this estimate exists only so the
+// generic Distribution surface is total (the policies that genuinely need
+// a density — Liu, Bouguerra — reject empirical laws up front).
+func (e *Empirical) Density(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	h := e.densityH
+	lo := x - h
+	if lo < 0 {
+		lo = 0
+	}
+	return (e.CDF(x+h) - e.CDF(lo)) / (x + h - lo)
+}
+
+// Sample implements Distribution: a uniform draw over the observed
+// durations (sampling the ECDF exactly).
+func (e *Empirical) Sample(r *rng.Source) float64 {
+	return e.values[r.IntN(len(e.values))]
+}

@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Exponential is the memoryless law with rate Lambda (mean 1/Lambda): the
+// only distribution for which the paper proves the periodic strategy
+// optimal (Theorem 1).
+type Exponential struct {
+	Lambda float64
+}
+
+// NewExponentialRate returns the Exponential law with the given rate.
+func NewExponentialRate(rate float64) Exponential {
+	checkPositive("Exponential", "rate", rate)
+	return Exponential{Lambda: rate}
+}
+
+// NewExponentialMean returns the Exponential law with the given mean
+// (MTBF), the paper's usual parameterization.
+func NewExponentialMean(mean float64) Exponential {
+	checkPositive("Exponential", "mean", mean)
+	return Exponential{Lambda: 1 / mean}
+}
+
+// Name implements Distribution.
+func (Exponential) Name() string { return "Exponential" }
+
+// String implements Distribution.
+func (e Exponential) String() string {
+	return fmt.Sprintf("Exponential(mean=%g)", 1/e.Lambda)
+}
+
+// Mean implements Distribution.
+func (e Exponential) Mean() float64 { return 1 / e.Lambda }
+
+// Density implements Distribution.
+func (e Exponential) Density(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return e.Lambda * math.Exp(-e.Lambda*x)
+}
+
+// CDF implements Distribution.
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-e.Lambda * x)
+}
+
+// Survival implements Distribution.
+func (e Exponential) Survival(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Exp(-e.Lambda * x)
+}
+
+// CondSurvival implements Distribution: memorylessness makes the age
+// irrelevant.
+func (e Exponential) CondSurvival(t, _ float64) float64 {
+	return e.Survival(t)
+}
+
+// CumHazard implements Distribution: H(x) = lambda * x.
+func (e Exponential) CumHazard(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return e.Lambda * x
+}
+
+// Quantile implements Distribution: F^{-1}(p) = -ln(1-p)/lambda.
+func (e Exponential) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return -math.Log1p(-p) / e.Lambda
+}
+
+// Sample implements Distribution by inverse transform.
+func (e Exponential) Sample(r *rng.Source) float64 {
+	return r.ExpFloat64() / e.Lambda
+}

@@ -1,0 +1,116 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/specialfn"
+)
+
+// This file implements the §4.3 log-analysis step: maximum-likelihood
+// Exponential and Weibull fits of availability durations, scored against
+// each other with LogLikelihood. The Weibull MLE solves the classical
+// profile equation for the shape,
+//
+//	sum x_i^k ln x_i / sum x_i^k - 1/k - mean(ln x_i) = 0,
+//
+// which is monotone increasing in k, so a bracketed Brent search is exact;
+// the scale then follows in closed form: lambda = (mean(x_i^k))^(1/k).
+
+// ErrFitDegenerate reports a sample no law can be fitted to (empty,
+// non-positive durations, or zero spread).
+var ErrFitDegenerate = errors.New("dist: fit: degenerate sample")
+
+// FitExponential returns the maximum-likelihood Exponential fit: the law
+// with the sample mean as MTBF.
+func FitExponential(samples []float64) (Exponential, error) {
+	if len(samples) == 0 {
+		return Exponential{}, fmt.Errorf("%w: no samples", ErrFitDegenerate)
+	}
+	var sum float64
+	for _, x := range samples {
+		if !(x >= 0) || math.IsInf(x, 1) {
+			return Exponential{}, fmt.Errorf("%w: invalid duration %v", ErrFitDegenerate, x)
+		}
+		sum += x
+	}
+	mean := sum / float64(len(samples))
+	if !(mean > 0) {
+		return Exponential{}, fmt.Errorf("%w: zero mean", ErrFitDegenerate)
+	}
+	return NewExponentialMean(mean), nil
+}
+
+// FitWeibull returns the maximum-likelihood Weibull fit of the samples.
+// Durations must be strictly positive (the log-readers guarantee that)
+// and not all identical.
+func FitWeibull(samples []float64) (Weibull, error) {
+	if len(samples) < 2 {
+		return Weibull{}, fmt.Errorf("%w: need at least 2 samples", ErrFitDegenerate)
+	}
+	// Work on logs, normalized to zero log-mean: the shape equation is
+	// scale-invariant, and centering keeps exp(k * l) in range even for
+	// k ~ 100 on year-scale durations.
+	logs := make([]float64, len(samples))
+	var logSum float64
+	for i, x := range samples {
+		if !(x > 0) || math.IsInf(x, 1) {
+			return Weibull{}, fmt.Errorf("%w: non-positive duration %v", ErrFitDegenerate, x)
+		}
+		logs[i] = math.Log(x)
+		logSum += logs[i]
+	}
+	logMean := logSum / float64(len(logs))
+	for i := range logs {
+		logs[i] -= logMean
+	}
+
+	f := func(k float64) float64 { return weibullShapeEq(logs, k) }
+
+	// f is increasing: f(0+) = -inf; f(inf) = max(logs) > 0 unless the
+	// sample has zero spread. Bracket by doubling.
+	const lo = 1e-3
+	hi := 1.0
+	for f(hi) < 0 {
+		hi *= 2
+		if hi > 1024 {
+			return Weibull{}, fmt.Errorf("%w: zero spread (no Weibull MLE)", ErrFitDegenerate)
+		}
+	}
+	k, err := specialfn.Brent(f, lo, hi, 1e-12)
+	if err != nil {
+		return Weibull{}, fmt.Errorf("dist: fit: shape search failed: %w", err)
+	}
+	// lambda = (mean(x^k))^(1/k), assembled in log space and de-normalized.
+	lmax := maxFloat(logs)
+	var den float64
+	for _, l := range logs {
+		den += math.Exp(k * (l - lmax))
+	}
+	logScale := logMean + lmax + math.Log(den/float64(len(logs)))/k
+	return NewWeibull(k, math.Exp(logScale)), nil
+}
+
+// weibullShapeEq evaluates the profile-likelihood shape equation on
+// centered logs, shifting by the max exponent for overflow safety.
+func weibullShapeEq(logs []float64, k float64) float64 {
+	lmax := maxFloat(logs)
+	var num, den float64
+	for _, l := range logs {
+		w := math.Exp(k * (l - lmax))
+		num += w * l
+		den += w
+	}
+	return num/den - 1/k
+}
+
+func maxFloat(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,101 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// LogNormal is the log-normal law: ln X ~ N(Mu, Sigma^2). Its hazard rises
+// then falls, a qualitatively different aging profile from Weibull that
+// the §4.2 sensitivity experiments use as a cross-check.
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewLogNormal returns the LogNormal law with the given log-space
+// parameters.
+func NewLogNormal(mu, sigma float64) LogNormal {
+	checkPositive("LogNormal", "sigma", sigma)
+	if math.IsNaN(mu) || math.IsInf(mu, 0) {
+		panic("dist: LogNormal: mu must be finite")
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}
+}
+
+// LogNormalFromMeanSigma returns the LogNormal with the given mean and
+// log-space sigma: mu = ln(mean) - sigma^2/2.
+func LogNormalFromMeanSigma(mean, sigma float64) LogNormal {
+	checkPositive("LogNormal", "mean", mean)
+	checkPositive("LogNormal", "sigma", sigma)
+	return LogNormal{Mu: math.Log(mean) - sigma*sigma/2, Sigma: sigma}
+}
+
+// Name implements Distribution.
+func (LogNormal) Name() string { return "LogNormal" }
+
+// String implements Distribution.
+func (l LogNormal) String() string {
+	return fmt.Sprintf("LogNormal(mu=%g, sigma=%g)", l.Mu, l.Sigma)
+}
+
+// Mean implements Distribution: exp(mu + sigma^2/2).
+func (l LogNormal) Mean() float64 {
+	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
+}
+
+// Density implements Distribution.
+func (l LogNormal) Density(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return math.Exp(-z*z/2) / (x * l.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF implements Distribution: Phi((ln x - mu)/sigma) via erfc for tail
+// accuracy.
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// Survival implements Distribution.
+func (l LogNormal) Survival(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// CondSurvival implements Distribution.
+func (l LogNormal) CondSurvival(t, tau float64) float64 {
+	return condSurvivalRatio(l, t, tau)
+}
+
+// CumHazard implements Distribution: H = -ln S.
+func (l LogNormal) CumHazard(x float64) float64 {
+	return cumHazardFromSurvival(l, x)
+}
+
+// Quantile implements Distribution: exp(mu + sigma * Phi^{-1}(p)).
+func (l LogNormal) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return math.Exp(l.Mu + l.Sigma*math.Sqrt2*math.Erfinv(2*p-1))
+}
+
+// Sample implements Distribution: exp(mu + sigma * Z).
+func (l LogNormal) Sample(r *rng.Source) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
