@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	checkpoint "repro"
+	"repro/internal/engine"
 	"repro/internal/exper"
 )
 
@@ -54,6 +55,97 @@ func BenchmarkFigAppBMatrix(b *testing.B)             { benchExperiment(b, "figB
 // Extensions: the §8 replication question and the DPNextFailure ablation.
 func BenchmarkExtReplication(b *testing.B)  { benchExperiment(b, "replication") }
 func BenchmarkExtDPNFAblation(b *testing.B) { benchExperiment(b, "ablation-dpnf") }
+
+// --- Engine benchmarks: worker scaling and the DP-table cache. ---
+// These are the repo's BENCH baseline for the parallel experiment engine;
+// the *CacheHits* metrics must stay > 0 (they prove the shared cache is
+// serving artifacts instead of rebuilding them).
+
+// benchEngineParams runs an experiment with an explicit engine.
+func benchEngineParams(eng *engine.Engine) exper.Params {
+	p := benchParams()
+	p.Engine = eng
+	return p
+}
+
+// benchTable4Engine measures the headline Table 4 experiment on an engine
+// with the given worker count, sharing one cache across all b.N
+// iterations, and reports the cache hit rate per iteration.
+func benchTable4Engine(b *testing.B, workers int) {
+	e, ok := exper.Find("table4")
+	if !ok {
+		b.Fatal("table4 not registered")
+	}
+	cache := engine.NewCache(0)
+	p := benchEngineParams(engine.New(engine.Config{Workers: workers, Cache: cache}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := cache.Stats()
+	b.ReportMetric(float64(st.Hits)/float64(b.N), "cachehits/op")
+	if b.N > 1 && st.Hits == 0 {
+		b.Fatal("repeated iterations produced zero cache hits")
+	}
+}
+
+func BenchmarkEngineTable4Workers1(b *testing.B) { benchTable4Engine(b, 1) }
+func BenchmarkEngineTable4Workers4(b *testing.B) { benchTable4Engine(b, 4) }
+
+// BenchmarkEngineDPTableCache measures a cached DPMakespan table fetch
+// against the cold build measured by BenchmarkDPMakespanTableBuild.
+func BenchmarkEngineDPTableCache(b *testing.B) {
+	law := checkpoint.WeibullFromMeanShape(checkpoint.Day, 0.7)
+	cache := checkpoint.NewCache(0)
+	eng := checkpoint.NewEngine(checkpoint.EngineConfig{Workers: 1, Cache: cache})
+	if _, err := eng.DPMakespanTable(law, 20*checkpoint.Day, 600, 600, 60, 0, 80); err != nil {
+		b.Fatal(err) // warm the entry: every iteration below is a hit
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.DPMakespanTable(law, 20*checkpoint.Day, 600, 600, 60, 0, 80); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := cache.Stats()
+	b.ReportMetric(float64(st.Hits), "cachehits")
+	if st.Hits == 0 {
+		b.Fatal("cache recorded no hits")
+	}
+}
+
+// BenchmarkEngineTraceCache measures a cached Petascale trace-set fetch
+// against the cold generation measured by BenchmarkTraceGeneration.
+func BenchmarkEngineTraceCache(b *testing.B) {
+	law := checkpoint.WeibullFromMeanShape(125*checkpoint.Year, 0.7)
+	cache := checkpoint.NewCache(0)
+	eng := checkpoint.NewEngine(checkpoint.EngineConfig{Cache: cache})
+	eng.GenerateTraces(law, 45208, 12*checkpoint.Year, 60, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.GenerateTraces(law, 45208, 12*checkpoint.Year, 60, 3)
+	}
+	b.StopTimer()
+	if st := cache.Stats(); st.Hits == 0 {
+		b.Fatal("cache recorded no hits")
+	}
+}
+
+// BenchmarkEngineRunOverhead measures the pool's per-cell dispatch cost on
+// trivial cells (the floor under every fan-out).
+func BenchmarkEngineRunOverhead(b *testing.B) {
+	eng := checkpoint.NewEngine(checkpoint.EngineConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checkpoint.EngineRun(eng, 256, func(j int) (int, error) { return j, nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // --- Micro-benchmarks of the core machinery. ---
 

@@ -34,6 +34,7 @@ package checkpoint
 
 import (
 	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/platform"
 	"repro/internal/policy"
@@ -182,6 +183,10 @@ type (
 	Periodic = policy.Periodic
 	// DPNextFailure is the paper's Algorithm 2 policy.
 	DPNextFailure = policy.DPNextFailure
+	// DPNextFailurePlanner is the immutable shared planner behind
+	// DPNextFailure: per-run policies from NewPolicy share its memoized
+	// initial planning pass.
+	DPNextFailurePlanner = policy.DPNextFailurePlanner
 	// DPMakespan walks a shared DPMakespanTable (Algorithm 1).
 	DPMakespan = policy.DPMakespan
 	// DPMakespanTable is the immutable memoized Algorithm 1 solution.
@@ -229,6 +234,13 @@ func NewLiu(work float64, units int, d Distribution, c float64) (*Liu, error) {
 // per-unit failure law and its MTBF.
 func NewDPNextFailure(d Distribution, unitMean float64, opts ...DPNextFailureOption) *DPNextFailure {
 	return policy.NewDPNextFailure(d, unitMean, opts...)
+}
+
+// NewDPNextFailurePlanner returns the immutable shared Algorithm 2
+// planner; hand out per-run policies with its NewPolicy method to share
+// the memoized initial planning pass across runs.
+func NewDPNextFailurePlanner(d Distribution, unitMean float64, opts ...DPNextFailureOption) *DPNextFailurePlanner {
+	return policy.NewDPNextFailurePlanner(d, unitMean, opts...)
 }
 
 // WithQuanta sets the DPNextFailure planning resolution.
@@ -338,4 +350,57 @@ func StandardCandidates(sc Scenario, cfg CandidateConfig) ([]Candidate, error) {
 // degradation-from-best methodology.
 func Evaluate(sc Scenario, cands []Candidate) (*Evaluation, error) {
 	return harness.Evaluate(sc, cands)
+}
+
+// Experiment engine: the bounded worker pool and shared artifact cache
+// that execute every table/figure of the reproduction.
+type (
+	// Engine is a bounded worker pool with deterministic result ordering
+	// and an optional shared artifact cache.
+	Engine = engine.Engine
+	// EngineConfig tunes an Engine (worker count, cache).
+	EngineConfig = engine.Config
+	// Cache memoizes DP tables, planners and failure traces; hits never
+	// change results, they only skip recomputation.
+	Cache = engine.Cache
+	// CacheStats is a point-in-time cache summary.
+	CacheStats = engine.CacheStats
+)
+
+// NewEngine builds an experiment engine.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// DefaultEngine returns the shared process-wide engine (all CPUs, default
+// cache).
+func DefaultEngine() *Engine { return engine.Default() }
+
+// NewCache returns an artifact cache with the given byte budget
+// (non-positive means the default, engine.DefaultCacheBudget).
+func NewCache(budgetBytes int64) *Cache { return engine.NewCache(budgetBytes) }
+
+// EngineRun executes cells 0..n-1 on the engine's worker pool; results are
+// ordered by cell index, so the output is identical for every worker
+// count. The returned error is the lowest-indexed cell error.
+func EngineRun[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	return engine.Run(e, n, fn)
+}
+
+// EngineStream executes cells concurrently and delivers results to emit in
+// strictly increasing index order as the contiguous prefix completes.
+func EngineStream[T any](e *Engine, n int, fn func(i int) (T, error), emit func(i int, v T) error) error {
+	return engine.Stream(e, n, fn, emit)
+}
+
+// EvaluateWith runs the evaluation on the given engine: traces execute
+// concurrently on its worker pool and shared artifacts come from its
+// cache. The worker count never changes the result.
+func EvaluateWith(eng *Engine, sc Scenario, cands []Candidate) (*Evaluation, error) {
+	return harness.EvaluateWith(eng, sc, cands)
+}
+
+// StandardCandidatesWith builds the paper's policy set through the
+// engine's cache, sharing DPMakespan tables and DPNextFailure planners
+// across scenarios with the same (law, job geometry, quanta) key.
+func StandardCandidatesWith(eng *Engine, sc Scenario, cfg CandidateConfig) ([]Candidate, error) {
+	return harness.StandardCandidatesWith(eng, sc, cfg)
 }

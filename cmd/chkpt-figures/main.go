@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/exper"
 )
 
@@ -32,13 +33,15 @@ func figureIDs() []string {
 
 func main() {
 	var (
-		ids    = flag.String("exp", "all", "comma-separated figure ids or 'all'")
-		list   = flag.Bool("list", false, "list available figures and exit")
-		full   = flag.Bool("full", false, "paper-scale parameters; slow")
-		traces = flag.Int("traces", 0, "override trace count")
-		seed   = flag.Uint64("seed", 0, "override random seed")
-		quanta = flag.Int("quanta", 0, "override DP resolution")
-		csv    = flag.Bool("csv", false, "also emit CSV")
+		ids     = flag.String("exp", "all", "comma-separated figure ids or 'all'")
+		list    = flag.Bool("list", false, "list available figures and exit")
+		full    = flag.Bool("full", false, "paper-scale parameters; slow")
+		traces  = flag.Int("traces", 0, "override trace count")
+		seed    = flag.Uint64("seed", 0, "override random seed")
+		quanta  = flag.Int("quanta", 0, "override DP resolution")
+		csv     = flag.Bool("csv", false, "also emit CSV")
+		workers = flag.Int("workers", 0, "concurrent experiment cells (0 = all CPUs); never changes results")
+		cache   = flag.Bool("cache", true, "share DP tables, planners and traces across figures")
 	)
 	flag.Parse()
 
@@ -51,7 +54,12 @@ func main() {
 		return
 	}
 
-	p := exper.Params{Full: *full, Traces: *traces, Seed: *seed, CSV: *csv, Quanta: *quanta}
+	cfg := engine.Config{Workers: *workers}
+	if *cache {
+		cfg.Cache = engine.NewCache(0)
+	}
+	p := exper.Params{Full: *full, Traces: *traces, Seed: *seed, CSV: *csv, Quanta: *quanta,
+		Engine: engine.New(cfg)}
 	selected := figureIDs()
 	if *ids != "all" {
 		selected = strings.Split(*ids, ",")

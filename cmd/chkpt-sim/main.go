@@ -31,16 +31,23 @@ func main() {
 		seed         = flag.Uint64("seed", 42, "random seed")
 		quanta       = flag.Int("quanta", 120, "dynamic-programming resolution")
 		proportional = flag.Bool("proportional", false, "use proportional checkpoint overheads C(p)=C*ptotal/p")
+		workers      = flag.Int("workers", 0, "concurrent traces (0 = all CPUs); never changes results")
+		cache        = flag.Bool("cache", true, "cache generated traces and DP tables")
 	)
 	flag.Parse()
 
-	if err := run(*platformName, *procs, *mtbf, *lawName, *shape, *policyName, *period, *traces, *seed, *quanta, *proportional); err != nil {
+	cfg := checkpoint.EngineConfig{Workers: *workers}
+	if *cache {
+		cfg.Cache = checkpoint.NewCache(0)
+	}
+	eng := checkpoint.NewEngine(cfg)
+	if err := run(eng, *platformName, *procs, *mtbf, *lawName, *shape, *policyName, *period, *traces, *seed, *quanta, *proportional); err != nil {
 		fmt.Fprintln(os.Stderr, "chkpt-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(platformName string, procs int, mtbf float64, lawName string, shape float64,
+func run(eng *checkpoint.Engine, platformName string, procs int, mtbf float64, lawName string, shape float64,
 	policyName string, period float64, traces int, seed uint64, quanta int, proportional bool) error {
 
 	var spec checkpoint.PlatformSpec
@@ -95,7 +102,7 @@ func run(platformName string, procs int, mtbf float64, lawName string, shape flo
 	platformMTBF := (law.Mean() + spec.D) / float64(units)
 	horizon := 11*checkpoint.Year + 20*job.Work
 
-	newPolicy, err := buildPolicy(policyName, period, quanta, law, job, platformMTBF, units)
+	newPolicy, err := buildPolicy(eng, policyName, period, quanta, law, job, platformMTBF, units)
 	if err != nil {
 		return err
 	}
@@ -105,23 +112,28 @@ func run(platformName string, procs int, mtbf float64, lawName string, shape flo
 	fmt.Printf("failure law %s, platform MTBF %.0f s\n", law.Name(), platformMTBF)
 	fmt.Printf("policy %s, %d traces, seed %d\n\n", policyName, traces, seed)
 
+	// One trace per engine cell; sums are accumulated in trace order after
+	// the parallel phase, so the output is identical for every -workers.
+	// Each trace's seed is unique to this invocation, so the sets bypass
+	// the cache (they could never be requested twice).
+	tracesEng := eng.WithoutCache()
+	results, err := checkpoint.EngineRun(eng, traces, func(i int) (checkpoint.Result, error) {
+		ts := tracesEng.GenerateTraces(law, units, horizon, spec.D, seed+uint64(i)*0x9e3779b97f4a7c15)
+		if strings.EqualFold(policyName, "lowerbound") {
+			return checkpoint.SimulateLowerBound(job, ts)
+		}
+		pol, err := newPolicy()
+		if err != nil {
+			return checkpoint.Result{}, err
+		}
+		return checkpoint.Simulate(job, pol, ts)
+	})
+	if err != nil {
+		return err
+	}
 	var mkSum, lostSum, cpSum, waitSum, recSum, failSum float64
 	var chunkSum int
-	for i := 0; i < traces; i++ {
-		ts := checkpoint.GenerateTraces(law, units, horizon, spec.D, seed+uint64(i)*0x9e3779b97f4a7c15)
-		var res checkpoint.Result
-		if strings.EqualFold(policyName, "lowerbound") {
-			res, err = checkpoint.SimulateLowerBound(job, ts)
-		} else {
-			var pol checkpoint.Policy
-			pol, err = newPolicy()
-			if err == nil {
-				res, err = checkpoint.Simulate(job, pol, ts)
-			}
-		}
-		if err != nil {
-			return err
-		}
+	for _, res := range results {
 		mkSum += res.Makespan
 		lostSum += res.LostTime
 		cpSum += res.CheckpointTime
@@ -142,7 +154,7 @@ func run(platformName string, procs int, mtbf float64, lawName string, shape flo
 	return nil
 }
 
-func buildPolicy(name string, period float64, quanta int, law checkpoint.Distribution,
+func buildPolicy(eng *checkpoint.Engine, name string, period float64, quanta int, law checkpoint.Distribution,
 	job *checkpoint.Job, platformMTBF float64, units int) (func() (checkpoint.Policy, error), error) {
 
 	switch strings.ToLower(name) {
@@ -177,9 +189,10 @@ func buildPolicy(name string, period float64, quanta int, law checkpoint.Distrib
 		}
 		return func() (checkpoint.Policy, error) { return checkpoint.NewLiu(job.Work, units, law, job.C) }, nil
 	case "dpnextfailure", "dpnf":
-		return func() (checkpoint.Policy, error) {
-			return checkpoint.NewDPNextFailure(law, law.Mean(), checkpoint.WithQuanta(quanta)), nil
-		}, nil
+		// One shared immutable planner: per-run policies reuse its
+		// memoized initial planning pass.
+		planner := checkpoint.NewDPNextFailurePlanner(law, law.Mean(), checkpoint.WithQuanta(quanta))
+		return func() (checkpoint.Policy, error) { return planner.NewPolicy(), nil }, nil
 	case "dpmakespan", "dpm":
 		macro := law
 		if units > 1 {
@@ -189,7 +202,7 @@ func buildPolicy(name string, period float64, quanta int, law checkpoint.Distrib
 				return nil, err
 			}
 		}
-		table, err := checkpoint.BuildDPMakespanTable(macro, job.Work, job.C, job.R, job.D, 0, quanta)
+		table, err := eng.DPMakespanTable(macro, job.Work, job.C, job.R, job.D, 0, quanta)
 		if err != nil {
 			return nil, err
 		}

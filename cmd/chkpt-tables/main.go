@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/exper"
 )
 
@@ -22,16 +23,19 @@ var tableIDs = []string{"table2", "table3", "table4", "spares"}
 
 func main() {
 	var (
-		ids    = flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(tableIDs, ", ")+") or 'all'")
-		full   = flag.Bool("full", false, "paper-scale parameters (600 traces, fine DP quanta); slow")
-		traces = flag.Int("traces", 0, "override trace count")
-		seed   = flag.Uint64("seed", 0, "override random seed")
-		quanta = flag.Int("quanta", 0, "override DP resolution")
-		csv    = flag.Bool("csv", false, "also emit CSV")
+		ids     = flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(tableIDs, ", ")+") or 'all'")
+		full    = flag.Bool("full", false, "paper-scale parameters (600 traces, fine DP quanta); slow")
+		traces  = flag.Int("traces", 0, "override trace count")
+		seed    = flag.Uint64("seed", 0, "override random seed")
+		quanta  = flag.Int("quanta", 0, "override DP resolution")
+		csv     = flag.Bool("csv", false, "also emit CSV")
+		workers = flag.Int("workers", 0, "concurrent experiment cells (0 = all CPUs); never changes results")
+		cache   = flag.Bool("cache", true, "share DP tables, planners and traces across experiments")
 	)
 	flag.Parse()
 
-	p := exper.Params{Full: *full, Traces: *traces, Seed: *seed, CSV: *csv, Quanta: *quanta}
+	eng := newEngine(*workers, *cache)
+	p := exper.Params{Full: *full, Traces: *traces, Seed: *seed, CSV: *csv, Quanta: *quanta, Engine: eng}
 	selected := tableIDs
 	if *ids != "all" {
 		selected = strings.Split(*ids, ",")
@@ -51,4 +55,15 @@ func main() {
 		}
 		fmt.Printf("(%s in %.1f s)\n\n", e.ID, time.Since(start).Seconds())
 	}
+}
+
+// newEngine builds the shared experiment engine: one cache spans all
+// selected experiments, so tables that share scenario cells (table4 and
+// spares) reuse each other's traces and planning tables.
+func newEngine(workers int, cached bool) *engine.Engine {
+	cfg := engine.Config{Workers: workers}
+	if cached {
+		cfg.Cache = engine.NewCache(0)
+	}
+	return engine.New(cfg)
 }

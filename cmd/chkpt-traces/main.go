@@ -49,6 +49,7 @@ func usage() {
   gen-log   -cluster 18|19 -n N -seed S [-o file]     write a synthetic availability log
   stats     -in file                                  print summary statistics of a log
   gen-trace -law exp|weibull -mtbf SEC [-shape K] -units U -horizon SEC -downtime SEC -seed S [-o file]
+            [-workers N]
   fit       -in file                                  maximum-likelihood Weibull/Exponential fits of a log`)
 }
 
@@ -174,6 +175,7 @@ func genTrace(args []string) error {
 	downtime := fs.Float64("downtime", 60, "downtime after each failure")
 	seed := fs.Uint64("seed", 1, "random seed")
 	out := fs.String("o", "", "output file (default stdout)")
+	workers := fs.Int("workers", 0, "concurrent generation blocks (0 = all CPUs); never changes the trace")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -186,7 +188,8 @@ func genTrace(args []string) error {
 	default:
 		return fmt.Errorf("unknown law %q", *law)
 	}
-	ts := checkpoint.GenerateTraces(d, *units, *horizon, *downtime, *seed)
+	eng := checkpoint.NewEngine(checkpoint.EngineConfig{Workers: *workers})
+	ts := eng.GenerateTraces(d, *units, *horizon, *downtime, *seed)
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

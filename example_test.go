@@ -39,6 +39,51 @@ func ExampleSimulate() {
 	// Output: failures: 7, checkpoints: 21, work done: 86400 s
 }
 
+// ExampleNewEngine evaluates the paper's policy set on a small scenario
+// through the parallel experiment engine, twice with different worker
+// counts against one shared cache: the worker count never changes the
+// result, and the second evaluation reuses the first one's traces and
+// planning tables instead of recomputing them.
+func ExampleNewEngine() {
+	law := checkpoint.NewExponentialMean(checkpoint.Day)
+	sc := checkpoint.Scenario{
+		Name:     "engine-demo",
+		Spec:     checkpoint.OneProcPlatform(checkpoint.Day),
+		P:        1,
+		Dist:     law,
+		Overhead: checkpoint.OverheadConstant,
+		Work:     checkpoint.Work{Model: checkpoint.WorkEmbarrassing},
+		Horizon:  2 * checkpoint.Year,
+		Traces:   4,
+		Seed:     1,
+	}
+	cfg := checkpoint.DefaultCandidateConfig()
+	cfg.DPNextFailureQuanta = 40 // keep the example fast
+
+	cache := checkpoint.NewCache(0)
+	sequential := checkpoint.NewEngine(checkpoint.EngineConfig{Workers: 1, Cache: cache})
+	parallel := checkpoint.NewEngine(checkpoint.EngineConfig{Workers: 4, Cache: cache})
+
+	cands, err := checkpoint.StandardCandidatesWith(sequential, sc, cfg)
+	if err != nil {
+		panic(err)
+	}
+	ev1, err := checkpoint.EvaluateWith(sequential, sc, cands)
+	if err != nil {
+		panic(err)
+	}
+	ev2, err := checkpoint.EvaluateWith(parallel, sc, cands)
+	if err != nil {
+		panic(err)
+	}
+	st := cache.Stats()
+	fmt.Printf("identical across worker counts: %v\n", ev1.Degradation["Young"] == ev2.Degradation["Young"])
+	fmt.Printf("cache reused shared artifacts: %v\n", st.Hits > 0)
+	// Output:
+	// identical across worker counts: true
+	// cache reused shared artifacts: true
+}
+
 // ExamplePlatformMTBFSingleRejuvenation reproduces the §3.1 observation
 // behind Figure 1: at scale, rejuvenating every processor after each
 // failure destroys the platform MTBF when failures have decreasing hazard.

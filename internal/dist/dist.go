@@ -1,19 +1,3 @@
-// Package dist implements the failure inter-arrival time laws of the
-// paper: Exponential, Weibull, Gamma and LogNormal lifetimes (§2.1, §4.2)
-// plus the discrete Empirical law built from availability logs (§4.3), and
-// the maximum-likelihood fitting used by the LANL trace pipeline.
-//
-// Every law exposes the quantities the checkpointing machinery consumes:
-// the density f, the CDF F, the survival S = 1 - F, the conditional
-// survival S(tau+t)/S(tau) (the probability that a unit of age tau lives
-// another t), the cumulative hazard H = -ln S (additive across independent
-// units, which is what makes the DPNextFailure grid a single scalar
-// function), quantiles, and deterministic sampling through the
-// repro/internal/rng streams so that every trace is reproducible.
-//
-// Continuous laws are small value types (Exponential, Weibull, Gamma,
-// LogNormal) so they can be type-switched and compared cheaply; the
-// Empirical law carries its sorted sample and is handled by pointer.
 package dist
 
 import (

@@ -1,0 +1,26 @@
+// Package dist implements the failure inter-arrival time laws of the
+// paper: Exponential, Weibull, Gamma and LogNormal lifetimes (§2.1, §4.2)
+// plus the discrete Empirical law built from availability logs (§4.3), and
+// the maximum-likelihood fitting used by the LANL trace pipeline.
+//
+// Paper mapping:
+//
+//   - §2.1 introduces iid unit lifetimes X ~ D; Distribution is that D.
+//   - §4.2 fixes the parameterizations used in the evaluation: Exponential
+//     with rate 1/MTBF, and Weibull with shape k and scale chosen so the
+//     mean equals the MTBF (WeibullFromMeanShape implements
+//     lambda = MTBF / Gamma(1 + 1/k)).
+//   - §4.3 builds an Empirical law from observed availability intervals of
+//     the LANL clusters; NewEmpirical/FitWeibull/FitExponential reproduce
+//     that log-analysis step (Gamma and LogNormal are provided for the
+//     same model-comparison role).
+//
+// Every law exposes the quantities the checkpointing machinery consumes:
+// the density f, the CDF F, the survival S = 1 - F, the conditional
+// survival S(tau+t)/S(tau) (the probability that a unit of age tau lives
+// another t — the workhorse of Algorithms 1 and 2), the cumulative hazard
+// H = -ln S (additive across independent units, which is what makes the
+// DPNextFailure grid a single scalar function), quantiles, and
+// deterministic sampling through the repro/internal/rng streams so that
+// every trace is reproducible.
+package dist

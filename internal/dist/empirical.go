@@ -18,6 +18,10 @@ type Empirical struct {
 	mean   float64
 	// densityH is the bandwidth of the smoothed-ECDF density estimate.
 	densityH float64
+	// fingerprint is an FNV-1a hash of the sorted sample, giving the law a
+	// stable content-based identity (String only summarizes the sample, and
+	// pointer identity is unusable as a cache key once the law is garbage).
+	fingerprint uint64
 }
 
 // NewEmpirical builds the empirical law from availability durations. It
@@ -46,8 +50,23 @@ func NewEmpirical(durations []float64) *Empirical {
 	if !(e.densityH > 0) {
 		e.densityH = math.Max(e.mean*1e-6, 1e-9)
 	}
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, v := range values {
+		b := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= prime64
+		}
+	}
+	e.fingerprint = h
 	return e
 }
+
+// Fingerprint returns a content hash of the sample: two Empirical laws
+// built from the same durations share it. The experiment engine keys its
+// caches on it.
+func (e *Empirical) Fingerprint() uint64 { return e.fingerprint }
 
 // Name implements Distribution.
 func (*Empirical) Name() string { return "Empirical" }

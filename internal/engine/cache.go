@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/policy"
+)
+
+// DefaultCacheBudget is the default cache capacity in (estimated) bytes.
+const DefaultCacheBudget = 256 << 20
+
+// Cache memoizes the expensive artifacts shared across experiment cells:
+// DPMakespan tables, DPNextFailure planners and failure-trace sets. Every
+// entry is built at most once (concurrent requests for the same key block
+// on the first builder), and entries are evicted least-recently-used once
+// the estimated byte footprint exceeds the budget. All cached artifacts are
+// deterministic pure functions of their key, so cache hits never change
+// experiment output — they only skip recomputation.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	entries map[string]*cacheEntry
+	lru     *list.List // front = most recently used
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key    string
+	ready  chan struct{} // closed once val/err are set
+	val    any
+	weight int64
+	err    error
+	elem   *list.Element
+	// accounted records that weight was added to Cache.used; set under
+	// Cache.mu by the builder, read under Cache.mu by the evictor. An
+	// entry can be ready but not yet accounted (the builder closes ready
+	// before re-acquiring the lock).
+	accounted bool
+}
+
+// NewCache returns a cache with the given byte budget (non-positive means
+// DefaultCacheBudget).
+func NewCache(budgetBytes int64) *Cache {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultCacheBudget
+	}
+	return &Cache{
+		budget:  budgetBytes,
+		entries: map[string]*cacheEntry{},
+		lru:     list.New(),
+	}
+}
+
+// CacheStats is a point-in-time cache summary.
+type CacheStats struct {
+	Hits    uint64 // lookups served from an existing entry
+	Misses  uint64 // lookups that had to build the artifact
+	Entries int    // live entries
+	Bytes   int64  // estimated live footprint
+	Budget  int64  // eviction threshold
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:    c.hits,
+		Misses:  c.misses,
+		Entries: len(c.entries),
+		Bytes:   c.used,
+		Budget:  c.budget,
+	}
+}
+
+// do returns the memoized value for key, invoking build at most once per
+// live entry. A lookup that finds an in-flight entry counts as a hit and
+// blocks until the builder finishes. Build errors are returned but not
+// cached, so a later retry rebuilds.
+func (c *Cache) do(key string, build func() (any, int64, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		<-e.ready
+		return e.val, e.err
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.val, e.weight, e.err = build()
+	close(e.ready)
+
+	c.mu.Lock()
+	if c.entries[e.key] == e {
+		// Still live. A concurrent evictLocked may have dropped the entry
+		// between close and this lock — in that case its weight was never
+		// accounted and must not be, or `used` would inflate forever.
+		if e.err != nil {
+			c.removeLocked(e)
+		} else {
+			c.used += e.weight
+			e.accounted = true
+			c.evictLocked()
+		}
+	}
+	c.mu.Unlock()
+	return e.val, e.err
+}
+
+// removeLocked unlinks an entry; the caller holds c.mu.
+func (c *Cache) removeLocked(e *cacheEntry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+}
+
+// evictLocked drops ready entries from the LRU tail until the footprint
+// fits the budget. In-flight entries stop the sweep: they are by
+// construction recent, so reaching one means everything older is gone.
+func (c *Cache) evictLocked() {
+	for c.used > c.budget && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		e := back.Value.(*cacheEntry)
+		select {
+		case <-e.ready:
+		default:
+			return
+		}
+		if e.accounted {
+			c.used -= e.weight
+		}
+		c.removeLocked(e)
+	}
+}
+
+// DPMakespanTable returns the memoized Algorithm 1 table for the given
+// macro-processor law and job geometry, building it on the first request.
+// Without a cache it builds directly.
+func (e *Engine) DPMakespanTable(d dist.Distribution, work, cost, rec, down, tau0 float64, quanta int) (*policy.DPMakespanTable, error) {
+	e = or(e)
+	if e.cache == nil {
+		return policy.BuildDPMakespanTable(d, work, cost, rec, down, tau0, quanta)
+	}
+	key := fmt.Sprintf("dpm|%s|%x|%x|%x|%x|%x|%d",
+		distKey(d), math.Float64bits(work), math.Float64bits(cost),
+		math.Float64bits(rec), math.Float64bits(down), math.Float64bits(tau0), quanta)
+	v, err := e.cache.do(key, func() (any, int64, error) {
+		t, err := policy.BuildDPMakespanTable(d, work, cost, rec, down, tau0, quanta)
+		if err != nil {
+			return nil, 0, err
+		}
+		return t, t.SizeBytes(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*policy.DPMakespanTable), nil
+}
+
+// DPNextFailurePlanner returns the memoized immutable Algorithm 2 planner
+// for the given per-unit law, MTBF and resolution. Sharing the planner
+// across evaluations shares its pristine-state plan memo, so the expensive
+// first planning pass of a scenario is computed once and reused by every
+// trace (and every repeat of the scenario).
+func (e *Engine) DPNextFailurePlanner(d dist.Distribution, unitMean float64, quanta int) *policy.DPNextFailurePlanner {
+	e = or(e)
+	build := func() *policy.DPNextFailurePlanner {
+		return policy.NewDPNextFailurePlanner(d, unitMean, policy.WithQuanta(quanta))
+	}
+	if e.cache == nil {
+		return build()
+	}
+	key := fmt.Sprintf("dpnf|%s|%x|%d", distKey(d), math.Float64bits(unitMean), quanta)
+	v, _ := e.cache.do(key, func() (any, int64, error) {
+		return build(), 1 << 10, nil
+	})
+	return v.(*policy.DPNextFailurePlanner)
+}

@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestCacheBuildsOncePerKey(t *testing.T) {
+	c := NewCache(0)
+	var builds atomic.Int64
+	for i := 0; i < 5; i++ {
+		v, err := c.do("k", func() (any, int64, error) {
+			builds.Add(1)
+			return 42, 8, nil
+		})
+		if err != nil || v.(int) != 42 {
+			t.Fatalf("lookup %d: %v, %v", i, v, err)
+		}
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("built %d times, want 1", builds.Load())
+	}
+	st := c.Stats()
+	if st.Hits != 4 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 4 hits / 1 miss / 1 entry", st)
+	}
+}
+
+func TestCacheConcurrentLookupsShareOneBuild(t *testing.T) {
+	c := NewCache(0)
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.do("shared", func() (any, int64, error) {
+				builds.Add(1)
+				return "v", 8, nil
+			})
+			if err != nil || v.(string) != "v" {
+				t.Errorf("got %v, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("built %d times, want 1", builds.Load())
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != 32 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 31 hits / 1 miss", st)
+	}
+}
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	c := NewCache(0)
+	boom := errors.New("boom")
+	calls := 0
+	build := func() (any, int64, error) {
+		calls++
+		if calls == 1 {
+			return nil, 0, boom
+		}
+		return 7, 8, nil
+	}
+	if _, err := c.do("k", build); err != boom {
+		t.Fatalf("first lookup err = %v, want %v", err, boom)
+	}
+	v, err := c.do("k", build)
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("retry got %v, %v; want rebuilt value", v, err)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 (error entry must not persist)", st.Entries)
+	}
+}
+
+func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewCache(100) // room for two 40-byte entries
+	mk := func(k string) {
+		if _, err := c.do(k, func() (any, int64, error) { return k, 40, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("a")
+	mk("b")
+	mk("a") // touch a: b becomes the eviction victim
+	mk("c") // 120 bytes > 100: evicts b
+	st := c.Stats()
+	if st.Entries != 2 || st.Bytes != 80 {
+		t.Fatalf("stats = %+v, want 2 entries / 80 bytes", st)
+	}
+	before := st.Misses
+	mk("a")
+	mk("c")
+	if st := c.Stats(); st.Misses != before {
+		t.Fatal("a or c was evicted; want b evicted as LRU")
+	}
+	mk("b")
+	if st := c.Stats(); st.Misses != before+1 {
+		t.Fatal("b should have been evicted and rebuilt")
+	}
+}
+
+func TestCacheAccountingSurvivesConcurrentChurn(t *testing.T) {
+	// Hammer a tiny cache from many goroutines so builds, hits and
+	// evictions interleave, then assert the byte accounting matches the
+	// live entries exactly: a build/evict race that double-counts or
+	// drops a weight would leave `used` permanently skewed.
+	const weight = 10
+	c := NewCache(5 * weight)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%40)
+				if _, err := c.do(key, func() (any, int64, error) {
+					return key, weight, nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if got, want := st.Bytes, int64(st.Entries)*weight; got != want {
+		t.Fatalf("accounting drifted: %d bytes for %d entries (want %d)", got, st.Entries, want)
+	}
+	if st.Bytes > st.Budget {
+		t.Fatalf("cache over budget after churn: %+v", st)
+	}
+}
+
+func TestDPMakespanTableCached(t *testing.T) {
+	law := dist.WeibullFromMeanShape(86400, 0.7)
+	e := New(Config{Workers: 2, Cache: NewCache(0)})
+	t1, err := e.DPMakespanTable(law, 20*86400, 600, 600, 60, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := e.DPMakespanTable(law, 20*86400, 600, 600, 60, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatal("same key built two tables")
+	}
+	if st := e.Cache().Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	// Different quanta is a different table.
+	t3, err := e.DPMakespanTable(law, 20*86400, 600, 600, 60, 0, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3 == t1 {
+		t.Fatal("distinct quanta shared a table")
+	}
+	// A build error is reported and not cached.
+	if _, err := e.DPMakespanTable(law, -1, 600, 600, 60, 0, 40); err == nil {
+		t.Fatal("want error for negative work")
+	}
+}
+
+func TestDPNextFailurePlannerCached(t *testing.T) {
+	law := dist.WeibullFromMeanShape(3.942e9, 0.7)
+	e := New(Config{Workers: 2, Cache: NewCache(0)})
+	p1 := e.DPNextFailurePlanner(law, law.Mean(), 120)
+	p2 := e.DPNextFailurePlanner(law, law.Mean(), 120)
+	if p1 != p2 {
+		t.Fatal("same key built two planners")
+	}
+	if p3 := e.DPNextFailurePlanner(law, law.Mean(), 150); p3 == p1 {
+		t.Fatal("distinct quanta shared a planner")
+	}
+	// Without a cache the engine still hands out working planners.
+	bare := New(Config{Workers: 1})
+	if p := bare.DPNextFailurePlanner(law, law.Mean(), 120); p == nil {
+		t.Fatal("nil planner from cacheless engine")
+	}
+}
+
+func TestDistKeyDistinguishesParameters(t *testing.T) {
+	a := distKey(dist.NewExponentialMean(100))
+	b := distKey(dist.NewExponentialMean(101))
+	if a == b {
+		t.Fatalf("distinct means share key %q", a)
+	}
+	e1 := dist.NewEmpirical([]float64{1, 2, 3})
+	e2 := dist.NewEmpirical([]float64{1, 2, 3})
+	if distKey(e1) != distKey(e2) {
+		t.Fatal("structurally identical empirical laws must share a key (content fingerprint)")
+	}
+	e3 := dist.NewEmpirical([]float64{1, 2, 4})
+	if distKey(e1) == distKey(e3) {
+		t.Fatal("different samples share a key")
+	}
+	e4 := dist.NewEmpirical([]float64{1, 2, 3, 3})
+	if distKey(e1) == distKey(e4) {
+		t.Fatal("different sample sizes share a key")
+	}
+	w := dist.WeibullFromMeanShape(1e6, 0.7)
+	if distKey(w) != fmt.Sprint(w) {
+		t.Fatal("parametric laws should key by their String")
+	}
+}

@@ -1,0 +1,30 @@
+// Package engine is the parallel experiment engine behind every table and
+// figure of the reproduction: a bounded worker pool with deterministic
+// result ordering, plus a shared artifact cache.
+//
+// It has no direct counterpart in the paper — it is the infrastructure
+// that makes the §4.1 methodology (hundreds of pre-generated traces per
+// scenario cell, swept over processor grids in §5) tractable at scale.
+// An experiment decomposes into (scenario × policy × trace) cells; Run
+// and Stream execute cells concurrently and hand results back ordered by
+// cell index, so the same seed produces byte-identical tables for every
+// worker count. Stream additionally delivers each result as soon as the
+// contiguous prefix of cells has completed — the single-processor table
+// experiments use it to render each finished scenario while the remaining
+// scenarios still run.
+//
+// The Cache memoizes the three expensive artifacts that scenario cells
+// share: DPMakespan tables (Algorithm 1, built once per (law, job
+// geometry, quanta) key), DPNextFailure planners (Algorithm 2, whose
+// pristine-state plan memo turns the per-trace initial solve into a
+// lookup), and renewal failure-trace sets (§4.1's paired traces, reused
+// by every policy of a scenario and by scenarios sharing a seed). Every
+// cached artifact is a deterministic pure function of its key, so hits
+// never change experiment output — they only skip recomputation. Entries
+// are built at most once (concurrent requesters block on the first
+// builder) and evicted least-recently-used against a byte budget.
+//
+// Nested Run/Stream calls are allowed — each call spawns its own worker
+// set, so a cell may itself fan out (the PeriodLB search inside a figure
+// cell, for example) without risking pool starvation.
+package engine

@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dist"
+	"repro/internal/trace"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// Workers bounds the number of cells executed concurrently by one
+	// Run/Stream call. Non-positive means runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache memoizes the expensive shared artifacts (DPMakespan tables,
+	// DPNextFailure planners, failure-trace sets). Nil disables caching.
+	Cache *Cache
+}
+
+// Engine is a bounded worker pool with deterministic result ordering and an
+// optional shared artifact cache. It is immutable after construction and
+// safe for concurrent use; nested Run/Stream calls are allowed (each call
+// spawns its own worker set, so nesting cannot deadlock).
+type Engine struct {
+	workers int
+	cache   *Cache
+}
+
+// New builds an engine from the configuration.
+func New(cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: w, cache: cfg.Cache}
+}
+
+var defaultEngine = sync.OnceValue(func() *Engine {
+	return New(Config{Cache: NewCache(0)})
+})
+
+// Default returns the shared process-wide engine: GOMAXPROCS workers and a
+// default-budget cache. Entry points that take an explicit *Engine fall
+// back to it when handed nil.
+func Default() *Engine { return defaultEngine() }
+
+// or returns e, or the default engine when e is nil.
+func or(e *Engine) *Engine {
+	if e == nil {
+		return Default()
+	}
+	return e
+}
+
+// Workers returns the concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Cache returns the engine's artifact cache (nil when caching is off).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// WithoutCache returns a view of the engine with the same worker pool but
+// no cache. Use it for artifacts that can never be requested twice (e.g.
+// trace sets with process-unique seeds): inserting those into the cache
+// only burns budget and evicts entries that are genuinely shared.
+func (e *Engine) WithoutCache() *Engine {
+	e = or(e)
+	if e.cache == nil {
+		return e
+	}
+	return &Engine{workers: e.workers}
+}
+
+// Run executes cells 0..n-1 on the engine's worker pool and returns their
+// results indexed by cell: the output is identical for every worker count.
+// Every cell runs even if another fails; the returned error is the
+// lowest-indexed cell error, matching what a sequential loop would report.
+func Run[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	e = or(e)
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					results[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Stream executes cells concurrently like Run but delivers each result to
+// emit in strictly increasing index order, as soon as the contiguous prefix
+// of cells has completed: cell 0 is emitted the moment it finishes, even
+// while cell n-1 is still running. Emission stops at the first cell error
+// (which is returned) or the first emit error.
+func Stream[T any](e *Engine, n int, fn func(i int) (T, error), emit func(i int, v T) error) error {
+	e = or(e)
+	if n <= 0 {
+		return nil
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	done := make([]bool, n)
+
+	var mu sync.Mutex
+	nextEmit := 0
+	var emitErr error
+
+	// flush emits the completed prefix; called with mu held.
+	flush := func() {
+		for nextEmit < n && done[nextEmit] && emitErr == nil && errs[nextEmit] == nil {
+			if err := emit(nextEmit, results[nextEmit]); err != nil {
+				emitErr = err
+				return
+			}
+			nextEmit++
+		}
+	}
+
+	cell := func(i int) {
+		v, err := fn(i)
+		mu.Lock()
+		results[i], errs[i], done[i] = v, err, true
+		flush()
+		mu.Unlock()
+	}
+
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			cell(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					cell(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// An emit error always precedes any cell error: flush never emits past
+	// a failed cell, so an emit failure happened at a lower index.
+	if emitErr != nil {
+		return emitErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenerateTraces returns the renewal failure-trace set for the given law,
+// unit count, horizon, downtime and seed — through the cache when the
+// engine has one, and generated block-parallel on the worker pool
+// otherwise. The per-unit rng substreams make the result bit-identical to
+// trace.GenerateRenewal for every worker count.
+func (e *Engine) GenerateTraces(d dist.Distribution, units int, horizon, downtime float64, seed uint64) *trace.Set {
+	e = or(e)
+	if e.cache == nil {
+		return e.generateTraces(d, units, horizon, downtime, seed)
+	}
+	key := fmt.Sprintf("trace|%s|%d|%x|%x|%d",
+		distKey(d), units, math.Float64bits(horizon), math.Float64bits(downtime), seed)
+	v, _ := e.cache.do(key, func() (any, int64, error) {
+		s := e.generateTraces(d, units, horizon, downtime, seed)
+		return s, traceSetWeight(s), nil
+	})
+	return v.(*trace.Set)
+}
+
+// generateTraces fills the per-unit traces in parallel blocks.
+func (e *Engine) generateTraces(d dist.Distribution, units int, horizon, downtime float64, seed uint64) *trace.Set {
+	const minParallelUnits = 512
+	if e.workers <= 1 || units < minParallelUnits {
+		return trace.GenerateRenewal(d, units, horizon, downtime, seed)
+	}
+	s := &trace.Set{Horizon: horizon, Units: make([]trace.Trace, units)}
+	blocks := e.workers * 4
+	size := (units + blocks - 1) / blocks
+	nb := (units + size - 1) / size
+	_, _ = Run(e, nb, func(b int) (struct{}, error) {
+		lo, hi := b*size, (b+1)*size
+		if hi > units {
+			hi = units
+		}
+		for u := lo; u < hi; u++ {
+			s.Units[u] = trace.GenerateUnit(d, horizon, downtime, seed, u)
+		}
+		return struct{}{}, nil
+	})
+	return s
+}
+
+// traceSetWeight estimates a set's cache footprint in bytes.
+func traceSetWeight(s *trace.Set) int64 {
+	w := int64(len(s.Units)) * 24
+	for i := range s.Units {
+		w += int64(len(s.Units[i].Times)) * 8
+	}
+	return w + 64
+}
+
+// distKey returns a cache-key fragment that uniquely identifies a failure
+// law. The parametric laws print their parameters with %g (shortest
+// round-trip representation), so their String is collision-free; Empirical
+// laws are identified by sample size plus content fingerprint, so
+// structurally identical laws share cache entries and a reallocated law
+// can never alias a dead one's.
+func distKey(d dist.Distribution) string {
+	if emp, ok := d.(*dist.Empirical); ok {
+		return fmt.Sprintf("Empirical(n=%d,fp=%016x)", emp.Len(), emp.Fingerprint())
+	}
+	return d.String()
+}

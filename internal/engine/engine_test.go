@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/trace"
+)
+
+func TestRunOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 32} {
+		e := New(Config{Workers: workers})
+		got, err := Run(e, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: cell %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	e := New(Config{Workers: 8})
+	wantErr := errors.New("cell 3")
+	var ran atomic.Int64
+	_, err := Run(e, 10, func(i int) (int, error) {
+		ran.Add(1)
+		switch i {
+		case 3:
+			return 0, wantErr
+		case 7:
+			return 0, errors.New("cell 7")
+		}
+		return i, nil
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if ran.Load() != 10 {
+		t.Fatalf("ran %d cells, want all 10", ran.Load())
+	}
+}
+
+func TestRunZeroCells(t *testing.T) {
+	got, err := Run(New(Config{}), 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestRunNilEngineUsesDefault(t *testing.T) {
+	got, err := Run(nil, 3, func(i int) (int, error) { return i + 1, nil })
+	if err != nil || len(got) != 3 || got[2] != 3 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestStreamEmitsInOrder(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		e := New(Config{Workers: workers})
+		var emitted []int
+		err := Stream(e, 50,
+			func(i int) (int, error) { return 2 * i, nil },
+			func(i int, v int) error {
+				if v != 2*i {
+					return fmt.Errorf("cell %d carried %d", i, v)
+				}
+				emitted = append(emitted, i)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(emitted) != 50 {
+			t.Fatalf("workers=%d: emitted %d cells", workers, len(emitted))
+		}
+		for i, v := range emitted {
+			if v != i {
+				t.Fatalf("workers=%d: emission %d was cell %d (out of order)", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestStreamStopsEmittingAtFirstCellError(t *testing.T) {
+	e := New(Config{Workers: 4})
+	boom := errors.New("boom")
+	var emitted []int
+	err := Stream(e, 20,
+		func(i int) (int, error) {
+			if i == 5 {
+				return 0, boom
+			}
+			return i, nil
+		},
+		func(i int, v int) error {
+			emitted = append(emitted, i)
+			return nil
+		})
+	if err != boom {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if len(emitted) != 5 {
+		t.Fatalf("emitted %v, want exactly cells 0..4", emitted)
+	}
+}
+
+func TestNestedRunDoesNotDeadlock(t *testing.T) {
+	e := New(Config{Workers: 2})
+	got, err := Run(e, 4, func(i int) (int, error) {
+		inner, err := Run(e, 4, func(j int) (int, error) { return i*10 + j, nil })
+		if err != nil {
+			return 0, err
+		}
+		sum := 0
+		for _, v := range inner {
+			sum += v
+		}
+		return sum, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		want := i*40 + 6
+		if v != want {
+			t.Fatalf("cell %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestGenerateTracesMatchesSequentialGeneration(t *testing.T) {
+	law := dist.WeibullFromMeanShape(3.0e6, 0.7)
+	const units, horizon, down, seed = 1500, 1e8, 60.0, 99
+	want := trace.GenerateRenewal(law, units, horizon, down, seed)
+	for _, workers := range []int{1, 3, 8} {
+		e := New(Config{Workers: workers})
+		got := e.GenerateTraces(law, units, horizon, down, seed)
+		if len(got.Units) != len(want.Units) {
+			t.Fatalf("workers=%d: %d units, want %d", workers, len(got.Units), len(want.Units))
+		}
+		for u := range got.Units {
+			g, w := got.Units[u].Times, want.Units[u].Times
+			if len(g) != len(w) {
+				t.Fatalf("workers=%d unit %d: %d failures, want %d", workers, u, len(g), len(w))
+			}
+			for k := range g {
+				if g[k] != w[k] {
+					t.Fatalf("workers=%d unit %d failure %d: %v != %v", workers, u, k, g[k], w[k])
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateTracesCachesSets(t *testing.T) {
+	law := dist.NewExponentialMean(1e5)
+	c := NewCache(0)
+	e := New(Config{Workers: 2, Cache: c})
+	a := e.GenerateTraces(law, 16, 1e7, 60, 5)
+	b := e.GenerateTraces(law, 16, 1e7, 60, 5)
+	if a != b {
+		t.Fatal("second generation did not hit the cache")
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	// A different seed is a different artifact.
+	if c2 := e.GenerateTraces(law, 16, 1e7, 60, 6); c2 == a {
+		t.Fatal("distinct seeds shared a cache entry")
+	}
+}
+
+func TestWithoutCacheBypassesTheCache(t *testing.T) {
+	law := dist.NewExponentialMean(1e5)
+	c := NewCache(0)
+	e := New(Config{Workers: 2, Cache: c})
+	bare := e.WithoutCache()
+	if bare.Workers() != e.Workers() {
+		t.Fatal("WithoutCache changed the worker count")
+	}
+	if bare.Cache() != nil {
+		t.Fatal("WithoutCache kept a cache")
+	}
+	before := c.Stats()
+	a := bare.GenerateTraces(law, 16, 1e7, 60, 5)
+	b := bare.GenerateTraces(law, 16, 1e7, 60, 5)
+	if a == b {
+		t.Fatal("uncached generations returned the same set")
+	}
+	if after := c.Stats(); after != before {
+		t.Fatalf("uncached generation touched the cache: %+v -> %+v", before, after)
+	}
+	// A cacheless engine's WithoutCache is itself.
+	if nc := New(Config{Workers: 1}); nc.WithoutCache() != nc {
+		t.Fatal("cacheless engine should return itself")
+	}
+}

@@ -48,7 +48,7 @@ func runPeriodSweepSingleProc(w io.Writer, p Params, weibull bool) error {
 		cfg := harness.DefaultCandidateConfig()
 		cfg.DPNextFailureQuanta = p.quantaOr(60, 150)
 		cfg.DPMakespanQuanta = p.quantaOr(600, 1200)
-		points, ev, err := harness.PeriodVariation(sc, cfg, factors)
+		points, ev, err := harness.PeriodVariationWith(p.engine(), sc, cfg, factors)
 		if err != nil {
 			return err
 		}
@@ -126,11 +126,11 @@ func runAppendixMatrix(w io.Writer, p Params) error {
 				cfg := harness.DefaultCandidateConfig()
 				cfg.DPNextFailureQuanta = p.quantaOr(80, 200)
 				cfg.IncludeLiu = false
-				cands, err := harness.StandardCandidates(sc, cfg)
+				cands, err := harness.StandardCandidatesWith(p.engine(), sc, cfg)
 				if err != nil {
 					return err
 				}
-				ev, err := harness.Evaluate(sc, cands)
+				ev, err := harness.EvaluateWith(p.engine(), sc, cands)
 				if err != nil {
 					return err
 				}

@@ -1,0 +1,85 @@
+package exper
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestTable4DeterministicAcrossWorkers asserts the engine's core contract
+// on the headline Table 4 experiment: the same seed produces byte-identical
+// output at -workers=1, -workers=4 and -workers=NumCPU, with and without
+// the shared cache. Sizes are reduced from the quick-mode defaults to keep
+// the test fast; the cells still cross the PeriodLB search, the evaluation
+// fan-out and the DPNextFailure planning paths.
+func TestTable4DeterministicAcrossWorkers(t *testing.T) {
+	e, ok := Find("table4")
+	if !ok {
+		t.Fatal("table4 not registered")
+	}
+	run := func(workers int, cache *engine.Cache) string {
+		p := Params{
+			Traces:         3,
+			Quanta:         30,
+			PeriodLBTraces: 3,
+			Seed:           11,
+			Engine:         engine.New(engine.Config{Workers: workers, Cache: cache}),
+		}
+		var buf bytes.Buffer
+		if err := e.Run(&buf, p); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return buf.String()
+	}
+
+	shared := engine.NewCache(0)
+	ref := run(1, nil) // sequential, uncached: the reference bytes
+	if ref == "" {
+		t.Fatal("empty reference output")
+	}
+	for _, workers := range []int{4, runtime.NumCPU()} {
+		if got := run(workers, shared); got != ref {
+			t.Errorf("workers=%d (cached) output differs from sequential uncached run:\n--- want ---\n%s\n--- got ---\n%s",
+				workers, ref, got)
+		}
+	}
+	// The second and third runs replay the same scenario: the shared cache
+	// must have served trace sets and planning artifacts from memory.
+	if st := shared.Stats(); st.Hits == 0 {
+		t.Errorf("shared cache recorded no hits across identical runs: %+v", st)
+	}
+}
+
+// TestSingleProcTableDeterministicAcrossWorkers covers the DPMakespan
+// table cache and the pristine-plan memo (exercised by Start=0 scenarios)
+// on a scaled-down Table 2.
+func TestSingleProcTableDeterministicAcrossWorkers(t *testing.T) {
+	e, ok := Find("table2")
+	if !ok {
+		t.Fatal("table2 not registered")
+	}
+	run := func(workers int, cache *engine.Cache) string {
+		p := Params{
+			Traces:         4,
+			Quanta:         40,
+			PeriodLBTraces: 3,
+			Seed:           7,
+			Engine:         engine.New(engine.Config{Workers: workers, Cache: cache}),
+		}
+		var buf bytes.Buffer
+		if err := e.Run(&buf, p); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return buf.String()
+	}
+	shared := engine.NewCache(0)
+	ref := run(1, shared)
+	if got := run(4, shared); got != ref {
+		t.Errorf("workers=4 output differs from workers=1")
+	}
+	if st := shared.Stats(); st.Hits == 0 {
+		t.Errorf("cache recorded no hits: %+v", st)
+	}
+}

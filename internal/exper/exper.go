@@ -1,9 +1,3 @@
-// Package exper registers one runnable experiment per table and figure of
-// the paper's evaluation (§5-§6 plus the appendices). Each experiment has
-// laptop-scale "quick" defaults and a paper-scale mode (-full): the quick
-// mode preserves the qualitative findings (orderings, crossovers) with
-// fewer traces, coarser processor grids and coarser DP quanta, while the
-// full mode restores the 600-trace, full-grid methodology of §4.
 package exper
 
 import (
@@ -11,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/harness"
 )
 
@@ -29,6 +24,19 @@ type Params struct {
 	Quanta int
 	// PeriodLBTraces overrides the PeriodLB search trace count.
 	PeriodLBTraces int
+	// Engine executes the experiment's cells: its worker pool bounds
+	// concurrency and its cache shares DP tables, planners and traces
+	// across cells. Nil means engine.Default(). The worker count never
+	// changes experiment output.
+	Engine *engine.Engine
+}
+
+// engine returns the configured engine, defaulting to the shared one.
+func (p Params) engine() *engine.Engine {
+	if p.Engine != nil {
+		return p.Engine
+	}
+	return engine.Default()
 }
 
 func (p Params) traces(quick, full int) int {

@@ -5,11 +5,11 @@ import (
 	"io"
 
 	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/platform"
 	"repro/internal/policy"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 func init() {
@@ -98,15 +98,22 @@ func optimalPPoint(spec platform.Spec, law dist.Distribution, wk platform.Work, 
 		return 0, err
 	}
 	horizon := 11*platform.Year + 40*job.Work
-	var sum float64
-	for i := 0; i < traces; i++ {
+	eng := p.engine()
+	makespans, err := engine.Run(eng, traces, func(i int) (float64, error) {
 		seed := p.seed() + uint64(i+1)*0x9e3779b97f4a7c15
-		ts := trace.GenerateRenewal(law, procs, horizon, spec.D, seed)
+		ts := eng.GenerateTraces(law, procs, horizon, spec.D, seed)
 		res, err := sim.Run(job, opt, ts)
 		if err != nil {
 			return 0, err
 		}
-		sum += res.Makespan
+		return res.Makespan, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, mk := range makespans {
+		sum += mk
 	}
 	return sum / float64(traces), nil
 }
@@ -194,20 +201,28 @@ func replicationPoint(spec platform.Spec, law dist.Distribution, procs, traces i
 	if err != nil {
 		return 0, 0, err
 	}
-	var sumWhole, sumRepl float64
-	for i := 0; i < traces; i++ {
+	type pair struct{ whole, repl float64 }
+	eng := p.engine()
+	cells, err := engine.Run(eng, traces, func(i int) (pair, error) {
 		seed := p.seed() + uint64(i+1)*0x9e3779b97f4a7c15
-		ts := trace.GenerateRenewal(law, procs, horizon, spec.D, seed)
+		ts := eng.GenerateTraces(law, procs, horizon, spec.D, seed)
 		resW, err := sim.Run(jobWhole, optWhole, ts)
 		if err != nil {
-			return 0, 0, err
+			return pair{}, err
 		}
 		resR, err := sim.RunReplicated(jobHalf, optHalf, ts, 2)
 		if err != nil {
-			return 0, 0, err
+			return pair{}, err
 		}
-		sumWhole += resW.Makespan
-		sumRepl += resR.Makespan
+		return pair{whole: resW.Makespan, repl: resR.Makespan}, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var sumWhole, sumRepl float64
+	for _, c := range cells {
+		sumWhole += c.whole
+		sumRepl += c.repl
 	}
 	return sumWhole / float64(traces), sumRepl / float64(traces), nil
 }
@@ -252,7 +267,7 @@ func runDPNFAblation(w io.Writer, p Params) error {
 			New:  func() (sim.Policy, error) { return mk(), nil },
 		})
 	}
-	ev, err := harness.Evaluate(sc, cands)
+	ev, err := harness.EvaluateWith(p.engine(), sc, cands)
 	if err != nil {
 		return err
 	}

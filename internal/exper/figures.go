@@ -282,7 +282,7 @@ func runWorkModelFigure(w io.Writer, p Params, f workModelFigure) error {
 				case "DPNextFailure":
 					cfg.DPNextFailureQuanta = p.quantaOr(100, 200)
 				}
-				cands, err := harness.StandardCandidates(sc, cfg)
+				cands, err := harness.StandardCandidatesWith(p.engine(), sc, cfg)
 				if err != nil {
 					return err
 				}
@@ -296,7 +296,7 @@ func runWorkModelFigure(w io.Writer, p Params, f workModelFigure) error {
 				if len(kept) == 0 {
 					return fmt.Errorf("exper: policy %s unavailable for %s", f.policyName, sc.Name)
 				}
-				ev, err := harness.Evaluate(sc, kept)
+				ev, err := harness.EvaluateWith(p.engine(), sc, kept)
 				if err != nil {
 					return err
 				}
@@ -337,17 +337,17 @@ func degradationSeriesX(scs []harness.Scenario, xs []float64, cfgFor func(harnes
 	for i, sc := range scs {
 		cfg := cfgFor(sc)
 		if withPeriodLB {
-			period, err := harness.SearchPeriodLB(sc, periodLBConfig(p))
+			period, err := harness.SearchPeriodLBWith(p.engine(), sc, periodLBConfig(p))
 			if err != nil {
 				return nil, err
 			}
 			cfg.PeriodLBPeriod = period
 		}
-		cands, err := harness.StandardCandidates(sc, cfg)
+		cands, err := harness.StandardCandidatesWith(p.engine(), sc, cfg)
 		if err != nil {
 			return nil, err
 		}
-		ev, err := harness.Evaluate(sc, cands)
+		ev, err := harness.EvaluateWith(p.engine(), sc, cands)
 		if err != nil {
 			return nil, err
 		}
@@ -364,7 +364,9 @@ func degradationSeriesX(scs []harness.Scenario, xs []float64, cfgFor func(harnes
 		for _, name := range ev.Order {
 			record(name, ev.Degradation[name].Mean)
 		}
-		for name := range ev.Skipped {
+		// Candidate order, not map order: series columns must be stable
+		// across runs and worker counts.
+		for _, name := range ev.SkippedOrder {
 			record(name, math.NaN())
 		}
 	}

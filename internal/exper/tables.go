@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/platform"
 )
@@ -62,36 +63,39 @@ func runSingleProcTable(w io.Writer, p Params, weibull bool) error {
 	traces := p.traces(24, 600)
 	dpnfQ := p.quantaOr(60, 150)
 	dpmQ := p.quantaOr(600, 1500)
-	for _, mtbf := range []float64{platform.Hour, platform.Day, platform.Week} {
-		sc := singleProcScenario(mtbf, weibull, traces, p.seed())
-		cfg := harness.DefaultCandidateConfig()
-		cfg.DPNextFailureQuanta = dpnfQ
-		cfg.DPMakespanQuanta = dpmQ
-		plbCfg := periodLBConfig(p)
-		period, err := harness.SearchPeriodLB(sc, plbCfg)
-		if err != nil {
-			return err
-		}
-		cfg.PeriodLBPeriod = period
-		cands, err := harness.StandardCandidates(sc, cfg)
-		if err != nil {
-			return err
-		}
-		ev, err := harness.Evaluate(sc, cands)
-		if err != nil {
-			return err
-		}
-		law := "Exponential"
-		if weibull {
-			law = "Weibull(k=0.7)"
-		}
-		title := fmt.Sprintf("Single processor, %s, MTBF = %s, W = 20 days, C=R=600s, D=60s (%d traces)",
-			law, humanDuration(mtbf), traces)
-		if err := emit(w, p, harness.DegradationTable(title, ev)); err != nil {
-			return err
-		}
-	}
-	return nil
+	mtbfs := []float64{platform.Hour, platform.Day, platform.Week}
+	// One engine cell per MTBF scenario, streamed: the hour table renders
+	// the moment it completes, while the day/week scenarios still run.
+	// Emission order is the cell order, so output bytes never depend on
+	// the worker count.
+	return engine.Stream(p.engine(), len(mtbfs),
+		func(i int) (*harness.Table, error) {
+			sc := singleProcScenario(mtbfs[i], weibull, traces, p.seed())
+			cfg := harness.DefaultCandidateConfig()
+			cfg.DPNextFailureQuanta = dpnfQ
+			cfg.DPMakespanQuanta = dpmQ
+			period, err := harness.SearchPeriodLBWith(p.engine(), sc, periodLBConfig(p))
+			if err != nil {
+				return nil, err
+			}
+			cfg.PeriodLBPeriod = period
+			cands, err := harness.StandardCandidatesWith(p.engine(), sc, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ev, err := harness.EvaluateWith(p.engine(), sc, cands)
+			if err != nil {
+				return nil, err
+			}
+			law := "Exponential"
+			if weibull {
+				law = "Weibull(k=0.7)"
+			}
+			title := fmt.Sprintf("Single processor, %s, MTBF = %s, W = 20 days, C=R=600s, D=60s (%d traces)",
+				law, humanDuration(mtbfs[i]), traces)
+			return harness.DegradationTable(title, ev), nil
+		},
+		func(i int, t *harness.Table) error { return emit(w, p, t) })
 }
 
 // table4Scenario is the §5.2.2 headline configuration.
@@ -115,16 +119,16 @@ func runTable4(w io.Writer, p Params) error {
 	sc := table4Scenario(p.traces(16, 600), p.seed())
 	cfg := harness.DefaultCandidateConfig()
 	cfg.DPNextFailureQuanta = p.quantaOr(120, 200)
-	period, err := harness.SearchPeriodLB(sc, periodLBConfig(p))
+	period, err := harness.SearchPeriodLBWith(p.engine(), sc, periodLBConfig(p))
 	if err != nil {
 		return err
 	}
 	cfg.PeriodLBPeriod = period
-	cands, err := harness.StandardCandidates(sc, cfg)
+	cands, err := harness.StandardCandidatesWith(p.engine(), sc, cfg)
 	if err != nil {
 		return err
 	}
-	ev, err := harness.Evaluate(sc, cands)
+	ev, err := harness.EvaluateWith(p.engine(), sc, cands)
 	if err != nil {
 		return err
 	}
@@ -138,11 +142,11 @@ func runSpares(w io.Writer, p Params) error {
 	cfg.DPNextFailureQuanta = p.quantaOr(120, 200)
 	cfg.IncludeLiu = false
 	cfg.IncludeBouguerra = false
-	cands, err := harness.StandardCandidates(sc, cfg)
+	cands, err := harness.StandardCandidatesWith(p.engine(), sc, cfg)
 	if err != nil {
 		return err
 	}
-	ev, err := harness.Evaluate(sc, cands)
+	ev, err := harness.EvaluateWith(p.engine(), sc, cands)
 	if err != nil {
 		return err
 	}

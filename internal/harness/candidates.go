@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/policy"
 	"repro/internal/sim"
 )
@@ -52,8 +53,17 @@ func DefaultCandidateConfig() CandidateConfig {
 	}
 }
 
-// StandardCandidates builds the paper's policy set for a scenario.
+// StandardCandidates builds the paper's policy set for a scenario with the
+// default engine.
 func StandardCandidates(sc Scenario, cfg CandidateConfig) ([]Candidate, error) {
+	return StandardCandidatesWith(engine.Default(), sc, cfg)
+}
+
+// StandardCandidatesWith builds the paper's policy set for a scenario. The
+// expensive shared planning structures — the DPMakespan table and the
+// DPNextFailure planner — come from the engine's cache, so scenarios (or
+// repeated runs) sharing a (law, job geometry, quanta) key build them once.
+func StandardCandidatesWith(eng *engine.Engine, sc Scenario, cfg CandidateConfig) ([]Candidate, error) {
 	d, err := sc.Derive()
 	if err != nil {
 		return nil, err
@@ -106,16 +116,16 @@ func StandardCandidates(sc Scenario, cfg CandidateConfig) ([]Candidate, error) {
 	}
 
 	if cfg.DPNextFailureQuanta > 0 {
-		q := cfg.DPNextFailureQuanta
-		unitMean := d.UnitMean
-		dd := sc.Dist
+		// One immutable planner shared by every run: its pristine-state
+		// plan memo turns the per-trace initial DP solve into a lookup.
+		planner := eng.DPNextFailurePlanner(sc.Dist, d.UnitMean, cfg.DPNextFailureQuanta)
 		out = append(out, Candidate{Name: "DPNextFailure", New: func() (sim.Policy, error) {
-			return policy.NewDPNextFailure(dd, unitMean, policy.WithQuanta(q)), nil
+			return planner.NewPolicy(), nil
 		}})
 	}
 
 	if cfg.DPMakespanQuanta > 0 {
-		cand, err := dpMakespanCandidate(sc, d, cfg.DPMakespanQuanta)
+		cand, err := dpMakespanCandidate(eng, sc, d, cfg.DPMakespanQuanta)
 		if err != nil {
 			out = append(out, Candidate{Name: "DPMakespan", SkipReason: err.Error()})
 		} else {
@@ -125,11 +135,12 @@ func StandardCandidates(sc Scenario, cfg CandidateConfig) ([]Candidate, error) {
 	return out, nil
 }
 
-// dpMakespanCandidate builds the shared DPMakespan table. For parallel
-// jobs it follows the paper's §4.1 note: DPMakespan makes the (false)
-// assumption that all processors are rejuvenated after each failure, i.e.
-// it plans on the aggregated macro-processor law.
-func dpMakespanCandidate(sc Scenario, d Derived, quanta int) (Candidate, error) {
+// dpMakespanCandidate builds the shared DPMakespan table through the
+// engine cache. For parallel jobs it follows the paper's §4.1 note:
+// DPMakespan makes the (false) assumption that all processors are
+// rejuvenated after each failure, i.e. it plans on the aggregated
+// macro-processor law.
+func dpMakespanCandidate(eng *engine.Engine, sc Scenario, d Derived, quanta int) (Candidate, error) {
 	macro := sc.Dist
 	if d.Units > 1 {
 		var err error
@@ -147,7 +158,7 @@ func dpMakespanCandidate(sc Scenario, d Derived, quanta int) (Candidate, error) 
 			quanta = 8000
 		}
 	}
-	table, err := policy.BuildDPMakespanTable(macro, d.WorkP, d.C, d.R, d.D, 0, quanta)
+	table, err := eng.DPMakespanTable(macro, d.WorkP, d.C, d.R, d.D, 0, quanta)
 	if err != nil {
 		return Candidate{}, err
 	}

@@ -3,11 +3,9 @@ package harness
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // Stats summarizes a sample.
@@ -58,23 +56,46 @@ type Evaluation struct {
 	Failures map[string]Stats
 	// Skipped maps policies that could not run to the reason.
 	Skipped map[string]string
+	// SkippedOrder lists the skipped policies in candidate order, so
+	// renderers iterating them stay deterministic (ranging over the
+	// Skipped map is not).
+	SkippedOrder []string
 	// HorizonExceededRuns counts runs that consumed the entire trace.
 	HorizonExceededRuns int
 }
 
 // Evaluate runs every candidate over the scenario's traces and aggregates
-// the degradation-from-best metric. All candidates (and the omniscient
-// LowerBound) see identical failure traces.
+// the degradation-from-best metric using the default engine. All candidates
+// (and the omniscient LowerBound) see identical failure traces.
 func Evaluate(sc Scenario, cands []Candidate) (*Evaluation, error) {
+	return EvaluateWith(engine.Default(), sc, cands)
+}
+
+// traceCell is the result of one (scenario × policy-set × trace) cell.
+type traceCell struct {
+	lower           float64
+	makespans       []float64 // by runnable candidate
+	failures        []float64
+	horizonExceeded int
+}
+
+// EvaluateWith runs the evaluation on the given engine: traces execute
+// concurrently on its worker pool (the worker count never changes the
+// result — cells are aggregated by trace index), and failure traces are
+// drawn through its cache so scenarios that share (law, geometry, seed)
+// cells reuse them.
+func EvaluateWith(eng *engine.Engine, sc Scenario, cands []Candidate) (*Evaluation, error) {
 	d, err := sc.Derive()
 	if err != nil {
 		return nil, err
 	}
 	var runnable []Candidate
 	skipped := map[string]string{}
+	var skippedOrder []string
 	for _, c := range cands {
 		if c.SkipReason != "" {
 			skipped[c.Name] = c.SkipReason
+			skippedOrder = append(skippedOrder, c.Name)
 			continue
 		}
 		runnable = append(runnable, c)
@@ -84,71 +105,58 @@ func Evaluate(sc Scenario, cands []Candidate) (*Evaluation, error) {
 	}
 
 	nc := len(runnable)
+	job := d.Job(sc.Start)
+	cells, err := engine.Run(eng, sc.Traces, func(i int) (traceCell, error) {
+		cell := traceCell{
+			makespans: make([]float64, nc),
+			failures:  make([]float64, nc),
+		}
+		ts := eng.GenerateTraces(sc.Dist, d.Units, sc.Horizon, sc.Spec.D, sc.TraceSeed(i))
+		lb, err := sim.LowerBound(job, ts)
+		if err != nil {
+			return cell, fmt.Errorf("trace %d: LowerBound: %w", i, err)
+		}
+		cell.lower = lb.Makespan
+		for j, c := range runnable {
+			pol, err := c.New()
+			if err != nil {
+				return cell, fmt.Errorf("trace %d: %s: %w", i, c.Name, err)
+			}
+			res, err := sim.Run(job, pol, ts)
+			if err != nil {
+				return cell, fmt.Errorf("trace %d: %s: %w", i, c.Name, err)
+			}
+			cell.makespans[j] = res.Makespan
+			cell.failures[j] = float64(res.Failures)
+			if res.HorizonExceeded {
+				cell.horizonExceeded++
+			}
+		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	makespans := make([][]float64, sc.Traces) // [trace][candidate]
 	failures := make([][]float64, sc.Traces)
 	lower := make([]float64, sc.Traces)
 	horizonExceeded := make([]int, sc.Traces)
-	errs := make([]error, sc.Traces)
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > sc.Traces {
-		workers = sc.Traces
-	}
-	var wg sync.WaitGroup
-	traceCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range traceCh {
-				makespans[i] = make([]float64, nc)
-				failures[i] = make([]float64, nc)
-				ts := trace.GenerateRenewal(sc.Dist, d.Units, sc.Horizon, sc.Spec.D, sc.TraceSeed(i))
-				job := d.Job(sc.Start)
-				lb, err := sim.LowerBound(job, ts)
-				if err != nil {
-					errs[i] = fmt.Errorf("trace %d: LowerBound: %w", i, err)
-					continue
-				}
-				lower[i] = lb.Makespan
-				for j, c := range runnable {
-					pol, err := c.New()
-					if err != nil {
-						errs[i] = fmt.Errorf("trace %d: %s: %w", i, c.Name, err)
-						break
-					}
-					res, err := sim.Run(job, pol, ts)
-					if err != nil {
-						errs[i] = fmt.Errorf("trace %d: %s: %w", i, c.Name, err)
-						break
-					}
-					makespans[i][j] = res.Makespan
-					failures[i][j] = float64(res.Failures)
-					if res.HorizonExceeded {
-						horizonExceeded[i]++
-					}
-				}
-			}
-		}()
-	}
-	for i := 0; i < sc.Traces; i++ {
-		traceCh <- i
-	}
-	close(traceCh)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	for i, cell := range cells {
+		makespans[i] = cell.makespans
+		failures[i] = cell.failures
+		lower[i] = cell.lower
+		horizonExceeded[i] = cell.horizonExceeded
 	}
 
 	ev := &Evaluation{
-		Scenario:    sc,
-		Derived:     d,
-		Degradation: map[string]Stats{},
-		MakespanSec: map[string]Stats{},
-		Failures:    map[string]Stats{},
-		Skipped:     skipped,
+		Scenario:     sc,
+		Derived:      d,
+		Degradation:  map[string]Stats{},
+		MakespanSec:  map[string]Stats{},
+		Failures:     map[string]Stats{},
+		Skipped:      skipped,
+		SkippedOrder: skippedOrder,
 	}
 	for _, n := range horizonExceeded {
 		ev.HorizonExceededRuns += n

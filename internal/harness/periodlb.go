@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -37,9 +38,20 @@ func DefaultPeriodLBConfig() PeriodLBConfig {
 }
 
 // SearchPeriodLB finds the best fixed checkpointing period for the
-// scenario by numerical search around OptExp's period, evaluating every
-// candidate period on the same freshly generated traces (paired search).
+// scenario with the default engine.
 func SearchPeriodLB(sc Scenario, cfg PeriodLBConfig) (float64, error) {
+	return SearchPeriodLBWith(engine.Default(), sc, cfg)
+}
+
+// SearchPeriodLBWith finds the best fixed checkpointing period for the
+// scenario by numerical search around OptExp's period, evaluating every
+// candidate period on the same pre-generated traces (paired search).
+// Candidate periods of each refinement phase are scored concurrently on
+// the engine's worker pool; the winner is then selected by a sequential
+// scan in the same order (and with the same strict-improvement tie
+// breaking) as the original sequential search, so the result is identical
+// for every worker count.
+func SearchPeriodLBWith(eng *engine.Engine, sc Scenario, cfg PeriodLBConfig) (float64, error) {
 	d, err := sc.Derive()
 	if err != nil {
 		return 0, err
@@ -52,12 +64,13 @@ func SearchPeriodLB(sc Scenario, cfg PeriodLBConfig) (float64, error) {
 		return 0, fmt.Errorf("harness: PeriodLB needs eval traces")
 	}
 
-	// Pre-generate the shared evaluation traces.
+	// Pre-generate the shared evaluation traces (through the engine cache,
+	// so repeated searches on the same scenario reuse them).
 	searchSc := sc
 	searchSc.Seed ^= cfg.SeedOffset
 	sets := make([]*trace.Set, cfg.EvalTraces)
 	for i := range sets {
-		sets[i] = trace.GenerateRenewal(sc.Dist, d.Units, sc.Horizon, sc.Spec.D, searchSc.TraceSeed(i))
+		sets[i] = eng.GenerateTraces(sc.Dist, d.Units, sc.Horizon, sc.Spec.D, searchSc.TraceSeed(i))
 	}
 	job := d.Job(sc.Start)
 
@@ -77,26 +90,40 @@ func SearchPeriodLB(sc Scenario, cfg PeriodLBConfig) (float64, error) {
 		return total
 	}
 
+	// scorePhase scores every valid candidate concurrently, then picks the
+	// first strict improvement in candidate order.
+	valid := func(period float64) bool { return period > 0 && period <= d.WorkP }
 	bestPeriod, bestScore := base, score(base)
-	try := func(period float64) {
-		if period <= 0 || period > d.WorkP {
-			return
-		}
-		if s := score(period); s < bestScore {
-			bestScore, bestPeriod = s, period
+	scorePhase := func(periods []float64) {
+		scores, _ := engine.Run(eng, len(periods), func(i int) (float64, error) {
+			if !valid(periods[i]) {
+				return math.Inf(1), nil
+			}
+			return score(periods[i]), nil
+		})
+		for i, p := range periods {
+			if !valid(p) {
+				continue
+			}
+			if scores[i] < bestScore {
+				bestScore, bestPeriod = scores[i], p
+			}
 		}
 	}
+
+	geo := make([]float64, 0, 2*cfg.GeometricSteps)
 	for j := 1; j <= cfg.GeometricSteps; j++ {
 		f := math.Pow(1.1, float64(j))
-		try(base * f)
-		try(base / f)
+		geo = append(geo, base*f, base/f)
 	}
+	scorePhase(geo)
 	coarse := bestPeriod
+	lin := make([]float64, 0, 2*cfg.LinearSteps)
 	for i := 1; i <= cfg.LinearSteps; i++ {
 		f := 1 + 0.05*float64(i)
-		try(coarse * f)
-		try(coarse / f)
+		lin = append(lin, coarse*f, coarse/f)
 	}
+	scorePhase(lin)
 	return bestPeriod, nil
 }
 
@@ -120,11 +147,17 @@ type PeriodVariationPoint struct {
 	Degradation Stats
 }
 
-// PeriodVariation reproduces the PeriodVariation curves: it evaluates
+// PeriodVariation reproduces the PeriodVariation curves with the default
+// engine.
+func PeriodVariation(sc Scenario, cfg CandidateConfig, log2Factors []float64) ([]PeriodVariationPoint, *Evaluation, error) {
+	return PeriodVariationWith(engine.Default(), sc, cfg, log2Factors)
+}
+
+// PeriodVariationWith reproduces the PeriodVariation curves: it evaluates
 // fixed-period policies at base*2^f for the given f grid, together with
 // the standard candidate set (which defines the per-trace reference), and
 // returns one point per factor.
-func PeriodVariation(sc Scenario, cfg CandidateConfig, log2Factors []float64) ([]PeriodVariationPoint, *Evaluation, error) {
+func PeriodVariationWith(eng *engine.Engine, sc Scenario, cfg CandidateConfig, log2Factors []float64) ([]PeriodVariationPoint, *Evaluation, error) {
 	d, err := sc.Derive()
 	if err != nil {
 		return nil, nil, err
@@ -133,7 +166,7 @@ func PeriodVariation(sc Scenario, cfg CandidateConfig, log2Factors []float64) ([
 	if err != nil {
 		return nil, nil, err
 	}
-	cands, err := StandardCandidates(sc, cfg)
+	cands, err := StandardCandidatesWith(eng, sc, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -151,7 +184,7 @@ func PeriodVariation(sc Scenario, cfg CandidateConfig, log2Factors []float64) ([
 			}(period, names[i]),
 		})
 	}
-	ev, err := Evaluate(sc, cands)
+	ev, err := EvaluateWith(eng, sc, cands)
 	if err != nil {
 		return nil, nil, err
 	}

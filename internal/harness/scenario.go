@@ -1,7 +1,3 @@
-// Package harness implements the paper's experimental methodology (§4):
-// scenario generation, the average-degradation-from-best metric, the
-// PeriodLB/PeriodVariation numerical period searches, and text/CSV
-// renderers for the tables and figure series.
 package harness
 
 import (

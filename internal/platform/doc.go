@@ -1,0 +1,17 @@
+// Package platform encodes the paper's platform and application models:
+//
+//   - the Table 1 parameter presets: the single-processor configuration of
+//     §5.1, the Petascale (Jaguar-like, 45,208 processors) and Exascale
+//     (2^20 processors) platforms of §5.2, and the LANL-node platform of
+//     §6 (OneProc, Petascale, Exascale, LANLNodes);
+//   - the two checkpoint/recovery overhead models of §3.1: constant
+//     C(p) = C, and proportional C(p) = C * ptotal / p (Overhead);
+//   - the three parallel work models W(p) of §3.1/Appendix D:
+//     embarrassingly parallel W/p, Amdahl speedup with sequential fraction
+//     gamma, and the numerical-kernel model W/p + gamma*(W/p)^(2/3)
+//     (Work).
+//
+// The failure-unit accounting (Units) follows §6: for log-based
+// experiments a failure unit is a 4-processor node (ProcsPerUnit), so
+// enrolling p processors engages p / ProcsPerUnit units.
+package platform

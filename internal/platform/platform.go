@@ -1,8 +1,3 @@
-// Package platform encodes the paper's platform and application models:
-// the Table 1 parameter presets (one-processor, Petascale/Jaguar-like,
-// Exascale), the two checkpoint/recovery overhead models of §3.1
-// (constant and proportional), and the three parallel work models
-// (embarrassingly parallel, Amdahl, numerical kernel).
 package platform
 
 import (

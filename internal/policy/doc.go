@@ -1,0 +1,34 @@
+// Package policy implements the checkpointing policies compared in the
+// paper (§4.1): the previously published periodic heuristics, the
+// non-periodic Liu policy, the paper's analytically optimal OptExp, and
+// its two dynamic-programming contributions DPMakespan and DPNextFailure.
+//
+// Paper mapping:
+//
+//   - Young [26] and Daly [8] low/high order: first-order periodic
+//     heuristics, period ~ sqrt(2*C*MTBF/p) (policy.go);
+//   - OptExp: Theorem 1 / Proposition 5, the provably optimal periodic
+//     policy under Exponential failures, chunk count via Lambert W
+//     (optexp.go);
+//   - Bouguerra et al. [4]: periodic policy reconstruction under the
+//     all-processor rejuvenation assumption (bouguerra.go);
+//   - Liu et al. [16]: the non-periodic frequency-function policy
+//     reconstruction (liu.go);
+//   - DPMakespan: Algorithm 1 (§2.3, §3.2) — the dynamic program
+//     minimizing expected makespan, solved once into an immutable
+//     DPMakespanTable and walked by per-run DPMakespan instances
+//     (dpmakespan.go);
+//   - DPNextFailure: Algorithm 2 (§2.4) with the §3.3 multiprocessor state
+//     approximation — the immutable DPNextFailurePlanner holds the
+//     configuration and the memoized pristine-state plan, per-run
+//     DPNextFailure instances carry only the chunk-plan cursor
+//     (dpnextfailure.go);
+//   - AggregateRenewal: the §3.2 macro-processor law (minimum of p iid
+//     lifetimes) used by the rejuvenation-assuming policies.
+//
+// The split between immutable planned tables (DPMakespanTable,
+// DPNextFailurePlanner — built once per scenario, shared read-only) and
+// per-run mutable execution state (DPMakespan, DPNextFailure — cheap,
+// fresh per simulated trace) is what lets the experiment engine run
+// hundreds of traces concurrently against shared planning work.
+package policy

@@ -178,7 +178,7 @@ func TestDPNextFailureStateApproximationAccuracy(t *testing.T) {
 	}
 	s := dpState(job, now, renew)
 	p := NewDPNextFailure(w, 125*365*86400, WithStateApprox(10, 100))
-	groups := p.buildGroups(s)
+	groups := p.planner.buildGroups(s)
 	// Exact and approximate success probability over various windows.
 	platformMTBF := 125.0 * 365 * 86400 / float64(units)
 	for _, frac := range []float64{1.0 / 64, 1.0 / 16, 1.0 / 4, 1} {

@@ -326,6 +326,19 @@ func (t *DPMakespanTable) ExpectedMakespan() float64 {
 // Quantum returns the time quantum u.
 func (t *DPMakespanTable) Quantum() float64 { return t.u }
 
+// SizeBytes estimates the table's memory footprint, used by the experiment
+// engine's cache to budget evictions.
+func (t *DPMakespanTable) SizeBytes() int64 {
+	n := int64(len(t.valFresh)+len(t.valPost)+len(t.valExp))*8 +
+		int64(len(t.choiceFresh)+len(t.choicePost)+len(t.choiceExp))*4
+	for _, g := range []*tlostGrid{t.gridFresh, t.gridPost} {
+		if g != nil {
+			n += int64(len(g.s)+len(g.in)) * 8
+		}
+	}
+	return n + 256
+}
+
 // chunkAt returns the optimal chunk (in quanta) for the given walking
 // position.
 func (t *DPMakespanTable) chunkAt(fresh bool, x, y int) int {

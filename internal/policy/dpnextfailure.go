@@ -4,14 +4,25 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/dist"
 	"repro/internal/sim"
 )
 
-// DPNextFailure is the paper's main heuristic contribution (Algorithm 2,
-// §2.4/§3.3): a dynamic program that maximizes the expected amount of work
-// completed before the next failure, re-planned after every failure.
+// DPNextFailurePlanner holds the immutable configuration of the paper's
+// main heuristic contribution (Algorithm 2, §2.4/§3.3): the dynamic
+// program that maximizes the expected amount of work completed before the
+// next failure, re-planned after every failure.
+//
+// The planner is shared read-only by every concurrent run of a scenario;
+// the per-trace mutable execution state (the chunk-plan cursor and the
+// failure counter) lives in the DPNextFailure instances it hands out via
+// NewPolicy. Because the very first planning pass of a run depends only on
+// the job geometry when no unit has failed yet, the planner memoizes that
+// pristine-state plan: in scenarios where the job is released before the
+// first failure (the paper's single-processor tables), the expensive
+// initial DP is solved once per scenario instead of once per trace.
 //
 // Implementation notes mirroring §3.3:
 //
@@ -27,7 +38,7 @@ import (
 //     only the first half of the planned chunks is executed before
 //     re-planning, exactly as the paper prescribes to keep the algorithm
 //     fast enough for production use.
-type DPNextFailure struct {
+type DPNextFailurePlanner struct {
 	d        dist.Distribution
 	unitMean float64 // per-unit MTBF used for the horizon truncation
 	quanta   int
@@ -35,6 +46,27 @@ type DPNextFailure struct {
 	nApprox  int
 	halfPlan bool
 
+	// pristine memoizes the plan for failure-free initial states, keyed by
+	// the state signature. Computed under mu so concurrent first-deciders
+	// of the same scenario share one DP solve.
+	mu       sync.Mutex
+	pristine map[pristineKey][]float64
+}
+
+// pristineKey identifies a failure-free decision state completely: with no
+// failed units every group age equals Now, so (remaining, now, C, units)
+// determines the DP instance.
+type pristineKey struct {
+	remaining float64
+	now       float64
+	c         float64
+	units     int
+}
+
+// DPNextFailure walks a shared DPNextFailurePlanner during one simulated
+// run. It carries only per-trace mutable state and is cheap to construct.
+type DPNextFailure struct {
+	planner  *DPNextFailurePlanner
 	plan     []float64
 	failures int
 }
@@ -45,33 +77,47 @@ type DPNextFailureOption func(*DPNextFailure)
 // WithQuanta sets the DP resolution (number of work quanta in the planning
 // horizon; the paper's time quantum u is horizon/quanta).
 func WithQuanta(n int) DPNextFailureOption {
-	return func(p *DPNextFailure) { p.quanta = n }
+	return func(p *DPNextFailure) { p.planner.quanta = n }
 }
 
 // WithStateApprox sets the §3.3 state-approximation parameters (the paper
 // uses nExact=10, nApprox=100).
 func WithStateApprox(nExact, nApprox int) DPNextFailureOption {
-	return func(p *DPNextFailure) { p.nExact, p.nApprox = nExact, nApprox }
+	return func(p *DPNextFailure) { p.planner.nExact, p.planner.nApprox = nExact, nApprox }
 }
 
 // WithFullPlan disables the execute-only-half-the-plan optimization
 // (useful for tests on tiny instances).
 func WithFullPlan() DPNextFailureOption {
-	return func(p *DPNextFailure) { p.halfPlan = false }
+	return func(p *DPNextFailure) { p.planner.halfPlan = false }
 }
 
-// NewDPNextFailure returns a fresh per-run policy instance. d is the
+// NewDPNextFailurePlanner returns the immutable shared planner. d is the
 // per-unit failure law and unitMean its MTBF (used only to truncate the
-// planning horizon).
+// planning horizon). Options must be applied here: the planner must not be
+// mutated once NewPolicy instances exist.
+func NewDPNextFailurePlanner(d dist.Distribution, unitMean float64, opts ...DPNextFailureOption) *DPNextFailurePlanner {
+	return NewDPNextFailure(d, unitMean, opts...).planner
+}
+
+// NewPolicy returns a fresh per-run policy instance over the shared
+// planner.
+func (pl *DPNextFailurePlanner) NewPolicy() *DPNextFailure {
+	return &DPNextFailure{planner: pl}
+}
+
+// NewDPNextFailure returns a fresh per-run policy instance backed by its
+// own planner. To share the planning memo across runs, build one
+// DPNextFailurePlanner and use NewPolicy instead.
 func NewDPNextFailure(d dist.Distribution, unitMean float64, opts ...DPNextFailureOption) *DPNextFailure {
-	p := &DPNextFailure{
+	p := &DPNextFailure{planner: &DPNextFailurePlanner{
 		d:        d,
 		unitMean: unitMean,
 		quanta:   150,
 		nExact:   10,
 		nApprox:  100,
 		halfPlan: true,
-	}
+	}}
 	for _, o := range opts {
 		o(p)
 	}
@@ -83,11 +129,11 @@ func (p *DPNextFailure) Name() string { return "DPNextFailure" }
 
 // Start implements sim.Policy.
 func (p *DPNextFailure) Start(job *sim.Job) error {
-	if p.quanta < 2 {
-		return fmt.Errorf("policy: DPNextFailure needs at least 2 quanta, got %d", p.quanta)
+	if p.planner.quanta < 2 {
+		return fmt.Errorf("policy: DPNextFailure needs at least 2 quanta, got %d", p.planner.quanta)
 	}
-	if !(p.unitMean > 0) {
-		return fmt.Errorf("policy: DPNextFailure: non-positive unit MTBF %v", p.unitMean)
+	if !(p.planner.unitMean > 0) {
+		return fmt.Errorf("policy: DPNextFailure: non-positive unit MTBF %v", p.planner.unitMean)
 	}
 	p.plan = nil
 	p.failures = 0
@@ -107,16 +153,39 @@ func (p *DPNextFailure) NextChunk(s *sim.State) float64 {
 		p.failures = s.Failures
 	}
 	if len(p.plan) == 0 {
-		p.plan = p.replan(s)
+		if s.Failures == 0 && len(s.FailedUnits) == 0 && s.Remaining == s.Job.Work {
+			// Failure-free initial state: identical for every trace of the
+			// scenario, so the plan is memoized on the shared planner.
+			p.plan = p.planner.pristinePlan(s)
+		} else {
+			p.plan = p.planner.replan(s)
+		}
 	}
 	if len(p.plan) == 0 {
 		// Degenerate state (e.g. empirical law past its support): creep
 		// forward one quantum at a time.
-		return math.Min(s.Remaining, math.Max(s.Remaining/float64(p.quanta), 1e-9))
+		return math.Min(s.Remaining, math.Max(s.Remaining/float64(p.planner.quanta), 1e-9))
 	}
 	chunk := p.plan[0]
 	p.plan = p.plan[1:]
 	return math.Min(chunk, s.Remaining)
+}
+
+// pristinePlan returns the memoized plan for a failure-free state. The
+// plan slice is shared read-only: NextChunk only re-slices it.
+func (pl *DPNextFailurePlanner) pristinePlan(s *sim.State) []float64 {
+	key := pristineKey{remaining: s.Remaining, now: s.Now, c: s.Job.C, units: s.Job.Units}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if plan, ok := pl.pristine[key]; ok {
+		return plan
+	}
+	plan := pl.replan(s)
+	if pl.pristine == nil {
+		pl.pristine = map[pristineKey][]float64{}
+	}
+	pl.pristine[key] = plan
+	return plan
 }
 
 // taugroup is a group of units sharing (exactly or approximately) the same
@@ -127,7 +196,7 @@ type taugroup struct {
 }
 
 // replan solves the truncated NextFailure DP and returns the chunk plan.
-func (p *DPNextFailure) replan(s *sim.State) []float64 {
+func (pl *DPNextFailurePlanner) replan(s *sim.State) []float64 {
 	// Horizon truncation: min(remaining, 2 * platform MTBF) (§3.3). On
 	// mid-size platforms 2*MTBF/p can span only a handful of optimal
 	// chunks, which would make the quantum coarser than the decisions it
@@ -135,7 +204,7 @@ func (p *DPNextFailure) replan(s *sim.State) []float64 {
 	// so the quantum stays a small fraction of a chunk. At the paper's
 	// Petascale/Exascale scales the 2*MTBF/p term is the smaller one and
 	// the behavior is exactly the paper's.
-	platformMTBF := p.unitMean / float64(s.Job.Units)
+	platformMTBF := pl.unitMean / float64(s.Job.Units)
 	target := math.Min(s.Remaining, 2*platformMTBF)
 	if young := 30 * math.Sqrt(2*s.Job.C*platformMTBF); young > 0 && young < target {
 		target = young
@@ -144,14 +213,14 @@ func (p *DPNextFailure) replan(s *sim.State) []float64 {
 		return nil
 	}
 	truncated := target < s.Remaining*(1-1e-12)
-	x := p.quanta
+	x := pl.quanta
 	u := target / float64(x)
 
-	groups := p.buildGroups(s)
-	grid := newSurvivalGrid(p.d, groups, float64(x)*(u+s.Job.C)+u+s.Job.C)
+	groups := pl.buildGroups(s)
+	grid := newSurvivalGrid(pl.d, groups, float64(x)*(u+s.Job.C)+u+s.Job.C)
 
 	plan, _ := solveNextFailureDP(x, u, s.Job.C, grid)
-	if truncated && p.halfPlan && len(plan) > 1 {
+	if truncated && pl.halfPlan && len(plan) > 1 {
 		plan = plan[:(len(plan)+1)/2]
 	}
 	return plan
@@ -162,7 +231,7 @@ func (p *DPNextFailure) replan(s *sim.State) []float64 {
 // reference values. Units that never failed share a single group (their
 // age is simply Now), which keeps the construction O(#failed log #failed)
 // even on million-unit platforms.
-func (p *DPNextFailure) buildGroups(s *sim.State) []taugroup {
+func (pl *DPNextFailurePlanner) buildGroups(s *sim.State) []taugroup {
 	taus := make([]float64, 0, len(s.FailedUnits))
 	for _, u := range s.FailedUnits {
 		taus = append(taus, s.Tau(int(u)))
@@ -172,7 +241,7 @@ func (p *DPNextFailure) buildGroups(s *sim.State) []taugroup {
 	neverTau := s.Now // renewal at trace time 0
 
 	var groups []taugroup
-	nExact := p.nExact
+	nExact := pl.nExact
 	if nExact > len(taus) {
 		nExact = len(taus)
 	}
@@ -180,7 +249,7 @@ func (p *DPNextFailure) buildGroups(s *sim.State) []taugroup {
 		groups = append(groups, taugroup{tau: t, weight: 1})
 	}
 	rest := taus[nExact:]
-	if len(rest)+boolToInt(neverCount > 0) <= p.nApprox {
+	if len(rest)+boolToInt(neverCount > 0) <= pl.nApprox {
 		// Few enough distinct ages: keep them all exactly.
 		for _, t := range rest {
 			groups = append(groups, taugroup{tau: t, weight: 1})
@@ -199,15 +268,15 @@ func (p *DPNextFailure) buildGroups(s *sim.State) []taugroup {
 	if neverCount > 0 && neverTau > tauHi {
 		tauHi = neverTau
 	}
-	m := p.nApprox
+	m := pl.nApprox
 	refs := make([]float64, m)
 	refs[0] = tauLo
 	refs[m-1] = tauHi
-	sLo := p.d.Survival(tauLo)
-	sHi := p.d.Survival(tauHi)
+	sLo := pl.d.Survival(tauLo)
+	sHi := pl.d.Survival(tauHi)
 	for i := 2; i < m; i++ {
 		q := float64(m-i)/float64(m-1)*sLo + float64(i-1)/float64(m-1)*sHi
-		refs[i-1] = dist.InverseSurvival(p.d, q)
+		refs[i-1] = dist.InverseSurvival(pl.d, q)
 	}
 	sort.Float64s(refs)
 	weights := make([]float64, m)
@@ -296,7 +365,9 @@ func (sg *survivalGrid) psuc(a, b float64) float64 {
 // work time) along with its objective value, the expected work before the
 // next failure. State (x', n): x' quanta remaining, n chunks committed;
 // the elapsed execution time is (x-x')*u + n*c, which makes the whole
-// transition structure expressible through the survival grid.
+// transition structure expressible through the survival grid. G(a) is
+// hoisted out of the candidate loop — every transition from a state shares
+// the same start age.
 func solveNextFailureDP(x int, u, c float64, grid *survivalGrid) ([]float64, float64) {
 	stride := x + 1
 	val := make([]float64, stride*stride)
@@ -307,11 +378,12 @@ func solveNextFailureDP(x int, u, c float64, grid *survivalGrid) ([]float64, flo
 		maxN := x - rem
 		for n := 0; n <= maxN; n++ {
 			a := float64(x-rem)*u + float64(n)*c
+			ga := grid.at(a)
 			best := 0.0
 			bestI := int32(0)
 			for i := 1; i <= rem; i++ {
 				b := a + float64(i)*u + c
-				v := grid.psuc(a, b) * (float64(i)*u + val[idx(rem-i, n+1)])
+				v := math.Exp(ga-grid.at(b)) * (float64(i)*u + val[idx(rem-i, n+1)])
 				if v > best {
 					best = v
 					bestI = int32(i)
@@ -342,11 +414,12 @@ func solveNextFailureDP(x int, u, c float64, grid *survivalGrid) ([]float64, flo
 // completed before the next failure. Used by tests to compare against the
 // brute-force oracle of Proposition 3.
 func (p *DPNextFailure) PlanAndValue(s *sim.State) ([]float64, float64) {
-	platformMTBF := p.unitMean / float64(s.Job.Units)
+	pl := p.planner
+	platformMTBF := pl.unitMean / float64(s.Job.Units)
 	target := math.Min(s.Remaining, 2*platformMTBF)
-	x := p.quanta
+	x := pl.quanta
 	u := target / float64(x)
-	groups := p.buildGroups(s)
-	grid := newSurvivalGrid(p.d, groups, float64(x)*(u+s.Job.C)+u+s.Job.C)
+	groups := pl.buildGroups(s)
+	grid := newSurvivalGrid(pl.d, groups, float64(x)*(u+s.Job.C)+u+s.Job.C)
 	return solveNextFailureDP(x, u, s.Job.C, grid)
 }

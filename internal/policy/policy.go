@@ -1,14 +1,3 @@
-// Package policy implements the checkpointing policies compared in the
-// paper (§4.1): the previously published periodic heuristics (Young,
-// DalyLow, DalyHigh, Bouguerra), the non-periodic Liu policy, the paper's
-// analytically optimal OptExp (Proposition 5), and its two
-// dynamic-programming contributions DPMakespan (Algorithm 1) and
-// DPNextFailure (Algorithm 2 with the §3.3 multiprocessor state
-// approximation).
-//
-// Policies are per-run objects: the experiment harness constructs a fresh
-// instance per simulated trace (they are cheap; the expensive DPMakespan
-// table is built once and shared immutably).
 package policy
 
 import (

@@ -1,0 +1,16 @@
+// Package rng provides small, fast, deterministic random number sources
+// for the checkpointing simulator.
+//
+// Reproducibility is a hard requirement of the paper's §4.1 methodology
+// (every policy must see identical failure traces) and of this
+// repository's experiment engine (the same seed must produce byte-identical
+// tables at any worker count): the same (seed, stream) pair must generate
+// the same failure trace on every platform and in every Go release, so the
+// package implements its own generators instead of relying on math/rand's
+// unspecified algorithm. The core generator is xoshiro256++ seeded through
+// splitmix64, the combination recommended by the xoshiro authors.
+// Independent streams are derived by mixing a stream identifier into the
+// seed with splitmix64, which gives 2^64 statistically independent
+// substreams — one per failure unit, the property that makes block-parallel
+// trace generation bit-identical to sequential generation.
+package rng

@@ -1,14 +1,3 @@
-// Package rng provides small, fast, deterministic random number sources
-// for the checkpointing simulator.
-//
-// Reproducibility is a hard requirement of the experiment harness: the same
-// (seed, stream) pair must generate the same failure trace on every platform
-// and in every Go release, so the package implements its own generators
-// instead of relying on math/rand's unspecified algorithm. The core
-// generator is xoshiro256++ seeded through splitmix64, the combination
-// recommended by the xoshiro authors. Independent streams are derived by
-// mixing a stream identifier into the seed with splitmix64, which gives
-// 2^64 statistically independent substreams.
 package rng
 
 import "math"

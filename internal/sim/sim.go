@@ -1,16 +1,3 @@
-// Package sim implements the event-driven simulator for checkpointed,
-// tightly-coupled parallel jobs under processor failures.
-//
-// The execution model follows §2.1 and §3.1 of the paper: the job executes
-// chunks of work on all enrolled units synchronously and checkpoints after
-// every chunk (cost C). When any unit fails, the execution since the last
-// checkpoint is lost; the failed unit is down for D time units (during
-// which further units may fail, extending the outage); once all units are
-// simultaneously up the job attempts an uninterrupted recovery of length R,
-// restarting the outage resolution whenever a failure strikes mid-recovery.
-// Failure dates come from a pre-generated trace and are independent of job
-// activity, so competing policies are evaluated on identical failure
-// scenarios.
 package sim
 
 import (

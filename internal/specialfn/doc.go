@@ -1,0 +1,16 @@
+// Package specialfn implements the special functions needed by the
+// checkpointing theory:
+//
+//   - the principal branch of the Lambert W function, which Theorem 1 and
+//     Proposition 5 of the paper use to express the optimal number of
+//     chunks under Exponential failures;
+//   - the regularized incomplete gamma functions P and Q, which give the
+//     closed-form E(Tlost) for Weibull failures used by the dynamic
+//     programs;
+//   - adaptive Simpson quadrature, the fallback that evaluates the generic
+//     E(Tlost) integral of §2.3 for arbitrary distributions.
+//
+// Everything is implemented from scratch on top of the math package; the
+// algorithms are the classical ones (Halley iteration for Lambert W, the
+// series/continued-fraction split for the incomplete gamma).
+package specialfn

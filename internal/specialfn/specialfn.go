@@ -1,12 +1,3 @@
-// Package specialfn implements the special functions needed by the
-// checkpointing theory: the principal branch of the Lambert W function
-// (Theorem 1 and Proposition 5 of the paper), the regularized incomplete
-// gamma functions (closed-form E(Tlost) for Weibull failures), and adaptive
-// Simpson quadrature (generic E(Tlost) for arbitrary distributions).
-//
-// Everything is implemented from scratch on top of the math package; the
-// algorithms are the classical ones (Halley iteration for Lambert W, the
-// series/continued-fraction split for the incomplete gamma).
 package specialfn
 
 import (

@@ -1,0 +1,20 @@
+// Package theory implements the closed-form results of the paper:
+//
+//   - Lemma 1: expected lost time E(Tlost) and recovery time E(Trec) under
+//     Exponential failures (ExpTlostExp, ExpTrec);
+//   - Theorem 1: the optimal periodic strategy for a single processor
+//     under Exponential failures — the paper's first rigorous proof that
+//     periodic checkpointing is optimal — with the optimal chunk count
+//     expressed through the Lambert W function (OptimalExp,
+//     ExpectedMakespanExp);
+//   - Proposition 5: the parallel-job form of Theorem 1 on the aggregated
+//     platform law (reached through the same OptimalExp with rate
+//     p*lambda);
+//   - the generic E(Tlost(x|tau)) of §2.3 for arbitrary distributions
+//     (ExpTlost; Weibull uses a closed incomplete-gamma form, others
+//     adaptive quadrature), consumed by the dynamic programs;
+//   - Proposition 3: the expected work completed before the next failure,
+//     the oracle the DPNextFailure tests compare against;
+//   - the §3.1 platform-MTBF analysis behind Figure 1
+//     (PlatformMTBFRejuvenateAll vs PlatformMTBFSingleRejuvenation).
+package theory

@@ -1,10 +1,3 @@
-// Package theory implements the closed-form results of the paper:
-// Lemma 1 (expected lost time and recovery time under Exponential
-// failures), Theorem 1 (the optimal periodic strategy, the first rigorous
-// proof that periodic checkpointing is optimal), Proposition 5 (its
-// parallel-job form), the generic E(Tlost)/E(Trec) used by the dynamic
-// programs for arbitrary distributions, Proposition 3's expected
-// work-before-failure, and the §3.1 platform-MTBF formulas behind Figure 1.
 package theory
 
 import (

@@ -1,0 +1,23 @@
+// Package trace generates and manipulates failure traces (§2.1, §4.1,
+// §4.3 of the paper).
+//
+// A failure trace assigns to every failure unit (a processor, or a
+// multi-processor node for log-based experiments) the absolute dates of
+// its failures over a fixed horizon. Per the paper's model (§2.1), a unit
+// that fails at time t is down for D time units and then begins a new
+// lifetime at the beginning of the recovery period, so failure dates
+// follow the renewal recursion t_{n+1} = t_n + D + X_{n+1} with iid X_n
+// (GenerateRenewal / GenerateUnit). Failure dates are independent of what
+// the job does, which lets all checkpointing policies be evaluated on
+// identical traces (the paired comparison of §4.1).
+//
+// Unit u always draws from rng substream u of the seed, giving the §4.3
+// coherence property — the trace of unit u is identical whether the set
+// was generated for u+1 units or a million, sequentially or in parallel
+// blocks by the experiment engine.
+//
+// The package also synthesizes LANL-like availability logs (SyntheticLog,
+// lanl.go) calibrated against the published statistics of clusters 18 and
+// 19 that §6 uses for the log-based experiments, and reads/writes them in
+// the one-duration-per-line format of the fit/stats tools.
+package trace

@@ -1,13 +1,3 @@
-// Package trace generates and manipulates failure traces.
-//
-// A failure trace assigns to every failure unit (a processor, or a
-// multi-processor node for log-based experiments) the absolute dates of its
-// failures over a fixed horizon. Per the paper's model (§2.1), a unit that
-// fails at time t is down for D time units and then begins a new lifetime
-// at the beginning of the recovery period, so failure dates follow the
-// renewal recursion t_{n+1} = t_n + D + X_{n+1} with iid X_n. Failure
-// dates are independent of what the job does, which lets all checkpointing
-// policies be evaluated on identical traces (paired comparison, §4.1).
 package trace
 
 import (
@@ -60,20 +50,28 @@ func GenerateRenewal(d dist.Distribution, units int, horizon, downtime float64, 
 	}
 	s := &Set{Horizon: horizon, Units: make([]Trace, units)}
 	for u := 0; u < units; u++ {
-		r := rng.NewStream(seed, uint64(u))
-		var times []float64
-		t := 0.0
-		for {
-			t += d.Sample(r)
-			if t >= horizon {
-				break
-			}
-			times = append(times, t)
-			t += downtime
-		}
-		s.Units[u].Times = times
+		s.Units[u] = GenerateUnit(d, horizon, downtime, seed, u)
 	}
 	return s
+}
+
+// GenerateUnit draws the failure dates of a single unit. Unit u of seed s
+// always produces the same trace whether generated alone, inside
+// GenerateRenewal, or by a concurrent block of the experiment engine: the
+// unit index fully determines the rng substream.
+func GenerateUnit(d dist.Distribution, horizon, downtime float64, seed uint64, unit int) Trace {
+	r := rng.NewStream(seed, uint64(unit))
+	var times []float64
+	t := 0.0
+	for {
+		t += d.Sample(r)
+		if t >= horizon {
+			break
+		}
+		times = append(times, t)
+		t += downtime
+	}
+	return Trace{Times: times}
 }
 
 // Prefix returns a view of the set restricted to the first p units. The
