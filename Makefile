@@ -1,0 +1,56 @@
+# Development entry points. The spec goldens pin the declarative
+# experiment layer: each cmd's testdata holds a spec file (the output of
+# -dump-spec at the pinned parameters below) and the byte-exact stdout of
+# running it with -spec. CI replays them on every push; regenerate with
+# `make spec-goldens` after an intentional change. Goldens are
+# floating-point exact on amd64 (CI and the dev containers); architectures
+# that fuse multiply-adds (arm64) may differ in the last digits.
+
+GO ?= go
+
+.PHONY: build test vet race bench-smoke spec-goldens spec-golden-check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Pinned fixture parameters — keep in sync with cmd/chkpt-tables/main_test.go.
+TABLE2_ARGS   := -exp table2 -traces 3 -quanta 30 -seed 11 -periodlb-traces 4
+FIG5_ARGS     := -exp fig5 -traces 2 -quanta 25 -seed 5 -periodlb-traces 3
+SIM_ARGS      := -platform petascale -p 4096 -law weibull -shape 0.7 -policy dpnextfailure -quanta 60 -traces 4 -seed 9
+TRACE_ARGS    := -law weibull -mtbf 2e6 -shape 0.7 -units 8 -horizon 5e7 -downtime 60 -seed 13
+
+spec-goldens:
+	$(GO) run ./cmd/chkpt-tables $(TABLE2_ARGS) -dump-spec > cmd/chkpt-tables/testdata/table2.json
+	$(GO) run ./cmd/chkpt-tables -spec cmd/chkpt-tables/testdata/table2.json 2>/dev/null > cmd/chkpt-tables/testdata/table2.golden
+	$(GO) run ./cmd/chkpt-figures $(FIG5_ARGS) -dump-spec > cmd/chkpt-figures/testdata/fig5.json
+	$(GO) run ./cmd/chkpt-figures -spec cmd/chkpt-figures/testdata/fig5.json 2>/dev/null > cmd/chkpt-figures/testdata/fig5.golden
+	$(GO) run ./cmd/chkpt-sim $(SIM_ARGS) -dump-spec > cmd/chkpt-sim/testdata/run.json
+	$(GO) run ./cmd/chkpt-sim -spec cmd/chkpt-sim/testdata/run.json > cmd/chkpt-sim/testdata/run.golden
+	$(GO) run ./cmd/chkpt-traces gen-trace $(TRACE_ARGS) -dump-spec > cmd/chkpt-traces/testdata/trace.json
+	$(GO) run ./cmd/chkpt-traces gen-trace -spec cmd/chkpt-traces/testdata/trace.json 2>/dev/null > cmd/chkpt-traces/testdata/trace.golden
+
+# Replay every checked-in spec fixture and diff against its golden; for
+# chkpt-tables also prove the flag-driven invocation matches the
+# spec-driven one byte-for-byte (the declarative-API contract).
+spec-golden-check:
+	$(GO) run ./cmd/chkpt-tables -spec cmd/chkpt-tables/testdata/table2.json 2>/dev/null | diff cmd/chkpt-tables/testdata/table2.golden -
+	$(GO) run ./cmd/chkpt-tables $(TABLE2_ARGS) 2>/dev/null | diff cmd/chkpt-tables/testdata/table2.golden -
+	$(GO) run ./cmd/chkpt-figures -spec cmd/chkpt-figures/testdata/fig5.json 2>/dev/null | diff cmd/chkpt-figures/testdata/fig5.golden -
+	$(GO) run ./cmd/chkpt-figures $(FIG5_ARGS) 2>/dev/null | diff cmd/chkpt-figures/testdata/fig5.golden -
+	$(GO) run ./cmd/chkpt-sim -spec cmd/chkpt-sim/testdata/run.json | diff cmd/chkpt-sim/testdata/run.golden -
+	$(GO) run ./cmd/chkpt-sim $(SIM_ARGS) | diff cmd/chkpt-sim/testdata/run.golden -
+	$(GO) run ./cmd/chkpt-traces gen-trace -spec cmd/chkpt-traces/testdata/trace.json 2>/dev/null | diff cmd/chkpt-traces/testdata/trace.golden -
+	$(GO) run ./cmd/chkpt-traces gen-trace $(TRACE_ARGS) 2>/dev/null | diff cmd/chkpt-traces/testdata/trace.golden -
+	@echo "spec goldens OK"

@@ -5,6 +5,7 @@
 package checkpoint_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -26,7 +27,7 @@ func benchExperiment(b *testing.B, id string) {
 	p := benchParams()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(io.Discard, p); err != nil {
+		if err := e.Run(context.Background(), io.Discard, p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -80,7 +81,7 @@ func benchTable4Engine(b *testing.B, workers int) {
 	p := benchEngineParams(engine.New(engine.Config{Workers: workers, Cache: cache}))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(io.Discard, p); err != nil {
+		if err := e.Run(context.Background(), io.Discard, p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -141,7 +142,7 @@ func BenchmarkEngineRunOverhead(b *testing.B) {
 	eng := checkpoint.NewEngine(checkpoint.EngineConfig{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := checkpoint.EngineRun(eng, 256, func(j int) (int, error) { return j, nil }); err != nil {
+		if _, err := checkpoint.EngineRun(context.Background(), eng, 256, func(j int) (int, error) { return j, nil }); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -164,7 +165,7 @@ func BenchmarkSimulatorRun(b *testing.B) {
 	pol := checkpoint.NewYoung(600, law.Mean()/units)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := checkpoint.Simulate(job, pol, ts); err != nil {
+		if _, err := checkpoint.Simulate(context.Background(), job, pol, ts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -185,7 +186,7 @@ func BenchmarkDPNextFailurePlan(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pol := checkpoint.NewDPNextFailure(law, law.Mean(), checkpoint.WithQuanta(150))
-		if _, err := checkpoint.Simulate(job, pol, ts); err != nil {
+		if _, err := checkpoint.Simulate(context.Background(), job, pol, ts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -219,7 +220,7 @@ func BenchmarkLowerBound(b *testing.B) {
 	job := &checkpoint.Job{Work: 200000, C: 300, R: 300, D: 60, Units: 8}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := checkpoint.SimulateLowerBound(job, ts); err != nil {
+		if _, err := checkpoint.SimulateLowerBound(context.Background(), job, ts); err != nil {
 			b.Fatal(err)
 		}
 	}

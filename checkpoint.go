@@ -33,12 +33,17 @@
 package checkpoint
 
 import (
+	"context"
+	"io"
+	"iter"
+
 	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/platform"
 	"repro/internal/policy"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/theory"
 	"repro/internal/trace"
 )
@@ -157,15 +162,17 @@ type (
 	Result = sim.Result
 )
 
-// Simulate runs the job under the policy against the failure trace.
-func Simulate(job *Job, pol Policy, ts *TraceSet) (Result, error) {
-	return sim.Run(job, pol, ts)
+// Simulate runs the job under the policy against the failure trace. The
+// context cancels or deadline-bounds the simulation; an uncancelled
+// context never changes the result.
+func Simulate(ctx context.Context, job *Job, pol Policy, ts *TraceSet) (Result, error) {
+	return sim.Run(ctx, job, pol, ts)
 }
 
 // SimulateLowerBound runs the omniscient bound of §4.1: it knows every
 // failure date, checkpoints just in time and never loses work.
-func SimulateLowerBound(job *Job, ts *TraceSet) (Result, error) {
-	return sim.LowerBound(job, ts)
+func SimulateLowerBound(ctx context.Context, job *Job, ts *TraceSet) (Result, error) {
+	return sim.LowerBound(ctx, job, ts)
 }
 
 // SimulateReplicated runs the job under n-way replication — the §8
@@ -173,8 +180,8 @@ func SimulateLowerBound(job *Job, ts *TraceSet) (Result, error) {
 // groups that all execute each chunk from the shared checkpoint, the first
 // group to finish commits it. job.Units is the per-replica unit count; the
 // run consumes job.Units*n units of the trace.
-func SimulateReplicated(job *Job, pol Policy, ts *TraceSet, n int) (Result, error) {
-	return sim.RunReplicated(job, pol, ts, n)
+func SimulateReplicated(ctx context.Context, job *Job, pol Policy, ts *TraceSet, n int) (Result, error) {
+	return sim.RunReplicated(ctx, job, pol, ts, n)
 }
 
 // Policies.
@@ -319,8 +326,13 @@ type (
 	Candidate = harness.Candidate
 	// Evaluation aggregates degradation-from-best results.
 	Evaluation = harness.Evaluation
+	// Row is one policy's aggregated results within an Evaluation (see
+	// Evaluation.Rows for the iter.Seq2 row iterator).
+	Row = harness.Row
 	// Stats is a sample summary.
 	Stats = harness.Stats
+	// PeriodLBConfig tunes the §4.1 PeriodLB numerical search.
+	PeriodLBConfig = harness.PeriodLBConfig
 )
 
 // Overhead and work model constants.
@@ -342,14 +354,15 @@ func LANLNodesPlatform(nodeMTBF float64) PlatformSpec  { return platform.LANLNod
 func DefaultCandidateConfig() CandidateConfig { return harness.DefaultCandidateConfig() }
 
 // StandardCandidates builds the paper's policy set for a scenario.
-func StandardCandidates(sc Scenario, cfg CandidateConfig) ([]Candidate, error) {
-	return harness.StandardCandidates(sc, cfg)
+func StandardCandidates(ctx context.Context, sc Scenario, cfg CandidateConfig) ([]Candidate, error) {
+	return harness.StandardCandidates(ctx, sc, cfg)
 }
 
 // Evaluate runs every candidate over the scenario's traces with the §4.1
-// degradation-from-best methodology.
-func Evaluate(sc Scenario, cands []Candidate) (*Evaluation, error) {
-	return harness.Evaluate(sc, cands)
+// degradation-from-best methodology. Cancelling the context aborts the
+// evaluation promptly with ctx.Err().
+func Evaluate(ctx context.Context, sc Scenario, cands []Candidate) (*Evaluation, error) {
+	return harness.Evaluate(ctx, sc, cands)
 }
 
 // Experiment engine: the bounded worker pool and shared artifact cache
@@ -381,26 +394,118 @@ func NewCache(budgetBytes int64) *Cache { return engine.NewCache(budgetBytes) }
 // EngineRun executes cells 0..n-1 on the engine's worker pool; results are
 // ordered by cell index, so the output is identical for every worker
 // count. The returned error is the lowest-indexed cell error.
-func EngineRun[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
-	return engine.Run(e, n, fn)
+func EngineRun[T any](ctx context.Context, e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	return engine.Run(ctx, e, n, fn)
 }
 
 // EngineStream executes cells concurrently and delivers results to emit in
 // strictly increasing index order as the contiguous prefix completes.
-func EngineStream[T any](e *Engine, n int, fn func(i int) (T, error), emit func(i int, v T) error) error {
-	return engine.Stream(e, n, fn, emit)
+func EngineStream[T any](ctx context.Context, e *Engine, n int, fn func(i int) (T, error), emit func(i int, v T) error) error {
+	return engine.Stream(ctx, e, n, fn, emit)
+}
+
+// Declarative experiment specs: JSON-serializable descriptions of laws,
+// platforms, policies, scenarios and whole experiments, backed by
+// name-keyed registries (see internal/spec).
+type (
+	// DistSpec names a registered failure-law family with parameters.
+	DistSpec = spec.DistSpec
+	// DistCodec builds and encodes one distribution family.
+	DistCodec = spec.DistCodec
+	// PolicySpec names a registered policy kind with parameters.
+	PolicySpec = spec.PolicySpec
+	// PolicyEnv is the scenario context a policy compiles against.
+	PolicyEnv = spec.PolicyEnv
+	// PlatformRef selects a platform preset or custom configuration.
+	PlatformRef = spec.PlatformRef
+	// PlatformCustom is a fully custom platform configuration.
+	PlatformCustom = spec.PlatformCustom
+	// WorkSpec is the serializable parallel work model.
+	WorkSpec = spec.WorkSpec
+	// ScenarioSpec is the declarative form of a Scenario.
+	ScenarioSpec = spec.ScenarioSpec
+	// ExperimentSpec is a complete declarative experiment.
+	ExperimentSpec = spec.ExperimentSpec
+	// CandidatesSpec declares a cell's policy set.
+	CandidatesSpec = spec.CandidatesSpec
+	// StandardSpec declares the paper's standard policy set.
+	StandardSpec = spec.StandardSpec
+	// PeriodLBSpec declares the §4.1 numerical period search.
+	PeriodLBSpec = spec.PeriodLBSpec
+	// GridSpec declares a sweep over scenario axes.
+	GridSpec = spec.GridSpec
+	// SeriesSpec configures the figure-style curve rendering.
+	SeriesSpec = spec.SeriesSpec
+	// TraceSpec is the declarative form of a failure-trace set.
+	TraceSpec = spec.TraceSpec
+	// CellResult is one completed experiment cell.
+	CellResult = spec.CellResult
+)
+
+// Registry surface: enumerate or extend the named constructors behind the
+// spec layer.
+func DistFamilies() []string  { return spec.DistFamilies() }
+func PolicyKinds() []string   { return spec.PolicyKinds() }
+func PlatformNames() []string { return spec.PlatformNames() }
+
+// RegisterDist adds a distribution family to the spec registry.
+func RegisterDist(c DistCodec) { spec.RegisterDist(c) }
+
+// RegisterPolicy adds a policy kind to the spec registry.
+func RegisterPolicy(kind string, b spec.PolicyBuilder) { spec.RegisterPolicy(kind, b) }
+
+// RegisterPlatform adds a platform preset to the spec registry.
+func RegisterPlatform(name string, build func() PlatformSpec) { spec.RegisterPlatform(name, build) }
+
+// LoadExperimentSpec reads a declarative experiment from a file.
+func LoadExperimentSpec(path string) (*ExperimentSpec, error) { return spec.LoadExperiment(path) }
+
+// DecodeExperimentSpec reads a declarative experiment (strict JSON:
+// unknown fields are errors).
+func DecodeExperimentSpec(r io.Reader) (*ExperimentSpec, error) { return spec.DecodeExperiment(r) }
+
+// EncodeExperimentSpec writes the spec in its canonical indented form.
+func EncodeExperimentSpec(w io.Writer, es *ExperimentSpec) error {
+	return spec.EncodeExperiment(w, es)
+}
+
+// EncodeDist round-trips a built law to the spec that rebuilds it
+// bit-identically.
+func EncodeDist(d Distribution) (DistSpec, error) { return spec.EncodeDist(d) }
+
+// RunSpec executes a declarative experiment on the engine and streams
+// completed cells in deterministic expansion order (see spec.Run). The
+// terminal iteration carries a non-nil error when a cell failed or the
+// context was cancelled; every cell yielded before it is a valid
+// deterministic prefix.
+func RunSpec(ctx context.Context, eng *Engine, es *ExperimentSpec) iter.Seq2[CellResult, error] {
+	return spec.Run(ctx, eng, es)
+}
+
+// RunSpecAll executes a declarative experiment and collects every cell.
+func RunSpecAll(ctx context.Context, eng *Engine, es *ExperimentSpec) ([]CellResult, error) {
+	return spec.RunAll(ctx, eng, es)
 }
 
 // EvaluateWith runs the evaluation on the given engine: traces execute
 // concurrently on its worker pool and shared artifacts come from its
 // cache. The worker count never changes the result.
-func EvaluateWith(eng *Engine, sc Scenario, cands []Candidate) (*Evaluation, error) {
-	return harness.EvaluateWith(eng, sc, cands)
+func EvaluateWith(ctx context.Context, eng *Engine, sc Scenario, cands []Candidate) (*Evaluation, error) {
+	return harness.EvaluateWith(ctx, eng, sc, cands)
 }
 
 // StandardCandidatesWith builds the paper's policy set through the
 // engine's cache, sharing DPMakespan tables and DPNextFailure planners
 // across scenarios with the same (law, job geometry, quanta) key.
-func StandardCandidatesWith(eng *Engine, sc Scenario, cfg CandidateConfig) ([]Candidate, error) {
-	return harness.StandardCandidatesWith(eng, sc, cfg)
+func StandardCandidatesWith(ctx context.Context, eng *Engine, sc Scenario, cfg CandidateConfig) ([]Candidate, error) {
+	return harness.StandardCandidatesWith(ctx, eng, sc, cfg)
 }
+
+// SearchPeriodLB finds the best fixed checkpointing period for the
+// scenario by the §4.1 numerical search, on the engine's worker pool.
+func SearchPeriodLB(ctx context.Context, eng *Engine, sc Scenario, cfg PeriodLBConfig) (float64, error) {
+	return harness.SearchPeriodLBWith(ctx, eng, sc, cfg)
+}
+
+// DefaultPeriodLBConfig returns the laptop-scale period-search grid.
+func DefaultPeriodLBConfig() PeriodLBConfig { return harness.DefaultPeriodLBConfig() }

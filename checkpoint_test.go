@@ -1,6 +1,7 @@
 package checkpoint_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -14,16 +15,16 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	job := &checkpoint.Job{Work: 40000, C: 300, R: 300, D: 60, Units: 8, Start: 1000}
 
 	young := checkpoint.NewYoung(job.C, law.Mean()/8)
-	resYoung, err := checkpoint.Simulate(job, young, traces)
+	resYoung, err := checkpoint.Simulate(context.Background(), job, young, traces)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dpnf := checkpoint.NewDPNextFailure(law, law.Mean(), checkpoint.WithQuanta(60))
-	resDPNF, err := checkpoint.Simulate(job, dpnf, traces)
+	resDPNF, err := checkpoint.Simulate(context.Background(), job, dpnf, traces)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lb, err := checkpoint.SimulateLowerBound(job, traces)
+	lb, err := checkpoint.SimulateLowerBound(context.Background(), job, traces)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,11 +87,11 @@ func TestPublicEvaluate(t *testing.T) {
 	}
 	cfg := checkpoint.DefaultCandidateConfig()
 	cfg.DPNextFailureQuanta = 40
-	cands, err := checkpoint.StandardCandidates(sc, cfg)
+	cands, err := checkpoint.StandardCandidates(context.Background(), sc, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev, err := checkpoint.Evaluate(sc, cands)
+	ev, err := checkpoint.Evaluate(context.Background(), sc, cands)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestPublicDPMakespan(t *testing.T) {
 	}
 	traces := checkpoint.GenerateTraces(law, 1, 1e8, 60, 9)
 	job := &checkpoint.Job{Work: 30000, C: 300, R: 300, D: 60, Units: 1}
-	res, err := checkpoint.Simulate(job, checkpoint.NewDPMakespan(table), traces)
+	res, err := checkpoint.Simulate(context.Background(), job, checkpoint.NewDPMakespan(table), traces)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,12 +2,17 @@
 // figures (Figure 1 through the appendix sweeps) as aligned text tables
 // and optional CSV.
 //
+// Figures with a declarative form (fig5) can be dumped with -dump-spec
+// and replayed byte-identically with -spec; any experiment spec file runs
+// through -spec. Timings go to stderr, so stdout is deterministic.
+//
 // Examples:
 //
 //	chkpt-figures -list
 //	chkpt-figures -exp fig4
 //	chkpt-figures -exp fig2,fig4,fig7 -csv
-//	chkpt-figures -exp fig5 -full
+//	chkpt-figures -exp fig5 -dump-spec > fig5.json
+//	chkpt-figures -spec fig5.json
 package main
 
 import (
@@ -15,9 +20,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
-	"repro/internal/engine"
+	"repro/internal/cliutil"
 	"repro/internal/exper"
 )
 
@@ -33,18 +37,20 @@ func figureIDs() []string {
 
 func main() {
 	var (
-		ids     = flag.String("exp", "all", "comma-separated figure ids or 'all'")
-		list    = flag.Bool("list", false, "list available figures and exit")
-		full    = flag.Bool("full", false, "paper-scale parameters; slow")
-		traces  = flag.Int("traces", 0, "override trace count")
-		seed    = flag.Uint64("seed", 0, "override random seed")
-		quanta  = flag.Int("quanta", 0, "override DP resolution")
-		csv     = flag.Bool("csv", false, "also emit CSV")
-		workers = flag.Int("workers", 0, "concurrent experiment cells (0 = all CPUs); never changes results")
-		cache   = flag.Bool("cache", true, "share DP tables, planners and traces across figures")
+		ids       = flag.String("exp", "all", "comma-separated figure ids or 'all'")
+		list      = flag.Bool("list", false, "list available figures and exit")
+		full      = flag.Bool("full", false, "paper-scale parameters; slow")
+		quanta    = flag.Int("quanta", 0, "override DP resolution")
+		csv       = flag.Bool("csv", false, "also emit CSV")
+		plbTraces = flag.Int("periodlb-traces", 0, "override the PeriodLB search trace count (0 = mode default)")
+		specFile  = flag.String("spec", "", "run a declarative experiment spec file (JSON) instead of the registered figures")
+		dumpSpec  = flag.Bool("dump-spec", false, "print the selected figures' declarative specs (JSON) and exit")
 	)
+	runf := cliutil.AddRunFlags(flag.CommandLine, 0, 0, true)
+	engf := cliutil.AddEngineFlags(flag.CommandLine)
 	flag.Parse()
 
+	const tool = "chkpt-figures"
 	if *list {
 		for _, e := range exper.All() {
 			if strings.HasPrefix(e.ID, "fig") {
@@ -53,30 +59,29 @@ func main() {
 		}
 		return
 	}
-
-	cfg := engine.Config{Workers: *workers}
-	if *cache {
-		cfg.Cache = engine.NewCache(0)
+	if err := runf.Validate(); err != nil {
+		cliutil.Fatal(tool, err)
 	}
-	p := exper.Params{Full: *full, Traces: *traces, Seed: *seed, CSV: *csv, Quanta: *quanta,
-		Engine: engine.New(cfg)}
+	eng, err := engf.Engine()
+	if err != nil {
+		cliutil.Fatal(tool, err)
+	}
+	p := exper.Params{Full: *full, Traces: runf.Traces, Seed: runf.Seed, CSV: *csv, Quanta: *quanta, PeriodLBTraces: *plbTraces, Engine: eng}
+
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+
+	if *specFile != "" {
+		if err := cliutil.RunSpecFile(ctx, os.Stdout, tool, *specFile, p); err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		return
+	}
 	selected := figureIDs()
 	if *ids != "all" {
 		selected = strings.Split(*ids, ",")
 	}
-	for _, id := range selected {
-		id = strings.TrimSpace(id)
-		e, ok := exper.Find(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "chkpt-figures: unknown figure %q (try -list)\n", id)
-			os.Exit(1)
-		}
-		fmt.Printf("== %s ==\n%s\n\n", e.ID, e.Title)
-		start := time.Now()
-		if err := e.Run(os.Stdout, p); err != nil {
-			fmt.Fprintf(os.Stderr, "chkpt-figures: %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		fmt.Printf("(%s in %.1f s)\n\n", e.ID, time.Since(start).Seconds())
+	if err := cliutil.RunExperiments(ctx, os.Stdout, tool, selected, p, *dumpSpec); err != nil {
+		cliutil.Fatal(tool, err)
 	}
 }

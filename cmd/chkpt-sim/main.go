@@ -2,131 +2,202 @@
 // one failure law, one policy, a configurable number of traces, and prints
 // the makespan accounting. It is the fastest way to poke at the library.
 //
+// The flags compile down to a declarative experiment spec: print it with
+// -dump-spec, replay it with -spec. Any registered platform preset,
+// distribution family and policy kind is accepted (see internal/spec).
+//
 // Examples:
 //
 //	chkpt-sim -platform petascale -p 45208 -law weibull -shape 0.7 -policy dpnextfailure
 //	chkpt-sim -platform oneproc -mtbf 86400 -law exp -policy young -traces 100
 //	chkpt-sim -platform petascale -p 4096 -law exp -policy period -period 3600
+//	chkpt-sim -policy dpnextfailure -dump-spec > run.json
+//	chkpt-sim -spec run.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	checkpoint "repro"
+	"repro/internal/cliutil"
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/spec"
 )
+
+const tool = "chkpt-sim"
 
 func main() {
 	var (
-		platformName = flag.String("platform", "petascale", "platform preset: oneproc | petascale | exascale")
+		platformName = flag.String("platform", "petascale", "platform preset: "+strings.Join(spec.PlatformNames(), " | "))
 		procs        = flag.Int("p", 0, "processors enrolled (default: whole platform)")
 		mtbf         = flag.Float64("mtbf", 0, "per-processor MTBF in seconds (default: preset value)")
-		lawName      = flag.String("law", "exp", "failure law: exp | weibull | gamma | lognormal")
+		lawName      = flag.String("law", "exp", "failure law: exp | "+strings.Join(spec.DistFamilies(), " | "))
 		shape        = flag.Float64("shape", 0.7, "shape parameter for weibull/gamma, sigma for lognormal")
-		policyName   = flag.String("policy", "optexp", "policy: young | dalylow | dalyhigh | optexp | bouguerra | liu | dpnextfailure | dpmakespan | period | lowerbound")
+		policyName   = flag.String("policy", "optexp", "policy: "+strings.Join(spec.PolicyKinds(), " | ")+" (aliases: dpnf, dpm)")
 		period       = flag.Float64("period", 0, "fixed period in seconds (policy=period)")
-		traces       = flag.Int("traces", 20, "number of random traces")
-		seed         = flag.Uint64("seed", 42, "random seed")
 		quanta       = flag.Int("quanta", 120, "dynamic-programming resolution")
 		proportional = flag.Bool("proportional", false, "use proportional checkpoint overheads C(p)=C*ptotal/p")
-		workers      = flag.Int("workers", 0, "concurrent traces (0 = all CPUs); never changes results")
-		cache        = flag.Bool("cache", true, "cache generated traces and DP tables")
+		specFile     = flag.String("spec", "", "run a declarative experiment spec file (JSON) instead of the flags")
+		dumpSpec     = flag.Bool("dump-spec", false, "print the flags' declarative spec (JSON) and exit")
 	)
+	runf := cliutil.AddRunFlags(flag.CommandLine, 20, 42, false)
+	engf := cliutil.AddEngineFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := checkpoint.EngineConfig{Workers: *workers}
-	if *cache {
-		cfg.Cache = checkpoint.NewCache(0)
+	if err := runf.Validate(); err != nil {
+		cliutil.Fatal(tool, err)
 	}
-	eng := checkpoint.NewEngine(cfg)
-	if err := run(eng, *platformName, *procs, *mtbf, *lawName, *shape, *policyName, *period, *traces, *seed, *quanta, *proportional); err != nil {
-		fmt.Fprintln(os.Stderr, "chkpt-sim:", err)
-		os.Exit(1)
+	eng, err := engf.Engine()
+	if err != nil {
+		cliutil.Fatal(tool, err)
+	}
+
+	var es *spec.ExperimentSpec
+	if *specFile != "" {
+		es, err = spec.LoadExperiment(*specFile)
+	} else {
+		es, err = compileSpec(*platformName, *procs, *mtbf, *lawName, *shape,
+			*policyName, *period, *quanta, *proportional, runf.Traces, runf.Seed)
+	}
+	if err != nil {
+		cliutil.Fatal(tool, err)
+	}
+	if *dumpSpec {
+		if err := spec.EncodeExperiment(os.Stdout, es); err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		return
+	}
+
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	if err := runAccounting(ctx, eng, es); err != nil {
+		cliutil.Fatal(tool, err)
 	}
 }
 
-func run(eng *checkpoint.Engine, platformName string, procs int, mtbf float64, lawName string, shape float64,
-	policyName string, period float64, traces int, seed uint64, quanta int, proportional bool) error {
+// compileSpec lowers the flag set into the declarative experiment form.
+func compileSpec(platformName string, procs int, mtbf float64, lawName string, shape float64,
+	policyName string, period float64, quanta int, proportional bool, traces int, seed uint64) (*spec.ExperimentSpec, error) {
 
-	var spec checkpoint.PlatformSpec
-	switch platformName {
-	case "oneproc":
-		if mtbf == 0 {
-			mtbf = checkpoint.Day
-		}
-		spec = checkpoint.OneProcPlatform(mtbf)
-	case "petascale":
-		spec = checkpoint.PetascalePlatform(125)
-	case "exascale":
-		spec = checkpoint.ExascalePlatform()
-	default:
-		return fmt.Errorf("unknown platform %q", platformName)
-	}
+	ref := spec.PlatformRef{Preset: platformName}
 	if mtbf > 0 {
-		spec.MTBF = mtbf
+		ref.MTBF = mtbf
+	}
+	plat, err := ref.Build()
+	if err != nil {
+		return nil, err
 	}
 	if procs == 0 {
-		procs = spec.PTotal
+		procs = plat.PTotal
 	}
 
-	var law checkpoint.Distribution
-	switch lawName {
-	case "exp", "exponential":
-		law = checkpoint.NewExponentialMean(spec.MTBF)
-	case "weibull":
-		law = checkpoint.WeibullFromMeanShape(spec.MTBF, shape)
-	case "gamma":
-		law = checkpoint.GammaFromMeanShape(spec.MTBF, shape)
-	case "lognormal":
-		law = checkpoint.LogNormalFromMeanSigma(spec.MTBF, shape)
-	default:
-		return fmt.Errorf("unknown law %q", lawName)
-	}
+	d := cliutil.DistSpecFromFlags(lawName, shape)
 
-	overhead := checkpoint.OverheadConstant
+	overhead := ""
 	if proportional {
-		overhead = checkpoint.OverheadProportional
+		overhead = platform.OverheadProportional.String()
 	}
-	units := spec.Units(procs)
-	work := checkpoint.Work{Model: checkpoint.WorkEmbarrassing}
-	job := &checkpoint.Job{
-		Work:  work.Time(spec.W, procs),
-		C:     spec.C(overhead, procs),
-		R:     spec.R(overhead, procs),
-		D:     spec.D,
-		Units: units,
-		Start: checkpoint.Year,
+	kind := strings.ToLower(policyName)
+	switch kind {
+	case "dpnf":
+		kind = "dpnextfailure"
+	case "dpm":
+		kind = "dpmakespan"
 	}
-	platformMTBF := (law.Mean() + spec.D) / float64(units)
-	horizon := 11*checkpoint.Year + 20*job.Work
+	ps := spec.PolicySpec{Kind: kind}
+	switch kind {
+	case "period":
+		ps.Period = period
+	case "dpnextfailure", "dpmakespan":
+		ps.Quanta = quanta
+	}
 
-	newPolicy, err := buildPolicy(eng, policyName, period, quanta, law, job, platformMTBF, units)
+	// Trace horizon: the paper's 11-year window plus generous room for a
+	// degraded run of the failure-free execution time.
+	work := platform.Work{Model: platform.WorkEmbarrassing}
+	horizon := 11*platform.Year + 20*work.Time(plat.W, procs)
+
+	return &spec.ExperimentSpec{
+		Name: tool,
+		Scenario: &spec.ScenarioSpec{
+			Name:     fmt.Sprintf("%s-p=%d-%s", plat.Name, procs, kind),
+			Platform: ref,
+			P:        procs,
+			Dist:     d,
+			Overhead: overhead,
+			Horizon:  horizon,
+			Start:    platform.Year,
+			Traces:   traces,
+			Seed:     seed,
+		},
+		Candidates: spec.CandidatesSpec{Policies: []spec.PolicySpec{ps}},
+	}, nil
+}
+
+// runAccounting executes the spec's single cell trace-by-trace on the
+// engine pool and prints the averaged makespan breakdown.
+func runAccounting(ctx context.Context, eng *engine.Engine, es *spec.ExperimentSpec) error {
+	cells, err := es.Expand()
 	if err != nil {
 		return err
 	}
+	if len(cells) != 1 {
+		return fmt.Errorf("accounting runs need exactly one cell, spec %q has %d", es.Name, len(cells))
+	}
+	cell := cells[0]
+	if cell.Candidates.Standard != nil || len(cell.Candidates.Policies) != 1 {
+		return fmt.Errorf("accounting runs need exactly one explicit policy")
+	}
+	sc, err := cell.Scenario.Compile()
+	if err != nil {
+		return err
+	}
+	d, err := sc.Derive()
+	if err != nil {
+		return err
+	}
+	job := d.Job(sc.Start)
+
+	ps := cell.Candidates.Policies[0]
+	lower := ps.Kind == "lowerbound"
+	var newPolicy func() (sim.Policy, error)
+	if !lower {
+		cand, err := ps.Candidate(ctx, spec.PolicyEnv{Engine: eng, Scenario: sc, Derived: d})
+		if err != nil {
+			return err
+		}
+		if cand.SkipReason != "" {
+			return fmt.Errorf("policy %s cannot run this scenario: %s", cand.Name, cand.SkipReason)
+		}
+		newPolicy = cand.New
+	}
 
 	fmt.Printf("platform %s: p=%d (units=%d), W(p)=%.0f s (%.2f days), C=R=%.0f s, D=%.0f s\n",
-		spec.Name, procs, units, job.Work, job.Work/checkpoint.Day, job.C, job.D)
-	fmt.Printf("failure law %s, platform MTBF %.0f s\n", law.Name(), platformMTBF)
-	fmt.Printf("policy %s, %d traces, seed %d\n\n", policyName, traces, seed)
+		sc.Spec.Name, sc.P, d.Units, job.Work, job.Work/platform.Day, job.C, job.D)
+	fmt.Printf("failure law %s, platform MTBF %.0f s\n", sc.Dist.Name(), d.PlatformMTBF)
+	fmt.Printf("policy %s, %d traces, seed %d\n\n", ps.Kind, sc.Traces, sc.Seed)
 
 	// One trace per engine cell; sums are accumulated in trace order after
 	// the parallel phase, so the output is identical for every -workers.
 	// Each trace's seed is unique to this invocation, so the sets bypass
 	// the cache (they could never be requested twice).
 	tracesEng := eng.WithoutCache()
-	results, err := checkpoint.EngineRun(eng, traces, func(i int) (checkpoint.Result, error) {
-		ts := tracesEng.GenerateTraces(law, units, horizon, spec.D, seed+uint64(i)*0x9e3779b97f4a7c15)
-		if strings.EqualFold(policyName, "lowerbound") {
-			return checkpoint.SimulateLowerBound(job, ts)
+	results, err := engine.Run(ctx, eng, sc.Traces, func(i int) (sim.Result, error) {
+		ts := tracesEng.GenerateTraces(sc.Dist, d.Units, sc.Horizon, sc.Spec.D, sc.TraceSeed(i))
+		if lower {
+			return sim.LowerBound(ctx, job, ts)
 		}
 		pol, err := newPolicy()
 		if err != nil {
-			return checkpoint.Result{}, err
+			return sim.Result{}, err
 		}
-		return checkpoint.Simulate(job, pol, ts)
+		return sim.Run(ctx, job, pol, ts)
 	})
 	if err != nil {
 		return err
@@ -142,8 +213,8 @@ func run(eng *checkpoint.Engine, platformName string, procs int, mtbf float64, l
 		failSum += float64(res.Failures)
 		chunkSum += res.Chunks
 	}
-	n := float64(traces)
-	fmt.Printf("average makespan     %12.0f s (%.2f days)\n", mkSum/n, mkSum/n/checkpoint.Day)
+	n := float64(sc.Traces)
+	fmt.Printf("average makespan     %12.0f s (%.2f days)\n", mkSum/n, mkSum/n/platform.Day)
 	fmt.Printf("  work               %12.0f s\n", job.Work)
 	fmt.Printf("  checkpointing      %12.0f s\n", cpSum/n)
 	fmt.Printf("  lost to failures   %12.0f s\n", lostSum/n)
@@ -152,70 +223,4 @@ func run(eng *checkpoint.Engine, platformName string, procs int, mtbf float64, l
 	fmt.Printf("average failures     %12.1f\n", failSum/n)
 	fmt.Printf("average chunks       %12.1f\n", float64(chunkSum)/n)
 	return nil
-}
-
-func buildPolicy(eng *checkpoint.Engine, name string, period float64, quanta int, law checkpoint.Distribution,
-	job *checkpoint.Job, platformMTBF float64, units int) (func() (checkpoint.Policy, error), error) {
-
-	switch strings.ToLower(name) {
-	case "young":
-		p := checkpoint.NewYoung(job.C, platformMTBF)
-		return func() (checkpoint.Policy, error) { return p, nil }, nil
-	case "dalylow":
-		p := checkpoint.NewDalyLow(job.C, platformMTBF, job.D, job.R)
-		return func() (checkpoint.Policy, error) { return p, nil }, nil
-	case "dalyhigh":
-		p := checkpoint.NewDalyHigh(job.C, platformMTBF)
-		return func() (checkpoint.Policy, error) { return p, nil }, nil
-	case "optexp":
-		p, err := checkpoint.NewOptExp(job.Work, float64(units)/law.Mean(), job.C)
-		if err != nil {
-			return nil, err
-		}
-		return func() (checkpoint.Policy, error) { return p, nil }, nil
-	case "bouguerra":
-		p, err := checkpoint.NewBouguerra(job.Work, units, law, job.C, job.D, job.R)
-		if err != nil {
-			return nil, err
-		}
-		return func() (checkpoint.Policy, error) { return p, nil }, nil
-	case "liu":
-		l, err := checkpoint.NewLiu(job.Work, units, law, job.C)
-		if err != nil {
-			return nil, err
-		}
-		if !l.Feasible() {
-			return nil, fmt.Errorf("liu schedule infeasible for this configuration")
-		}
-		return func() (checkpoint.Policy, error) { return checkpoint.NewLiu(job.Work, units, law, job.C) }, nil
-	case "dpnextfailure", "dpnf":
-		// One shared immutable planner: per-run policies reuse its
-		// memoized initial planning pass.
-		planner := checkpoint.NewDPNextFailurePlanner(law, law.Mean(), checkpoint.WithQuanta(quanta))
-		return func() (checkpoint.Policy, error) { return planner.NewPolicy(), nil }, nil
-	case "dpmakespan", "dpm":
-		macro := law
-		if units > 1 {
-			var err error
-			macro, err = checkpoint.AggregateRenewal(law, units)
-			if err != nil {
-				return nil, err
-			}
-		}
-		table, err := eng.DPMakespanTable(macro, job.Work, job.C, job.R, job.D, 0, quanta)
-		if err != nil {
-			return nil, err
-		}
-		return func() (checkpoint.Policy, error) { return checkpoint.NewDPMakespan(table), nil }, nil
-	case "period":
-		if period <= 0 {
-			return nil, fmt.Errorf("policy=period needs -period")
-		}
-		p := checkpoint.NewPeriodic("period", period)
-		return func() (checkpoint.Policy, error) { return p, nil }, nil
-	case "lowerbound":
-		return func() (checkpoint.Policy, error) { return nil, nil }, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
-	}
 }

@@ -1,21 +1,26 @@
 // Command chkpt-tables regenerates the paper's result tables (Tables 2-4
 // and the §5.2.2 spare-processor statistics).
 //
+// Experiments are declarative: flags compile down to an experiment spec
+// (print it with -dump-spec), and -spec runs a checked-in spec file with
+// byte-identical output to the flag-driven invocation. Tables stream to
+// stdout; timings go to stderr, so stdout is deterministic.
+//
 // Examples:
 //
-//	chkpt-tables                      # quick mode, all tables
-//	chkpt-tables -exp table4          # one table
-//	chkpt-tables -full -traces 600    # paper-scale methodology
+//	chkpt-tables                           # quick mode, all tables
+//	chkpt-tables -exp table4               # one table
+//	chkpt-tables -full -traces 600         # paper-scale methodology
+//	chkpt-tables -exp table2 -dump-spec    # print the declarative spec
+//	chkpt-tables -spec testdata/table2.json
 package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
 	"strings"
-	"time"
 
-	"repro/internal/engine"
+	"repro/internal/cliutil"
 	"repro/internal/exper"
 )
 
@@ -23,47 +28,42 @@ var tableIDs = []string{"table2", "table3", "table4", "spares"}
 
 func main() {
 	var (
-		ids     = flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(tableIDs, ", ")+") or 'all'")
-		full    = flag.Bool("full", false, "paper-scale parameters (600 traces, fine DP quanta); slow")
-		traces  = flag.Int("traces", 0, "override trace count")
-		seed    = flag.Uint64("seed", 0, "override random seed")
-		quanta  = flag.Int("quanta", 0, "override DP resolution")
-		csv     = flag.Bool("csv", false, "also emit CSV")
-		workers = flag.Int("workers", 0, "concurrent experiment cells (0 = all CPUs); never changes results")
-		cache   = flag.Bool("cache", true, "share DP tables, planners and traces across experiments")
+		ids       = flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(tableIDs, ", ")+") or 'all'")
+		full      = flag.Bool("full", false, "paper-scale parameters (600 traces, fine DP quanta); slow")
+		quanta    = flag.Int("quanta", 0, "override DP resolution")
+		csv       = flag.Bool("csv", false, "also emit CSV")
+		plbTraces = flag.Int("periodlb-traces", 0, "override the PeriodLB search trace count (0 = mode default)")
+		specFile  = flag.String("spec", "", "run a declarative experiment spec file (JSON) instead of the registered tables")
+		dumpSpec  = flag.Bool("dump-spec", false, "print the selected experiments' declarative specs (JSON) and exit")
 	)
+	runf := cliutil.AddRunFlags(flag.CommandLine, 0, 0, true)
+	engf := cliutil.AddEngineFlags(flag.CommandLine)
 	flag.Parse()
 
-	eng := newEngine(*workers, *cache)
-	p := exper.Params{Full: *full, Traces: *traces, Seed: *seed, CSV: *csv, Quanta: *quanta, Engine: eng}
+	const tool = "chkpt-tables"
+	if err := runf.Validate(); err != nil {
+		cliutil.Fatal(tool, err)
+	}
+	eng, err := engf.Engine()
+	if err != nil {
+		cliutil.Fatal(tool, err)
+	}
+	p := exper.Params{Full: *full, Traces: runf.Traces, Seed: runf.Seed, CSV: *csv, Quanta: *quanta, PeriodLBTraces: *plbTraces, Engine: eng}
+
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+
+	if *specFile != "" {
+		if err := cliutil.RunSpecFile(ctx, os.Stdout, tool, *specFile, p); err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		return
+	}
 	selected := tableIDs
 	if *ids != "all" {
 		selected = strings.Split(*ids, ",")
 	}
-	for _, id := range selected {
-		id = strings.TrimSpace(id)
-		e, ok := exper.Find(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "chkpt-tables: unknown experiment %q (have: %s)\n", id, strings.Join(tableIDs, ", "))
-			os.Exit(1)
-		}
-		fmt.Printf("== %s ==\n%s\n\n", e.ID, e.Title)
-		start := time.Now()
-		if err := e.Run(os.Stdout, p); err != nil {
-			fmt.Fprintf(os.Stderr, "chkpt-tables: %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		fmt.Printf("(%s in %.1f s)\n\n", e.ID, time.Since(start).Seconds())
+	if err := cliutil.RunExperiments(ctx, os.Stdout, tool, selected, p, *dumpSpec); err != nil {
+		cliutil.Fatal(tool, err)
 	}
-}
-
-// newEngine builds the shared experiment engine: one cache spans all
-// selected experiments, so tables that share scenario cells (table4 and
-// spares) reuse each other's traces and planning tables.
-func newEngine(workers int, cached bool) *engine.Engine {
-	cfg := engine.Config{Workers: workers}
-	if cached {
-		cfg.Cache = engine.NewCache(0)
-	}
-	return engine.New(cfg)
 }

@@ -6,6 +6,9 @@
 //	gen-log   -cluster 19 -n 50000 -o cluster19.log      synthetic LANL-like availability log
 //	stats     -in cluster19.log                          summary statistics of a log
 //	gen-trace -law weibull -shape 0.7 -mtbf 3.942e9 ...  renewal failure trace (CSV of failure dates)
+//
+// gen-trace is declarative: its flags compile to a trace spec (print with
+// -dump-spec, replay with -spec).
 package main
 
 import (
@@ -14,8 +17,11 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 
 	checkpoint "repro"
+	"repro/internal/cliutil"
+	"repro/internal/spec"
 	"repro/internal/trace"
 )
 
@@ -49,7 +55,7 @@ func usage() {
   gen-log   -cluster 18|19 -n N -seed S [-o file]     write a synthetic availability log
   stats     -in file                                  print summary statistics of a log
   gen-trace -law exp|weibull -mtbf SEC [-shape K] -units U -horizon SEC -downtime SEC -seed S [-o file]
-            [-workers N]
+            [-workers N] [-spec file.json] [-dump-spec]
   fit       -in file                                  maximum-likelihood Weibull/Exponential fits of a log`)
 }
 
@@ -167,29 +173,47 @@ func stats(args []string) error {
 
 func genTrace(args []string) error {
 	fs := flag.NewFlagSet("gen-trace", flag.ExitOnError)
-	law := fs.String("law", "weibull", "failure law: exp | weibull")
+	law := fs.String("law", "weibull", "failure law family: exp | "+strings.Join(spec.DistFamilies(), " | "))
 	mtbf := fs.Float64("mtbf", 125*checkpoint.Year, "per-unit MTBF in seconds")
-	shape := fs.Float64("shape", 0.7, "weibull shape")
+	shape := fs.Float64("shape", 0.7, "weibull/gamma shape, lognormal sigma")
 	units := fs.Int("units", 16, "number of units")
 	horizon := fs.Float64("horizon", 11*checkpoint.Year, "trace horizon in seconds")
 	downtime := fs.Float64("downtime", 60, "downtime after each failure")
 	seed := fs.Uint64("seed", 1, "random seed")
 	out := fs.String("o", "", "output file (default stdout)")
+	specFile := fs.String("spec", "", "generate from a declarative trace spec file (JSON) instead of the flags")
+	dumpSpec := fs.Bool("dump-spec", false, "print the flags' declarative trace spec (JSON) and exit")
 	workers := fs.Int("workers", 0, "concurrent generation blocks (0 = all CPUs); never changes the trace")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var d checkpoint.Distribution
-	switch *law {
-	case "exp":
-		d = checkpoint.NewExponentialMean(*mtbf)
-	case "weibull":
-		d = checkpoint.WeibullFromMeanShape(*mtbf, *shape)
-	default:
-		return fmt.Errorf("unknown law %q", *law)
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = all CPUs), got %d", *workers)
+	}
+	var tspec *spec.TraceSpec
+	if *specFile != "" {
+		loaded, err := spec.LoadTrace(*specFile)
+		if err != nil {
+			return err
+		}
+		tspec = loaded
+	} else {
+		ds := cliutil.DistSpecFromFlags(*law, *shape)
+		ds.Mean = *mtbf
+		tspec = &spec.TraceSpec{Dist: ds, Units: *units, Horizon: *horizon, Downtime: *downtime, Seed: *seed}
+		if err := tspec.Validate(); err != nil {
+			return err
+		}
+	}
+	if *dumpSpec {
+		return spec.EncodeTrace(os.Stdout, tspec)
+	}
+	d, err := tspec.Dist.Build(0)
+	if err != nil {
+		return err
 	}
 	eng := checkpoint.NewEngine(checkpoint.EngineConfig{Workers: *workers})
-	ts := eng.GenerateTraces(d, *units, *horizon, *downtime, *seed)
+	ts := eng.GenerateTraces(d, tspec.Units, tspec.Horizon, tspec.Downtime, tspec.Seed)
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -200,7 +224,7 @@ func genTrace(args []string) error {
 		w = f
 	}
 	fmt.Fprintf(w, "# renewal failure trace: law=%s units=%d horizon=%g downtime=%g seed=%d\n",
-		d.Name(), *units, *horizon, *downtime, *seed)
+		d.Name(), tspec.Units, tspec.Horizon, tspec.Downtime, tspec.Seed)
 	fmt.Fprintln(w, "unit,failure_time_s")
 	total := 0
 	for u, tr := range ts.Units {
@@ -210,6 +234,6 @@ func genTrace(args []string) error {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d failures for %d units (platform MTBF %.0f s)\n",
-		total, *units, ts.PlatformMTBF(*units))
+		total, tspec.Units, ts.PlatformMTBF(tspec.Units))
 	return nil
 }

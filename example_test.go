@@ -1,6 +1,7 @@
 package checkpoint_test
 
 import (
+	"context"
 	"fmt"
 
 	checkpoint "repro"
@@ -30,7 +31,7 @@ func ExampleSimulate() {
 		Units: 1,
 	}
 	pol := checkpoint.NewYoung(job.C, law.Mean())
-	res, err := checkpoint.Simulate(job, pol, traces)
+	res, err := checkpoint.Simulate(context.Background(), job, pol, traces)
 	if err != nil {
 		panic(err)
 	}
@@ -64,15 +65,15 @@ func ExampleNewEngine() {
 	sequential := checkpoint.NewEngine(checkpoint.EngineConfig{Workers: 1, Cache: cache})
 	parallel := checkpoint.NewEngine(checkpoint.EngineConfig{Workers: 4, Cache: cache})
 
-	cands, err := checkpoint.StandardCandidatesWith(sequential, sc, cfg)
+	cands, err := checkpoint.StandardCandidatesWith(context.Background(), sequential, sc, cfg)
 	if err != nil {
 		panic(err)
 	}
-	ev1, err := checkpoint.EvaluateWith(sequential, sc, cands)
+	ev1, err := checkpoint.EvaluateWith(context.Background(), sequential, sc, cands)
 	if err != nil {
 		panic(err)
 	}
-	ev2, err := checkpoint.EvaluateWith(parallel, sc, cands)
+	ev2, err := checkpoint.EvaluateWith(context.Background(), parallel, sc, cands)
 	if err != nil {
 		panic(err)
 	}
@@ -93,4 +94,40 @@ func ExamplePlatformMTBFSingleRejuvenation() {
 	single := checkpoint.PlatformMTBFSingleRejuvenation(w.Mean(), 1<<20, 60)
 	fmt.Printf("rejuvenate-all: %.0f s, single-rejuvenation: %.0f s\n", all, single)
 	// Output: rejuvenate-all: 70 s, single-rejuvenation: 3759 s
+}
+
+// ExampleRunSpec declares a two-cell experiment as data, runs it with a
+// cancellable context, and streams the results in deterministic order —
+// the declarative workflow behind the cmd tools' -spec flag.
+func ExampleRunSpec() {
+	es := &checkpoint.ExperimentSpec{
+		Name: "example",
+		Scenario: &checkpoint.ScenarioSpec{
+			Name:     "oneproc",
+			Platform: checkpoint.PlatformRef{Preset: "oneproc"},
+			P:        1,
+			Dist:     checkpoint.DistSpec{Family: "exponential"}, // mean = platform MTBF
+			Horizon:  2 * checkpoint.Year,
+			Traces:   3,
+			Seed:     7,
+		},
+		Grid: &checkpoint.GridSpec{MTBF: []float64{checkpoint.Hour, checkpoint.Day}},
+		Candidates: checkpoint.CandidatesSpec{Policies: []checkpoint.PolicySpec{
+			{Kind: "young"},
+		}},
+	}
+	eng := checkpoint.NewEngine(checkpoint.EngineConfig{Cache: checkpoint.NewCache(0)})
+	for cell, err := range checkpoint.RunSpec(context.Background(), eng, es) {
+		if err != nil {
+			panic(err)
+		}
+		for _, row := range cell.Eval.Rows() {
+			if !row.LowerBound {
+				fmt.Printf("%s %s degradation %.3f\n", cell.Scenario.Name, row.Name, row.Degradation.Mean)
+			}
+		}
+	}
+	// Output:
+	// oneproc[mtbf=3600] Young degradation 1.000
+	// oneproc[mtbf=86400] Young degradation 1.000
 }

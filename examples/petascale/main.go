@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	spec := checkpoint.PetascalePlatform(125) // Table 1: Jaguar-like
 	sc := checkpoint.Scenario{
 		Name:     "petascale-demo",
@@ -31,11 +33,11 @@ func main() {
 	cfg := checkpoint.DefaultCandidateConfig()
 	cfg.DPNextFailureQuanta = 120
 
-	cands, err := checkpoint.StandardCandidates(sc, cfg)
+	cands, err := checkpoint.StandardCandidates(ctx, sc, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ev, err := checkpoint.Evaluate(sc, cands)
+	ev, err := checkpoint.Evaluate(ctx, sc, cands)
 	if err != nil {
 		log.Fatal(err)
 	}

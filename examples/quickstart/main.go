@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Jaguar-like parameters (Table 1): 125-year per-processor MTBF,
 	// Weibull shape 0.7 as measured on production clusters, 600 s
 	// checkpoints, 60 s downtime.
@@ -42,16 +44,16 @@ func main() {
 	for i := uint64(0); i < traces; i++ {
 		ts := checkpoint.GenerateTraces(law, units, 3*checkpoint.Year, job.D, 1000+i)
 
-		resY, err := checkpoint.Simulate(job, young, ts)
+		resY, err := checkpoint.Simulate(ctx, job, young, ts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		dpnf := checkpoint.NewDPNextFailure(law, law.Mean(), checkpoint.WithQuanta(120))
-		resD, err := checkpoint.Simulate(job, dpnf, ts)
+		resD, err := checkpoint.Simulate(ctx, job, dpnf, ts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		lb, err := checkpoint.SimulateLowerBound(job, ts)
+		lb, err := checkpoint.SimulateLowerBound(ctx, job, ts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const (
 		w      = 20 * checkpoint.Day
 		c      = 600.0
@@ -50,7 +52,7 @@ func main() {
 	var sum float64
 	for i := uint64(0); i < traces; i++ {
 		ts := checkpoint.GenerateTraces(law, 1, 2*checkpoint.Year, d, i)
-		res, err := checkpoint.Simulate(job, opt, ts)
+		res, err := checkpoint.Simulate(ctx, job, opt, ts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 1. Generate (or load) an availability log and build the empirical
 	// conditional-survival distribution the paper defines in §4.3.
 	logDurations := checkpoint.SyntheticLog(checkpoint.Cluster19, 30000, 7)
@@ -48,12 +50,12 @@ func main() {
 	horizon := 2*checkpoint.Year + 40*job.Work
 	for i := uint64(0); i < traces; i++ {
 		ts := checkpoint.GenerateTraces(emp, units, horizon, spec.D, 500+i)
-		resY, err := checkpoint.Simulate(job, young, ts)
+		resY, err := checkpoint.Simulate(ctx, job, young, ts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		dpnf := checkpoint.NewDPNextFailure(emp, emp.Mean(), checkpoint.WithQuanta(100))
-		resD, err := checkpoint.Simulate(job, dpnf, ts)
+		resD, err := checkpoint.Simulate(ctx, job, dpnf, ts)
 		if err != nil {
 			log.Fatal(err)
 		}

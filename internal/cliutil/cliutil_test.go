@@ -1,0 +1,81 @@
+package cliutil
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/exper"
+)
+
+func testParams() exper.Params { return exper.Params{Traces: 1} }
+
+func TestEngineFlagsValidation(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := AddEngineFlags(fs)
+	if err := fs.Parse([]string{"-workers", "-3"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Engine(); err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Errorf("negative workers: err = %v", err)
+	}
+	f.Workers = 0
+	eng, err := f.Engine()
+	if err != nil || eng == nil {
+		t.Fatalf("valid flags: %v", err)
+	}
+	if eng.Cache() == nil {
+		t.Error("default -cache=true should attach a cache")
+	}
+	f.Cache = false
+	eng, err = f.Engine()
+	if err != nil || eng.Cache() != nil {
+		t.Errorf("-cache=false should disable the cache: %v", err)
+	}
+}
+
+func TestRunFlagsValidation(t *testing.T) {
+	cases := []struct {
+		traces   int
+		optional bool
+		ok       bool
+	}{
+		{-1, true, false},
+		{-1, false, false},
+		{0, true, true},
+		{0, false, false},
+		{1, false, true},
+		{10, true, true},
+	}
+	for _, c := range cases {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		f := AddRunFlags(fs, 0, 0, c.optional)
+		f.Traces = c.traces
+		err := f.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("traces=%d optional=%v: err = %v, want ok=%v", c.traces, c.optional, err, c.ok)
+		}
+	}
+}
+
+func TestRunExperimentsUnknownID(t *testing.T) {
+	var sb strings.Builder
+	ctx, cancel := SignalContext()
+	defer cancel()
+	err := RunExperiments(ctx, &sb, "test", []string{"no-such-exp"}, testParams(), false)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestDumpSpecRefusesMultipleIDs (regression): concatenated JSON specs
+// can never be loaded back, so dumping requires exactly one experiment.
+func TestDumpSpecRefusesMultipleIDs(t *testing.T) {
+	var sb strings.Builder
+	ctx, cancel := SignalContext()
+	defer cancel()
+	err := RunExperiments(ctx, &sb, "test", []string{"table2", "table3"}, testParams(), true)
+	if err == nil || !strings.Contains(err.Error(), "exactly one experiment") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -23,4 +23,9 @@
 // DPNextFailure grid a single scalar function), quantiles, and
 // deterministic sampling through the repro/internal/rng streams so that
 // every trace is reproducible.
+//
+// The declarative layer (repro/internal/spec) registers every family in
+// a name-keyed registry ("exponential", "weibull", "gamma", "lognormal",
+// "empirical") with JSON codecs whose encode → decode → build round trip
+// is bit-identical.
 package dist

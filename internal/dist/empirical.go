@@ -82,6 +82,15 @@ func (e *Empirical) Mean() float64 { return e.mean }
 // Len returns the sample size.
 func (e *Empirical) Len() int { return len(e.values) }
 
+// Samples returns a copy of the sorted sample, for serialization. Feeding
+// it back to NewEmpirical reconstructs an identical law (sorting is
+// idempotent), which the spec codecs rely on for round trips.
+func (e *Empirical) Samples() []float64 {
+	out := make([]float64, len(e.values))
+	copy(out, e.values)
+	return out
+}
+
 // countLE returns the number of samples <= x.
 func (e *Empirical) countLE(x float64) int {
 	return sort.Search(len(e.values), func(i int) bool { return e.values[i] > x })

@@ -27,4 +27,10 @@
 // Nested Run/Stream calls are allowed — each call spawns its own worker
 // set, so a cell may itself fan out (the PeriodLB search inside a figure
 // cell, for example) without risking pool starvation.
+//
+// Cancellation: Run and Stream take a context.Context. Cancelling it
+// stops workers from claiming further cells and returns ctx.Err()
+// promptly; cells that completed keep their deterministic values, so
+// anything already emitted by Stream is a contiguous prefix of the
+// uncancelled sequence. An uncancelled context never changes results.
 package engine

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -78,10 +79,16 @@ func (e *Engine) WithoutCache() *Engine {
 // results indexed by cell: the output is identical for every worker count.
 // Every cell runs even if another fails; the returned error is the
 // lowest-indexed cell error, matching what a sequential loop would report.
-func Run[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+//
+// Cancelling the context stops workers from claiming further cells (cells
+// already in flight finish, or abort themselves if fn observes the same
+// context) and Run returns ctx.Err(). Cells that did complete keep their
+// deterministic values in the returned slice, so any completed prefix is a
+// prefix of the full uncancelled result.
+func Run[T any](ctx context.Context, e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 	e = or(e)
 	if n <= 0 {
-		return nil, nil
+		return nil, ctx.Err()
 	}
 	results := make([]T, n)
 	errs := make([]error, n)
@@ -91,6 +98,9 @@ func Run[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
 			results[i], errs[i] = fn(i)
 		}
 	} else {
@@ -100,7 +110,7 @@ func Run[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
+				for ctx.Err() == nil {
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
@@ -110,6 +120,9 @@ func Run[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 			}()
 		}
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return results, err
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -124,10 +137,15 @@ func Run[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 // of cells has completed: cell 0 is emitted the moment it finishes, even
 // while cell n-1 is still running. Emission stops at the first cell error
 // (which is returned) or the first emit error.
-func Stream[T any](e *Engine, n int, fn func(i int) (T, error), emit func(i int, v T) error) error {
+//
+// Cancelling the context stops workers from claiming further cells and
+// Stream returns ctx.Err(). Everything emitted before cancellation is a
+// contiguous prefix of the deterministic full sequence — the same bytes at
+// any worker count; cancellation only decides where the prefix ends.
+func Stream[T any](ctx context.Context, e *Engine, n int, fn func(i int) (T, error), emit func(i int, v T) error) error {
 	e = or(e)
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	results := make([]T, n)
 	errs := make([]error, n)
@@ -161,7 +179,7 @@ func Stream[T any](e *Engine, n int, fn func(i int) (T, error), emit func(i int,
 		w = n
 	}
 	if w <= 1 {
-		for i := 0; i < n; i++ {
+		for i := 0; i < n && ctx.Err() == nil; i++ {
 			cell(i)
 		}
 	} else {
@@ -171,7 +189,7 @@ func Stream[T any](e *Engine, n int, fn func(i int) (T, error), emit func(i int,
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
+				for ctx.Err() == nil {
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
@@ -186,6 +204,9 @@ func Stream[T any](e *Engine, n int, fn func(i int) (T, error), emit func(i int,
 	// a failed cell, so an emit failure happened at a lower index.
 	if emitErr != nil {
 		return emitErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -224,7 +245,9 @@ func (e *Engine) generateTraces(d dist.Distribution, units int, horizon, downtim
 	blocks := e.workers * 4
 	size := (units + blocks - 1) / blocks
 	nb := (units + size - 1) / size
-	_, _ = Run(e, nb, func(b int) (struct{}, error) {
+	// Background context: a trace set is an atomic cached artifact — a
+	// partially generated set must never escape into the cache.
+	_, _ = Run(context.Background(), e, nb, func(b int) (struct{}, error) {
 		lo, hi := b*size, (b+1)*size
 		if hi > units {
 			hi = units

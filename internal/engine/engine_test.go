@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/trace"
@@ -13,7 +15,7 @@ import (
 func TestRunOrdersResultsByIndex(t *testing.T) {
 	for _, workers := range []int{1, 2, 7, 32} {
 		e := New(Config{Workers: workers})
-		got, err := Run(e, 100, func(i int) (int, error) { return i * i, nil })
+		got, err := Run(context.Background(), e, 100, func(i int) (int, error) { return i * i, nil })
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -29,7 +31,7 @@ func TestRunReturnsLowestIndexedError(t *testing.T) {
 	e := New(Config{Workers: 8})
 	wantErr := errors.New("cell 3")
 	var ran atomic.Int64
-	_, err := Run(e, 10, func(i int) (int, error) {
+	_, err := Run(context.Background(), e, 10, func(i int) (int, error) {
 		ran.Add(1)
 		switch i {
 		case 3:
@@ -48,14 +50,14 @@ func TestRunReturnsLowestIndexedError(t *testing.T) {
 }
 
 func TestRunZeroCells(t *testing.T) {
-	got, err := Run(New(Config{}), 0, func(i int) (int, error) { return 0, nil })
+	got, err := Run(context.Background(), New(Config{}), 0, func(i int) (int, error) { return 0, nil })
 	if err != nil || got != nil {
 		t.Fatalf("got %v, %v", got, err)
 	}
 }
 
 func TestRunNilEngineUsesDefault(t *testing.T) {
-	got, err := Run(nil, 3, func(i int) (int, error) { return i + 1, nil })
+	got, err := Run(context.Background(), nil, 3, func(i int) (int, error) { return i + 1, nil })
 	if err != nil || len(got) != 3 || got[2] != 3 {
 		t.Fatalf("got %v, %v", got, err)
 	}
@@ -65,7 +67,7 @@ func TestStreamEmitsInOrder(t *testing.T) {
 	for _, workers := range []int{1, 4, 16} {
 		e := New(Config{Workers: workers})
 		var emitted []int
-		err := Stream(e, 50,
+		err := Stream(context.Background(), e, 50,
 			func(i int) (int, error) { return 2 * i, nil },
 			func(i int, v int) error {
 				if v != 2*i {
@@ -92,7 +94,7 @@ func TestStreamStopsEmittingAtFirstCellError(t *testing.T) {
 	e := New(Config{Workers: 4})
 	boom := errors.New("boom")
 	var emitted []int
-	err := Stream(e, 20,
+	err := Stream(context.Background(), e, 20,
 		func(i int) (int, error) {
 			if i == 5 {
 				return 0, boom
@@ -113,8 +115,8 @@ func TestStreamStopsEmittingAtFirstCellError(t *testing.T) {
 
 func TestNestedRunDoesNotDeadlock(t *testing.T) {
 	e := New(Config{Workers: 2})
-	got, err := Run(e, 4, func(i int) (int, error) {
-		inner, err := Run(e, 4, func(j int) (int, error) { return i*10 + j, nil })
+	got, err := Run(context.Background(), e, 4, func(i int) (int, error) {
+		inner, err := Run(context.Background(), e, 4, func(j int) (int, error) { return i*10 + j, nil })
 		if err != nil {
 			return 0, err
 		}
@@ -200,5 +202,65 @@ func TestWithoutCacheBypassesTheCache(t *testing.T) {
 	// A cacheless engine's WithoutCache is itself.
 	if nc := New(Config{Workers: 1}); nc.WithoutCache() != nc {
 		t.Fatal("cacheless engine should return itself")
+	}
+}
+
+// TestRunCancellation: cancelling the context stops workers from
+// claiming further cells and Run returns ctx.Err(); completed cells keep
+// their deterministic values.
+func TestRunCancellation(t *testing.T) {
+	e := New(Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	results, err := Run(ctx, e, 1000, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return i + 1, nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Errorf("cancellation did not stop the sweep: %d cells ran", n)
+	}
+	if len(results) != 1000 {
+		t.Fatalf("result slice must keep full length, got %d", len(results))
+	}
+	if results[0] != 1 {
+		t.Errorf("completed cell lost its value: %v", results[0])
+	}
+}
+
+// TestStreamCancellation: the emitted prefix stays contiguous and
+// deterministic under cancellation.
+func TestStreamCancellation(t *testing.T) {
+	e := New(Config{Workers: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	var emitted []int
+	err := Stream(ctx, e, 1000,
+		func(i int) (int, error) {
+			time.Sleep(time.Millisecond)
+			return i * 2, nil
+		},
+		func(i int, v int) error {
+			emitted = append(emitted, v)
+			if len(emitted) == 3 {
+				cancel()
+			}
+			return nil
+		})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(emitted) >= 1000 || len(emitted) < 3 {
+		t.Fatalf("unexpected emitted count %d", len(emitted))
+	}
+	for i, v := range emitted {
+		if v != i*2 {
+			t.Errorf("emitted[%d] = %d, want %d (prefix must stay contiguous)", i, v, i*2)
+		}
 	}
 }

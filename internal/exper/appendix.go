@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -13,15 +14,15 @@ func init() {
 	register(Experiment{
 		ID:    "figA-period-exp",
 		Title: "Appendix A (Fig 8): period-multiplier sweep, single processor, Exponential",
-		Run: func(w io.Writer, p Params) error {
-			return runPeriodSweepSingleProc(w, p, false)
+		Run: func(ctx context.Context, w io.Writer, p Params) error {
+			return runPeriodSweepSingleProc(ctx, w, p, false)
 		},
 	})
 	register(Experiment{
 		ID:    "figA-period-weibull",
 		Title: "Appendix A (Fig 9): period-multiplier sweep, single processor, Weibull k=0.7",
-		Run: func(w io.Writer, p Params) error {
-			return runPeriodSweepSingleProc(w, p, true)
+		Run: func(ctx context.Context, w io.Writer, p Params) error {
+			return runPeriodSweepSingleProc(ctx, w, p, true)
 		},
 	})
 	register(Experiment{
@@ -33,7 +34,7 @@ func init() {
 
 // runPeriodSweepSingleProc reproduces the Appendix A figures: degradation
 // of fixed periods OptExp*2^f as f sweeps [-4, 4], for the three MTBFs.
-func runPeriodSweepSingleProc(w io.Writer, p Params, weibull bool) error {
+func runPeriodSweepSingleProc(ctx context.Context, w io.Writer, p Params, weibull bool) error {
 	var factors []float64
 	if p.Full {
 		for f := -4.0; f <= 4.01; f += 0.5 {
@@ -48,7 +49,7 @@ func runPeriodSweepSingleProc(w io.Writer, p Params, weibull bool) error {
 		cfg := harness.DefaultCandidateConfig()
 		cfg.DPNextFailureQuanta = p.quantaOr(60, 150)
 		cfg.DPMakespanQuanta = p.quantaOr(600, 1200)
-		points, ev, err := harness.PeriodVariationWith(p.engine(), sc, cfg, factors)
+		points, ev, err := harness.PeriodVariationWith(ctx, p.engine(), sc, cfg, factors)
 		if err != nil {
 			return err
 		}
@@ -91,7 +92,7 @@ func runPeriodSweepSingleProc(w io.Writer, p Params, weibull bool) error {
 // the key heuristics at one platform size, which summarizes the 88
 // appendix figures' content (each figure is one cell's processor sweep;
 // the paper's stated conclusion is that all cells tell the same story).
-func runAppendixMatrix(w io.Writer, p Params) error {
+func runAppendixMatrix(ctx context.Context, w io.Writer, p Params) error {
 	spec := platform.Petascale(125)
 	procs := p.pick(1<<12, 45208)
 	traces := p.traces(6, 600)
@@ -126,11 +127,11 @@ func runAppendixMatrix(w io.Writer, p Params) error {
 				cfg := harness.DefaultCandidateConfig()
 				cfg.DPNextFailureQuanta = p.quantaOr(80, 200)
 				cfg.IncludeLiu = false
-				cands, err := harness.StandardCandidatesWith(p.engine(), sc, cfg)
+				cands, err := harness.StandardCandidatesWith(ctx, p.engine(), sc, cfg)
 				if err != nil {
 					return err
 				}
-				ev, err := harness.EvaluateWith(p.engine(), sc, cands)
+				ev, err := harness.EvaluateWith(ctx, p.engine(), sc, cands)
 				if err != nil {
 					return err
 				}

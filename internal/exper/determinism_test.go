@@ -2,6 +2,7 @@ package exper
 
 import (
 	"bytes"
+	"context"
 	"runtime"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestTable4DeterministicAcrossWorkers(t *testing.T) {
 			Engine:         engine.New(engine.Config{Workers: workers, Cache: cache}),
 		}
 		var buf bytes.Buffer
-		if err := e.Run(&buf, p); err != nil {
+		if err := e.Run(context.Background(), &buf, p); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		return buf.String()
@@ -69,7 +70,7 @@ func TestSingleProcTableDeterministicAcrossWorkers(t *testing.T) {
 			Engine:         engine.New(engine.Config{Workers: workers, Cache: cache}),
 		}
 		var buf bytes.Buffer
-		if err := e.Run(&buf, p); err != nil {
+		if err := e.Run(context.Background(), &buf, p); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		return buf.String()

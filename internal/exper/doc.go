@@ -29,4 +29,11 @@
 // experiment engine configured in Params (worker count and artifact cache
 // — see repro/internal/engine); output is byte-identical for every worker
 // count.
+//
+// Experiment.Run takes a context.Context that cancels mid-experiment
+// (the cmd tools wire SIGINT/SIGTERM to it). Experiments that are fully
+// declarative — the tables and fig5 — also register a Spec builder: their
+// Run compiles the spec and executes it through RunSpec, which is the
+// same path the cmd tools' -spec files take, so a dumped spec reproduces
+// the flag-driven output byte-for-byte.
 package exper

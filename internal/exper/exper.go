@@ -1,12 +1,14 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/harness"
+	"repro/internal/spec"
 )
 
 // Params controls an experiment run.
@@ -76,7 +78,13 @@ func (p Params) seed() uint64 {
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(w io.Writer, p Params) error
+	Run   func(ctx context.Context, w io.Writer, p Params) error
+	// Spec, when non-nil, returns the declarative form of the experiment
+	// at the given parameters: running it through RunSpec produces
+	// byte-identical output to Run. The cmd tools print it with
+	// -dump-spec; experiments with bespoke renderings (most figures)
+	// leave it nil.
+	Spec func(p Params) (*spec.ExperimentSpec, error)
 }
 
 var registry = map[string]Experiment{}

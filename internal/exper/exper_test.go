@@ -2,6 +2,7 @@ package exper
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -39,7 +40,7 @@ func tiny() Params { return Params{Traces: 2, Seed: 11, Quanta: 30, PeriodLBTrac
 func TestFig1Smoke(t *testing.T) {
 	e, _ := Find("fig1")
 	var buf bytes.Buffer
-	if err := e.Run(&buf, tiny()); err != nil {
+	if err := e.Run(context.Background(), &buf, tiny()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -51,7 +52,7 @@ func TestFig1Smoke(t *testing.T) {
 func TestTable4Smoke(t *testing.T) {
 	e, _ := Find("table4")
 	var buf bytes.Buffer
-	if err := e.Run(&buf, tiny()); err != nil {
+	if err := e.Run(context.Background(), &buf, tiny()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -65,7 +66,7 @@ func TestTable4Smoke(t *testing.T) {
 func TestSparesSmoke(t *testing.T) {
 	e, _ := Find("spares")
 	var buf bytes.Buffer
-	if err := e.Run(&buf, tiny()); err != nil {
+	if err := e.Run(context.Background(), &buf, tiny()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "failures") {
@@ -78,7 +79,7 @@ func TestFig2SmokeCSV(t *testing.T) {
 	var buf bytes.Buffer
 	p := tiny()
 	p.CSV = true
-	if err := e.Run(&buf, p); err != nil {
+	if err := e.Run(context.Background(), &buf, p); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -93,7 +94,7 @@ func TestFig2SmokeCSV(t *testing.T) {
 func TestFig7Smoke(t *testing.T) {
 	e, _ := Find("fig7")
 	var buf bytes.Buffer
-	if err := e.Run(&buf, tiny()); err != nil {
+	if err := e.Run(context.Background(), &buf, tiny()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -37,7 +38,7 @@ func init() {
 // frequency grow with p, and for Amdahl-style jobs an interior optimum
 // appears. The experiment sweeps p for an Amdahl job on the Weibull
 // Petascale platform and reports the empirical argmin.
-func runOptimalP(w io.Writer, p Params) error {
+func runOptimalP(ctx context.Context, w io.Writer, p Params) error {
 	spec := platform.Petascale(125)
 	law := dist.WeibullFromMeanShape(spec.MTBF, 0.7)
 	traces := p.traces(6, 200)
@@ -62,7 +63,7 @@ func runOptimalP(w io.Writer, p Params) error {
 		row := []string{wk.String()}
 		bestP, bestMk := 0, 0.0
 		for _, procs := range grid {
-			mean, err := optimalPPoint(spec, law, wk, procs, traces, p)
+			mean, err := optimalPPoint(ctx, spec, law, wk, procs, traces, p)
 			if err != nil {
 				return err
 			}
@@ -84,7 +85,7 @@ func runOptimalP(w io.Writer, p Params) error {
 	return err
 }
 
-func optimalPPoint(spec platform.Spec, law dist.Distribution, wk platform.Work, procs, traces int, p Params) (float64, error) {
+func optimalPPoint(ctx context.Context, spec platform.Spec, law dist.Distribution, wk platform.Work, procs, traces int, p Params) (float64, error) {
 	job := &sim.Job{
 		Work:  wk.Time(spec.W, procs),
 		C:     spec.C(platform.OverheadConstant, procs),
@@ -99,10 +100,10 @@ func optimalPPoint(spec platform.Spec, law dist.Distribution, wk platform.Work, 
 	}
 	horizon := 11*platform.Year + 40*job.Work
 	eng := p.engine()
-	makespans, err := engine.Run(eng, traces, func(i int) (float64, error) {
+	makespans, err := engine.Run(ctx, eng, traces, func(i int) (float64, error) {
 		seed := p.seed() + uint64(i+1)*0x9e3779b97f4a7c15
 		ts := eng.GenerateTraces(law, procs, horizon, spec.D, seed)
-		res, err := sim.Run(job, opt, ts)
+		res, err := sim.Run(ctx, job, opt, ts)
 		if err != nil {
 			return 0, err
 		}
@@ -123,7 +124,7 @@ func optimalPPoint(spec platform.Spec, law dist.Distribution, wk platform.Work, 
 // platform, or replicated on both halves (synchronizing after each
 // checkpoint, the faster replica winning each chunk)? Both configurations
 // use OptExp periods sized for their own platform half/whole.
-func runReplication(w io.Writer, p Params) error {
+func runReplication(ctx context.Context, w io.Writer, p Params) error {
 	spec := platform.Petascale(125)
 	traces := p.traces(8, 200)
 	procsGrid := []int{1 << 12, 1 << 14}
@@ -144,7 +145,7 @@ func runReplication(w io.Writer, p Params) error {
 	}
 	for _, law := range laws {
 		for _, procs := range procsGrid {
-			whole, repl, err := replicationPoint(spec, law.d, procs, traces, p)
+			whole, repl, err := replicationPoint(ctx, spec, law.d, procs, traces, p)
 			if err != nil {
 				return err
 			}
@@ -171,7 +172,7 @@ func runReplication(w io.Writer, p Params) error {
 	return err
 }
 
-func replicationPoint(spec platform.Spec, law dist.Distribution, procs, traces int, p Params) (whole, repl float64, err error) {
+func replicationPoint(ctx context.Context, spec platform.Spec, law dist.Distribution, procs, traces int, p Params) (whole, repl float64, err error) {
 	wk := platform.Work{Model: platform.WorkEmbarrassing}
 	horizon := 11*platform.Year + 40*wk.Time(spec.W, procs/2)
 	mean := law.Mean()
@@ -203,14 +204,14 @@ func replicationPoint(spec platform.Spec, law dist.Distribution, procs, traces i
 	}
 	type pair struct{ whole, repl float64 }
 	eng := p.engine()
-	cells, err := engine.Run(eng, traces, func(i int) (pair, error) {
+	cells, err := engine.Run(ctx, eng, traces, func(i int) (pair, error) {
 		seed := p.seed() + uint64(i+1)*0x9e3779b97f4a7c15
 		ts := eng.GenerateTraces(law, procs, horizon, spec.D, seed)
-		resW, err := sim.Run(jobWhole, optWhole, ts)
+		resW, err := sim.Run(ctx, jobWhole, optWhole, ts)
 		if err != nil {
 			return pair{}, err
 		}
-		resR, err := sim.RunReplicated(jobHalf, optHalf, ts, 2)
+		resR, err := sim.RunReplicated(ctx, jobHalf, optHalf, ts, 2)
 		if err != nil {
 			return pair{}, err
 		}
@@ -230,7 +231,7 @@ func replicationPoint(spec platform.Spec, law dist.Distribution, procs, traces i
 // runDPNFAblation quantifies the two DPNextFailure design choices
 // DESIGN.md calls out: the DP resolution (quanta) and the §3.3 state
 // approximation sizes, on the Table 4 scenario.
-func runDPNFAblation(w io.Writer, p Params) error {
+func runDPNFAblation(ctx context.Context, w io.Writer, p Params) error {
 	sc := table4Scenario(p.traces(8, 100), p.seed())
 	d, err := sc.Derive()
 	if err != nil {
@@ -267,7 +268,7 @@ func runDPNFAblation(w io.Writer, p Params) error {
 			New:  func() (sim.Policy, error) { return mk(), nil },
 		})
 	}
-	ev, err := harness.EvaluateWith(p.engine(), sc, cands)
+	ev, err := harness.EvaluateWith(ctx, p.engine(), sc, cands)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/harness"
 	"repro/internal/platform"
+	"repro/internal/spec"
 	"repro/internal/theory"
 )
 
@@ -20,34 +22,37 @@ func init() {
 	register(Experiment{
 		ID:    "fig2",
 		Title: "Figure 2: Petascale platform, Exponential failures, degradation vs processors",
-		Run: func(w io.Writer, p Params) error {
-			return runPlatformFigure(w, p, platformFigure{petascale: true, weibullShape: 0})
+		Run: func(ctx context.Context, w io.Writer, p Params) error {
+			return runPlatformFigure(ctx, w, p, platformFigure{petascale: true, weibullShape: 0})
 		},
 	})
 	register(Experiment{
 		ID:    "fig3",
 		Title: "Figure 3: Exascale platform, Exponential failures, degradation vs processors",
-		Run: func(w io.Writer, p Params) error {
-			return runPlatformFigure(w, p, platformFigure{petascale: false, weibullShape: 0})
+		Run: func(ctx context.Context, w io.Writer, p Params) error {
+			return runPlatformFigure(ctx, w, p, platformFigure{petascale: false, weibullShape: 0})
 		},
 	})
 	register(Experiment{
 		ID:    "fig4",
 		Title: "Figure 4: Petascale platform, Weibull (k=0.7) failures, degradation vs processors",
-		Run: func(w io.Writer, p Params) error {
-			return runPlatformFigure(w, p, platformFigure{petascale: true, weibullShape: 0.7})
+		Run: func(ctx context.Context, w io.Writer, p Params) error {
+			return runPlatformFigure(ctx, w, p, platformFigure{petascale: true, weibullShape: 0.7})
 		},
 	})
 	register(Experiment{
 		ID:    "fig5",
 		Title: "Figure 5: degradation vs Weibull shape parameter k on 45,208 processors",
-		Run:   runFig5,
+		Spec:  func(p Params) (*spec.ExperimentSpec, error) { return fig5Spec(p), nil },
+		Run: func(ctx context.Context, w io.Writer, p Params) error {
+			return RunSpec(ctx, w, p, fig5Spec(p))
+		},
 	})
 	register(Experiment{
 		ID:    "fig6",
 		Title: "Figure 6: Exascale platform, Weibull (k=0.7) failures, degradation vs processors",
-		Run: func(w io.Writer, p Params) error {
-			return runPlatformFigure(w, p, platformFigure{petascale: false, weibullShape: 0.7})
+		Run: func(ctx context.Context, w io.Writer, p Params) error {
+			return runPlatformFigure(ctx, w, p, platformFigure{petascale: false, weibullShape: 0.7})
 		},
 	})
 	register(Experiment{
@@ -62,7 +67,7 @@ func init() {
 	})
 }
 
-func runFig1(w io.Writer, p Params) error {
+func runFig1(ctx context.Context, w io.Writer, p Params) error {
 	wb := dist.WeibullFromMeanShape(125*platform.Year, 0.7)
 	const down = 60.0
 	var all, single harness.Series
@@ -133,7 +138,7 @@ func (f platformFigure) scenarios(p Params) []harness.Scenario {
 	return scs
 }
 
-func runPlatformFigure(w io.Writer, p Params, f platformFigure) error {
+func runPlatformFigure(ctx context.Context, w io.Writer, p Params, f platformFigure) error {
 	scs := f.scenarios(p)
 	cfgFor := func(sc harness.Scenario) harness.CandidateConfig {
 		cfg := harness.DefaultCandidateConfig()
@@ -146,7 +151,7 @@ func runPlatformFigure(w io.Writer, p Params, f platformFigure) error {
 		}
 		return cfg
 	}
-	series, err := degradationSeries(scs, cfgFor, true, p)
+	series, err := degradationSeries(ctx, scs, cfgFor, true, p)
 	if err != nil {
 		return err
 	}
@@ -165,8 +170,9 @@ func runPlatformFigure(w io.Writer, p Params, f platformFigure) error {
 	return emit(w, p, t)
 }
 
-func runFig5(w io.Writer, p Params) error {
-	spec := platform.Petascale(125)
+// fig5Spec declares Figure 5 as a shape-axis grid sweep over the Table 4
+// scenario, rendered as one pivoted curve table.
+func fig5Spec(p Params) *spec.ExperimentSpec {
 	var shapes []float64
 	if p.Full {
 		shapes = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
@@ -174,41 +180,40 @@ func runFig5(w io.Writer, p Params) error {
 		shapes = []float64{0.3, 0.5, 0.7, 0.9}
 	}
 	traces := p.traces(8, 600)
-	scs := make([]harness.Scenario, 0, len(shapes))
-	for _, k := range shapes {
-		scs = append(scs, harness.Scenario{
-			Name:     fmt.Sprintf("fig5-k=%g", k),
-			Spec:     spec,
-			P:        spec.PTotal,
-			Dist:     dist.WeibullFromMeanShape(spec.MTBF, k),
-			Overhead: platform.OverheadConstant,
-			Work:     platform.Work{Model: platform.WorkEmbarrassing},
+	return &spec.ExperimentSpec{
+		Name:  "fig5",
+		Title: "Figure 5: degradation vs Weibull shape parameter k on 45,208 processors",
+		Table: "series",
+		Series: &spec.SeriesSpec{
+			Title:  fmt.Sprintf("45,208 processors: degradation vs Weibull shape k (%d traces/point)", traces),
+			XLabel: "shape k",
+			X:      shapes,
+		},
+		Scenario: &spec.ScenarioSpec{
+			Name:     "fig5",
+			Platform: spec.PlatformRef{Preset: "petascale"},
+			P:        45208,
+			Dist:     spec.DistSpec{Family: "weibull", Shape: 0.7},
 			Horizon:  11 * platform.Year,
 			Start:    platform.Year,
 			Traces:   traces,
 			Seed:     p.seed(),
-		})
+		},
+		Grid: &spec.GridSpec{Shape: shapes},
+		Candidates: spec.CandidatesSpec{Standard: &spec.StandardSpec{
+			DPNextFailureQuanta: p.quantaOr(100, 200),
+			IncludeLiu:          true,
+			IncludeBouguerra:    true,
+			PeriodLB:            periodLBSpec(p),
+		}},
 	}
-	cfgFor := func(sc harness.Scenario) harness.CandidateConfig {
-		cfg := harness.DefaultCandidateConfig()
-		cfg.DPNextFailureQuanta = p.quantaOr(100, 200)
-		return cfg
-	}
-	series, err := degradationSeriesX(scs, shapes, cfgFor, true, p)
-	if err != nil {
-		return err
-	}
-	t := harness.SeriesTable(
-		fmt.Sprintf("45,208 processors: degradation vs Weibull shape k (%d traces/point)", traces),
-		"shape k", series)
-	return emit(w, p, t)
 }
 
 // runFig98 reproduces Appendix D Figure 98: average makespan (days) under
 // OptExp with Exponential failures for the six application models, with
 // constant and platform-dependent checkpoint costs.
-func runFig98(w io.Writer, p Params) error {
-	return runWorkModelFigure(w, p, workModelFigure{
+func runFig98(ctx context.Context, w io.Writer, p Params) error {
+	return runWorkModelFigure(ctx, w, p, workModelFigure{
 		policyName: "OptExp",
 		weibull:    false,
 		overheads:  []platform.Overhead{platform.OverheadConstant, platform.OverheadProportional},
@@ -217,8 +222,8 @@ func runFig98(w io.Writer, p Params) error {
 
 // runFig99 reproduces Appendix D Figure 99: average makespan (days) under
 // DPNextFailure with Weibull failures for the application models.
-func runFig99(w io.Writer, p Params) error {
-	return runWorkModelFigure(w, p, workModelFigure{
+func runFig99(ctx context.Context, w io.Writer, p Params) error {
+	return runWorkModelFigure(ctx, w, p, workModelFigure{
 		policyName: "DPNextFailure",
 		weibull:    true,
 		overheads:  []platform.Overhead{platform.OverheadConstant},
@@ -242,7 +247,7 @@ func workModels() []platform.Work {
 	}
 }
 
-func runWorkModelFigure(w io.Writer, p Params, f workModelFigure) error {
+func runWorkModelFigure(ctx context.Context, w io.Writer, p Params, f workModelFigure) error {
 	spec := platform.Petascale(125)
 	var d dist.Distribution
 	if f.weibull {
@@ -282,7 +287,7 @@ func runWorkModelFigure(w io.Writer, p Params, f workModelFigure) error {
 				case "DPNextFailure":
 					cfg.DPNextFailureQuanta = p.quantaOr(100, 200)
 				}
-				cands, err := harness.StandardCandidatesWith(p.engine(), sc, cfg)
+				cands, err := harness.StandardCandidatesWith(ctx, p.engine(), sc, cfg)
 				if err != nil {
 					return err
 				}
@@ -296,7 +301,7 @@ func runWorkModelFigure(w io.Writer, p Params, f workModelFigure) error {
 				if len(kept) == 0 {
 					return fmt.Errorf("exper: policy %s unavailable for %s", f.policyName, sc.Name)
 				}
-				ev, err := harness.EvaluateWith(p.engine(), sc, kept)
+				ev, err := harness.EvaluateWith(ctx, p.engine(), sc, kept)
 				if err != nil {
 					return err
 				}
@@ -323,56 +328,36 @@ func runWorkModelFigure(w io.Writer, p Params, f workModelFigure) error {
 // degradationSeries evaluates each scenario with its candidate set and
 // returns one degradation series per policy, with the processor count on
 // the X axis.
-func degradationSeries(scs []harness.Scenario, cfgFor func(harness.Scenario) harness.CandidateConfig, withPeriodLB bool, p Params) ([]harness.Series, error) {
+func degradationSeries(ctx context.Context, scs []harness.Scenario, cfgFor func(harness.Scenario) harness.CandidateConfig, withPeriodLB bool, p Params) ([]harness.Series, error) {
 	xs := make([]float64, len(scs))
 	for i, sc := range scs {
 		xs[i] = float64(sc.P)
 	}
-	return degradationSeriesX(scs, xs, cfgFor, withPeriodLB, p)
+	return degradationSeriesX(ctx, scs, xs, cfgFor, withPeriodLB, p)
 }
 
-func degradationSeriesX(scs []harness.Scenario, xs []float64, cfgFor func(harness.Scenario) harness.CandidateConfig, withPeriodLB bool, p Params) ([]harness.Series, error) {
-	byPolicy := map[string]*harness.Series{}
-	var policyOrder []string
+func degradationSeriesX(ctx context.Context, scs []harness.Scenario, xs []float64, cfgFor func(harness.Scenario) harness.CandidateConfig, withPeriodLB bool, p Params) ([]harness.Series, error) {
+	evs := make([]*harness.Evaluation, len(scs))
 	for i, sc := range scs {
 		cfg := cfgFor(sc)
 		if withPeriodLB {
-			period, err := harness.SearchPeriodLBWith(p.engine(), sc, periodLBConfig(p))
+			period, err := harness.SearchPeriodLBWith(ctx, p.engine(), sc, periodLBConfig(p))
 			if err != nil {
 				return nil, err
 			}
 			cfg.PeriodLBPeriod = period
 		}
-		cands, err := harness.StandardCandidatesWith(p.engine(), sc, cfg)
+		cands, err := harness.StandardCandidatesWith(ctx, p.engine(), sc, cfg)
 		if err != nil {
 			return nil, err
 		}
-		ev, err := harness.EvaluateWith(p.engine(), sc, cands)
+		ev, err := harness.EvaluateWith(ctx, p.engine(), sc, cands)
 		if err != nil {
 			return nil, err
 		}
-		record := func(name string, y float64) {
-			s, ok := byPolicy[name]
-			if !ok {
-				s = &harness.Series{Label: name}
-				byPolicy[name] = s
-				policyOrder = append(policyOrder, name)
-			}
-			s.X = append(s.X, xs[i])
-			s.Y = append(s.Y, y)
-		}
-		for _, name := range ev.Order {
-			record(name, ev.Degradation[name].Mean)
-		}
-		// Candidate order, not map order: series columns must be stable
-		// across runs and worker counts.
-		for _, name := range ev.SkippedOrder {
-			record(name, math.NaN())
-		}
+		evs[i] = ev
 	}
-	out := make([]harness.Series, 0, len(policyOrder))
-	for _, name := range policyOrder {
-		out = append(out, *byPolicy[name])
-	}
-	return out, nil
+	// Row order (candidate order, then skipped in candidate order) keeps
+	// series columns stable across runs and worker counts.
+	return pivotDegradationSeries(xs, evs), nil
 }

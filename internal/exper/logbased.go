@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -13,18 +14,18 @@ func init() {
 	register(Experiment{
 		ID:    "fig7",
 		Title: "Figure 7: log-based failures (synthetic LANL cluster 19), degradation vs processors",
-		Run: func(w io.Writer, p Params) error {
-			return runLogBased(w, p, trace.Cluster19)
+		Run: func(ctx context.Context, w io.Writer, p Params) error {
+			return runLogBased(ctx, w, p, trace.Cluster19)
 		},
 	})
 	register(Experiment{
 		ID:    "fig100",
 		Title: "Figure 100: log-based failures, both synthetic LANL clusters",
-		Run: func(w io.Writer, p Params) error {
-			if err := runLogBased(w, p, trace.Cluster18); err != nil {
+		Run: func(ctx context.Context, w io.Writer, p Params) error {
+			if err := runLogBased(ctx, w, p, trace.Cluster18); err != nil {
 				return err
 			}
-			return runLogBased(w, p, trace.Cluster19)
+			return runLogBased(ctx, w, p, trace.Cluster19)
 		},
 	})
 }
@@ -35,7 +36,7 @@ func init() {
 // MTBF-based heuristics with DPNextFailure. Liu, Bouguerra and DPMakespan
 // cannot be adapted to empirical laws (§6) and are omitted, as in the
 // paper.
-func runLogBased(w io.Writer, p Params, spec trace.LogSpec) error {
+func runLogBased(ctx context.Context, w io.Writer, p Params, spec trace.LogSpec) error {
 	logSize := p.pick(20000, 100000)
 	log := trace.SyntheticLog(spec, logSize, p.seed())
 	emp := trace.EmpiricalFromLog(log)
@@ -74,7 +75,7 @@ func runLogBased(w io.Writer, p Params, spec trace.LogSpec) error {
 			IncludeBouguerra:    false,
 		}
 	}
-	series, err := degradationSeriesX(scs, xs, cfgFor, true, p)
+	series, err := degradationSeriesX(ctx, scs, xs, cfgFor, true, p)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,136 @@
+package exper
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/harness"
+	"repro/internal/platform"
+	"repro/internal/spec"
+)
+
+// RunSpec executes a declarative experiment and renders each completed
+// cell as it streams in: one table per cell, in deterministic expansion
+// order at any worker count. The "series" layout is the exception — it
+// pivots every cell into one curve table, so it renders after the last
+// cell. RunSpec is the shared engine behind both the registered table
+// experiments and the cmd tools' -spec files.
+func RunSpec(ctx context.Context, w io.Writer, p Params, es *spec.ExperimentSpec) error {
+	if es.Table == "series" {
+		return runSeriesSpec(ctx, w, p, es)
+	}
+	for res, err := range spec.Run(ctx, p.engine(), es) {
+		if err != nil {
+			return err
+		}
+		t, err := renderCell(es.Table, res)
+		if err != nil {
+			return err
+		}
+		if err := emit(w, p, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSeriesSpec renders all cells as one pivoted curve table: one column
+// per policy, one row per cell X value (the figures' data layout).
+func runSeriesSpec(ctx context.Context, w io.Writer, p Params, es *spec.ExperimentSpec) error {
+	results, err := spec.RunAll(ctx, p.engine(), es)
+	if err != nil {
+		return err
+	}
+	ss := es.Series
+	if len(ss.X) > 0 && len(ss.X) != len(results) {
+		return fmt.Errorf("exper: series x has %d values for %d cells", len(ss.X), len(results))
+	}
+	xs := make([]float64, len(results))
+	evs := make([]*harness.Evaluation, len(results))
+	for i, res := range results {
+		xs[i] = float64(i)
+		if len(ss.X) > 0 {
+			xs[i] = ss.X[i]
+		}
+		evs[i] = res.Eval
+	}
+	return emit(w, p, harness.SeriesTable(ss.Title, ss.XLabel, pivotDegradationSeries(xs, evs)))
+}
+
+// pivotDegradationSeries pivots one evaluation per X position into one
+// average-degradation curve per policy, ordered by first appearance
+// across evaluations; skipped policies contribute NaN points ("n/a" in
+// the rendered table, like the paper's incomplete figure curves). It is
+// the shared core of the flag-driven figure series and the spec-driven
+// "series" layout.
+func pivotDegradationSeries(xs []float64, evs []*harness.Evaluation) []harness.Series {
+	byPolicy := map[string]*harness.Series{}
+	var policyOrder []string
+	for i, ev := range evs {
+		for _, row := range ev.Rows() {
+			s, ok := byPolicy[row.Name]
+			if !ok {
+				s = &harness.Series{Label: row.Name}
+				byPolicy[row.Name] = s
+				policyOrder = append(policyOrder, row.Name)
+			}
+			y := row.Degradation.Mean
+			if row.Skipped != "" {
+				y = math.NaN()
+			}
+			s.X = append(s.X, xs[i])
+			s.Y = append(s.Y, y)
+		}
+	}
+	out := make([]harness.Series, 0, len(policyOrder))
+	for _, name := range policyOrder {
+		out = append(out, *byPolicy[name])
+	}
+	return out
+}
+
+// renderCell lays out one cell's evaluation according to the experiment's
+// table kind.
+func renderCell(kind string, res spec.CellResult) (*harness.Table, error) {
+	title := res.Spec.Title
+	if title == "" {
+		title = cellTitle(res)
+	}
+	switch kind {
+	case "", "degradation":
+		return harness.DegradationTable(title, res.Eval), nil
+	case "spares":
+		return sparesTable(title, res.Eval), nil
+	}
+	return nil, fmt.Errorf("exper: unknown table layout %q", kind)
+}
+
+// cellTitle synthesizes a title for cells that do not declare one (grid
+// sweeps), from the compiled scenario's load-bearing parameters.
+func cellTitle(res spec.CellResult) string {
+	sc := res.Scenario
+	return fmt.Sprintf("%s: p=%d, %s, %s overheads, %s work (%d traces)",
+		sc.Name, sc.P, sc.Dist.String(), sc.Overhead, sc.Work, sc.Traces)
+}
+
+// sparesTable renders the §5.2.2 failures-per-run layout.
+func sparesTable(title string, ev *harness.Evaluation) *harness.Table {
+	t := &harness.Table{
+		Title:  title,
+		Header: []string{"Heuristic", "avg failures", "max failures", "avg makespan (days)"},
+	}
+	for _, row := range ev.Rows() {
+		if row.LowerBound || row.Skipped != "" {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			row.Name,
+			fmt.Sprintf("%.1f", row.Failures.Mean),
+			fmt.Sprintf("%.0f", row.Failures.Max),
+			fmt.Sprintf("%.2f", row.Makespan.Mean/platform.Day),
+		})
+	}
+	return t
+}

@@ -1,54 +1,110 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"repro/internal/dist"
-	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/platform"
+	"repro/internal/spec"
 )
+
+// The table experiments are fully declarative: each registers a Spec
+// builder, and Run simply executes that spec through RunSpec. The cmd
+// tools dump the same specs with -dump-spec, so a checked-in spec file
+// reproduces the flag-driven output byte-for-byte.
 
 func init() {
 	register(Experiment{
 		ID:    "table2",
 		Title: "Table 2: degradation from best, single processor, Exponential failures",
-		Run:   func(w io.Writer, p Params) error { return runSingleProcTable(w, p, false) },
+		Spec:  func(p Params) (*spec.ExperimentSpec, error) { return singleProcTableSpec(p, false), nil },
+		Run: func(ctx context.Context, w io.Writer, p Params) error {
+			return RunSpec(ctx, w, p, singleProcTableSpec(p, false))
+		},
 	})
 	register(Experiment{
 		ID:    "table3",
 		Title: "Table 3: degradation from best, single processor, Weibull (k=0.7) failures",
-		Run:   func(w io.Writer, p Params) error { return runSingleProcTable(w, p, true) },
+		Spec:  func(p Params) (*spec.ExperimentSpec, error) { return singleProcTableSpec(p, true), nil },
+		Run: func(ctx context.Context, w io.Writer, p Params) error {
+			return RunSpec(ctx, w, p, singleProcTableSpec(p, true))
+		},
 	})
 	register(Experiment{
 		ID:    "table4",
 		Title: "Table 4: degradation from best, 45,208 processors, Weibull (k=0.7) failures",
-		Run:   runTable4,
+		Spec:  func(p Params) (*spec.ExperimentSpec, error) { return table4Spec(p), nil },
+		Run: func(ctx context.Context, w io.Writer, p Params) error {
+			return RunSpec(ctx, w, p, table4Spec(p))
+		},
 	})
 	register(Experiment{
 		ID:    "spares",
 		Title: "§5.2.2: failures per run on the Table 4 scenario (spare processor sizing)",
-		Run:   runSpares,
+		Spec:  func(p Params) (*spec.ExperimentSpec, error) { return sparesSpec(p), nil },
+		Run: func(ctx context.Context, w io.Writer, p Params) error {
+			return RunSpec(ctx, w, p, sparesSpec(p))
+		},
 	})
 }
 
-// singleProcScenario builds the Table 2/3 configuration for one MTBF.
-func singleProcScenario(mtbf float64, weibull bool, traces int, seed uint64) harness.Scenario {
-	spec := platform.OneProc(mtbf)
-	var d dist.Distribution
-	if weibull {
-		d = dist.WeibullFromMeanShape(mtbf, 0.7)
-	} else {
-		d = dist.NewExponentialMean(mtbf)
+// periodLBSpec resolves the Params-level period-search configuration into
+// its declarative form.
+func periodLBSpec(p Params) *spec.PeriodLBSpec {
+	cfg := periodLBConfig(p)
+	return &spec.PeriodLBSpec{
+		EvalTraces:     cfg.EvalTraces,
+		GeometricSteps: cfg.GeometricSteps,
+		LinearSteps:    cfg.LinearSteps,
+		SeedOffset:     cfg.SeedOffset,
 	}
-	return harness.Scenario{
+}
+
+// singleProcTableSpec declares Table 2 (Exponential) or Table 3 (Weibull):
+// one cell per MTBF, streamed so the hour table renders the moment it
+// completes while the day/week scenarios still run.
+func singleProcTableSpec(p Params, weibull bool) *spec.ExperimentSpec {
+	traces := p.traces(24, 600)
+	law := "Exponential"
+	name := "table2"
+	if weibull {
+		law = "Weibull(k=0.7)"
+		name = "table3"
+	}
+	var cells []spec.ScenarioSpec
+	for _, mtbf := range []float64{platform.Hour, platform.Day, platform.Week} {
+		cell := singleProcCellSpec(mtbf, weibull, traces, p.seed())
+		cell.Title = fmt.Sprintf("Single processor, %s, MTBF = %s, W = 20 days, C=R=600s, D=60s (%d traces)",
+			law, humanDuration(mtbf), traces)
+		cells = append(cells, cell)
+	}
+	return &spec.ExperimentSpec{
+		Name:  name,
+		Cells: cells,
+		Candidates: spec.CandidatesSpec{Standard: &spec.StandardSpec{
+			DPNextFailureQuanta: p.quantaOr(60, 150),
+			DPMakespanQuanta:    p.quantaOr(600, 1500),
+			IncludeLiu:          true,
+			IncludeBouguerra:    true,
+			PeriodLB:            periodLBSpec(p),
+		}},
+	}
+}
+
+// singleProcCellSpec declares one Table 2/3 cell: a single processor with
+// the given MTBF, the law's mean inherited from the platform.
+func singleProcCellSpec(mtbf float64, weibull bool, traces int, seed uint64) spec.ScenarioSpec {
+	d := spec.DistSpec{Family: "exponential"}
+	if weibull {
+		d = spec.DistSpec{Family: "weibull", Shape: 0.7}
+	}
+	return spec.ScenarioSpec{
 		Name:     fmt.Sprintf("1proc-mtbf=%gh", mtbf/platform.Hour),
-		Spec:     spec,
+		Platform: spec.PlatformRef{Preset: "oneproc", MTBF: mtbf},
 		P:        1,
 		Dist:     d,
-		Overhead: platform.OverheadConstant,
-		Work:     platform.Work{Model: platform.WorkEmbarrassing},
 		// The paper uses a 1-year horizon for single-processor runs; a
 		// 20-day job with an MTBF of one hour runs ~45 days in expectation,
 		// so we keep a 2-year margin to avoid trace truncation.
@@ -59,55 +115,33 @@ func singleProcScenario(mtbf float64, weibull bool, traces int, seed uint64) har
 	}
 }
 
-func runSingleProcTable(w io.Writer, p Params, weibull bool) error {
-	traces := p.traces(24, 600)
-	dpnfQ := p.quantaOr(60, 150)
-	dpmQ := p.quantaOr(600, 1500)
-	mtbfs := []float64{platform.Hour, platform.Day, platform.Week}
-	// One engine cell per MTBF scenario, streamed: the hour table renders
-	// the moment it completes, while the day/week scenarios still run.
-	// Emission order is the cell order, so output bytes never depend on
-	// the worker count.
-	return engine.Stream(p.engine(), len(mtbfs),
-		func(i int) (*harness.Table, error) {
-			sc := singleProcScenario(mtbfs[i], weibull, traces, p.seed())
-			cfg := harness.DefaultCandidateConfig()
-			cfg.DPNextFailureQuanta = dpnfQ
-			cfg.DPMakespanQuanta = dpmQ
-			period, err := harness.SearchPeriodLBWith(p.engine(), sc, periodLBConfig(p))
-			if err != nil {
-				return nil, err
-			}
-			cfg.PeriodLBPeriod = period
-			cands, err := harness.StandardCandidatesWith(p.engine(), sc, cfg)
-			if err != nil {
-				return nil, err
-			}
-			ev, err := harness.EvaluateWith(p.engine(), sc, cands)
-			if err != nil {
-				return nil, err
-			}
-			law := "Exponential"
-			if weibull {
-				law = "Weibull(k=0.7)"
-			}
-			title := fmt.Sprintf("Single processor, %s, MTBF = %s, W = 20 days, C=R=600s, D=60s (%d traces)",
-				law, humanDuration(mtbfs[i]), traces)
-			return harness.DegradationTable(title, ev), nil
-		},
-		func(i int, t *harness.Table) error { return emit(w, p, t) })
+// singleProcScenario compiles the Table 2/3 cell for the appendix sweeps.
+func singleProcScenario(mtbf float64, weibull bool, traces int, seed uint64) harness.Scenario {
+	sc, err := singleProcCellSpec(mtbf, weibull, traces, seed).Compile()
+	if err != nil {
+		panic(fmt.Sprintf("exper: single-proc cell spec must compile: %v", err))
+	}
+	return sc
 }
 
-// table4Scenario is the §5.2.2 headline configuration.
+// table4Scenario compiles the §5.2.2 headline scenario for the extension
+// experiments.
 func table4Scenario(traces int, seed uint64) harness.Scenario {
-	spec := platform.Petascale(125)
-	return harness.Scenario{
-		Name:     "table4",
-		Spec:     spec,
-		P:        spec.PTotal,
-		Dist:     dist.WeibullFromMeanShape(125*platform.Year, 0.7),
-		Overhead: platform.OverheadConstant,
-		Work:     platform.Work{Model: platform.WorkEmbarrassing},
+	sc, err := table4ScenarioSpec("table4", "", traces, seed).Compile()
+	if err != nil {
+		panic(fmt.Sprintf("exper: table4 cell spec must compile: %v", err))
+	}
+	return sc
+}
+
+// table4ScenarioSpec is the §5.2.2 headline configuration.
+func table4ScenarioSpec(name, title string, traces int, seed uint64) spec.ScenarioSpec {
+	return spec.ScenarioSpec{
+		Name:     name,
+		Title:    title,
+		Platform: spec.PlatformRef{Preset: "petascale"},
+		P:        45208,
+		Dist:     spec.DistSpec{Family: "weibull", Shape: 0.7}, // mean = the 125-year MTBF
 		Horizon:  11 * platform.Year,
 		Start:    platform.Year,
 		Traces:   traces,
@@ -115,59 +149,32 @@ func table4Scenario(traces int, seed uint64) harness.Scenario {
 	}
 }
 
-func runTable4(w io.Writer, p Params) error {
-	sc := table4Scenario(p.traces(16, 600), p.seed())
-	cfg := harness.DefaultCandidateConfig()
-	cfg.DPNextFailureQuanta = p.quantaOr(120, 200)
-	period, err := harness.SearchPeriodLBWith(p.engine(), sc, periodLBConfig(p))
-	if err != nil {
-		return err
+func table4Spec(p Params) *spec.ExperimentSpec {
+	traces := p.traces(16, 600)
+	title := fmt.Sprintf("45,208 processors, Weibull k=0.7, MTBF 125y, embarrassingly parallel, constant C=R=600s (%d traces)", traces)
+	return &spec.ExperimentSpec{
+		Name:  "table4",
+		Cells: []spec.ScenarioSpec{table4ScenarioSpec("table4", title, traces, p.seed())},
+		Candidates: spec.CandidatesSpec{Standard: &spec.StandardSpec{
+			DPNextFailureQuanta: p.quantaOr(120, 200),
+			IncludeLiu:          true,
+			IncludeBouguerra:    true,
+			PeriodLB:            periodLBSpec(p),
+		}},
 	}
-	cfg.PeriodLBPeriod = period
-	cands, err := harness.StandardCandidatesWith(p.engine(), sc, cfg)
-	if err != nil {
-		return err
-	}
-	ev, err := harness.EvaluateWith(p.engine(), sc, cands)
-	if err != nil {
-		return err
-	}
-	title := fmt.Sprintf("45,208 processors, Weibull k=0.7, MTBF 125y, embarrassingly parallel, constant C=R=600s (%d traces)", sc.Traces)
-	return emit(w, p, harness.DegradationTable(title, ev))
 }
 
-func runSpares(w io.Writer, p Params) error {
-	sc := table4Scenario(p.traces(16, 600), p.seed())
-	cfg := harness.DefaultCandidateConfig()
-	cfg.DPNextFailureQuanta = p.quantaOr(120, 200)
-	cfg.IncludeLiu = false
-	cfg.IncludeBouguerra = false
-	cands, err := harness.StandardCandidatesWith(p.engine(), sc, cfg)
-	if err != nil {
-		return err
+func sparesSpec(p Params) *spec.ExperimentSpec {
+	traces := p.traces(16, 600)
+	title := fmt.Sprintf("Failures per run on the Table 4 scenario (%d traces); the paper reports avg 38.0, max 66 for DPNextFailure", traces)
+	return &spec.ExperimentSpec{
+		Name:  "spares",
+		Table: "spares",
+		Cells: []spec.ScenarioSpec{table4ScenarioSpec("table4", title, traces, p.seed())},
+		Candidates: spec.CandidatesSpec{Standard: &spec.StandardSpec{
+			DPNextFailureQuanta: p.quantaOr(120, 200),
+		}},
 	}
-	ev, err := harness.EvaluateWith(p.engine(), sc, cands)
-	if err != nil {
-		return err
-	}
-	t := &harness.Table{
-		Title:  fmt.Sprintf("Failures per run on the Table 4 scenario (%d traces); the paper reports avg 38.0, max 66 for DPNextFailure", sc.Traces),
-		Header: []string{"Heuristic", "avg failures", "max failures", "avg makespan (days)"},
-	}
-	for _, name := range ev.Order {
-		if name == "LowerBound" {
-			continue
-		}
-		f := ev.Failures[name]
-		mk := ev.MakespanSec[name]
-		t.Rows = append(t.Rows, []string{
-			name,
-			fmt.Sprintf("%.1f", f.Mean),
-			fmt.Sprintf("%.0f", f.Max),
-			fmt.Sprintf("%.2f", mk.Mean/platform.Day),
-		})
-	}
-	return emit(w, p, t)
 }
 
 func periodLBConfig(p Params) harness.PeriodLBConfig {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -55,15 +56,18 @@ func DefaultCandidateConfig() CandidateConfig {
 
 // StandardCandidates builds the paper's policy set for a scenario with the
 // default engine.
-func StandardCandidates(sc Scenario, cfg CandidateConfig) ([]Candidate, error) {
-	return StandardCandidatesWith(engine.Default(), sc, cfg)
+func StandardCandidates(ctx context.Context, sc Scenario, cfg CandidateConfig) ([]Candidate, error) {
+	return StandardCandidatesWith(ctx, engine.Default(), sc, cfg)
 }
 
 // StandardCandidatesWith builds the paper's policy set for a scenario. The
 // expensive shared planning structures — the DPMakespan table and the
 // DPNextFailure planner — come from the engine's cache, so scenarios (or
 // repeated runs) sharing a (law, job geometry, quanta) key build them once.
-func StandardCandidatesWith(eng *engine.Engine, sc Scenario, cfg CandidateConfig) ([]Candidate, error) {
+func StandardCandidatesWith(ctx context.Context, eng *engine.Engine, sc Scenario, cfg CandidateConfig) ([]Candidate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	d, err := sc.Derive()
 	if err != nil {
 		return nil, err
@@ -125,7 +129,12 @@ func StandardCandidatesWith(eng *engine.Engine, sc Scenario, cfg CandidateConfig
 	}
 
 	if cfg.DPMakespanQuanta > 0 {
-		cand, err := dpMakespanCandidate(eng, sc, d, cfg.DPMakespanQuanta)
+		// The table build is the one expensive step; honor cancellation
+		// before committing to it.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cand, err := DPMakespanCandidate(eng, sc, d, cfg.DPMakespanQuanta)
 		if err != nil {
 			out = append(out, Candidate{Name: "DPMakespan", SkipReason: err.Error()})
 		} else {
@@ -135,12 +144,13 @@ func StandardCandidatesWith(eng *engine.Engine, sc Scenario, cfg CandidateConfig
 	return out, nil
 }
 
-// dpMakespanCandidate builds the shared DPMakespan table through the
-// engine cache. For parallel jobs it follows the paper's §4.1 note:
-// DPMakespan makes the (false) assumption that all processors are
-// rejuvenated after each failure, i.e. it plans on the aggregated
-// macro-processor law.
-func dpMakespanCandidate(eng *engine.Engine, sc Scenario, d Derived, quanta int) (Candidate, error) {
+// DPMakespanCandidate builds the DPMakespan candidate over the shared
+// Algorithm 1 table, through the engine cache. For parallel jobs it
+// follows the paper's §4.1 note: DPMakespan makes the (false) assumption
+// that all processors are rejuvenated after each failure, i.e. it plans on
+// the aggregated macro-processor law. Exponential laws get a finer quantum
+// (the one-dimensional DP is cheap and exact).
+func DPMakespanCandidate(eng *engine.Engine, sc Scenario, d Derived, quanta int) (Candidate, error) {
 	macro := sc.Dist
 	if d.Units > 1 {
 		var err error

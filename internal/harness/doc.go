@@ -25,4 +25,12 @@
 //     (periodlb.go);
 //   - Table/Series renderers for the aligned-text and CSV artifacts
 //     (table.go).
+//
+// Every entry point takes a context.Context threaded through the engine
+// and the simulator, so a long evaluation is cancellable and
+// deadline-bounded without changing results. Evaluation results stream
+// through Evaluation.Rows, an iter.Seq2 row iterator in display order.
+// The declarative layer in repro/internal/spec compiles JSON scenario
+// and candidate descriptions down to this package's Scenario and
+// Candidate values.
 package harness

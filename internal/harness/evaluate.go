@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"iter"
 	"math"
 
 	"repro/internal/engine"
@@ -64,11 +66,63 @@ type Evaluation struct {
 	HorizonExceededRuns int
 }
 
+// Row is one policy's aggregated results within an Evaluation, in the
+// row order of the paper's tables.
+type Row struct {
+	// Name is the policy's display name ("LowerBound" for the omniscient
+	// bound, otherwise the candidate name).
+	Name string
+	// LowerBound marks the omniscient-bound row, which has no Failures
+	// statistics and is excluded from the degradation reference.
+	LowerBound bool
+	// Degradation is the degradation-from-best statistics (§4.1).
+	Degradation Stats
+	// Makespan is the raw makespan statistics in seconds.
+	Makespan Stats
+	// Failures is the failures-per-run statistics (zero Stats for the
+	// LowerBound row).
+	Failures Stats
+	// Skipped holds the skip reason for policies that could not run; all
+	// statistics fields are zero for skipped rows.
+	Skipped string
+}
+
+// Rows iterates the evaluation's result rows in display order — the
+// LowerBound first, then each runnable candidate, then the skipped
+// candidates — keyed by row index. It is the streaming-friendly accessor
+// behind the table renderers: consumers can range-break at any point.
+func (ev *Evaluation) Rows() iter.Seq2[int, Row] {
+	return func(yield func(int, Row) bool) {
+		i := 0
+		for _, name := range ev.Order {
+			r := Row{
+				Name:        name,
+				LowerBound:  name == "LowerBound",
+				Degradation: ev.Degradation[name],
+				Makespan:    ev.MakespanSec[name],
+			}
+			if f, ok := ev.Failures[name]; ok {
+				r.Failures = f
+			}
+			if !yield(i, r) {
+				return
+			}
+			i++
+		}
+		for _, name := range ev.SkippedOrder {
+			if !yield(i, Row{Name: name, Skipped: ev.Skipped[name]}) {
+				return
+			}
+			i++
+		}
+	}
+}
+
 // Evaluate runs every candidate over the scenario's traces and aggregates
 // the degradation-from-best metric using the default engine. All candidates
 // (and the omniscient LowerBound) see identical failure traces.
-func Evaluate(sc Scenario, cands []Candidate) (*Evaluation, error) {
-	return EvaluateWith(engine.Default(), sc, cands)
+func Evaluate(ctx context.Context, sc Scenario, cands []Candidate) (*Evaluation, error) {
+	return EvaluateWith(ctx, engine.Default(), sc, cands)
 }
 
 // traceCell is the result of one (scenario × policy-set × trace) cell.
@@ -83,8 +137,9 @@ type traceCell struct {
 // concurrently on its worker pool (the worker count never changes the
 // result — cells are aggregated by trace index), and failure traces are
 // drawn through its cache so scenarios that share (law, geometry, seed)
-// cells reuse them.
-func EvaluateWith(eng *engine.Engine, sc Scenario, cands []Candidate) (*Evaluation, error) {
+// cells reuse them. Cancelling the context aborts in-flight simulations
+// and returns ctx.Err() promptly.
+func EvaluateWith(ctx context.Context, eng *engine.Engine, sc Scenario, cands []Candidate) (*Evaluation, error) {
 	d, err := sc.Derive()
 	if err != nil {
 		return nil, err
@@ -106,13 +161,13 @@ func EvaluateWith(eng *engine.Engine, sc Scenario, cands []Candidate) (*Evaluati
 
 	nc := len(runnable)
 	job := d.Job(sc.Start)
-	cells, err := engine.Run(eng, sc.Traces, func(i int) (traceCell, error) {
+	cells, err := engine.Run(ctx, eng, sc.Traces, func(i int) (traceCell, error) {
 		cell := traceCell{
 			makespans: make([]float64, nc),
 			failures:  make([]float64, nc),
 		}
 		ts := eng.GenerateTraces(sc.Dist, d.Units, sc.Horizon, sc.Spec.D, sc.TraceSeed(i))
-		lb, err := sim.LowerBound(job, ts)
+		lb, err := sim.LowerBound(ctx, job, ts)
 		if err != nil {
 			return cell, fmt.Errorf("trace %d: LowerBound: %w", i, err)
 		}
@@ -122,7 +177,7 @@ func EvaluateWith(eng *engine.Engine, sc Scenario, cands []Candidate) (*Evaluati
 			if err != nil {
 				return cell, fmt.Errorf("trace %d: %s: %w", i, c.Name, err)
 			}
-			res, err := sim.Run(job, pol, ts)
+			res, err := sim.Run(ctx, job, pol, ts)
 			if err != nil {
 				return cell, fmt.Errorf("trace %d: %s: %w", i, c.Name, err)
 			}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -39,8 +40,8 @@ func DefaultPeriodLBConfig() PeriodLBConfig {
 
 // SearchPeriodLB finds the best fixed checkpointing period for the
 // scenario with the default engine.
-func SearchPeriodLB(sc Scenario, cfg PeriodLBConfig) (float64, error) {
-	return SearchPeriodLBWith(engine.Default(), sc, cfg)
+func SearchPeriodLB(ctx context.Context, sc Scenario, cfg PeriodLBConfig) (float64, error) {
+	return SearchPeriodLBWith(ctx, engine.Default(), sc, cfg)
 }
 
 // SearchPeriodLBWith finds the best fixed checkpointing period for the
@@ -51,7 +52,7 @@ func SearchPeriodLB(sc Scenario, cfg PeriodLBConfig) (float64, error) {
 // scan in the same order (and with the same strict-improvement tie
 // breaking) as the original sequential search, so the result is identical
 // for every worker count.
-func SearchPeriodLBWith(eng *engine.Engine, sc Scenario, cfg PeriodLBConfig) (float64, error) {
+func SearchPeriodLBWith(ctx context.Context, eng *engine.Engine, sc Scenario, cfg PeriodLBConfig) (float64, error) {
 	d, err := sc.Derive()
 	if err != nil {
 		return 0, err
@@ -81,7 +82,7 @@ func SearchPeriodLBWith(eng *engine.Engine, sc Scenario, cfg PeriodLBConfig) (fl
 		pol := policy.NewPeriodic("search", period)
 		var total float64
 		for _, ts := range sets {
-			res, err := sim.Run(job, pol, ts)
+			res, err := sim.Run(ctx, job, pol, ts)
 			if err != nil {
 				return math.Inf(1)
 			}
@@ -95,7 +96,7 @@ func SearchPeriodLBWith(eng *engine.Engine, sc Scenario, cfg PeriodLBConfig) (fl
 	valid := func(period float64) bool { return period > 0 && period <= d.WorkP }
 	bestPeriod, bestScore := base, score(base)
 	scorePhase := func(periods []float64) {
-		scores, _ := engine.Run(eng, len(periods), func(i int) (float64, error) {
+		scores, _ := engine.Run(ctx, eng, len(periods), func(i int) (float64, error) {
 			if !valid(periods[i]) {
 				return math.Inf(1), nil
 			}
@@ -124,6 +125,11 @@ func SearchPeriodLBWith(eng *engine.Engine, sc Scenario, cfg PeriodLBConfig) (fl
 		lin = append(lin, coarse*f, coarse/f)
 	}
 	scorePhase(lin)
+	// A cancelled search scores interrupted runs as +Inf; never let such a
+	// phase pick a winner.
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	return bestPeriod, nil
 }
 
@@ -149,15 +155,15 @@ type PeriodVariationPoint struct {
 
 // PeriodVariation reproduces the PeriodVariation curves with the default
 // engine.
-func PeriodVariation(sc Scenario, cfg CandidateConfig, log2Factors []float64) ([]PeriodVariationPoint, *Evaluation, error) {
-	return PeriodVariationWith(engine.Default(), sc, cfg, log2Factors)
+func PeriodVariation(ctx context.Context, sc Scenario, cfg CandidateConfig, log2Factors []float64) ([]PeriodVariationPoint, *Evaluation, error) {
+	return PeriodVariationWith(ctx, engine.Default(), sc, cfg, log2Factors)
 }
 
 // PeriodVariationWith reproduces the PeriodVariation curves: it evaluates
 // fixed-period policies at base*2^f for the given f grid, together with
 // the standard candidate set (which defines the per-trace reference), and
 // returns one point per factor.
-func PeriodVariationWith(eng *engine.Engine, sc Scenario, cfg CandidateConfig, log2Factors []float64) ([]PeriodVariationPoint, *Evaluation, error) {
+func PeriodVariationWith(ctx context.Context, eng *engine.Engine, sc Scenario, cfg CandidateConfig, log2Factors []float64) ([]PeriodVariationPoint, *Evaluation, error) {
 	d, err := sc.Derive()
 	if err != nil {
 		return nil, nil, err
@@ -166,7 +172,7 @@ func PeriodVariationWith(eng *engine.Engine, sc Scenario, cfg CandidateConfig, l
 	if err != nil {
 		return nil, nil, err
 	}
-	cands, err := StandardCandidatesWith(eng, sc, cfg)
+	cands, err := StandardCandidatesWith(ctx, eng, sc, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -184,7 +190,7 @@ func PeriodVariationWith(eng *engine.Engine, sc Scenario, cfg CandidateConfig, l
 			}(period, names[i]),
 		})
 	}
-	ev, err := EvaluateWith(eng, sc, cands)
+	ev, err := EvaluateWith(ctx, eng, sc, cands)
 	if err != nil {
 		return nil, nil, err
 	}

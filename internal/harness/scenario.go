@@ -57,6 +57,12 @@ func (sc Scenario) Derive() (Derived, error) {
 	if sc.Traces <= 0 {
 		return Derived{}, fmt.Errorf("harness: scenario %q has no traces", sc.Name)
 	}
+	if sc.Start < 0 {
+		return Derived{}, fmt.Errorf("harness: scenario %q has negative start %v", sc.Name, sc.Start)
+	}
+	if !(sc.Horizon > 0) {
+		return Derived{}, fmt.Errorf("harness: scenario %q has non-positive horizon %v", sc.Name, sc.Horizon)
+	}
 	units := sc.Spec.Units(sc.P)
 	mean := sc.Dist.Mean()
 	d := Derived{

@@ -14,4 +14,9 @@
 // The failure-unit accounting (Units) follows §6: for log-based
 // experiments a failure unit is a 4-processor node (ProcsPerUnit), so
 // enrolling p processors engages p / ProcsPerUnit units.
+//
+// The declarative layer (repro/internal/spec) registers the Table 1
+// presets in a name-keyed registry ("oneproc", "petascale",
+// "petascale-500", "exascale", "lanl-nodes") with MTBF overrides and
+// fully custom platforms.
 package platform

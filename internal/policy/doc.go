@@ -31,4 +31,9 @@
 // per-run mutable execution state (DPMakespan, DPNextFailure — cheap,
 // fresh per simulated trace) is what lets the experiment engine run
 // hundreds of traces concurrently against shared planning work.
+//
+// The declarative layer (repro/internal/spec) registers every policy in
+// a name-keyed registry ("young", "dalylow", "dalyhigh", "optexp",
+// "bouguerra", "liu", "period", "dpnextfailure", "dpmakespan") that
+// compiles JSON policy specs into evaluation candidates.
 package policy

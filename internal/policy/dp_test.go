@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -212,7 +213,7 @@ func TestDPNextFailureThroughSimulator(t *testing.T) {
 	job := &sim.Job{Work: 30000, C: 200, R: 200, D: 60, Units: 4, Start: 1000}
 	p := NewDPNextFailure(w, 20000, WithQuanta(60))
 	ts := trace.GenerateRenewal(w, 4, 1e8, 60, 11)
-	res, err := sim.Run(job, p, ts)
+	res, err := sim.Run(context.Background(), job, p, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestDPNextFailureHalfPlanReplans(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts := &trace.Set{Horizon: 1e9, Units: []trace.Trace{{}}}
-	res, err := sim.Run(job, p, ts)
+	res, err := sim.Run(context.Background(), job, p, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,14 +316,14 @@ func TestDPMakespanPolicyThroughSimulator(t *testing.T) {
 	opt := MustOptExp(w, 1.0/9000, c)
 	for seed := uint64(0); seed < 40; seed++ {
 		ts := trace.GenerateRenewal(e, 1, 1e8, d, seed)
-		resDP, err := sim.Run(job, NewDPMakespan(table), ts)
+		resDP, err := sim.Run(context.Background(), job, NewDPMakespan(table), ts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if e := resDP.AccountingError(); math.Abs(e) > 1e-6 {
 			t.Fatalf("accounting error %v", e)
 		}
-		resOpt, err := sim.Run(job, opt, ts)
+		resOpt, err := sim.Run(context.Background(), job, opt, ts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -349,7 +350,7 @@ func TestDPMakespanWeibullBuilds(t *testing.T) {
 	// And run it.
 	job := &sim.Job{Work: 30000, C: 300, R: 300, D: 30, Units: 1}
 	ts := trace.GenerateRenewal(wb, 1, 1e8, 30, 5)
-	res, err := sim.Run(job, NewDPMakespan(table), ts)
+	res, err := sim.Run(context.Background(), job, NewDPMakespan(table), ts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -247,7 +248,7 @@ func TestLiuThroughSimulator(t *testing.T) {
 	}
 	ts := trace.GenerateRenewal(e, 1, 1e8, 60, 3)
 	job := &sim.Job{Work: 20000, C: 60, R: 60, D: 60, Units: 1}
-	res, err := sim.Run(job, l, ts)
+	res, err := sim.Run(context.Background(), job, l, ts)
 	if err != nil {
 		t.Fatal(err)
 	}

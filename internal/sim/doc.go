@@ -30,4 +30,9 @@
 // FailureObserver/CommitObserver callbacks; shared immutable planning
 // structures (DP tables, planners) live in repro/internal/policy and are
 // safe for concurrent runs of the experiment engine.
+//
+// Run, LowerBound and RunReplicated take a context.Context and poll it
+// every few hundred decision-loop iterations: cancellation or deadline
+// expiry aborts the walk promptly with ctx.Err(), and an uncancelled
+// context adds no measurable overhead (see BENCH.md).
 package sim

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestSimultaneousFailures(t *testing.T) {
 	// both failures counted, barrier from both.
 	job := &Job{Work: 100, C: 10, R: 7, D: 5, Units: 2, Start: 0}
 	ts := manualTrace(1e9, []float64{50}, []float64{50})
-	res, err := Run(job, fixedPolicy{100}, ts)
+	res, err := Run(context.Background(), job, fixedPolicy{100}, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestSimultaneousFailures(t *testing.T) {
 func TestFailureAtExactJobStart(t *testing.T) {
 	job := &Job{Work: 100, C: 10, R: 7, D: 5, Units: 1, Start: 1000}
 	ts := manualTrace(1e9, []float64{1000})
-	res, err := Run(job, fixedPolicy{100}, ts)
+	res, err := Run(context.Background(), job, fixedPolicy{100}, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestZeroOverheads(t *testing.T) {
 	// C=R=D=0: failures cost only the lost computation.
 	job := &Job{Work: 100, C: 0, R: 0, D: 0, Units: 1, Start: 0}
 	ts := manualTrace(1e9, []float64{30})
-	res, err := Run(job, fixedPolicy{20}, ts)
+	res, err := Run(context.Background(), job, fixedPolicy{20}, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestRapidFailureBurst(t *testing.T) {
 	// run must still terminate and account exactly.
 	job := &Job{Work: 50, C: 5, R: 20, D: 10, Units: 1, Start: 0}
 	ts := manualTrace(1e9, []float64{10, 25, 40, 55, 200})
-	res, err := Run(job, fixedPolicy{50}, ts)
+	res, err := Run(context.Background(), job, fixedPolicy{50}, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestManyUnitsOneFailureEach(t *testing.T) {
 	}
 	ts := manualTrace(1e9, units...)
 	job := &Job{Work: 20000, C: 10, R: 10, D: 10, Units: 256, Start: 0}
-	res, err := Run(job, fixedPolicy{500}, ts)
+	res, err := Run(context.Background(), job, fixedPolicy{500}, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestManyUnitsOneFailureEach(t *testing.T) {
 
 func TestTinyWork(t *testing.T) {
 	job := &Job{Work: 1e-3, C: 10, R: 7, D: 5, Units: 1, Start: 0}
-	res, err := Run(job, fixedPolicy{100}, manualTrace(1e9, nil))
+	res, err := Run(context.Background(), job, fixedPolicy{100}, manualTrace(1e9, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestLowerBoundDenseFailures(t *testing.T) {
 	// short ones and work through the long ones, terminating exactly.
 	job := &Job{Work: 100, C: 10, R: 5, D: 5, Units: 1, Start: 0}
 	ts := manualTrace(1e9, []float64{5, 40, 45, 120})
-	res, err := LowerBound(job, ts)
+	res, err := LowerBound(context.Background(), job, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestLowerBoundTracksTheoremOneOrder(t *testing.T) {
 	const n = 60
 	for seed := uint64(0); seed < n; seed++ {
 		ts := trace.GenerateRenewal(law, 1, 1e9, d, seed)
-		lb, err := LowerBound(job, ts)
+		lb, err := LowerBound(context.Background(), job, ts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,7 +172,7 @@ func TestHugeUnitCountSmoke(t *testing.T) {
 	units := 1 << 17
 	ts := trace.GenerateRenewal(law, units, 4e8, 60, 3)
 	job := &Job{Work: 50000, C: 600, R: 600, D: 60, Units: units, Start: 3.2e7}
-	res, err := Run(job, fixedPolicy{3000}, ts)
+	res, err := Run(context.Background(), job, fixedPolicy{3000}, ts)
 	if err != nil {
 		t.Fatal(err)
 	}

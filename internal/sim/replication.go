@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -29,12 +30,12 @@ import (
 // job.Units is the per-replica unit count; the run consumes units
 // [0, job.Units*replicas) of the trace. The policy observes the state of
 // the group that committed the previous chunk.
-func RunReplicated(job *Job, pol Policy, ts *trace.Set, replicas int) (Result, error) {
+func RunReplicated(ctx context.Context, job *Job, pol Policy, ts *trace.Set, replicas int) (Result, error) {
 	if replicas < 1 {
 		return Result{}, fmt.Errorf("sim: replicas must be >= 1, got %d", replicas)
 	}
 	if replicas == 1 {
-		return Run(job, pol, ts)
+		return Run(ctx, job, pol, ts)
 	}
 	if err := job.Validate(); err != nil {
 		return Result{}, err
@@ -60,7 +61,12 @@ func RunReplicated(job *Job, pol Policy, ts *trace.Set, replicas int) (Result, e
 	now := job.Start
 	lead := 0
 
-	for remaining > workEps {
+	for iter := 0; remaining > workEps; iter++ {
+		if iter%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		st := groups[lead].stateAt(now, remaining, res.Failures)
 		chunk := pol.NextChunk(st)
 		chunk = sanitizeChunk(pol, chunk, remaining, job.Work)

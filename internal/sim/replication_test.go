@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -12,11 +13,11 @@ func TestReplicatedSingleReplicaEqualsPlain(t *testing.T) {
 	d := dist.WeibullFromMeanShape(2000, 0.7)
 	ts := trace.GenerateRenewal(d, 4, 1e7, 30, 3)
 	job := &Job{Work: 5000, C: 60, R: 60, D: 30, Units: 4, Start: 100}
-	plain, err := Run(job, fixedPolicy{700}, ts)
+	plain, err := Run(context.Background(), job, fixedPolicy{700}, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	repl, err := RunReplicated(job, fixedPolicy{700}, ts, 1)
+	repl, err := RunReplicated(context.Background(), job, fixedPolicy{700}, ts, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestReplicatedSingleReplicaEqualsPlain(t *testing.T) {
 func TestReplicatedNoFailures(t *testing.T) {
 	ts := manualTrace(1e9, nil, nil)
 	job := &Job{Work: 250, C: 10, R: 7, D: 5, Units: 1, Start: 0}
-	res, err := RunReplicated(job, fixedPolicy{100}, ts, 2)
+	res, err := RunReplicated(context.Background(), job, fixedPolicy{100}, ts, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestReplicatedWinnerMasksFailure(t *testing.T) {
 	// chunk commits on group 1's clock with no lost time.
 	ts := manualTrace(1e9, []float64{50}, nil)
 	job := &Job{Work: 100, C: 10, R: 7, D: 5, Units: 1, Start: 0}
-	res, err := RunReplicated(job, fixedPolicy{100}, ts, 2)
+	res, err := RunReplicated(context.Background(), job, fixedPolicy{100}, ts, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestReplicatedWinnerMasksFailure(t *testing.T) {
 		t.Errorf("winner accounting should be clean: %+v", res)
 	}
 	// The plain run pays for the failure.
-	plain, err := Run(job, fixedPolicy{100}, ts)
+	plain, err := Run(context.Background(), job, fixedPolicy{100}, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestReplicatedBothGroupsFail(t *testing.T) {
 	// from 62 and would finish at 172.
 	ts := manualTrace(1e9, []float64{50}, []float64{20})
 	job := &Job{Work: 100, C: 10, R: 7, D: 5, Units: 1, Start: 0}
-	res, err := RunReplicated(job, fixedPolicy{100}, ts, 2)
+	res, err := RunReplicated(context.Background(), job, fixedPolicy{100}, ts, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +96,11 @@ func TestReplicatedNeverWorseInDistribution(t *testing.T) {
 	for seed := uint64(0); seed < 25; seed++ {
 		ts := trace.GenerateRenewal(d, 8, 1e7, 30, seed)
 		job := &Job{Work: 8000, C: 80, R: 80, D: 30, Units: 4, Start: 200}
-		repl, err := RunReplicated(job, fixedPolicy{900}, ts, 2)
+		repl, err := RunReplicated(context.Background(), job, fixedPolicy{900}, ts, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
-		solo, err := Run(job, fixedPolicy{900}, ts) // group 0's units only
+		solo, err := Run(context.Background(), job, fixedPolicy{900}, ts) // group 0's units only
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,12 +126,12 @@ func TestReplicatedTradeoffQuestion(t *testing.T) {
 	d := dist.WeibullFromMeanShape(40000, 0.7)
 	ts := trace.GenerateRenewal(d, 16, 1e8, 60, 9)
 	full := &Job{Work: 20000, C: 120, R: 120, D: 60, Units: 16, Start: 500}
-	resFull, err := Run(full, fixedPolicy{2500}, ts)
+	resFull, err := Run(context.Background(), full, fixedPolicy{2500}, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	half := &Job{Work: 40000, C: 120, R: 120, D: 60, Units: 8, Start: 500}
-	resRepl, err := RunReplicated(half, fixedPolicy{2500}, ts, 2)
+	resRepl, err := RunReplicated(context.Background(), half, fixedPolicy{2500}, ts, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,10 +148,10 @@ func TestReplicatedTradeoffQuestion(t *testing.T) {
 func TestReplicatedValidation(t *testing.T) {
 	ts := manualTrace(1e9, nil)
 	job := &Job{Work: 100, C: 10, R: 7, D: 5, Units: 1, Start: 0}
-	if _, err := RunReplicated(job, fixedPolicy{50}, ts, 0); err == nil {
+	if _, err := RunReplicated(context.Background(), job, fixedPolicy{50}, ts, 0); err == nil {
 		t.Error("0 replicas accepted")
 	}
-	if _, err := RunReplicated(job, fixedPolicy{50}, ts, 2); err == nil {
+	if _, err := RunReplicated(context.Background(), job, fixedPolicy{50}, ts, 2); err == nil {
 		t.Error("trace too small for 2 replicas accepted")
 	}
 }
@@ -165,7 +166,7 @@ func TestReplicatedPolicySeesWinnerState(t *testing.T) {
 		cp := append([]float64(nil), s.LastRenewal...)
 		sawRenewals = append(sawRenewals, cp)
 	}}
-	if _, err := RunReplicated(job, pol, ts, 2); err != nil {
+	if _, err := RunReplicated(context.Background(), job, pol, ts, 2); err != nil {
 		t.Fatal(err)
 	}
 	if len(sawRenewals) < 2 {

@@ -1,11 +1,18 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/trace"
 )
+
+// ctxCheckEvery bounds how many decision-loop iterations run between two
+// context polls: often enough that cancellation interrupts even
+// million-failure traces promptly, rarely enough that an uncancelled
+// context costs nothing measurable per run.
+const ctxCheckEvery = 256
 
 // Job describes one simulation instance. All durations are in seconds of
 // simulated time; Work is the failure-free execution time W(p) of the job
@@ -109,7 +116,10 @@ type Result struct {
 
 // Run simulates the job under the policy against the failure trace and
 // returns the accounting. The trace must cover at least job.Units units.
-func Run(job *Job, pol Policy, ts *trace.Set) (Result, error) {
+// The context bounds the simulation: cancellation or deadline expiry stops
+// the decision loop promptly and returns ctx.Err(). An uncancelled context
+// never changes the result.
+func Run(ctx context.Context, job *Job, pol Policy, ts *trace.Set) (Result, error) {
 	if err := job.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -128,7 +138,12 @@ func Run(job *Job, pol Policy, ts *trace.Set) (Result, error) {
 	// floating-point residue from repeated subtraction.
 	workEps := 1e-9 * job.Work
 
-	for r.state.Remaining > workEps {
+	for iter := 0; r.state.Remaining > workEps; iter++ {
+		if iter%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		chunk := pol.NextChunk(&r.state)
 		chunk = r.clampChunk(pol, chunk)
 		end := r.state.Now + chunk + job.C
@@ -296,8 +311,8 @@ func (r *run) clampChunk(pol Policy, chunk float64) float64 {
 // before each failure (losing nothing), and skips the final checkpoint.
 // If the gap to the next failure is shorter than C, no work fits and the
 // bound idles until the failure. Its makespan lower-bounds every policy on
-// the same trace.
-func LowerBound(job *Job, ts *trace.Set) (Result, error) {
+// the same trace. The context cancels the walk like Run's.
+func LowerBound(ctx context.Context, job *Job, ts *trace.Set) (Result, error) {
 	if err := job.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -305,7 +320,12 @@ func LowerBound(job *Job, ts *trace.Set) (Result, error) {
 		return Result{}, fmt.Errorf("sim: trace has %d units, job needs %d", len(ts.Units), job.Units)
 	}
 	r := newRun(job, ts)
-	for r.state.Remaining > 1e-9*job.Work {
+	for iter := 0; r.state.Remaining > 1e-9*job.Work; iter++ {
+		if iter%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		var window float64
 		ev, ok := trace.Event{}, false
 		if r.evIdx < len(r.events) {

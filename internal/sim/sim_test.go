@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -41,7 +42,7 @@ func manualTrace(horizon float64, units ...[]float64) *trace.Set {
 func TestNoFailures(t *testing.T) {
 	job := &Job{Work: 250, C: 10, R: 7, D: 5, Units: 1, Start: 0}
 	ts := manualTrace(1e9, nil)
-	res, err := Run(job, fixedPolicy{100}, ts)
+	res, err := Run(context.Background(), job, fixedPolicy{100}, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestNoFailures(t *testing.T) {
 func TestSingleFailureMidChunk(t *testing.T) {
 	job := &Job{Work: 100, C: 10, R: 7, D: 5, Units: 1, Start: 0}
 	ts := manualTrace(1e9, []float64{50})
-	res, err := Run(job, fixedPolicy{100}, ts)
+	res, err := Run(context.Background(), job, fixedPolicy{100}, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestSingleFailureMidChunk(t *testing.T) {
 func TestFailureDuringCheckpoint(t *testing.T) {
 	job := &Job{Work: 100, C: 10, R: 7, D: 5, Units: 1, Start: 0}
 	ts := manualTrace(1e9, []float64{105}) // 5 seconds into the checkpoint
-	res, err := Run(job, fixedPolicy{100}, ts)
+	res, err := Run(context.Background(), job, fixedPolicy{100}, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestFailureAtCheckpointBoundaryCommits(t *testing.T) {
 	// A failure exactly when the checkpoint completes does not destroy it.
 	job := &Job{Work: 100, C: 10, R: 7, D: 5, Units: 1, Start: 0}
 	ts := manualTrace(1e9, []float64{110})
-	res, err := Run(job, fixedPolicy{100}, ts)
+	res, err := Run(context.Background(), job, fixedPolicy{100}, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestFailureDuringRecovery(t *testing.T) {
 	job := &Job{Work: 100, C: 10, R: 7, D: 5, Units: 1, Start: 0}
 	// Failure at 50; recovery starts at 55; second failure at 58 aborts it.
 	ts := manualTrace(1e9, []float64{50, 58})
-	res, err := Run(job, fixedPolicy{100}, ts)
+	res, err := Run(context.Background(), job, fixedPolicy{100}, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestCascadingDowntime(t *testing.T) {
 	// 65): the outage barrier extends to 65 before recovery can start.
 	job := &Job{Work: 100, C: 10, R: 7, D: 10, Units: 2, Start: 0}
 	ts := manualTrace(1e9, []float64{50}, []float64{55})
-	res, err := Run(job, fixedPolicy{100}, ts)
+	res, err := Run(context.Background(), job, fixedPolicy{100}, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestTauTracking(t *testing.T) {
 			sawTau = s.Tau(0)
 		}
 	}}
-	if _, err := Run(job, pol, ts); err != nil {
+	if _, err := Run(context.Background(), job, pol, ts); err != nil {
 		t.Fatal(err)
 	}
 	// After the failure at 50: renewal at 55 (start of recovery), recovery
@@ -189,7 +190,7 @@ func TestFailedUnitsList(t *testing.T) {
 	pol := &tauProbe{period: 50, probe: func(s *State) {
 		got = append([]int32(nil), s.FailedUnits...)
 	}}
-	if _, err := Run(job, pol, ts); err != nil {
+	if _, err := Run(context.Background(), job, pol, ts); err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
@@ -201,7 +202,7 @@ func TestObserverCallbacks(t *testing.T) {
 	job := &Job{Work: 300, C: 10, R: 7, D: 5, Units: 1, Start: 0}
 	ts := manualTrace(1e9, []float64{50})
 	spy := &spyPolicy{fixedPolicy: fixedPolicy{100}}
-	res, err := Run(job, spy, ts)
+	res, err := Run(context.Background(), job, spy, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestJobStartOffsetAndPreStartFailures(t *testing.T) {
 			tau0 = s.Tau(0)
 		}
 	}}
-	res, err := Run(job, pol, ts)
+	res, err := Run(context.Background(), job, pol, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestUnitDownAtRelease(t *testing.T) {
 	// must wait 15 before its first chunk.
 	job := &Job{Work: 100, C: 10, R: 7, D: 20, Units: 1, Start: 1000}
 	ts := manualTrace(1e9, []float64{995})
-	res, err := Run(job, fixedPolicy{100}, ts)
+	res, err := Run(context.Background(), job, fixedPolicy{100}, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestUnitDownAtRelease(t *testing.T) {
 func TestLowerBoundSingleFailure(t *testing.T) {
 	job := &Job{Work: 100, C: 10, R: 10, D: 10, Units: 1, Start: 0}
 	ts := manualTrace(1e9, []float64{50})
-	res, err := LowerBound(job, ts)
+	res, err := LowerBound(context.Background(), job, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestLowerBoundTinyWindowIdles(t *testing.T) {
 	// Window of 5 < C=10: the bound idles through it rather than losing work.
 	job := &Job{Work: 100, C: 10, R: 10, D: 10, Units: 1, Start: 0}
 	ts := manualTrace(1e9, []float64{5})
-	res, err := LowerBound(job, ts)
+	res, err := LowerBound(context.Background(), job, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +294,7 @@ func TestLowerBoundTinyWindowIdles(t *testing.T) {
 
 func TestLowerBoundNoFinalCheckpoint(t *testing.T) {
 	job := &Job{Work: 100, C: 10, R: 10, D: 10, Units: 1, Start: 0}
-	res, err := LowerBound(job, manualTrace(1e9, nil))
+	res, err := LowerBound(context.Background(), job, manualTrace(1e9, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,12 +308,12 @@ func TestLowerBoundBeatsAllPolicies(t *testing.T) {
 	for seed := uint64(0); seed < 30; seed++ {
 		ts := trace.GenerateRenewal(d, 4, 1e7, 30, seed)
 		job := &Job{Work: 5000, C: 60, R: 60, D: 30, Units: 4, Start: 0}
-		lb, err := LowerBound(job, ts)
+		lb, err := LowerBound(context.Background(), job, ts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, period := range []float64{200, 500, 1000, 5000} {
-			res, err := Run(job, fixedPolicy{period}, ts)
+			res, err := Run(context.Background(), job, fixedPolicy{period}, ts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -329,7 +330,7 @@ func TestAccountingInvariantRandomized(t *testing.T) {
 	for seed := uint64(0); seed < 50; seed++ {
 		ts := trace.GenerateRenewal(d, 3, 1e7, 17, seed)
 		job := &Job{Work: 4000, C: 45, R: 55, D: 17, Units: 3, Start: 500}
-		res, err := Run(job, fixedPolicy{333}, ts)
+		res, err := Run(context.Background(), job, fixedPolicy{333}, ts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -339,7 +340,7 @@ func TestAccountingInvariantRandomized(t *testing.T) {
 		if res.WorkTime < 4000-1e-6 || res.WorkTime > 4000+1e-6 {
 			t.Fatalf("seed %d: committed work %v != 4000", seed, res.WorkTime)
 		}
-		lb, err := LowerBound(job, ts)
+		lb, err := LowerBound(context.Background(), job, ts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -351,14 +352,14 @@ func TestAccountingInvariantRandomized(t *testing.T) {
 
 func TestHorizonExceededFlag(t *testing.T) {
 	job := &Job{Work: 100, C: 10, R: 7, D: 5, Units: 1, Start: 0}
-	res, err := Run(job, fixedPolicy{100}, manualTrace(50, nil))
+	res, err := Run(context.Background(), job, fixedPolicy{100}, manualTrace(50, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.HorizonExceeded {
 		t.Error("run past the trace horizon not flagged")
 	}
-	res, err = Run(job, fixedPolicy{100}, manualTrace(1e9, nil))
+	res, err = Run(context.Background(), job, fixedPolicy{100}, manualTrace(1e9, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +374,7 @@ func (failingStartPolicy) Start(job *Job) error { return errors.New("no schedule
 
 func TestPolicyStartErrorPropagates(t *testing.T) {
 	job := &Job{Work: 100, C: 10, R: 7, D: 5, Units: 1, Start: 0}
-	if _, err := Run(job, failingStartPolicy{}, manualTrace(1e9, nil)); err == nil {
+	if _, err := Run(context.Background(), job, failingStartPolicy{}, manualTrace(1e9, nil)); err == nil {
 		t.Fatal("Start error not propagated")
 	}
 }
@@ -387,13 +388,13 @@ func TestJobValidation(t *testing.T) {
 		{Work: 1, C: 1, R: 1, D: 1, Units: 1, Start: -5},
 	}
 	for i, job := range bad {
-		if _, err := Run(job, fixedPolicy{1}, ts); err == nil {
+		if _, err := Run(context.Background(), job, fixedPolicy{1}, ts); err == nil {
 			t.Errorf("case %d: invalid job accepted", i)
 		}
 	}
 	// Trace too small for the job.
 	job := &Job{Work: 1, C: 1, R: 1, D: 1, Units: 5}
-	if _, err := Run(job, fixedPolicy{1}, ts); err == nil {
+	if _, err := Run(context.Background(), job, fixedPolicy{1}, ts); err == nil {
 		t.Error("undersized trace accepted")
 	}
 }
@@ -409,13 +410,13 @@ func TestNaNChunkPanics(t *testing.T) {
 		}
 	}()
 	job := &Job{Work: 100, C: 10, R: 7, D: 5, Units: 1, Start: 0}
-	Run(job, nanPolicy{}, manualTrace(1e9, nil)) //nolint:errcheck
+	Run(context.Background(), job, nanPolicy{}, manualTrace(1e9, nil)) //nolint:errcheck
 }
 
 func TestChunkClamping(t *testing.T) {
 	// Chunks larger than the remaining work are clamped, not an error.
 	job := &Job{Work: 50, C: 10, R: 7, D: 5, Units: 1, Start: 0}
-	res, err := Run(job, fixedPolicy{1e9}, manualTrace(1e9, nil))
+	res, err := Run(context.Background(), job, fixedPolicy{1e9}, manualTrace(1e9, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -436,7 +437,7 @@ func TestMorePeriodicCheckpointsUnderFrequentFailures(t *testing.T) {
 			name   string
 			period float64
 		}{{"tiny", 30}, {"good", 600}, {"huge", 20000}} {
-			res, err := Run(job, fixedPolicy{p.period}, ts)
+			res, err := Run(context.Background(), job, fixedPolicy{p.period}, ts)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,107 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// decodeStrict decodes JSON into v, rejecting unknown fields (a typo in a
+// spec file must fail loudly, not silently fall back to a default) and
+// trailing garbage.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("spec: decode: %w", err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return fmt.Errorf("spec: trailing data after the spec document")
+	}
+	return nil
+}
+
+// encodeIndent encodes v as indented JSON with a trailing newline — the
+// canonical on-disk form (encoding/json marshals float64 with the shortest
+// round-trip representation, so encode→decode→build is bit-identical).
+func encodeIndent(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("spec: encode: %w", err)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// DecodeExperiment reads and validates an experiment spec.
+func DecodeExperiment(r io.Reader) (*ExperimentSpec, error) {
+	var es ExperimentSpec
+	if err := decodeStrict(r, &es); err != nil {
+		return nil, err
+	}
+	if err := es.Validate(); err != nil {
+		return nil, err
+	}
+	return &es, nil
+}
+
+// LoadExperiment reads an experiment spec from a file.
+func LoadExperiment(path string) (*ExperimentSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	defer f.Close()
+	es, err := DecodeExperiment(f)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %s: %w", path, err)
+	}
+	return es, nil
+}
+
+// EncodeExperiment writes the spec in its canonical indented form.
+func EncodeExperiment(w io.Writer, es *ExperimentSpec) error {
+	if err := es.Validate(); err != nil {
+		return err
+	}
+	return encodeIndent(w, es)
+}
+
+// DecodeTrace reads and validates a trace spec.
+func DecodeTrace(r io.Reader) (*TraceSpec, error) {
+	var ts TraceSpec
+	if err := decodeStrict(r, &ts); err != nil {
+		return nil, err
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	return &ts, nil
+}
+
+// LoadTrace reads a trace spec from a file.
+func LoadTrace(path string) (*TraceSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	defer f.Close()
+	ts, err := DecodeTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %s: %w", path, err)
+	}
+	return ts, nil
+}
+
+// EncodeTrace writes the trace spec in its canonical indented form.
+func EncodeTrace(w io.Writer, ts *TraceSpec) error {
+	if err := ts.Validate(); err != nil {
+		return err
+	}
+	return encodeIndent(w, ts)
+}

@@ -1,0 +1,254 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dist"
+)
+
+// DistSpec is the serializable description of a failure inter-arrival law:
+// a registered family name plus its parameters. Exactly the fields the
+// family's codec documents are consulted; the rest must be zero.
+//
+// The Mean field is special: when it is zero, Build substitutes the
+// caller-supplied default (scenarios pass the platform's per-unit MTBF),
+// so grid sweeps over the platform MTBF automatically re-parameterize the
+// law — the paper's Tables 2-3 convention.
+type DistSpec struct {
+	// Family is the registered family name ("exponential", "weibull",
+	// "gamma", "lognormal", "empirical").
+	Family string `json:"family"`
+	// Mean is the MTBF in seconds (0 = inherit the platform MTBF).
+	Mean float64 `json:"mean,omitempty"`
+	// Shape is the Weibull/Gamma shape parameter k.
+	Shape float64 `json:"shape,omitempty"`
+	// Scale is the Weibull/Gamma scale parameter; when positive it takes
+	// precedence over the mean parameterization.
+	Scale float64 `json:"scale,omitempty"`
+	// Rate is the Exponential rate lambda; when positive it takes
+	// precedence over the mean parameterization.
+	Rate float64 `json:"rate,omitempty"`
+	// Mu is the LogNormal log-space mean; when present (including an
+	// explicit 0) it takes precedence over the mean parameterization.
+	Mu *float64 `json:"mu,omitempty"`
+	// Sigma is the LogNormal log-space standard deviation.
+	Sigma float64 `json:"sigma,omitempty"`
+	// Samples are the empirical availability durations (family
+	// "empirical" only).
+	Samples []float64 `json:"samples,omitempty"`
+}
+
+// DistCodec builds and encodes one registered distribution family.
+type DistCodec struct {
+	// Family is the registry key, conventionally lower-case.
+	Family string
+	// Build constructs the law. defaultMean substitutes a zero Mean.
+	Build func(s DistSpec, defaultMean float64) (dist.Distribution, error)
+	// Encode round-trips a built law back to its spec; ok reports whether
+	// the codec recognizes the concrete type.
+	Encode func(d dist.Distribution) (s DistSpec, ok bool)
+}
+
+var distRegistry = struct {
+	sync.Mutex
+	byFamily map[string]DistCodec
+}{byFamily: map[string]DistCodec{}}
+
+// RegisterDist adds a distribution family to the registry. Registering a
+// duplicate family panics: registries are wired in init functions, where a
+// collision is a programming error.
+func RegisterDist(c DistCodec) {
+	distRegistry.Lock()
+	defer distRegistry.Unlock()
+	if c.Family == "" || c.Build == nil {
+		panic("spec: RegisterDist needs a family name and a builder")
+	}
+	if _, dup := distRegistry.byFamily[c.Family]; dup {
+		panic(fmt.Sprintf("spec: duplicate distribution family %q", c.Family))
+	}
+	distRegistry.byFamily[c.Family] = c
+}
+
+// DistFamilies returns the registered family names, sorted.
+func DistFamilies() []string {
+	distRegistry.Lock()
+	defer distRegistry.Unlock()
+	out := make([]string, 0, len(distRegistry.byFamily))
+	for name := range distRegistry.byFamily {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func distCodec(family string) (DistCodec, error) {
+	distRegistry.Lock()
+	defer distRegistry.Unlock()
+	c, ok := distRegistry.byFamily[family]
+	if !ok {
+		return DistCodec{}, fmt.Errorf("spec: unknown distribution family %q (have: %v)", family, registeredDistNamesLocked())
+	}
+	return c, nil
+}
+
+func registeredDistNamesLocked() []string {
+	out := make([]string, 0, len(distRegistry.byFamily))
+	for name := range distRegistry.byFamily {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build constructs the law described by the spec; defaultMean substitutes
+// a zero Mean (pass 0 to require an explicit parameterization).
+func (s DistSpec) Build(defaultMean float64) (dist.Distribution, error) {
+	c, err := distCodec(s.Family)
+	if err != nil {
+		return nil, err
+	}
+	return c.Build(s, defaultMean)
+}
+
+// EncodeDist round-trips a built law to the spec that rebuilds it
+// bit-identically. It fails for laws no registered codec recognizes.
+func EncodeDist(d dist.Distribution) (DistSpec, error) {
+	distRegistry.Lock()
+	codecs := make([]DistCodec, 0, len(distRegistry.byFamily))
+	for _, name := range registeredDistNamesLocked() {
+		codecs = append(codecs, distRegistry.byFamily[name])
+	}
+	distRegistry.Unlock()
+	for _, c := range codecs {
+		if c.Encode == nil {
+			continue
+		}
+		if s, ok := c.Encode(d); ok {
+			return s, nil
+		}
+	}
+	return DistSpec{}, fmt.Errorf("spec: no registered codec encodes %T (%s)", d, d.String())
+}
+
+// mean resolves the spec's mean against the default.
+func (s DistSpec) mean(defaultMean float64) (float64, error) {
+	m := s.Mean
+	if m == 0 {
+		m = defaultMean
+	}
+	if !(m > 0) {
+		return 0, fmt.Errorf("spec: %s law needs a positive mean (got %v with no default)", s.Family, s.Mean)
+	}
+	return m, nil
+}
+
+func init() {
+	RegisterDist(DistCodec{
+		Family: "exponential",
+		Build: func(s DistSpec, defaultMean float64) (dist.Distribution, error) {
+			if s.Rate > 0 {
+				return dist.NewExponentialRate(s.Rate), nil
+			}
+			m, err := s.mean(defaultMean)
+			if err != nil {
+				return nil, err
+			}
+			return dist.NewExponentialMean(m), nil
+		},
+		Encode: func(d dist.Distribution) (DistSpec, bool) {
+			e, ok := d.(dist.Exponential)
+			if !ok {
+				return DistSpec{}, false
+			}
+			return DistSpec{Family: "exponential", Rate: e.Lambda}, true
+		},
+	})
+	RegisterDist(DistCodec{
+		Family: "weibull",
+		Build: func(s DistSpec, defaultMean float64) (dist.Distribution, error) {
+			if !(s.Shape > 0) {
+				return nil, fmt.Errorf("spec: weibull law needs a positive shape, got %v", s.Shape)
+			}
+			if s.Scale > 0 {
+				return dist.NewWeibull(s.Shape, s.Scale), nil
+			}
+			m, err := s.mean(defaultMean)
+			if err != nil {
+				return nil, err
+			}
+			return dist.WeibullFromMeanShape(m, s.Shape), nil
+		},
+		Encode: func(d dist.Distribution) (DistSpec, bool) {
+			w, ok := d.(dist.Weibull)
+			if !ok {
+				return DistSpec{}, false
+			}
+			return DistSpec{Family: "weibull", Shape: w.Shape, Scale: w.Scale}, true
+		},
+	})
+	RegisterDist(DistCodec{
+		Family: "gamma",
+		Build: func(s DistSpec, defaultMean float64) (dist.Distribution, error) {
+			if !(s.Shape > 0) {
+				return nil, fmt.Errorf("spec: gamma law needs a positive shape, got %v", s.Shape)
+			}
+			if s.Scale > 0 {
+				return dist.NewGamma(s.Shape, s.Scale), nil
+			}
+			m, err := s.mean(defaultMean)
+			if err != nil {
+				return nil, err
+			}
+			return dist.GammaFromMeanShape(m, s.Shape), nil
+		},
+		Encode: func(d dist.Distribution) (DistSpec, bool) {
+			g, ok := d.(dist.Gamma)
+			if !ok {
+				return DistSpec{}, false
+			}
+			return DistSpec{Family: "gamma", Shape: g.Shape, Scale: g.Scale}, true
+		},
+	})
+	RegisterDist(DistCodec{
+		Family: "lognormal",
+		Build: func(s DistSpec, defaultMean float64) (dist.Distribution, error) {
+			if !(s.Sigma > 0) {
+				return nil, fmt.Errorf("spec: lognormal law needs a positive sigma, got %v", s.Sigma)
+			}
+			if s.Mu != nil {
+				return dist.NewLogNormal(*s.Mu, s.Sigma), nil
+			}
+			m, err := s.mean(defaultMean)
+			if err != nil {
+				return nil, err
+			}
+			return dist.LogNormalFromMeanSigma(m, s.Sigma), nil
+		},
+		Encode: func(d dist.Distribution) (DistSpec, bool) {
+			l, ok := d.(dist.LogNormal)
+			if !ok {
+				return DistSpec{}, false
+			}
+			mu := l.Mu
+			return DistSpec{Family: "lognormal", Mu: &mu, Sigma: l.Sigma}, true
+		},
+	})
+	RegisterDist(DistCodec{
+		Family: "empirical",
+		Build: func(s DistSpec, _ float64) (dist.Distribution, error) {
+			if len(s.Samples) == 0 {
+				return nil, fmt.Errorf("spec: empirical law needs samples")
+			}
+			return dist.NewEmpirical(s.Samples), nil
+		},
+		Encode: func(d dist.Distribution) (DistSpec, bool) {
+			e, ok := d.(*dist.Empirical)
+			if !ok {
+				return DistSpec{}, false
+			}
+			return DistSpec{Family: "empirical", Samples: e.Samples()}, true
+		},
+	})
+}

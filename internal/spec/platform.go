@@ -1,0 +1,144 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/platform"
+)
+
+// PlatformRef is the serializable description of a platform: either a
+// registered Table 1 preset (optionally with an MTBF override) or a fully
+// custom configuration.
+type PlatformRef struct {
+	// Preset names a registered platform ("oneproc", "petascale",
+	// "petascale-500", "exascale", "lanl-nodes"). Mutually exclusive with
+	// Custom.
+	Preset string `json:"preset,omitempty"`
+	// MTBF overrides the preset's per-unit MTBF, in seconds.
+	MTBF float64 `json:"mtbf,omitempty"`
+	// MTBFYears overrides the preset's per-unit MTBF, in years (365-day
+	// years, the paper's convention). Mutually exclusive with MTBF.
+	MTBFYears float64 `json:"mtbfYears,omitempty"`
+	// Custom is a complete platform configuration; use it for platforms
+	// outside Table 1.
+	Custom *PlatformCustom `json:"custom,omitempty"`
+}
+
+// PlatformCustom mirrors platform.Spec with JSON field names.
+type PlatformCustom struct {
+	Name         string  `json:"name,omitempty"`
+	PTotal       int     `json:"pTotal"`
+	ProcsPerUnit int     `json:"procsPerUnit,omitempty"` // default 1
+	D            float64 `json:"d,omitempty"`
+	CBase        float64 `json:"cBase,omitempty"`
+	RBase        float64 `json:"rBase,omitempty"`
+	MTBF         float64 `json:"mtbf"`
+	W            float64 `json:"w"`
+}
+
+var platformRegistry = struct {
+	sync.Mutex
+	byName map[string]func() platform.Spec
+}{byName: map[string]func() platform.Spec{}}
+
+// RegisterPlatform adds a named platform preset. Duplicates panic.
+func RegisterPlatform(name string, build func() platform.Spec) {
+	platformRegistry.Lock()
+	defer platformRegistry.Unlock()
+	if name == "" || build == nil {
+		panic("spec: RegisterPlatform needs a name and a builder")
+	}
+	if _, dup := platformRegistry.byName[name]; dup {
+		panic(fmt.Sprintf("spec: duplicate platform preset %q", name))
+	}
+	platformRegistry.byName[name] = build
+}
+
+// PlatformNames returns the registered preset names, sorted.
+func PlatformNames() []string {
+	platformRegistry.Lock()
+	defer platformRegistry.Unlock()
+	out := make([]string, 0, len(platformRegistry.byName))
+	for name := range platformRegistry.byName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build resolves the reference to a concrete platform configuration.
+func (r PlatformRef) Build() (platform.Spec, error) {
+	if r.Preset != "" && r.Custom != nil {
+		return platform.Spec{}, fmt.Errorf("spec: platform sets both preset %q and custom", r.Preset)
+	}
+	if r.MTBF != 0 && r.MTBFYears != 0 {
+		return platform.Spec{}, fmt.Errorf("spec: platform sets both mtbf and mtbfYears")
+	}
+	// Fail loudly: a nonsensical override must never silently fall back to
+	// the preset value.
+	if r.MTBF < 0 {
+		return platform.Spec{}, fmt.Errorf("spec: platform mtbf override must be positive, got %v", r.MTBF)
+	}
+	if r.MTBFYears < 0 {
+		return platform.Spec{}, fmt.Errorf("spec: platform mtbfYears override must be positive, got %v", r.MTBFYears)
+	}
+	var s platform.Spec
+	switch {
+	case r.Custom != nil:
+		c := *r.Custom
+		if c.ProcsPerUnit == 0 {
+			c.ProcsPerUnit = 1
+		}
+		s = platform.Spec{
+			Name:         c.Name,
+			PTotal:       c.PTotal,
+			ProcsPerUnit: c.ProcsPerUnit,
+			D:            c.D,
+			CBase:        c.CBase,
+			RBase:        c.RBase,
+			MTBF:         c.MTBF,
+			W:            c.W,
+		}
+		if s.Name == "" {
+			s.Name = "custom"
+		}
+	case r.Preset != "":
+		platformRegistry.Lock()
+		build, ok := platformRegistry.byName[r.Preset]
+		platformRegistry.Unlock()
+		if !ok {
+			return platform.Spec{}, fmt.Errorf("spec: unknown platform preset %q (have: %v)", r.Preset, PlatformNames())
+		}
+		s = build()
+	default:
+		return platform.Spec{}, fmt.Errorf("spec: platform needs a preset or a custom configuration")
+	}
+	if r.MTBF > 0 {
+		s.MTBF = r.MTBF
+	}
+	if r.MTBFYears > 0 {
+		s.MTBF = r.MTBFYears * platform.Year
+	}
+	if !(s.MTBF > 0) {
+		return platform.Spec{}, fmt.Errorf("spec: platform %q needs a positive MTBF (preset default or mtbf/mtbfYears override)", s.Name)
+	}
+	if s.PTotal <= 0 {
+		return platform.Spec{}, fmt.Errorf("spec: platform %q needs a positive processor count", s.Name)
+	}
+	return s, nil
+}
+
+func init() {
+	// Table 1 presets. The oneproc default MTBF is one day (the middle of
+	// the paper's hour/day/week grid); override it per scenario or sweep it
+	// with the grid's mtbf axis.
+	RegisterPlatform("oneproc", func() platform.Spec { return platform.OneProc(platform.Day) })
+	RegisterPlatform("petascale", func() platform.Spec { return platform.Petascale(125) })
+	RegisterPlatform("petascale-500", func() platform.Spec { return platform.Petascale(500) })
+	RegisterPlatform("exascale", platform.Exascale)
+	// lanl-nodes has no meaningful default node MTBF: the paper derives it
+	// from the availability log, so an explicit override is required.
+	RegisterPlatform("lanl-nodes", func() platform.Spec { return platform.LANLNodes(0) })
+}

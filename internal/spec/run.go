@@ -1,0 +1,87 @@
+package spec
+
+import (
+	"context"
+	"errors"
+	"iter"
+
+	"repro/internal/engine"
+	"repro/internal/harness"
+)
+
+// CellResult is one completed experiment cell.
+type CellResult struct {
+	// Index is the cell's position in the experiment's expansion order.
+	Index int
+	// Spec is the cell's declarative scenario (carrying name and title).
+	Spec ScenarioSpec
+	// Scenario is the compiled scenario the evaluation ran on.
+	Scenario harness.Scenario
+	// Eval holds the aggregated results; iterate rows with Eval.Rows.
+	Eval *harness.Evaluation
+}
+
+// errStopIteration signals that the consumer broke out of the iterator.
+var errStopIteration = errors.New("spec: iteration stopped")
+
+// Run executes the experiment on the engine and returns a streaming
+// iterator over its cells. Cells execute concurrently on the engine's
+// worker pool, but are yielded strictly in expansion order as the
+// completed prefix grows — the sequence is byte-for-byte deterministic at
+// any worker count. The terminal iteration carries a non-nil error when a
+// cell failed or the context was cancelled; everything yielded before it
+// is a valid deterministic prefix. Breaking out of the loop stops the
+// underlying execution.
+func Run(ctx context.Context, eng *engine.Engine, es *ExperimentSpec) iter.Seq2[CellResult, error] {
+	return func(yield func(CellResult, error) bool) {
+		cells, err := es.Expand()
+		if err != nil {
+			yield(CellResult{Index: -1}, err)
+			return
+		}
+		// A consumer breaking out of the range must actually stop the
+		// sweep: cancel the engine workers, not just the emission.
+		ctx, stop := context.WithCancel(ctx)
+		defer stop()
+		err = engine.Stream(ctx, eng, len(cells),
+			func(i int) (CellResult, error) {
+				cell := cells[i]
+				sc, err := cell.Scenario.Compile()
+				if err != nil {
+					return CellResult{Index: i}, err
+				}
+				cands, err := cell.Candidates.Build(ctx, eng, sc)
+				if err != nil {
+					return CellResult{Index: i}, err
+				}
+				ev, err := harness.EvaluateWith(ctx, eng, sc, cands)
+				if err != nil {
+					return CellResult{Index: i}, err
+				}
+				return CellResult{Index: i, Spec: cell.Scenario, Scenario: sc, Eval: ev}, nil
+			},
+			func(i int, res CellResult) error {
+				if !yield(res, nil) {
+					stop() // release in-flight workers before unwinding
+					return errStopIteration
+				}
+				return nil
+			})
+		if err != nil && !errors.Is(err, errStopIteration) {
+			yield(CellResult{Index: -1}, err)
+		}
+	}
+}
+
+// RunAll executes the experiment and collects every cell, failing on the
+// first cell error. It is the non-streaming convenience over Run.
+func RunAll(ctx context.Context, eng *engine.Engine, es *ExperimentSpec) ([]CellResult, error) {
+	var out []CellResult
+	for res, err := range Run(ctx, eng, es) {
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/platform"
+)
+
+// WorkSpec is the serializable parallel work model W(p).
+type WorkSpec struct {
+	// Model is "embarrassing" (default), "amdahl" or "kernel".
+	Model string `json:"model,omitempty"`
+	// Gamma is the sequential fraction (amdahl) or kernel coefficient.
+	Gamma float64 `json:"gamma,omitempty"`
+}
+
+// Build resolves the work model.
+func (w WorkSpec) Build() (platform.Work, error) {
+	switch w.Model {
+	case "", platform.WorkEmbarrassing.String():
+		if w.Gamma != 0 {
+			return platform.Work{}, fmt.Errorf("spec: embarrassing work model takes no gamma, got %v", w.Gamma)
+		}
+		return platform.Work{Model: platform.WorkEmbarrassing}, nil
+	case platform.WorkAmdahl.String():
+		return platform.Work{Model: platform.WorkAmdahl, Gamma: w.Gamma}, nil
+	case platform.WorkKernel.String():
+		return platform.Work{Model: platform.WorkKernel, Gamma: w.Gamma}, nil
+	}
+	return platform.Work{}, fmt.Errorf("spec: unknown work model %q (embarrassing, amdahl, kernel)", w.Model)
+}
+
+// EncodeWork round-trips a work model.
+func EncodeWork(w platform.Work) WorkSpec {
+	return WorkSpec{Model: w.Model.String(), Gamma: w.Gamma}
+}
+
+// parseOverhead resolves the overhead model name.
+func parseOverhead(s string) (platform.Overhead, error) {
+	switch s {
+	case "", platform.OverheadConstant.String():
+		return platform.OverheadConstant, nil
+	case platform.OverheadProportional.String():
+		return platform.OverheadProportional, nil
+	}
+	return 0, fmt.Errorf("spec: unknown overhead model %q (constant, proportional)", s)
+}
+
+// ScenarioSpec is the serializable description of one experimental
+// configuration — the declarative form of harness.Scenario.
+type ScenarioSpec struct {
+	// Name labels the scenario in outputs and error messages.
+	Name string `json:"name,omitempty"`
+	// Title, when set, is the rendered table title for this cell.
+	Title string `json:"title,omitempty"`
+	// Platform selects the platform preset or custom configuration.
+	Platform PlatformRef `json:"platform"`
+	// P is the number of processors enrolled (0 = the whole platform).
+	P int `json:"p,omitempty"`
+	// Dist is the per-unit failure law; a zero mean inherits the
+	// platform's per-unit MTBF.
+	Dist DistSpec `json:"dist"`
+	// Overhead is "constant" (default) or "proportional".
+	Overhead string `json:"overhead,omitempty"`
+	// Work is the parallel work model (nil = embarrassingly parallel).
+	Work *WorkSpec `json:"work,omitempty"`
+	// Horizon is the failure-trace length in seconds.
+	Horizon float64 `json:"horizon"`
+	// Start is the job release date within the trace.
+	Start float64 `json:"start,omitempty"`
+	// Traces is the number of random traces to average over.
+	Traces int `json:"traces"`
+	// Seed drives all randomness.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Compile resolves the spec into an executable harness.Scenario,
+// validating every component (unknown names, missing parameters,
+// infeasible geometry all fail here, before any computation starts).
+func (s ScenarioSpec) Compile() (harness.Scenario, error) {
+	plat, err := s.Platform.Build()
+	if err != nil {
+		return harness.Scenario{}, fmt.Errorf("spec: scenario %q: %w", s.Name, err)
+	}
+	p := s.P
+	if p == 0 {
+		p = plat.PTotal
+	}
+	// platform.Spec.Units panics on a misaligned processor count; turn it
+	// into a decode-time error instead.
+	if plat.ProcsPerUnit > 0 && p > 0 && p%plat.ProcsPerUnit != 0 {
+		return harness.Scenario{}, fmt.Errorf("spec: scenario %q: %d processors is not a multiple of %d per failure unit",
+			s.Name, p, plat.ProcsPerUnit)
+	}
+	d, err := s.Dist.Build(plat.MTBF)
+	if err != nil {
+		return harness.Scenario{}, fmt.Errorf("spec: scenario %q: %w", s.Name, err)
+	}
+	ov, err := parseOverhead(s.Overhead)
+	if err != nil {
+		return harness.Scenario{}, fmt.Errorf("spec: scenario %q: %w", s.Name, err)
+	}
+	var work WorkSpec
+	if s.Work != nil {
+		work = *s.Work
+	}
+	wk, err := work.Build()
+	if err != nil {
+		return harness.Scenario{}, fmt.Errorf("spec: scenario %q: %w", s.Name, err)
+	}
+	sc := harness.Scenario{
+		Name:     s.Name,
+		Spec:     plat,
+		P:        p,
+		Dist:     d,
+		Overhead: ov,
+		Work:     wk,
+		Horizon:  s.Horizon,
+		Start:    s.Start,
+		Traces:   s.Traces,
+		Seed:     s.Seed,
+	}
+	if _, err := sc.Derive(); err != nil {
+		return harness.Scenario{}, fmt.Errorf("spec: scenario %q: %w", s.Name, err)
+	}
+	return sc, nil
+}

@@ -1,0 +1,554 @@
+package spec
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/platform"
+)
+
+// --- Registry round trips -------------------------------------------------
+
+func f64(v float64) *float64 { return &v }
+
+// sampleSpecs returns representative parameterizations for every
+// registered distribution family; the test fails if a family has no
+// sample, so new registrations must extend it.
+func sampleSpecs() map[string][]DistSpec {
+	return map[string][]DistSpec{
+		"exponential": {
+			{Family: "exponential", Mean: 86400},
+			{Family: "exponential", Rate: 1.0 / 3942000000.0},
+		},
+		"weibull": {
+			{Family: "weibull", Mean: 125 * platform.Year, Shape: 0.7},
+			{Family: "weibull", Shape: 0.5, Scale: 1.25e9},
+		},
+		"gamma": {
+			{Family: "gamma", Mean: 86400, Shape: 0.7},
+			{Family: "gamma", Shape: 2, Scale: 43200},
+		},
+		"lognormal": {
+			{Family: "lognormal", Mean: 86400, Sigma: 1.5},
+			{Family: "lognormal", Mu: f64(20.5), Sigma: 0.75},
+			// The explicit-zero log-mean law must survive the round trip
+			// (regression: a zero Mu used to decay to the mean path).
+			{Family: "lognormal", Mu: f64(0), Sigma: 1.5},
+		},
+		"empirical": {
+			{Family: "empirical", Samples: []float64{10, 20, 30, 40, 55.5}},
+		},
+	}
+}
+
+// TestDistRoundTrips asserts the core registry contract: for every
+// registered family, build → encode → JSON → decode → build yields a
+// bit-identical law.
+func TestDistRoundTrips(t *testing.T) {
+	samples := sampleSpecs()
+	for _, family := range DistFamilies() {
+		specs, ok := samples[family]
+		if !ok {
+			t.Errorf("family %q has no round-trip sample; add one", family)
+			continue
+		}
+		for _, s := range specs {
+			d1, err := s.Build(0)
+			if err != nil {
+				t.Fatalf("%s: build: %v", family, err)
+			}
+			enc, err := EncodeDist(d1)
+			if err != nil {
+				t.Fatalf("%s: encode: %v", family, err)
+			}
+			raw, err := json.Marshal(enc)
+			if err != nil {
+				t.Fatalf("%s: marshal: %v", family, err)
+			}
+			var dec DistSpec
+			if err := json.Unmarshal(raw, &dec); err != nil {
+				t.Fatalf("%s: unmarshal: %v", family, err)
+			}
+			d2, err := dec.Build(0)
+			if err != nil {
+				t.Fatalf("%s: rebuild of %s: %v", family, raw, err)
+			}
+			if !reflect.DeepEqual(d1, d2) {
+				t.Errorf("%s: round trip not bit-identical:\n built %#v\n again %#v\n via %s", family, d1, d2, raw)
+			}
+			if d1.String() != d2.String() {
+				t.Errorf("%s: String drift: %s vs %s", family, d1, d2)
+			}
+		}
+	}
+}
+
+// TestDistMeanInheritance: a zero mean picks up the platform default, the
+// Tables 2-3 convention.
+func TestDistMeanInheritance(t *testing.T) {
+	d, err := DistSpec{Family: "weibull", Shape: 0.7}.Build(86400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Mean(); got < 86399 || got > 86401 {
+		t.Errorf("inherited mean = %v, want 86400", got)
+	}
+	if _, err := (DistSpec{Family: "weibull", Shape: 0.7}).Build(0); err == nil {
+		t.Error("zero mean with no default should fail")
+	}
+	if _, err := (DistSpec{Family: "nope"}).Build(1); err == nil || !strings.Contains(err.Error(), "unknown distribution family") {
+		t.Errorf("unknown family error = %v", err)
+	}
+}
+
+// TestPlatformPresets: every registered preset builds (lanl-nodes only
+// with an explicit MTBF), overrides apply, and encode→decode→build is
+// stable.
+func TestPlatformPresets(t *testing.T) {
+	for _, name := range PlatformNames() {
+		ref := PlatformRef{Preset: name}
+		if name == "lanl-nodes" {
+			if _, err := ref.Build(); err == nil {
+				t.Errorf("%s: expected an error without an MTBF override", name)
+			}
+			ref.MTBFYears = 0.1
+		}
+		p1, err := ref.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		raw, _ := json.Marshal(ref)
+		var dec PlatformRef
+		if err := json.Unmarshal(raw, &dec); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		p2, err := dec.Build()
+		if err != nil {
+			t.Fatalf("%s: rebuild: %v", name, err)
+		}
+		if p1 != p2 {
+			t.Errorf("%s: round trip drift:\n %+v\n %+v", name, p1, p2)
+		}
+	}
+	// Overrides.
+	p, err := PlatformRef{Preset: "oneproc", MTBF: 3600}.Build()
+	if err != nil || p.MTBF != 3600 {
+		t.Errorf("MTBF override: %+v, %v", p, err)
+	}
+	p, err = PlatformRef{Preset: "petascale", MTBFYears: 500}.Build()
+	if err != nil || p.MTBF != 500*platform.Year {
+		t.Errorf("MTBFYears override: %+v, %v", p, err)
+	}
+	if _, err := (PlatformRef{Preset: "petascale", MTBF: 1, MTBFYears: 1}).Build(); err == nil {
+		t.Error("both mtbf and mtbfYears should fail")
+	}
+	if _, err := (PlatformRef{}).Build(); err == nil {
+		t.Error("empty platform ref should fail")
+	}
+	// Custom platforms.
+	c := &PlatformCustom{PTotal: 64, D: 60, CBase: 600, RBase: 600, MTBF: 86400, W: 20 * platform.Day}
+	p, err = PlatformRef{Custom: c}.Build()
+	if err != nil || p.PTotal != 64 || p.ProcsPerUnit != 1 {
+		t.Errorf("custom platform: %+v, %v", p, err)
+	}
+}
+
+// testScenario is a tiny, fast single-processor scenario.
+func testScenario(traces int, seed uint64) ScenarioSpec {
+	return ScenarioSpec{
+		Name:     "test",
+		Platform: PlatformRef{Preset: "oneproc"}, // MTBF = 1 day
+		P:        1,
+		Dist:     DistSpec{Family: "exponential"},
+		Horizon:  2 * platform.Year,
+		Traces:   traces,
+		Seed:     seed,
+	}
+}
+
+// TestPolicyKindsBuild compiles every registered policy kind against the
+// test scenario.
+func TestPolicyKindsBuild(t *testing.T) {
+	sc, err := testScenario(2, 1).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sc.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := PolicyEnv{Engine: engine.New(engine.Config{Workers: 1}), Scenario: sc, Derived: d}
+	ctx := context.Background()
+	for _, kind := range PolicyKinds() {
+		ps := PolicySpec{Kind: kind}
+		switch kind {
+		case "period":
+			ps.Period = 3600
+		case "dpnextfailure", "dpmakespan":
+			ps.Quanta = 20
+		}
+		cand, err := ps.Candidate(ctx, env)
+		if kind == "lowerbound" {
+			if err == nil {
+				t.Errorf("lowerbound should refuse generic compilation")
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", kind, err)
+			continue
+		}
+		if cand.SkipReason != "" {
+			continue // legitimately infeasible for this scenario
+		}
+		pol, err := cand.New()
+		if err != nil || pol == nil {
+			t.Errorf("%s: New: %v", kind, err)
+		}
+	}
+	if _, err := (PolicySpec{Kind: "bogus"}).Candidate(ctx, env); err == nil {
+		t.Error("unknown policy kind should fail")
+	}
+	// Name override.
+	cand, err := (PolicySpec{Kind: "young", Name: "Y2"}).Candidate(ctx, env)
+	if err != nil || cand.Name != "Y2" {
+		t.Errorf("name override: %+v, %v", cand, err)
+	}
+}
+
+// TestScenarioCompileValidation: structural errors surface at compile
+// time with the scenario name attached.
+func TestScenarioCompileValidation(t *testing.T) {
+	bad := []ScenarioSpec{
+		func() ScenarioSpec { s := testScenario(2, 1); s.Traces = 0; return s }(),
+		func() ScenarioSpec { s := testScenario(2, 1); s.Start = -5; return s }(),
+		func() ScenarioSpec { s := testScenario(2, 1); s.Horizon = 0; return s }(),
+		func() ScenarioSpec { s := testScenario(2, 1); s.Dist.Family = "bogus"; return s }(),
+		func() ScenarioSpec { s := testScenario(2, 1); s.Overhead = "bogus"; return s }(),
+		func() ScenarioSpec { s := testScenario(2, 1); s.Work = &WorkSpec{Model: "bogus"}; return s }(),
+		func() ScenarioSpec {
+			s := testScenario(2, 1)
+			s.Platform = PlatformRef{Preset: "lanl-nodes", MTBFYears: 0.1}
+			s.P = 7 // not a multiple of 4 procs/unit
+			return s
+		}(),
+	}
+	for i, s := range bad {
+		if _, err := s.Compile(); err == nil {
+			t.Errorf("case %d: expected a compile error", i)
+		}
+	}
+	if _, err := testScenario(2, 1).Compile(); err != nil {
+		t.Errorf("good scenario: %v", err)
+	}
+}
+
+// TestExperimentExpandGrid: deterministic order and axis application.
+func TestExperimentExpandGrid(t *testing.T) {
+	base := testScenario(2, 1)
+	es := &ExperimentSpec{
+		Name:     "grid",
+		Scenario: &base,
+		Grid: &GridSpec{
+			MTBF:  []float64{3600, 86400},
+			Shape: []float64{0.5, 0.7},
+		},
+		Candidates: CandidatesSpec{Policies: []PolicySpec{{Kind: "young"}}},
+	}
+	cells, err := es.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(cells))
+	}
+	wantNames := []string{
+		"test[mtbf=3600][shape=0.5]",
+		"test[mtbf=3600][shape=0.7]",
+		"test[mtbf=86400][shape=0.5]",
+		"test[mtbf=86400][shape=0.7]",
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d has index %d", i, c.Index)
+		}
+		if c.Scenario.Name != wantNames[i] {
+			t.Errorf("cell %d name = %q, want %q", i, c.Scenario.Name, wantNames[i])
+		}
+	}
+	if cells[0].Scenario.Platform.MTBF != 3600 || cells[3].Scenario.Dist.Shape != 0.7 {
+		t.Errorf("axis values not applied: %+v", cells)
+	}
+	// Validation errors.
+	for _, bad := range []*ExperimentSpec{
+		{Name: "", Scenario: &base},
+		{Name: "x"},
+		{Name: "x", Scenario: &base, Cells: []ScenarioSpec{base}},
+		{Name: "x", Grid: &GridSpec{}, Cells: []ScenarioSpec{base}},
+		{Name: "x", Scenario: &base, Table: "bogus"},
+		{Name: "x", Scenario: &base, Table: "series"},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("expected validation error for %+v", bad)
+		}
+	}
+}
+
+// TestDecodeStrict: unknown fields and trailing garbage are errors.
+func TestDecodeStrict(t *testing.T) {
+	if _, err := DecodeExperiment(strings.NewReader(`{"name":"x","scenario":{"platform":{"preset":"oneproc"},"dist":{"family":"exponential"},"horizon":1e9,"traces":1},"candidates":{"policies":[{"kind":"young"}]},"bogusField":1}`)); err == nil {
+		t.Error("unknown field should fail")
+	}
+	if _, err := DecodeExperiment(strings.NewReader(`{"name":"x","scenario":{"platform":{"preset":"oneproc"},"dist":{"family":"exponential"},"horizon":1e9,"traces":1},"candidates":{}} trailing`)); err == nil {
+		t.Error("trailing garbage should fail")
+	}
+}
+
+// TestExperimentEncodeDecode: the canonical form re-decodes to an equal
+// spec.
+func TestExperimentEncodeDecode(t *testing.T) {
+	base := testScenario(3, 9)
+	es := &ExperimentSpec{
+		Name:     "roundtrip",
+		Title:    "Round trip",
+		Scenario: &base,
+		Grid:     &GridSpec{MTBF: []float64{3600, 86400}},
+		Candidates: CandidatesSpec{
+			Standard: &StandardSpec{DPNextFailureQuanta: 30, IncludeLiu: true, PeriodLB: &PeriodLBSpec{EvalTraces: 3}},
+			Policies: []PolicySpec{{Kind: "period", Period: 7200}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := EncodeExperiment(&buf, es); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeExperiment(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(es, dec) {
+		t.Errorf("encode/decode drift:\n want %+v\n got  %+v", es, dec)
+	}
+}
+
+// runCells collects the experiment's cell outputs (policy -> mean
+// degradation per cell) for comparison across worker counts.
+func runCells(t *testing.T, ctx context.Context, workers int, es *ExperimentSpec) ([]CellResult, error) {
+	t.Helper()
+	eng := engine.New(engine.Config{Workers: workers, Cache: engine.NewCache(0)})
+	var out []CellResult
+	for res, err := range Run(ctx, eng, es) {
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// gridExperiment returns a multi-cell experiment, small but not
+// instantaneous.
+func gridExperiment(cells int) *ExperimentSpec {
+	base := testScenario(3, 17)
+	mtbfs := make([]float64, cells)
+	for i := range mtbfs {
+		mtbfs[i] = 3600 * float64(i+2)
+	}
+	return &ExperimentSpec{
+		Name:       "cancel-grid",
+		Scenario:   &base,
+		Grid:       &GridSpec{MTBF: mtbfs},
+		Candidates: CandidatesSpec{Policies: []PolicySpec{{Kind: "young"}, {Kind: "dalyhigh"}}},
+	}
+}
+
+// TestRunSpecDeterministicAcrossWorkers: the streamed cell sequence is
+// identical at any worker count.
+func TestRunSpecDeterministicAcrossWorkers(t *testing.T) {
+	es := gridExperiment(4)
+	ctx := context.Background()
+	ref, err := runCells(t, ctx, 1, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != 4 {
+		t.Fatalf("got %d cells, want 4", len(ref))
+	}
+	got, err := runCells(t, ctx, 4, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePrefix(t, ref, got, len(ref))
+}
+
+// assertSamePrefix compares got against the first n reference cells.
+func assertSamePrefix(t *testing.T, ref, got []CellResult, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("got %d cells, want %d", len(got), n)
+	}
+	for i := 0; i < n; i++ {
+		if got[i].Index != ref[i].Index || got[i].Scenario.Name != ref[i].Scenario.Name {
+			t.Fatalf("cell %d mismatch: %v vs %v", i, got[i].Scenario.Name, ref[i].Scenario.Name)
+		}
+		for name, st := range ref[i].Eval.Degradation {
+			if got[i].Eval.Degradation[name] != st {
+				t.Errorf("cell %d policy %s degradation drift", i, name)
+			}
+		}
+	}
+}
+
+// TestRunSpecCancellation is the acceptance criterion: cancelling the
+// context mid-grid returns promptly with context.Canceled, and the
+// completed prefix matches the uncancelled run. The workers=1 case
+// asserts a strictly proper prefix (the sequential path checks the
+// context between cells, so cancellation after the first yield stops the
+// sweep deterministically); at higher worker counts cells already in
+// flight may legitimately complete and be emitted, so only the prefix
+// property itself is asserted.
+func TestRunSpecCancellation(t *testing.T) {
+	es := gridExperiment(6)
+	full, err := runCells(t, context.Background(), 2, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2} {
+		ctx, cancel := context.WithCancel(context.Background())
+		eng := engine.New(engine.Config{Workers: workers, Cache: engine.NewCache(0)})
+		var prefix []CellResult
+		var finalErr error
+		start := time.Now()
+		for res, err := range Run(ctx, eng, es) {
+			if err != nil {
+				finalErr = err
+				break
+			}
+			prefix = append(prefix, res)
+			cancel() // cancel after the first emitted cell
+		}
+		elapsed := time.Since(start)
+		cancel()
+		if finalErr != context.Canceled {
+			t.Fatalf("workers=%d: terminal error = %v, want context.Canceled", workers, finalErr)
+		}
+		if len(prefix) == 0 {
+			t.Fatalf("workers=%d: expected at least the first cell before cancellation", workers)
+		}
+		if workers == 1 && len(prefix) != 1 {
+			t.Fatalf("workers=1: expected exactly the first cell, got %d", len(prefix))
+		}
+		assertSamePrefix(t, full, prefix, len(prefix))
+		if elapsed > 30*time.Second {
+			t.Errorf("workers=%d: cancellation took %v; expected prompt return", workers, elapsed)
+		}
+	}
+}
+
+// TestRunSpecDeadline: an already-expired deadline yields only the error.
+func TestRunSpecDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	cells, err := runCells(t, ctx, 2, gridExperiment(3))
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if len(cells) != 0 {
+		t.Fatalf("expected no cells, got %d", len(cells))
+	}
+}
+
+// TestTraceSpec: validation and generation.
+func TestTraceSpec(t *testing.T) {
+	ts := &TraceSpec{Dist: DistSpec{Family: "exponential", Mean: 1e6}, Units: 3, Horizon: 1e7, Downtime: 60, Seed: 5}
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	set, err := ts.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Units) != 3 {
+		t.Fatalf("got %d units", len(set.Units))
+	}
+	for _, bad := range []TraceSpec{
+		{Dist: ts.Dist, Units: 0, Horizon: 1},
+		{Dist: ts.Dist, Units: 1, Horizon: 0},
+		{Dist: ts.Dist, Units: 1, Horizon: 1, Downtime: -1},
+		{Dist: DistSpec{Family: "weibull"}, Units: 1, Horizon: 1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("expected validation error for %+v", bad)
+		}
+	}
+}
+
+// TestDPNextFailurePartialStateApprox: a spec that sets only one of
+// nExact/nApprox keeps the paper default for the other instead of
+// panicking in the planner (regression).
+func TestDPNextFailurePartialStateApprox(t *testing.T) {
+	sc, err := ScenarioSpec{
+		Name:     "approx",
+		Platform: PlatformRef{Preset: "oneproc"},
+		P:        1,
+		Dist:     DistSpec{Family: "weibull", Shape: 0.7},
+		Horizon:  2 * platform.Year,
+		Traces:   1,
+		Seed:     3,
+	}.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sc.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := PolicyEnv{Engine: engine.New(engine.Config{Workers: 1}), Scenario: sc, Derived: d}
+	for _, ps := range []PolicySpec{
+		{Kind: "dpnextfailure", Quanta: 20, NExact: 5},
+		{Kind: "dpnextfailure", Quanta: 20, NApprox: 20},
+	} {
+		cand, err := ps.Candidate(context.Background(), env)
+		if err != nil {
+			t.Fatalf("%+v: %v", ps, err)
+		}
+		if _, err := cand.New(); err != nil {
+			t.Fatalf("%+v: New: %v", ps, err)
+		}
+	}
+}
+
+// TestPlatformNegativeOverridesRejected (regression): nonsensical
+// overrides fail loudly instead of silently keeping the preset value.
+func TestPlatformNegativeOverridesRejected(t *testing.T) {
+	if _, err := (PlatformRef{Preset: "petascale", MTBF: -1}).Build(); err == nil {
+		t.Error("negative mtbf override should fail")
+	}
+	if _, err := (PlatformRef{Preset: "petascale", MTBFYears: -125}).Build(); err == nil {
+		t.Error("negative mtbfYears override should fail")
+	}
+}
+
+// TestPeriodLBNegativeFieldsRejected (regression): negative search
+// parameters fail instead of silently falling back to defaults.
+func TestPeriodLBNegativeFieldsRejected(t *testing.T) {
+	base := testScenario(2, 1)
+	es := &ExperimentSpec{
+		Name:     "plb",
+		Scenario: &base,
+		Candidates: CandidatesSpec{Standard: &StandardSpec{
+			PeriodLB: &PeriodLBSpec{EvalTraces: -3},
+		}},
+	}
+	_, err := RunAll(context.Background(), engine.New(engine.Config{Workers: 1}), es)
+	if err == nil || !strings.Contains(err.Error(), "evalTraces") {
+		t.Errorf("err = %v, want evalTraces validation error", err)
+	}
+}

@@ -1,0 +1,48 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// TraceSpec is the serializable description of a renewal failure-trace
+// set — the declarative input of chkpt-traces gen-trace.
+type TraceSpec struct {
+	// Dist is the per-unit failure law; its mean must be explicit (there
+	// is no platform to inherit from).
+	Dist DistSpec `json:"dist"`
+	// Units is the number of failure units.
+	Units int `json:"units"`
+	// Horizon is the trace length in seconds.
+	Horizon float64 `json:"horizon"`
+	// Downtime follows each failure before a fresh lifetime starts.
+	Downtime float64 `json:"downtime,omitempty"`
+	// Seed drives the per-unit substreams.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Validate checks the spec without building the law.
+func (ts *TraceSpec) Validate() error {
+	switch {
+	case ts.Units <= 0:
+		return fmt.Errorf("spec: trace needs a positive unit count, got %d", ts.Units)
+	case !(ts.Horizon > 0):
+		return fmt.Errorf("spec: trace needs a positive horizon, got %v", ts.Horizon)
+	case ts.Downtime < 0:
+		return fmt.Errorf("spec: trace downtime must be non-negative, got %v", ts.Downtime)
+	}
+	if _, err := ts.Dist.Build(0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Generate builds the law and draws the trace set.
+func (ts *TraceSpec) Generate() (*trace.Set, error) {
+	d, err := ts.Dist.Build(0)
+	if err != nil {
+		return nil, err
+	}
+	return trace.GenerateRenewal(d, ts.Units, ts.Horizon, ts.Downtime, ts.Seed), nil
+}
