@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench-smoke spec-goldens spec-golden-check
+.PHONY: build test vet race bench-smoke serve-smoke spec-goldens spec-golden-check
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,29 @@ race:
 
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Boot chkpt-serve, wait for /healthz, assert one real /v1/recommend
+# evaluation answers 200 with non-empty JSON, then shut down cleanly
+# (SIGTERM must drain, not linger). A real binary, not `go run`: the
+# wrapper does not forward SIGTERM to the child. Override CHKPT_SERVE to
+# smoke a prebuilt binary (CI does).
+CHKPT_SERVE ?= /tmp/chkpt-serve-smoke
+SERVE_ADDR  ?= 127.0.0.1:8941
+
+serve-smoke:
+	@set -e; \
+	if [ "$(CHKPT_SERVE)" = "/tmp/chkpt-serve-smoke" ]; then $(GO) build -o $(CHKPT_SERVE) ./cmd/chkpt-serve; fi; \
+	$(CHKPT_SERVE) -addr $(SERVE_ADDR) -drain 5s & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do \
+	  curl -sf http://$(SERVE_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	health=$$(curl -sf http://$(SERVE_ADDR)/healthz); \
+	echo "healthz: $$health"; test -n "$$health"; \
+	rec=$$(curl -sf "http://$(SERVE_ADDR)/v1/recommend?platform=oneproc&mtbf=86400&family=exponential&traces=3&quanta=30&seed=11"); \
+	echo "$$rec" | head -n 12; test -n "$$rec"; \
+	kill $$pid; wait $$pid 2>/dev/null || true; \
+	echo "serve smoke OK"
 
 # Pinned fixture parameters — keep in sync with cmd/chkpt-tables/main_test.go.
 TABLE2_ARGS   := -exp table2 -traces 3 -quanta 30 -seed 11 -periodlb-traces 4

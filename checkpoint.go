@@ -487,6 +487,18 @@ func RunSpecAll(ctx context.Context, eng *Engine, es *ExperimentSpec) ([]CellRes
 	return spec.RunAll(ctx, eng, es)
 }
 
+// EvaluateSpec executes an experiment that expands to exactly one cell
+// and returns its result — the synchronous entry point the HTTP service's
+// /v1/evaluate uses.
+func EvaluateSpec(ctx context.Context, eng *Engine, es *ExperimentSpec) (CellResult, error) {
+	return spec.EvaluateOne(ctx, eng, es)
+}
+
+// CanonicalSpecHash returns the experiment's stable identity: the SHA-256
+// of its canonical encoding, as lowercase hex. Two specs hash equal
+// exactly when they decode to the same experiment.
+func CanonicalSpecHash(es *ExperimentSpec) (string, error) { return spec.CanonicalHash(es) }
+
 // EvaluateWith runs the evaluation on the given engine: traces execute
 // concurrently on its worker pool and shared artifacts come from its
 // cache. The worker count never changes the result.

@@ -1,0 +1,98 @@
+// Command chkpt-serve runs the HTTP evaluation service: the declarative
+// experiment layer (-spec documents) behind a network surface, so
+// schedulers can query checkpoint-policy recommendations instead of
+// reading batch-generated tables.
+//
+// Endpoints (see internal/service): POST /v1/evaluate, POST /v1/sweep
+// (NDJSON streaming), GET /v1/recommend, GET /v1/registry, GET /healthz,
+// GET /metrics.
+//
+// Examples:
+//
+//	chkpt-serve                              # 127.0.0.1:8080
+//	chkpt-serve -addr :9090 -workers 8 -concurrent 4 -queue 64
+//	curl -s localhost:8080/v1/recommend?platform=petascale\&p=4096\&family=weibull\&shape=0.7
+//	curl -s -X POST --data-binary @spec.json localhost:8080/v1/sweep
+//
+// SIGINT/SIGTERM drains gracefully: in-flight requests get the -drain
+// window to finish; new connections are refused immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/service"
+)
+
+const tool = "chkpt-serve"
+
+func main() {
+	servef := cliutil.AddServeFlags(flag.CommandLine)
+	engf := cliutil.AddEngineFlags(flag.CommandLine)
+	flag.Parse()
+
+	if err := servef.Validate(); err != nil {
+		cliutil.Fatal(tool, err)
+	}
+	eng, err := engf.Engine()
+	if err != nil {
+		cliutil.Fatal(tool, err)
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	cfg := service.Config{
+		Engine:         eng,
+		MaxConcurrent:  servef.Concurrent,
+		RequestTimeout: servef.RequestTimeout,
+		Logger:         logger,
+	}
+	// Flag semantics: -queue 0 means "no waiting queue", which the
+	// service config spells as negative (its 0 selects the default).
+	if servef.Queue == 0 {
+		cfg.QueueDepth = -1
+	} else {
+		cfg.QueueDepth = servef.Queue
+	}
+	if servef.RequestTimeout == 0 {
+		cfg.RequestTimeout = -1
+	}
+
+	srv := service.New(cfg)
+	httpSrv := &http.Server{
+		Addr:              servef.Addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The same signal wiring the batch tools use: SIGINT/SIGTERM cancels
+	// the context; here that starts the graceful drain.
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		logger.Info("draining", "window", servef.Drain.String())
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), servef.Drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Warn("drain window elapsed; closing", "err", err)
+			_ = httpSrv.Close()
+		}
+	}()
+
+	logger.Info("listening", "addr", servef.Addr, "workers", eng.Workers(), "cache", eng.Cache() != nil)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		cliutil.Fatal(tool, err)
+	}
+	<-drained
+	logger.Info("stopped")
+}

@@ -44,6 +44,7 @@ func main() {
 		proportional = flag.Bool("proportional", false, "use proportional checkpoint overheads C(p)=C*ptotal/p")
 		specFile     = flag.String("spec", "", "run a declarative experiment spec file (JSON) instead of the flags")
 		dumpSpec     = flag.Bool("dump-spec", false, "print the flags' declarative spec (JSON) and exit")
+		verbose      = flag.Bool("v", false, "report engine cache statistics on stderr after the run")
 	)
 	runf := cliutil.AddRunFlags(flag.CommandLine, 20, 42, false)
 	engf := cliutil.AddEngineFlags(flag.CommandLine)
@@ -78,6 +79,15 @@ func main() {
 	defer stop()
 	if err := runAccounting(ctx, eng, es); err != nil {
 		cliutil.Fatal(tool, err)
+	}
+	if *verbose {
+		// Stderr, so stdout stays byte-identical with and without -v.
+		if st, ok := eng.CacheStats(); ok {
+			fmt.Fprintf(os.Stderr, "%s: cache hits=%d misses=%d evictions=%d entries=%d bytes=%d budget=%d\n",
+				tool, st.Hits, st.Misses, st.Evictions, st.Entries, st.Bytes, st.Budget)
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: cache disabled\n", tool)
+		}
 	}
 }
 

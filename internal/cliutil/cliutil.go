@@ -85,6 +85,44 @@ func (f *RunFlags) Validate() error {
 	return nil
 }
 
+// ServeFlags carries the serving flags shared by chkpt-serve (and any
+// future networked tool): listen address, admission bounds, timeouts.
+type ServeFlags struct {
+	Addr           string
+	Concurrent     int
+	Queue          int
+	RequestTimeout time.Duration
+	Drain          time.Duration
+}
+
+// AddServeFlags registers the serving flag set.
+func AddServeFlags(fs *flag.FlagSet) *ServeFlags {
+	f := &ServeFlags{}
+	fs.StringVar(&f.Addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.IntVar(&f.Concurrent, "concurrent", 0, "max evaluations executing at once (0 = engine workers)")
+	fs.IntVar(&f.Queue, "queue", 16, "admission queue depth beyond the execution slots; overflow answers 429")
+	fs.DurationVar(&f.RequestTimeout, "request-timeout", 2*time.Minute, "per-request evaluation timeout (0 = none)")
+	fs.DurationVar(&f.Drain, "drain", 15*time.Second, "graceful drain window on SIGINT/SIGTERM")
+	return f
+}
+
+// Validate rejects nonsensical serving parameters with clear messages.
+func (f *ServeFlags) Validate() error {
+	switch {
+	case f.Addr == "":
+		return fmt.Errorf("-addr must not be empty")
+	case f.Concurrent < 0:
+		return fmt.Errorf("-concurrent must be >= 0 (0 = engine workers), got %d", f.Concurrent)
+	case f.Queue < 0:
+		return fmt.Errorf("-queue must be >= 0, got %d", f.Queue)
+	case f.RequestTimeout < 0:
+		return fmt.Errorf("-request-timeout must be >= 0 (0 = none), got %v", f.RequestTimeout)
+	case f.Drain <= 0:
+		return fmt.Errorf("-drain must be > 0, got %v", f.Drain)
+	}
+	return nil
+}
+
 // DistSpecFromFlags lowers the cmd tools' -law/-shape flag pair into a
 // distribution spec: "exp" aliases "exponential", and the single shape
 // flag populates the family-appropriate parameter (Weibull/Gamma shape,

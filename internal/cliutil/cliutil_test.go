@@ -79,3 +79,32 @@ func TestDumpSpecRefusesMultipleIDs(t *testing.T) {
 		t.Errorf("err = %v", err)
 	}
 }
+
+// TestServeFlagsValidation: every nonsensical serving parameter fails
+// loudly with a message naming the flag.
+func TestServeFlagsValidation(t *testing.T) {
+	valid := func() *ServeFlags {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		return AddServeFlags(fs)
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	cases := []struct {
+		mutate func(*ServeFlags)
+		want   string
+	}{
+		{func(f *ServeFlags) { f.Addr = "" }, "-addr"},
+		{func(f *ServeFlags) { f.Concurrent = -1 }, "-concurrent"},
+		{func(f *ServeFlags) { f.Queue = -2 }, "-queue"},
+		{func(f *ServeFlags) { f.RequestTimeout = -1 }, "-request-timeout"},
+		{func(f *ServeFlags) { f.Drain = 0 }, "-drain"},
+	}
+	for _, c := range cases {
+		f := valid()
+		c.mutate(f)
+		if err := f.Validate(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v", c.want, err)
+		}
+	}
+}

@@ -21,13 +21,14 @@ const DefaultCacheBudget = 256 << 20
 // deterministic pure functions of their key, so cache hits never change
 // experiment output — they only skip recomputation.
 type Cache struct {
-	mu      sync.Mutex
-	budget  int64
-	used    int64
-	entries map[string]*cacheEntry
-	lru     *list.List // front = most recently used
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	budget    int64
+	used      int64
+	entries   map[string]*cacheEntry
+	lru       *list.List // front = most recently used
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type cacheEntry struct {
@@ -59,11 +60,12 @@ func NewCache(budgetBytes int64) *Cache {
 
 // CacheStats is a point-in-time cache summary.
 type CacheStats struct {
-	Hits    uint64 // lookups served from an existing entry
-	Misses  uint64 // lookups that had to build the artifact
-	Entries int    // live entries
-	Bytes   int64  // estimated live footprint
-	Budget  int64  // eviction threshold
+	Hits      uint64 // lookups served from an existing entry
+	Misses    uint64 // lookups that had to build the artifact
+	Evictions uint64 // entries dropped by the LRU sweep
+	Entries   int    // live entries
+	Bytes     int64  // estimated live footprint
+	Budget    int64  // eviction threshold
 }
 
 // Stats returns the current counters.
@@ -71,11 +73,12 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:    c.hits,
-		Misses:  c.misses,
-		Entries: len(c.entries),
-		Bytes:   c.used,
-		Budget:  c.budget,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		Bytes:     c.used,
+		Budget:    c.budget,
 	}
 }
 
@@ -140,6 +143,7 @@ func (c *Cache) evictLocked() {
 			c.used -= e.weight
 		}
 		c.removeLocked(e)
+		c.evictions++
 	}
 }
 

@@ -96,6 +96,9 @@ func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
 	if st.Entries != 2 || st.Bytes != 80 {
 		t.Fatalf("stats = %+v, want 2 entries / 80 bytes", st)
 	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (b dropped)", st.Evictions)
+	}
 	before := st.Misses
 	mk("a")
 	mk("c")
@@ -103,8 +106,28 @@ func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
 		t.Fatal("a or c was evicted; want b evicted as LRU")
 	}
 	mk("b")
-	if st := c.Stats(); st.Misses != before+1 {
+	st = c.Stats()
+	if st.Misses != before+1 {
 		t.Fatal("b should have been evicted and rebuilt")
+	}
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2 after re-adding b", st.Evictions)
+	}
+}
+
+// TestEngineCacheStatsSnapshot: the engine-level accessor reports the
+// cache's counters, and degrades to (zero, false) without a cache.
+func TestEngineCacheStatsSnapshot(t *testing.T) {
+	eng := New(Config{Workers: 1, Cache: NewCache(0)})
+	if _, err := eng.Cache().do("k", func() (any, int64, error) { return 1, 8, nil }); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := eng.CacheStats()
+	if !ok || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("CacheStats = %+v, %v; want 1 miss / 1 entry", st, ok)
+	}
+	if _, ok := eng.WithoutCache().CacheStats(); ok {
+		t.Error("cacheless engine reported ok stats")
 	}
 }
 

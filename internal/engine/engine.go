@@ -63,6 +63,18 @@ func (e *Engine) Workers() int { return e.workers }
 // Cache returns the engine's artifact cache (nil when caching is off).
 func (e *Engine) Cache() *Cache { return e.cache }
 
+// CacheStats returns a point-in-time snapshot of the engine cache's
+// counters. ok is false when the engine runs without a cache; the snapshot
+// is then zero. It is the stable accessor behind operational surfaces
+// (chkpt-sim -v, the serving layer's /metrics).
+func (e *Engine) CacheStats() (stats CacheStats, ok bool) {
+	e = or(e)
+	if e.cache == nil {
+		return CacheStats{}, false
+	}
+	return e.cache.Stats(), true
+}
+
 // WithoutCache returns a view of the engine with the same worker pool but
 // no cache. Use it for artifacts that can never be requested twice (e.g.
 // trace sets with process-unique seeds): inserting those into the cache

@@ -25,7 +25,7 @@ func RunSpec(ctx context.Context, w io.Writer, p Params, es *spec.ExperimentSpec
 		if err != nil {
 			return err
 		}
-		t, err := renderCell(es.Table, res)
+		t, err := RenderCell(es.Table, res)
 		if err != nil {
 			return err
 		}
@@ -91,9 +91,11 @@ func pivotDegradationSeries(xs []float64, evs []*harness.Evaluation) []harness.S
 	return out
 }
 
-// renderCell lays out one cell's evaluation according to the experiment's
-// table kind.
-func renderCell(kind string, res spec.CellResult) (*harness.Table, error) {
+// RenderCell lays out one cell's evaluation according to the experiment's
+// table kind ("" and "degradation" give the Tables 2-4 layout, "spares"
+// the §5.2.2 one). It is exported for the serving layer, whose streamed
+// cells must render byte-identically to the cmd tools' stdout.
+func RenderCell(kind string, res spec.CellResult) (*harness.Table, error) {
 	title := res.Spec.Title
 	if title == "" {
 		title = cellTitle(res)

@@ -1,0 +1,51 @@
+package service
+
+import (
+	"context"
+	"errors"
+)
+
+// errOverload reports that both the execution slots and the waiting queue
+// are full; the handler maps it to 429 + Retry-After.
+var errOverload = errors.New("service: admission queue full")
+
+// admission is a bounded two-stage bulkhead: at most `concurrent`
+// evaluations execute at once, and at most `depth` more may wait for a
+// slot. Anything beyond that is rejected immediately — under overload the
+// server answers 429 in microseconds instead of stacking unbounded work
+// behind the engine.
+type admission struct {
+	slots chan struct{} // executing
+	queue chan struct{} // executing + waiting
+}
+
+func newAdmission(concurrent, depth int) *admission {
+	return &admission{
+		slots: make(chan struct{}, concurrent),
+		queue: make(chan struct{}, concurrent+depth),
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if all
+// slots are busy. It fails fast with errOverload when the queue is full,
+// and with ctx.Err() when the caller gives up while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return errOverload
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-a.queue
+		return ctx.Err()
+	}
+}
+
+// release returns the slot claimed by a successful acquire.
+func (a *admission) release() {
+	<-a.slots
+	<-a.queue
+}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// flight is one in-progress coalesced computation.
+type flight struct {
+	done chan struct{} // closed once val/err are set
+	val  any
+	err  error
+}
+
+// coalescer deduplicates concurrent identical requests (singleflight): the
+// first caller for a key becomes the leader and runs fn once; followers
+// arriving while the flight is up share its result. Unlike a cache,
+// nothing is retained after the flight lands — coalescing only collapses
+// *concurrent* duplicates; the engine cache handles repeats over time.
+type coalescer struct {
+	mu       sync.Mutex
+	inflight map[string]*flight
+	// followers counts callers that ever joined an existing flight; tests
+	// use it to sequence concurrent requests deterministically.
+	followers atomic.Int64
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{inflight: map[string]*flight{}}
+}
+
+// do returns fn's result for key, running it at most once across all
+// concurrent callers. shared reports whether this caller joined an
+// existing flight. fn runs on its own goroutine detached from any single
+// caller, so one client disconnecting never poisons the others — each
+// waiter honors only its own ctx while waiting.
+func (c *coalescer) do(ctx context.Context, key string, fn func() (any, error)) (v any, shared bool, err error) {
+	c.mu.Lock()
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.followers.Add(1)
+		select {
+		case <-f.done:
+			return f.val, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	go func() {
+		defer func() {
+			// The flight runs outside any request handler, so net/http's
+			// per-request panic recovery does not apply: an engine panic
+			// here would kill the whole process. Convert it to an error
+			// every waiter sees.
+			if r := recover(); r != nil {
+				f.err = fmt.Errorf("service: evaluation panicked: %v", r)
+			}
+			c.mu.Lock()
+			delete(c.inflight, key)
+			c.mu.Unlock()
+			close(f.done)
+		}()
+		f.val, f.err = fn()
+	}()
+
+	select {
+	case <-f.done:
+		return f.val, false, f.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}

@@ -1,0 +1,40 @@
+// Package service binds the declarative experiment layer (internal/spec)
+// and the parallel evaluation engine (internal/engine) to an HTTP network
+// surface — the first subsystem on the serving half of the roadmap, where
+// checkpoint-interval recommendations are consumed by schedulers instead
+// of read off batch-generated tables.
+//
+// The API mirrors how the paper's results are used in practice: a caller
+// describes a platform, a failure law and a job, and asks which
+// checkpointing policy (and period) minimizes the expected makespan.
+//
+//   - POST /v1/evaluate  — synchronous single-cell evaluation of an
+//     ExperimentSpec document (the same strict-decode JSON the cmd tools'
+//     -spec flag loads). Identical concurrent requests are coalesced on
+//     the spec's canonical hash: one engine run serves every waiter.
+//   - POST /v1/sweep     — streaming grid sweep: cells are emitted as
+//     NDJSON in the experiment's deterministic expansion order, as soon
+//     as the completed prefix grows (engine.Stream semantics). Each cell
+//     carries its rendered table text, byte-identical to what
+//     `chkpt-tables -spec` prints, so a stream concatenation reproduces
+//     the batch output exactly. Client disconnects cancel the sweep via
+//     the request context.
+//   - GET  /v1/recommend — convenience lookup: platform preset, law
+//     family/shape, processor count and optional C/D/R/work overrides in
+//     query parameters; returns the winning policy and period.
+//   - GET  /v1/registry  — the registered distribution families, policy
+//     kinds and platform presets (the spec registries).
+//   - GET  /healthz, GET /metrics — liveness and Prometheus-style text
+//     metrics (request counts, latency histograms, coalescing hits,
+//     admission rejections, engine cache hit/miss/eviction counters).
+//
+// The server is production-shaped rather than a demo mux: a bounded
+// admission queue sheds load with 429 + Retry-After before work starts,
+// per-request timeouts bound every evaluation, access logs go through
+// log/slog, and cmd/chkpt-serve drains gracefully on SIGTERM through the
+// same signal wiring the batch tools use (internal/cliutil).
+//
+// Determinism is inherited, not re-proven: results depend only on the
+// spec document (traces, seeds, quanta are all inside it), never on the
+// server's worker count, cache state or request interleaving.
+package service

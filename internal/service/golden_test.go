@@ -1,0 +1,71 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+const (
+	table2Spec   = "../../cmd/chkpt-tables/testdata/table2.json"
+	table2Golden = "../../cmd/chkpt-tables/testdata/table2.golden"
+)
+
+// TestSweepMatchesBatchGolden is the acceptance criterion: streaming the
+// checked-in table2 spec through POST /v1/sweep yields the same cells, in
+// the same order, whose rendered text reconstructs `chkpt-tables -spec
+// testdata/table2.json` stdout byte-for-byte.
+func TestSweepMatchesBatchGolden(t *testing.T) {
+	specBytes, err := os.ReadFile(table2Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(table2Golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Name and title feed the header line the batch tool prints before
+	// the first cell.
+	var head struct {
+		Name  string `json:"name"`
+		Title string `json:"title"`
+	}
+	if err := json.Unmarshal(specBytes, &head); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Config{})
+	lines := sweepLines(t, ts.URL, specBytes)
+	if len(lines) < 2 {
+		t.Fatalf("got %d NDJSON lines", len(lines))
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n%s\n\n", head.Name, head.Title)
+	cells := 0
+	for _, line := range lines[:len(lines)-1] {
+		var c Cell
+		if err := json.Unmarshal([]byte(line), &c); err != nil {
+			t.Fatalf("cell line %q: %v", line, err)
+		}
+		if c.Index != cells {
+			t.Errorf("cell %d arrived at position %d; expansion order broken", c.Index, cells)
+		}
+		sb.WriteString(c.Text)
+		cells++
+	}
+	var tr SweepTrailer
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Done || tr.Cells != cells {
+		t.Fatalf("trailer = %+v after %d cells", tr, cells)
+	}
+
+	if sb.String() != string(golden) {
+		t.Errorf("streamed sweep does not reconstruct the batch golden.\n--- streamed ---\n%s\n--- golden ---\n%s",
+			sb.String(), golden)
+	}
+}

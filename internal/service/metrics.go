@@ -1,0 +1,186 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. Evaluations
+// range from milliseconds (cache-hot single cells) to minutes (cold
+// paper-scale sweeps), so the buckets are log-spaced across that span.
+var latencyBuckets = []float64{0.005, 0.02, 0.1, 0.5, 2, 10, 60}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	buckets []uint64 // observations <= latencyBuckets[i]
+	sum     float64
+	count   uint64
+}
+
+func (h *histogram) observe(sec float64) {
+	if h.buckets == nil {
+		h.buckets = make([]uint64, len(latencyBuckets))
+	}
+	for i, le := range latencyBuckets {
+		if sec <= le {
+			h.buckets[i]++
+		}
+	}
+	h.sum += sec
+	h.count++
+}
+
+// metrics aggregates the server's operational counters. Everything is
+// guarded by one mutex: the handlers touch it a handful of times per
+// request, which is noise next to an engine evaluation.
+type metrics struct {
+	mu             sync.Mutex
+	requests       map[string]uint64 // "path code" -> count
+	latency        map[string]*histogram
+	coalesceHits   uint64 // requests that joined an existing flight
+	coalesceRuns   uint64 // flights actually executed
+	rejected       uint64 // admissions shed with 429
+	sweepCancelled uint64 // sweeps ended by client cancellation
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: map[string]uint64{},
+		latency:  map[string]*histogram{},
+	}
+}
+
+func (m *metrics) observe(path string, code int, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[path+" "+strconv.Itoa(code)]++
+	h, ok := m.latency[path]
+	if !ok {
+		h = &histogram{}
+		m.latency[path] = h
+	}
+	h.observe(dur.Seconds())
+}
+
+func (m *metrics) coalesce(shared bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if shared {
+		m.coalesceHits++
+	} else {
+		m.coalesceRuns++
+	}
+}
+
+func (m *metrics) reject() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejected++
+}
+
+func (m *metrics) sweepCancel() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepCancelled++
+}
+
+// Snapshot is a point-in-time copy of the server's counters, exposed for
+// tests and operational introspection.
+type Snapshot struct {
+	// Requests counts finished requests keyed "path code"
+	// (e.g. "/v1/evaluate 200").
+	Requests map[string]uint64
+	// CoalesceRuns counts evaluations actually executed; CoalesceHits
+	// counts requests that shared another request's run.
+	CoalesceRuns, CoalesceHits uint64
+	// Rejected counts requests shed by the admission queue (429).
+	Rejected uint64
+	// SweepCancelled counts sweeps terminated by client cancellation.
+	SweepCancelled uint64
+}
+
+func (m *metrics) snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Requests:       make(map[string]uint64, len(m.requests)),
+		CoalesceRuns:   m.coalesceRuns,
+		CoalesceHits:   m.coalesceHits,
+		Rejected:       m.rejected,
+		SweepCancelled: m.sweepCancelled,
+	}
+	for k, v := range m.requests {
+		s.Requests[k] = v
+	}
+	return s
+}
+
+// writeTo renders the counters in the Prometheus text exposition format,
+// with deterministic (sorted) series order. cacheStats carries the engine
+// cache's counters when the engine has a cache.
+func (m *metrics) writeTo(w io.Writer, cacheStats engine.CacheStats, hasCache bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP chkpt_requests_total Finished HTTP requests by path and status code.")
+	fmt.Fprintln(w, "# TYPE chkpt_requests_total counter")
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		var path, code string
+		fmt.Sscanf(k, "%s %s", &path, &code)
+		fmt.Fprintf(w, "chkpt_requests_total{path=%q,code=%q} %d\n", path, code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP chkpt_request_duration_seconds Request latency by path.")
+	fmt.Fprintln(w, "# TYPE chkpt_request_duration_seconds histogram")
+	paths := make([]string, 0, len(m.latency))
+	for p := range m.latency {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		h := m.latency[p]
+		for i, le := range latencyBuckets {
+			fmt.Fprintf(w, "chkpt_request_duration_seconds_bucket{path=%q,le=%q} %d\n", p, trimFloat(le), h.buckets[i])
+		}
+		fmt.Fprintf(w, "chkpt_request_duration_seconds_bucket{path=%q,le=\"+Inf\"} %d\n", p, h.count)
+		fmt.Fprintf(w, "chkpt_request_duration_seconds_sum{path=%q} %g\n", p, h.sum)
+		fmt.Fprintf(w, "chkpt_request_duration_seconds_count{path=%q} %d\n", p, h.count)
+	}
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("chkpt_coalesce_runs_total", "Coalesced evaluations actually executed.", m.coalesceRuns)
+	counter("chkpt_coalesce_hits_total", "Requests served by joining another request's evaluation.", m.coalesceHits)
+	counter("chkpt_admission_rejected_total", "Requests shed by the admission queue (429).", m.rejected)
+	counter("chkpt_sweep_cancelled_total", "Sweeps terminated by client cancellation.", m.sweepCancelled)
+
+	if hasCache {
+		counter("chkpt_engine_cache_hits_total", "Engine artifact cache hits.", cacheStats.Hits)
+		counter("chkpt_engine_cache_misses_total", "Engine artifact cache misses.", cacheStats.Misses)
+		counter("chkpt_engine_cache_evictions_total", "Engine artifact cache LRU evictions.", cacheStats.Evictions)
+		gauge := func(name, help string, v int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		}
+		gauge("chkpt_engine_cache_entries", "Live engine cache entries.", int64(cacheStats.Entries))
+		gauge("chkpt_engine_cache_bytes", "Estimated engine cache footprint in bytes.", cacheStats.Bytes)
+		gauge("chkpt_engine_cache_budget_bytes", "Engine cache eviction threshold in bytes.", cacheStats.Budget)
+	}
+}
+
+// trimFloat prints a bucket bound the way Prometheus conventionally does
+// (no trailing zeros).
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

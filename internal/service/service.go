@@ -1,0 +1,185 @@
+package service
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Config tunes a Server. The zero value is serviceable: default engine,
+// one evaluation slot per engine worker, a 16-deep wait queue and a
+// two-minute request timeout.
+type Config struct {
+	// Engine executes evaluations; its worker pool bounds the parallelism
+	// inside one evaluation and its cache shares DP tables, planners and
+	// traces across requests. Nil means engine.Default().
+	Engine *engine.Engine
+	// MaxConcurrent bounds the evaluations executing at once (queued
+	// requests beyond it wait). Non-positive means the engine's worker
+	// count.
+	MaxConcurrent int
+	// QueueDepth bounds how many admitted requests may wait for an
+	// execution slot; anything beyond is rejected with 429. Zero means 16;
+	// negative means no waiting queue (slots only).
+	QueueDepth int
+	// RequestTimeout bounds each evaluation (and each streamed sweep) from
+	// admission to completion. Zero means 2 minutes; negative disables the
+	// timeout.
+	RequestTimeout time.Duration
+	// Logger receives structured access logs. Nil means text logs on
+	// stderr.
+	Logger *slog.Logger
+}
+
+// Server is the HTTP evaluation service over the spec/engine stack. Build
+// one with New and mount Handler on an http.Server.
+type Server struct {
+	eng     *engine.Engine
+	adm     *admission
+	coal    *coalescer
+	met     *metrics
+	log     *slog.Logger
+	timeout time.Duration
+	handler http.Handler
+
+	// evalGate, when set (tests only), runs inside every coalesced
+	// evaluation after admission and before the engine run.
+	evalGate func()
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	eng := cfg.Engine
+	if eng == nil {
+		eng = engine.Default()
+	}
+	conc := cfg.MaxConcurrent
+	if conc <= 0 {
+		conc = eng.Workers()
+	}
+	depth := cfg.QueueDepth
+	switch {
+	case depth == 0:
+		depth = 16
+	case depth < 0:
+		depth = 0
+	}
+	timeout := cfg.RequestTimeout
+	if timeout == 0 {
+		timeout = 2 * time.Minute
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	s := &Server{
+		eng:     eng,
+		adm:     newAdmission(conc, depth),
+		coal:    newCoalescer(),
+		met:     newMetrics(),
+		log:     logger,
+		timeout: timeout,
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/recommend", s.handleRecommend)
+	s.handler = s.instrument(mux)
+	return s
+}
+
+// Handler returns the service's HTTP handler: the API mux wrapped in the
+// access-log and metrics middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics returns a point-in-time snapshot of the server's counters.
+func (s *Server) Metrics() Snapshot { return s.met.snapshot() }
+
+// runContext returns the context a coalesced evaluation executes under:
+// bounded by the request timeout but detached from any single client, so
+// one disconnecting waiter never cancels the work other waiters share.
+func (s *Server) runContext() (context.Context, context.CancelFunc) {
+	if s.timeout < 0 {
+		return context.WithCancel(context.Background())
+	}
+	return context.WithTimeout(context.Background(), s.timeout)
+}
+
+// requestContext bounds a non-coalesced (streaming) request: the client's
+// context plus the request timeout, so both disconnects and overlong
+// sweeps cancel the engine run.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout < 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+// statusWriter captures the response status and size for the access log,
+// delegating Flush to the underlying writer through Unwrap (the
+// http.ResponseController protocol).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// metricsPath collapses unknown request paths into one series: the
+// metrics maps are keyed by path, and without this bound a scanner
+// spraying unique URLs would grow them (and the /metrics exposition)
+// without limit.
+func metricsPath(path string) string {
+	switch path {
+	case "/healthz", "/metrics", "/v1/evaluate", "/v1/sweep", "/v1/recommend", "/v1/registry":
+		return path
+	}
+	return "other"
+}
+
+// instrument wraps the mux with access logging and per-path metrics.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		dur := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.met.observe(metricsPath(r.URL.Path), sw.status, dur)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"dur_ms", dur.Milliseconds(),
+			"remote", r.RemoteAddr,
+		)
+	})
+}

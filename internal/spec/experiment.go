@@ -73,6 +73,31 @@ type CandidatesSpec struct {
 	Policies []PolicySpec  `json:"policies,omitempty"`
 }
 
+// Validate checks the candidate set's structure without a scenario:
+// presence, registered policy kinds, and statically checkable parameters.
+// It lets request-validating callers (the serving layer) classify
+// configuration mistakes before any computation; scenario-dependent
+// problems still surface at Build time.
+func (cs CandidatesSpec) Validate() error {
+	if cs.Standard == nil && len(cs.Policies) == 0 {
+		return fmt.Errorf("spec: candidate set is empty (need standard and/or policies)")
+	}
+	if std := cs.Standard; std != nil && std.PeriodLB != nil {
+		if err := std.PeriodLB.validate(); err != nil {
+			return err
+		}
+	}
+	for _, ps := range cs.Policies {
+		if !policyKindRegistered(ps.Kind) {
+			return fmt.Errorf("spec: unknown policy kind %q (have: %v)", ps.Kind, PolicyKinds())
+		}
+		if ps.Kind == "period" && !(ps.Period > 0) {
+			return fmt.Errorf("spec: period policy needs a positive period, got %v", ps.Period)
+		}
+	}
+	return nil
+}
+
 // Build compiles the candidate set against a compiled scenario.
 func (cs CandidatesSpec) Build(ctx context.Context, eng *engine.Engine, sc harness.Scenario) ([]harness.Candidate, error) {
 	if cs.Standard == nil && len(cs.Policies) == 0 {

@@ -1,0 +1,28 @@
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// CanonicalHash returns a stable identity for an experiment: the SHA-256
+// of the spec's canonical encoding, as lowercase hex. Because the encoder
+// visits struct fields in declaration order and prints float64 with the
+// shortest round-trip representation, two specs hash equal exactly when
+// they decode to the same experiment — whitespace, field order and other
+// JSON surface differences in the source document do not matter. The hash
+// is the coalescing key of the serving layer and a future key for
+// persistent result caching.
+func CanonicalHash(es *ExperimentSpec) (string, error) {
+	if err := es.Validate(); err != nil {
+		return "", err
+	}
+	b, err := json.Marshal(es)
+	if err != nil {
+		return "", fmt.Errorf("spec: hash: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

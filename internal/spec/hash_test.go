@@ -1,0 +1,121 @@
+package spec
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/platform"
+)
+
+func hashFixture() *ExperimentSpec {
+	return &ExperimentSpec{
+		Name:  "hash-fixture",
+		Title: "hash round trip",
+		Scenario: &ScenarioSpec{
+			Name:     "cell",
+			Platform: PlatformRef{Preset: "oneproc", MTBF: 86400},
+			P:        1,
+			Dist:     DistSpec{Family: "weibull", Shape: 0.7},
+			Horizon:  400 * platform.Day,
+			Traces:   2,
+			Seed:     7,
+		},
+		Candidates: CandidatesSpec{Policies: []PolicySpec{{Kind: "young"}}},
+	}
+}
+
+// TestCanonicalHashRoundTrip: encoding a spec to its on-disk form and
+// decoding it back must not change the hash — the property the serving
+// layer's request coalescing and any persistent cache key depend on.
+func TestCanonicalHashRoundTrip(t *testing.T) {
+	es := hashFixture()
+	h1, err := CanonicalHash(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h1) != 64 || strings.ToLower(h1) != h1 {
+		t.Fatalf("hash %q is not lowercase sha256 hex", h1)
+	}
+
+	var buf bytes.Buffer
+	if err := EncodeExperiment(&buf, es); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeExperiment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := CanonicalHash(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("hash changed across encode/decode: %s vs %s", h1, h2)
+	}
+
+	// Surface differences in the source document (indentation, key order)
+	// must not change the hash either.
+	reformatted := strings.NewReader(`{"candidates":{"policies":[{"kind":"young"}]},` +
+		`"scenario":{"seed":7,"traces":2,"horizon":` + "34560000" + `,` +
+		`"dist":{"shape":0.7,"family":"weibull"},"p":1,` +
+		`"platform":{"mtbf":86400,"preset":"oneproc"},"name":"cell"},` +
+		`"title":"hash round trip","name":"hash-fixture"}`)
+	reordered, err := DecodeExperiment(reformatted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3, err := CanonicalHash(reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h3 {
+		t.Errorf("hash sensitive to JSON surface form: %s vs %s", h1, h3)
+	}
+}
+
+// TestCanonicalHashSeparates: changing any load-bearing parameter must
+// change the hash, and invalid specs must not hash at all.
+func TestCanonicalHashSeparates(t *testing.T) {
+	h1, err := CanonicalHash(hashFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := hashFixture()
+	other.Scenario.Seed = 8
+	h2, err := CanonicalHash(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Error("specs differing in seed hash equal")
+	}
+	if _, err := CanonicalHash(&ExperimentSpec{}); err == nil {
+		t.Error("invalid spec hashed without error")
+	}
+}
+
+// TestEvaluateOne: the single-cell helper evaluates exactly-one-cell
+// experiments and rejects multi-cell ones before any computation.
+func TestEvaluateOne(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 2, Cache: engine.NewCache(0)})
+	res, err := EvaluateOne(context.Background(), eng, hashFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index != 0 || res.Eval == nil {
+		t.Fatalf("result = %+v, want index 0 with evaluation", res)
+	}
+	if len(res.Eval.Order) < 2 {
+		t.Fatalf("evaluation order = %v, want LowerBound + Young", res.Eval.Order)
+	}
+
+	multi := hashFixture()
+	multi.Grid = &GridSpec{P: []int{1, 1}}
+	if _, err := EvaluateOne(context.Background(), eng, multi); err == nil ||
+		!strings.Contains(err.Error(), "exactly 1") {
+		t.Errorf("multi-cell experiment: err = %v, want exactly-1 rejection", err)
+	}
+}

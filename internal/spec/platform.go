@@ -127,6 +127,19 @@ func (r PlatformRef) Build() (platform.Spec, error) {
 	if s.PTotal <= 0 {
 		return platform.Spec{}, fmt.Errorf("spec: platform %q needs a positive processor count", s.Name)
 	}
+	// Negative overheads or downtime panic deep in trace generation or
+	// error mid-simulation; a custom platform must fail here, at decode
+	// altitude, like every other configuration mistake.
+	switch {
+	case s.D < 0:
+		return platform.Spec{}, fmt.Errorf("spec: platform %q has negative downtime D=%v", s.Name, s.D)
+	case s.CBase < 0:
+		return platform.Spec{}, fmt.Errorf("spec: platform %q has negative checkpoint cost C=%v", s.Name, s.CBase)
+	case s.RBase < 0:
+		return platform.Spec{}, fmt.Errorf("spec: platform %q has negative recovery cost R=%v", s.Name, s.RBase)
+	case !(s.W > 0):
+		return platform.Spec{}, fmt.Errorf("spec: platform %q needs positive work W, got %v", s.Name, s.W)
+	}
 	return s, nil
 }
 

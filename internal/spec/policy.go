@@ -80,6 +80,14 @@ func PolicyKinds() []string {
 	return out
 }
 
+// policyKindRegistered reports whether the kind has a registered builder.
+func policyKindRegistered(kind string) bool {
+	policyRegistry.Lock()
+	defer policyRegistry.Unlock()
+	_, ok := policyRegistry.byKind[kind]
+	return ok
+}
+
 // Candidate compiles the policy spec against the scenario environment.
 func (ps PolicySpec) Candidate(ctx context.Context, env PolicyEnv) (harness.Candidate, error) {
 	policyRegistry.Lock()

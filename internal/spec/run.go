@@ -3,6 +3,7 @@ package spec
 import (
 	"context"
 	"errors"
+	"fmt"
 	"iter"
 
 	"repro/internal/engine"
@@ -17,12 +18,84 @@ type CellResult struct {
 	Spec ScenarioSpec
 	// Scenario is the compiled scenario the evaluation ran on.
 	Scenario harness.Scenario
+	// Periods maps candidate name to its fixed checkpointing period, for
+	// the candidates that schedule periodically (the dynamic programs are
+	// absent). Consumers read a periodic winner's period without
+	// rebuilding the candidate set, and the result retains no policy
+	// closures (which would pin DP tables and planners in memory).
+	Periods map[string]float64
 	// Eval holds the aggregated results; iterate rows with Eval.Rows.
 	Eval *harness.Evaluation
 }
 
 // errStopIteration signals that the consumer broke out of the iterator.
 var errStopIteration = errors.New("spec: iteration stopped")
+
+// RunCell compiles and evaluates one expanded cell on the engine, and
+// fills the result's Periods map. It is the per-cell core of Run,
+// exported so callers that already hold an expanded cell (the serving
+// layer validates and hashes the experiment before executing) do not pay
+// a second expansion.
+func RunCell(ctx context.Context, eng *engine.Engine, cell Cell) (CellResult, error) {
+	res, cands, err := runCell(ctx, eng, cell)
+	if err != nil {
+		return res, err
+	}
+	res.Periods = probePeriods(cands)
+	return res, nil
+}
+
+// runCell compiles and evaluates one expanded cell on the engine. The
+// compiled candidate set rides along for single-cell callers that want
+// the Periods map; streaming sweeps discard it.
+func runCell(ctx context.Context, eng *engine.Engine, cell Cell) (CellResult, []harness.Candidate, error) {
+	sc, err := cell.Scenario.Compile()
+	if err != nil {
+		return CellResult{Index: cell.Index}, nil, err
+	}
+	cands, err := cell.Candidates.Build(ctx, eng, sc)
+	if err != nil {
+		return CellResult{Index: cell.Index}, nil, err
+	}
+	ev, err := harness.EvaluateWith(ctx, eng, sc, cands)
+	if err != nil {
+		return CellResult{Index: cell.Index}, nil, err
+	}
+	return CellResult{Index: cell.Index, Spec: cell.Scenario, Scenario: sc, Eval: ev}, cands, nil
+}
+
+// probePeriods instantiates each runnable candidate once to read its
+// fixed checkpointing period, when it has one. Only the single-cell
+// entry points pay this (batch sweeps never consult Periods).
+func probePeriods(cands []harness.Candidate) map[string]float64 {
+	periods := map[string]float64{}
+	for _, c := range cands {
+		if c.SkipReason != "" {
+			continue
+		}
+		if pol, err := c.New(); err == nil {
+			if p, ok := pol.(interface{ Period() float64 }); ok {
+				periods[c.Name] = p.Period()
+			}
+		}
+	}
+	return periods
+}
+
+// EvaluateOne executes an experiment that expands to exactly one cell and
+// returns its result — the synchronous single-cell entry point behind the
+// serving layer's /v1/evaluate. Experiments with more (or fewer) cells are
+// rejected before any computation starts; point them at Run instead.
+func EvaluateOne(ctx context.Context, eng *engine.Engine, es *ExperimentSpec) (CellResult, error) {
+	cells, err := es.Expand()
+	if err != nil {
+		return CellResult{Index: -1}, err
+	}
+	if len(cells) != 1 {
+		return CellResult{Index: -1}, fmt.Errorf("spec: experiment %q expands to %d cells, need exactly 1", es.Name, len(cells))
+	}
+	return RunCell(ctx, eng, cells[0])
+}
 
 // Run executes the experiment on the engine and returns a streaming
 // iterator over its cells. Cells execute concurrently on the engine's
@@ -39,26 +112,23 @@ func Run(ctx context.Context, eng *engine.Engine, es *ExperimentSpec) iter.Seq2[
 			yield(CellResult{Index: -1}, err)
 			return
 		}
+		RunCells(ctx, eng, cells)(yield)
+	}
+}
+
+// RunCells is Run over an already-expanded cell list: callers that
+// expanded for validation (the serving layer) stream execution without a
+// second expansion. The iteration contract is Run's.
+func RunCells(ctx context.Context, eng *engine.Engine, cells []Cell) iter.Seq2[CellResult, error] {
+	return func(yield func(CellResult, error) bool) {
 		// A consumer breaking out of the range must actually stop the
 		// sweep: cancel the engine workers, not just the emission.
 		ctx, stop := context.WithCancel(ctx)
 		defer stop()
-		err = engine.Stream(ctx, eng, len(cells),
+		err := engine.Stream(ctx, eng, len(cells),
 			func(i int) (CellResult, error) {
-				cell := cells[i]
-				sc, err := cell.Scenario.Compile()
-				if err != nil {
-					return CellResult{Index: i}, err
-				}
-				cands, err := cell.Candidates.Build(ctx, eng, sc)
-				if err != nil {
-					return CellResult{Index: i}, err
-				}
-				ev, err := harness.EvaluateWith(ctx, eng, sc, cands)
-				if err != nil {
-					return CellResult{Index: i}, err
-				}
-				return CellResult{Index: i, Spec: cell.Scenario, Scenario: sc, Eval: ev}, nil
+				res, _, err := runCell(ctx, eng, cells[i])
+				return res, err
 			},
 			func(i int, res CellResult) error {
 				if !yield(res, nil) {
