@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench-smoke serve-smoke spec-goldens spec-golden-check
+.PHONY: build test vet race bench-smoke serve-smoke session-smoke fuzz-smoke spec-goldens spec-golden-check
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,41 @@ serve-smoke:
 	echo "$$rec" | head -n 12; test -n "$$rec"; \
 	kill $$pid; wait $$pid 2>/dev/null || true; \
 	echo "serve smoke OK"
+
+# Online-session round trip against the real binary: create a session,
+# post a failure + recovery, assert a fresh decision comes back, delete
+# it, then SIGTERM and require a clean drain (open sessions must not
+# block shutdown). Complements serve-smoke, which covers the evaluation
+# endpoints.
+session-smoke:
+	@set -e; \
+	if [ "$(CHKPT_SERVE)" = "/tmp/chkpt-serve-smoke" ]; then $(GO) build -o $(CHKPT_SERVE) ./cmd/chkpt-serve; fi; \
+	$(CHKPT_SERVE) -addr $(SERVE_ADDR) -drain 5s & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do \
+	  curl -sf http://$(SERVE_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	curl -sf http://$(SERVE_ADDR)/healthz | grep -q '"version"'; \
+	create=$$(curl -sf -X POST --data-binary '{"name":"smoke","scenario":{"platform":{"preset":"oneproc","mtbf":86400},"p":1,"dist":{"family":"exponential"}},"policy":{"kind":"young"}}' http://$(SERVE_ADDR)/v1/sessions); \
+	echo "$$create" | head -n 20; \
+	echo "$$create" | grep -q '"chunk"'; \
+	id=$$(echo "$$create" | sed -n 's/.*"id": *"\([a-f0-9]*\)".*/\1/p' | head -n 1); \
+	test -n "$$id"; echo "session id: $$id"; \
+	dec=$$(curl -sf -X POST --data-binary '{"events":[{"kind":"failure","time":1000,"unit":0},{"kind":"recovered","time":1660}]}' http://$(SERVE_ADDR)/v1/sessions/$$id/events); \
+	echo "$$dec" | head -n 20; \
+	echo "$$dec" | grep -q '"chunk"'; echo "$$dec" | grep -q '"failures": 1'; \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' -X DELETE http://$(SERVE_ADDR)/v1/sessions/$$id); \
+	test "$$code" = "204"; \
+	curl -sf -X POST --data-binary '{"name":"left-open","scenario":{"platform":{"preset":"oneproc","mtbf":86400},"p":1,"dist":{"family":"exponential"}},"policy":{"kind":"dalyhigh"}}' http://$(SERVE_ADDR)/v1/sessions | grep -q '"chunk"'; \
+	kill $$pid; wait $$pid 2>/dev/null || true; \
+	echo "session smoke OK (drained with a session open)"
+
+# One short native-fuzz pass per fuzz target: the corpus-free smoke that
+# keeps the fuzz functions compiling and the decoders panic-free.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzDecodeExperiment -fuzztime 10s ./internal/spec
+	$(GO) test -run xxx -fuzz FuzzDecodeSession -fuzztime 10s ./internal/spec
+	$(GO) test -run xxx -fuzz FuzzSessionEvents -fuzztime 10s ./internal/advisor
 
 # Pinned fixture parameters — keep in sync with cmd/chkpt-tables/main_test.go.
 TABLE2_ARGS   := -exp table2 -traces 3 -quanta 30 -seed 11 -periodlb-traces 4

@@ -37,6 +37,7 @@ import (
 	"io"
 	"iter"
 
+	"repro/internal/advisor"
 	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/harness"
@@ -182,6 +183,76 @@ func SimulateLowerBound(ctx context.Context, job *Job, ts *TraceSet) (Result, er
 // run consumes job.Units*n units of the trace.
 func SimulateReplicated(ctx context.Context, job *Job, pol Policy, ts *TraceSet, n int) (Result, error) {
 	return sim.RunReplicated(ctx, job, pol, ts, n)
+}
+
+// Online advisor sessions: the simulator's decision loop as a
+// first-class event-driven API (see internal/advisor). A Session is
+// driven by an external scheduler — Advise returns the next
+// chunk/checkpoint decision with its rationale, Observe feeds progress,
+// checkpoint, failure and recovery events back. Simulate itself is a
+// client of this API, so online decisions are bit-identical to the
+// paper's batch evaluation.
+type (
+	// Advisor is an immutable session factory: a job plus a policy
+	// recipe, sharing planning structures across the sessions it mints.
+	Advisor = advisor.Advisor
+	// Session is one stateful advisory conversation.
+	Session = advisor.Session
+	// SessionConfig assembles a Session.
+	SessionConfig = advisor.Config
+	// Event is one observation fed to a session.
+	Event = advisor.Event
+	// EventKind names the observation kinds.
+	EventKind = advisor.EventKind
+	// Decision is one checkpoint recommendation with its rationale.
+	Decision = advisor.Decision
+	// PastFailure seeds pre-start failure history.
+	PastFailure = advisor.PastFailure
+	// SessionSpec is the declarative (JSON) form of a session.
+	SessionSpec = spec.SessionSpec
+)
+
+// Event kinds accepted by Session.Observe.
+const (
+	EventProgress     = advisor.EventProgress
+	EventCheckpointed = advisor.EventCheckpointed
+	EventFailure      = advisor.EventFailure
+	EventRecovered    = advisor.EventRecovered
+)
+
+// NewSession builds an online advisory session around a policy instance:
+// the event-driven form of Simulate for live schedulers.
+func NewSession(cfg SessionConfig) (*Session, error) { return advisor.NewSession(cfg) }
+
+// NewAdvisor builds a session factory from a job and a fresh-policy
+// constructor (instances may carry per-session state).
+func NewAdvisor(job *Job, name string, newPolicy func() (Policy, error)) (*Advisor, error) {
+	return advisor.NewAdvisor(job, name, newPolicy)
+}
+
+// CompileAdvisor compiles a declarative session spec through the policy
+// registry and the engine cache — the library form of the HTTP service's
+// POST /v1/sessions.
+func CompileAdvisor(ctx context.Context, eng *Engine, ss *SessionSpec) (*Advisor, error) {
+	return spec.CompileAdvisor(ctx, eng, ss)
+}
+
+// DecodeSessionSpec reads a declarative session spec (strict JSON:
+// unknown fields are errors).
+func DecodeSessionSpec(r io.Reader) (*SessionSpec, error) { return spec.DecodeSession(r) }
+
+// SimulateSession replays a failure trace into a caller-built session
+// under exactly Simulate's semantics. The session must be fresh and
+// consistent with the trace (seed pre-release failures with
+// PrereleaseHistory).
+func SimulateSession(ctx context.Context, job *Job, sess *Session, ts *TraceSet) (Result, error) {
+	return sim.RunSession(ctx, job, sess, ts)
+}
+
+// PrereleaseHistory extracts the failures preceding the job release from
+// a trace — the History a session needs to start identically to Simulate.
+func PrereleaseHistory(job *Job, ts *TraceSet) []PastFailure {
+	return sim.PrereleaseHistory(job, ts)
 }
 
 // Policies.

@@ -4,15 +4,19 @@
 // reading batch-generated tables.
 //
 // Endpoints (see internal/service): POST /v1/evaluate, POST /v1/sweep
-// (NDJSON streaming), GET /v1/recommend, GET /v1/registry, GET /healthz,
+// (NDJSON streaming), GET /v1/recommend, the online advisor sessions
+// (POST /v1/sessions, GET/DELETE /v1/sessions/{id},
+// POST /v1/sessions/{id}/events), GET /v1/registry, GET /healthz,
 // GET /metrics.
 //
 // Examples:
 //
 //	chkpt-serve                              # 127.0.0.1:8080
+//	chkpt-serve -version                     # build info, then exit
 //	chkpt-serve -addr :9090 -workers 8 -concurrent 4 -queue 64
 //	curl -s localhost:8080/v1/recommend?platform=petascale\&p=4096\&family=weibull\&shape=0.7
 //	curl -s -X POST --data-binary @spec.json localhost:8080/v1/sweep
+//	curl -s -X POST --data-binary @session.json localhost:8080/v1/sessions
 //
 // SIGINT/SIGTERM drains gracefully: in-flight requests get the -drain
 // window to finish; new connections are refused immediately.
@@ -22,9 +26,11 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/cliutil"
@@ -36,8 +42,14 @@ const tool = "chkpt-serve"
 func main() {
 	servef := cliutil.AddServeFlags(flag.CommandLine)
 	engf := cliutil.AddEngineFlags(flag.CommandLine)
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
+	version := cliutil.BuildVersion()
+	if *showVersion {
+		fmt.Printf("%s %s %s\n", tool, version, runtime.Version())
+		return
+	}
 	if err := servef.Validate(); err != nil {
 		cliutil.Fatal(tool, err)
 	}
@@ -51,6 +63,7 @@ func main() {
 		Engine:         eng,
 		MaxConcurrent:  servef.Concurrent,
 		RequestTimeout: servef.RequestTimeout,
+		Version:        version,
 		Logger:         logger,
 	}
 	// Flag semantics: -queue 0 means "no waiting queue", which the
@@ -89,7 +102,8 @@ func main() {
 		}
 	}()
 
-	logger.Info("listening", "addr", servef.Addr, "workers", eng.Workers(), "cache", eng.Cache() != nil)
+	logger.Info("listening", "addr", servef.Addr, "version", version, "go", runtime.Version(),
+		"workers", eng.Workers(), "cache", eng.Cache() != nil)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		cliutil.Fatal(tool, err)
 	}

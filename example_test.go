@@ -40,6 +40,44 @@ func ExampleSimulate() {
 	// Output: failures: 7, checkpoints: 21, work done: 86400 s
 }
 
+// ExampleNewSession drives an online advisor session by hand: the
+// event-driven form of ExampleSimulate, where the caller (a scheduler)
+// supplies the failures instead of a generated trace. Decisions and
+// their rationale come back step by step.
+func ExampleNewSession() {
+	job := &checkpoint.Job{Work: 20000, C: 200, R: 200, D: 30, Units: 4}
+	sess, err := checkpoint.NewSession(checkpoint.SessionConfig{
+		Job:    job,
+		Policy: checkpoint.NewPeriodic("Periodic", 6000),
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	d, _ := sess.Advise()
+	fmt.Printf("run %.0f s, then checkpoint for %.0f s (policy %s, period %.0f)\n",
+		d.Chunk, d.CheckpointCost, d.Policy, d.Period)
+
+	// The chunk commits at t = chunk + C.
+	_ = sess.Observe(checkpoint.Event{Kind: checkpoint.EventCheckpointed, Time: 6200, Work: d.Chunk})
+
+	// Unit 2 fails mid-chunk; after downtime + recovery the session
+	// re-advises from the restored checkpoint.
+	_ = sess.Observe(checkpoint.Event{Kind: checkpoint.EventFailure, Time: 9000, Unit: 2})
+	_ = sess.Observe(checkpoint.Event{Kind: checkpoint.EventRecovered, Time: 9230})
+	d, _ = sess.Advise()
+	fmt.Printf("after %d failure(s): run %.0f s (remaining %.0f s)\n",
+		sess.Failures(), d.Chunk, d.Remaining)
+
+	// Out-of-order events are strictly rejected with typed errors.
+	err = sess.Observe(checkpoint.Event{Kind: checkpoint.EventProgress, Time: 1000})
+	fmt.Println("backwards clock accepted:", err == nil)
+	// Output:
+	// run 6000 s, then checkpoint for 200 s (policy Periodic, period 6000)
+	// after 1 failure(s): run 6000 s (remaining 14000 s)
+	// backwards clock accepted: false
+}
+
 // ExampleNewEngine evaluates the paper's policy set on a small scenario
 // through the parallel experiment engine, twice with different worker
 // counts against one shared cache: the worker count never changes the

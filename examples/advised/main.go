@@ -1,0 +1,87 @@
+// Example advised drives an online advisor session in-process: the
+// declarative spec compiles to an Advisor through the same policy
+// registry the batch experiments use, and a scheduler-like loop then
+// alternates decisions with observed events — a committed checkpoint, a
+// failure with its recovery — printing what the paper's Algorithm 2
+// recommends at each step. Everything is deterministic.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	checkpoint "repro"
+)
+
+func main() {
+	// A petascale-like platform with Weibull failures, advised by
+	// DPNextFailure (Algorithm 2). Trace-only fields (horizon, traces)
+	// are omitted: live sessions do not replay generated traces.
+	doc := `{
+  "name": "advised-example",
+  "scenario": {
+    "platform": {"preset": "petascale"},
+    "p": 4096,
+    "dist": {"family": "weibull", "shape": 0.7}
+  },
+  "policy": {"kind": "dpnextfailure", "quanta": 60}
+}`
+	ss, err := checkpoint.DecodeSessionSpec(strings.NewReader(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := checkpoint.NewEngine(checkpoint.EngineConfig{Workers: 2, Cache: checkpoint.NewCache(0)})
+	adv, err := checkpoint.CompileAdvisor(context.Background(), eng, ss)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job := adv.Job()
+	fmt.Printf("advisor: %s over W=%.0fs C=%.0fs on %d units\n",
+		adv.PolicyName(), job.Work, job.C, job.Units)
+
+	sess, err := adv.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Decision 1: the pristine-state plan.
+	d, err := sess.Advise()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decision 1: run %.0fs then checkpoint (%.0fs)\n", d.Chunk, d.CheckpointCost)
+
+	// The chunk and its checkpoint complete: commit it.
+	now := d.Now + d.Chunk + d.CheckpointCost
+	must(sess.Observe(checkpoint.Event{Kind: checkpoint.EventCheckpointed, Time: now, Work: d.Chunk}))
+	d, err = sess.Advise()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decision 2: run %.0fs (remaining %.0fs)\n", d.Chunk, d.Remaining)
+
+	// Unit 17 fails halfway through; downtime and recovery follow.
+	failAt := d.Now + d.Chunk/2
+	must(sess.Observe(checkpoint.Event{Kind: checkpoint.EventFailure, Time: failAt, Unit: 17}))
+	must(sess.Observe(checkpoint.Event{Kind: checkpoint.EventRecovered, Time: failAt + job.D + job.R}))
+
+	// Decision 3 re-plans with unit 17's fresh lifetime (§3.3 state).
+	d, err = sess.Advise()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decision 3 (after failure %d): run %.0fs then checkpoint\n", sess.Failures(), d.Chunk)
+
+	// Strict validation: the clock cannot move backwards.
+	if err := sess.Observe(checkpoint.Event{Kind: checkpoint.EventProgress, Time: 0}); err != nil {
+		fmt.Println("rejected:", err)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

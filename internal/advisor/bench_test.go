@@ -1,0 +1,119 @@
+package advisor_test
+
+// Advisor stepping throughput: how fast can a scheduler drive a session?
+// Periodic sessions are the hot path a million-user deployment would
+// lean on (one Advise + one Checkpointed per checkpoint interval) and
+// must not allocate at steady state — asserted by
+// TestPeriodicSteadyStateZeroAlloc and reported by the benchmarks
+// (decisions/sec is 1/ns-per-op; see BENCH.md).
+
+import (
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/dist"
+	"repro/internal/policy"
+)
+
+// benchJob is a petascale-ish geometry with effectively unbounded work,
+// so steady-state stepping never hits the done state.
+func benchJob() *advisor.Job {
+	return &advisor.Job{Work: 1e18, C: 600, R: 600, D: 60, Units: 64}
+}
+
+func newPeriodicSession(tb testing.TB) *advisor.Session {
+	tb.Helper()
+	sess, err := advisor.NewSession(advisor.Config{
+		Job:    benchJob(),
+		Policy: policy.NewPeriodic("Periodic", 3600),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sess
+}
+
+// step is one steady-state advisory cycle: decision, then its commit.
+func step(tb testing.TB, sess *advisor.Session) {
+	d, err := sess.Advise()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ev := advisor.Event{Kind: advisor.EventCheckpointed, Time: d.Now + d.Chunk + d.CheckpointCost, Work: d.Chunk}
+	if err := sess.Observe(ev); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func BenchmarkSessionPeriodicStep(b *testing.B) {
+	sess := newPeriodicSession(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(b, sess)
+	}
+}
+
+// BenchmarkSessionDPNextFailureStep measures the expensive path: every
+// failure invalidates the Algorithm 2 plan, so each cycle pays one
+// truncated DP replan (quanta=60 grid) plus the failure/recovery events.
+func BenchmarkSessionDPNextFailureStep(b *testing.B) {
+	law := dist.NewExponentialMean(125 * 365.25 * 86400)
+	planner := policy.NewDPNextFailurePlanner(law, law.Mean(), policy.WithQuanta(60))
+	sess, err := advisor.NewSession(advisor.Config{
+		Job:    benchJob(),
+		Policy: planner.NewPolicy(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	unit := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := sess.Advise()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Fail mid-chunk, recover, forcing a fresh plan next Advise.
+		at := d.Now + d.Chunk/2
+		if err := sess.Observe(advisor.Event{Kind: advisor.EventFailure, Time: at, Unit: unit}); err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.Observe(advisor.Event{Kind: advisor.EventRecovered, Time: at + 660}); err != nil {
+			b.Fatal(err)
+		}
+		unit = (unit + 1) % 64
+	}
+}
+
+// BenchmarkSessionDPNextFailureCommit measures the cheap DP path: plan
+// walking between failures (no replan, just cursor pops and commits).
+func BenchmarkSessionDPNextFailureCommit(b *testing.B) {
+	law := dist.NewExponentialMean(125 * 365.25 * 86400)
+	planner := policy.NewDPNextFailurePlanner(law, law.Mean(), policy.WithQuanta(60))
+	sess, err := advisor.NewSession(advisor.Config{
+		Job:    benchJob(),
+		Policy: planner.NewPolicy(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(b, sess)
+	}
+}
+
+// TestPeriodicSteadyStateZeroAlloc pins the Periodic hot path at zero
+// allocations per Advise+Observe cycle: the serving layer can step
+// thousands of concurrent periodic sessions without GC pressure.
+func TestPeriodicSteadyStateZeroAlloc(t *testing.T) {
+	sess := newPeriodicSession(t)
+	step(t, sess) // warm up: first decision resolves the rationale path
+	allocs := testing.AllocsPerRun(1000, func() { step(t, sess) })
+	if allocs != 0 {
+		t.Fatalf("periodic Advise/Observe cycle allocates %.1f times per step, want 0", allocs)
+	}
+}

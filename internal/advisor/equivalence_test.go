@@ -1,0 +1,200 @@
+package advisor_test
+
+// The API-completeness regression of the advisor extraction: for every
+// policy kind in the spec registry, a sim.Run over the table2 fixture
+// scenario is recorded (decisions and events, in order, through the
+// session taps) and then replayed through a fresh advisor Session. Every
+// replayed decision must be bit-identical — the online API reproduces the
+// simulator's decisions exactly, for the dynamic programs included. The
+// subtests run in parallel, so the shared planners (engine cache) are
+// exercised concurrently and `go test -race` covers the whole path.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/engine"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+const table2Fixture = "../../cmd/chkpt-tables/testdata/table2.json"
+
+// fixtureScenario compiles the first cell of the table2 fixture.
+func fixtureScenario(t *testing.T) (spec.ScenarioSpec, harness.Scenario, harness.Derived) {
+	t.Helper()
+	es, err := spec.LoadExperiment(table2Fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := es.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := cells[0].Scenario
+	sc, err := ss.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sc.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ss, sc, d
+}
+
+// recorded is one tap capture: either a decision or an event.
+type recorded struct {
+	isDecision bool
+	d          advisor.Decision
+	ev         advisor.Event
+}
+
+func TestSessionReplayMatchesSimulatorForEveryPolicyKind(t *testing.T) {
+	_, sc, d := fixtureScenario(t)
+	eng := engine.New(engine.Config{Cache: engine.NewCache(0)})
+	env := spec.PolicyEnv{Engine: eng, Scenario: sc, Derived: d}
+	job := d.Job(sc.Start)
+
+	// Parameters per kind where the zero PolicySpec is not buildable.
+	params := map[string]spec.PolicySpec{
+		"period":        {Kind: "period", Period: 3600},
+		"dpnextfailure": {Kind: "dpnextfailure", Quanta: 30},
+		"dpmakespan":    {Kind: "dpmakespan", Quanta: 30},
+	}
+
+	for _, kind := range spec.PolicyKinds() {
+		if kind == "lowerbound" {
+			continue // the omniscient bound is not a simulable policy
+		}
+		ps, ok := params[kind]
+		if !ok {
+			ps = spec.PolicySpec{Kind: kind}
+		}
+		cand, err := ps.Candidate(context.Background(), env)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if cand.SkipReason != "" {
+			t.Fatalf("%s: unexpectedly unschedulable on the fixture scenario: %s", kind, cand.SkipReason)
+		}
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			for traceIdx := 0; traceIdx < 2; traceIdx++ {
+				ts := trace.GenerateRenewal(sc.Dist, d.Units, sc.Horizon, sc.Spec.D, sc.TraceSeed(traceIdx))
+
+				// Record a simulator run through a tapped session.
+				var stream []recorded
+				pol, err := cand.New()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sess, err := advisor.NewSession(advisor.Config{
+					Job:        job,
+					Policy:     pol,
+					History:    sim.PrereleaseHistory(job, ts),
+					OnDecision: func(d advisor.Decision) { stream = append(stream, recorded{isDecision: true, d: d}) },
+					OnEvent:    func(ev advisor.Event) { stream = append(stream, recorded{ev: ev}) },
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				recRes, err := sim.RunSession(context.Background(), job, sess, ts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(stream) == 0 {
+					t.Fatal("no decisions recorded")
+				}
+
+				// The plain Run must agree with the tapped RunSession.
+				pol2, err := cand.New()
+				if err != nil {
+					t.Fatal(err)
+				}
+				plainRes, err := sim.Run(context.Background(), job, pol2, ts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if plainRes != recRes {
+					t.Fatalf("trace %d: RunSession result %+v != Run result %+v", traceIdx, recRes, plainRes)
+				}
+
+				// Replay: feed the recorded events to a fresh session and
+				// demand bit-identical decisions at every decision point.
+				pol3, err := cand.New()
+				if err != nil {
+					t.Fatal(err)
+				}
+				replay, err := advisor.NewSession(advisor.Config{
+					Job:     job,
+					Policy:  pol3,
+					History: sim.PrereleaseHistory(job, ts),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				decisions := 0
+				for i, r := range stream {
+					if r.isDecision {
+						got, err := replay.Advise()
+						if err != nil {
+							t.Fatalf("trace %d, step %d: Advise: %v", traceIdx, i, err)
+						}
+						if got != r.d {
+							t.Fatalf("trace %d, step %d: replayed decision %+v != recorded %+v", traceIdx, i, got, r.d)
+						}
+						decisions++
+						continue
+					}
+					if err := replay.Observe(r.ev); err != nil {
+						t.Fatalf("trace %d, step %d: Observe(%+v): %v", traceIdx, i, r.ev, err)
+					}
+				}
+				if !replay.Done() {
+					t.Fatalf("trace %d: replayed session not done (remaining %v)", traceIdx, replay.Remaining())
+				}
+				t.Logf("trace %d: %d decisions replayed bit-identically (%d failures)", traceIdx, decisions, recRes.Failures)
+			}
+		})
+	}
+}
+
+// TestRunSessionRejectsInconsistentSession pins the RunSession contract:
+// a session that is not fresh-and-consistent with the trace is refused,
+// not silently diverged from.
+func TestRunSessionRejectsInconsistentSession(t *testing.T) {
+	_, sc, d := fixtureScenario(t)
+	job := d.Job(sc.Start)
+	ts := trace.GenerateRenewal(sc.Dist, d.Units, sc.Horizon, sc.Spec.D, sc.TraceSeed(0))
+
+	adv, err := advisor.NewAdvisor(job, "Periodic", func() (advisor.Policy, error) {
+		return fixedChunk{3600}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := adv.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance the session past the fresh state.
+	if _, err := sess.Advise(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Observe(advisor.Event{Kind: advisor.EventCheckpointed, Time: job.Start + 4200, Work: 3600}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunSession(context.Background(), job, sess, ts); err == nil {
+		t.Fatal("stale session accepted")
+	}
+}
+
+type fixedChunk struct{ chunk float64 }
+
+func (f fixedChunk) Name() string                       { return "fixed" }
+func (f fixedChunk) Start(job *advisor.Job) error       { return nil }
+func (f fixedChunk) NextChunk(s *advisor.State) float64 { return f.chunk }

@@ -1,0 +1,127 @@
+package advisor
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzSessionEvents drives a session with an arbitrary byte-derived
+// operation stream: malformed, out-of-order and adversarial events
+// (NaN/Inf times, huge works, out-of-range units) must always come back
+// as typed errors — never a panic — and a rejected event must leave the
+// session invariants intact: a monotone clock, remaining work in
+// [0, Work], and an outage flag consistent with the event history.
+func FuzzSessionEvents(f *testing.F) {
+	// Seeds: a clean conversation, an outage cycle, and hostile values.
+	f.Add([]byte{0, 1, 2, 3, 4, 5})                // one of each op kind
+	cycle := append(op(2, 10, 0), op(3, 20, 0)...) // failure → recovered
+	cycle = append(cycle, op(1, 30, 5)...)         // commit
+	f.Add(cycle)
+	f.Add([]byte{255, 254, 253, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pol := &stubPolicy{chunk: 7}
+		sess, err := NewSession(Config{
+			Job:    &Job{Work: 100, C: 10, R: 7, D: 5, Units: 3},
+			Policy: pol,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevNow := sess.Now()
+		wasOutage := false
+		for len(data) > 0 {
+			opByte := data[0]
+			data = data[1:]
+			if opByte%6 == 5 {
+				// Interleave Advise calls anywhere in the stream.
+				d, err := sess.Advise()
+				switch {
+				case err == nil:
+					if d.Done != sess.Done() || (!d.Done && !(d.Chunk > 0)) {
+						t.Fatalf("inconsistent decision %+v (done=%v)", d, sess.Done())
+					}
+				case errors.Is(err, ErrOutage):
+					if !sess.InOutage() {
+						t.Fatalf("ErrOutage outside an outage")
+					}
+				default:
+					t.Fatalf("Advise returned untyped error %v", err)
+				}
+				continue
+			}
+			ev := Event{}
+			switch opByte % 6 {
+			case 0:
+				ev.Kind = EventProgress
+			case 1:
+				ev.Kind = EventCheckpointed
+			case 2:
+				ev.Kind = EventFailure
+			case 3:
+				ev.Kind = EventRecovered
+			case 4:
+				ev.Kind = EventKind("bogus")
+			}
+			ev.Time, data = fuzzFloat(data)
+			ev.Work, data = fuzzFloat(data)
+			if len(data) > 0 {
+				ev.Unit = int(int8(data[0]))
+				data = data[1:]
+			}
+			err := sess.Observe(ev)
+			if err != nil {
+				var ee *EventError
+				if !errors.As(err, &ee) {
+					t.Fatalf("Observe(%+v) returned untyped error %v", ev, err)
+				}
+				if !errors.Is(err, ErrDone) && !errors.Is(err, ErrOutage) &&
+					!errors.Is(err, ErrNotInOutage) && !errors.Is(err, ErrClock) &&
+					!errors.Is(err, ErrBadEvent) && !errors.Is(err, ErrPastRemaining) {
+					t.Fatalf("Observe(%+v) error %v wraps no known cause", ev, err)
+				}
+				// A rejected event must not change observable state.
+				if sess.Now() != prevNow || sess.InOutage() != wasOutage {
+					t.Fatalf("rejected event mutated the session")
+				}
+				continue
+			}
+			// Invariants after every accepted event.
+			if sess.Now() < prevNow {
+				t.Fatalf("clock moved backwards: %v -> %v", prevNow, sess.Now())
+			}
+			rem := sess.Remaining()
+			if math.IsNaN(rem) || rem < 0 || rem > 100 {
+				t.Fatalf("remaining out of range: %v", rem)
+			}
+			prevNow = sess.Now()
+			wasOutage = sess.InOutage()
+		}
+	})
+}
+
+// op encodes one (kind, time, work) event for the seed corpus.
+func op(kind byte, time, work float64) []byte {
+	buf := []byte{kind}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(time))
+	buf = append(buf, b[:]...)
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(work))
+	buf = append(buf, b[:]...)
+	return append(buf, 0)
+}
+
+// fuzzFloat consumes up to 8 bytes as a float64. Small ints are produced
+// often (single leading bytes), which keeps many events valid and drives
+// the fuzzer deeper than all-NaN streams would.
+func fuzzFloat(data []byte) (float64, []byte) {
+	if len(data) == 0 {
+		return 0, data
+	}
+	if len(data) < 8 {
+		return float64(data[0]), data[1:]
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+	return f, data[8:]
+}

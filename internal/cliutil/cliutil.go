@@ -12,6 +12,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strings"
 	"syscall"
 	"time"
@@ -139,6 +140,17 @@ func DistSpecFromFlags(law string, shape float64) spec.DistSpec {
 		d.Shape = shape
 	}
 	return d
+}
+
+// BuildVersion returns the module version the Go toolchain recorded in
+// the binary ("(devel)" for tree builds, a tag or pseudo-version for
+// `go install`ed ones). It is what chkpt-serve reports via -version, the
+// startup log and /healthz.
+func BuildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
 }
 
 // SignalContext returns a context cancelled by SIGINT/SIGTERM, so a ^C

@@ -401,6 +401,11 @@ func (p *DPMakespan) OnChunkCommitted(s *sim.State, chunk float64) {
 	p.y += int(math.Round(chunk/p.t.u)) + p.t.cq
 }
 
+// ExpectedMakespan returns the table's expected makespan from the
+// initial state — the Algorithm 1 objective value the policy's schedule
+// optimizes. The advisor layer attaches it to decisions as rationale.
+func (p *DPMakespan) ExpectedMakespan() float64 { return p.t.ExpectedMakespan() }
+
 // NextChunk implements sim.Policy.
 func (p *DPMakespan) NextChunk(s *sim.State) float64 {
 	if s.Failures != p.failures {

@@ -22,11 +22,20 @@
 //   - GET  /v1/recommend — convenience lookup: platform preset, law
 //     family/shape, processor count and optional C/D/R/work overrides in
 //     query parameters; returns the winning policy and period.
+//   - POST /v1/sessions, GET/DELETE /v1/sessions/{id},
+//     POST /v1/sessions/{id}/events — online advisor sessions: the
+//     internal/advisor decision loop as a network API. A SessionSpec
+//     (scenario + one policy, strict decode) compiles through the policy
+//     registry into a live session; event batches apply in order under a
+//     per-session lock and answer with the next decision; sessions live
+//     in a bounded TTL store (sliding window, lazy reclamation; a full
+//     store answers 429 like the admission queue).
 //   - GET  /v1/registry  — the registered distribution families, policy
 //     kinds and platform presets (the spec registries).
-//   - GET  /healthz, GET /metrics — liveness and Prometheus-style text
-//     metrics (request counts, latency histograms, coalescing hits,
-//     admission rejections, engine cache hit/miss/eviction counters).
+//   - GET  /healthz, GET /metrics — liveness with build info, and
+//     Prometheus-style text metrics (request counts, latency histograms,
+//     coalescing hits, admission rejections, engine cache
+//     hit/miss/eviction counters, session store gauges/counters).
 //
 // The server is production-shaped rather than a demo mux: a bounded
 // admission queue sheds load with 429 + Retry-After before work starts,

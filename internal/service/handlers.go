@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -136,7 +137,11 @@ func errorStatus(err error) int {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":  "ok",
+		"version": s.version,
+		"go":      runtime.Version(),
+	})
 }
 
 func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
@@ -150,7 +155,7 @@ func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	st, ok := s.eng.CacheStats()
-	s.met.writeTo(w, st, ok)
+	s.met.writeTo(w, st, ok, s.store.stats())
 }
 
 // decodeSpec reads and strict-decodes the request body into an

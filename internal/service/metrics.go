@@ -47,6 +47,7 @@ type metrics struct {
 	coalesceRuns   uint64 // flights actually executed
 	rejected       uint64 // admissions shed with 429
 	sweepCancelled uint64 // sweeps ended by client cancellation
+	decisions      uint64 // advisor decisions served over /v1/sessions
 }
 
 func newMetrics() *metrics {
@@ -90,6 +91,12 @@ func (m *metrics) sweepCancel() {
 	m.sweepCancelled++
 }
 
+func (m *metrics) sessionDecision() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.decisions++
+}
+
 // Snapshot is a point-in-time copy of the server's counters, exposed for
 // tests and operational introspection.
 type Snapshot struct {
@@ -103,17 +110,29 @@ type Snapshot struct {
 	Rejected uint64
 	// SweepCancelled counts sweeps terminated by client cancellation.
 	SweepCancelled uint64
+	// SessionsOpen gauges the live advisor sessions; SessionsCreated,
+	// SessionsEvicted (TTL expiries) and SessionsRejected (capacity 429s)
+	// count the store's lifecycle events.
+	SessionsOpen                                       int
+	SessionsCreated, SessionsEvicted, SessionsRejected uint64
+	// SessionDecisions counts advisor decisions served over /v1/sessions.
+	SessionDecisions uint64
 }
 
-func (m *metrics) snapshot() Snapshot {
+func (m *metrics) snapshot(ss sessionStats) Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		Requests:       make(map[string]uint64, len(m.requests)),
-		CoalesceRuns:   m.coalesceRuns,
-		CoalesceHits:   m.coalesceHits,
-		Rejected:       m.rejected,
-		SweepCancelled: m.sweepCancelled,
+		Requests:         make(map[string]uint64, len(m.requests)),
+		CoalesceRuns:     m.coalesceRuns,
+		CoalesceHits:     m.coalesceHits,
+		Rejected:         m.rejected,
+		SweepCancelled:   m.sweepCancelled,
+		SessionsOpen:     ss.open,
+		SessionsCreated:  ss.created,
+		SessionsEvicted:  ss.evicted,
+		SessionsRejected: ss.rejected,
+		SessionDecisions: m.decisions,
 	}
 	for k, v := range m.requests {
 		s.Requests[k] = v
@@ -124,7 +143,7 @@ func (m *metrics) snapshot() Snapshot {
 // writeTo renders the counters in the Prometheus text exposition format,
 // with deterministic (sorted) series order. cacheStats carries the engine
 // cache's counters when the engine has a cache.
-func (m *metrics) writeTo(w io.Writer, cacheStats engine.CacheStats, hasCache bool) {
+func (m *metrics) writeTo(w io.Writer, cacheStats engine.CacheStats, hasCache bool, ss sessionStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -165,6 +184,11 @@ func (m *metrics) writeTo(w io.Writer, cacheStats engine.CacheStats, hasCache bo
 	counter("chkpt_coalesce_hits_total", "Requests served by joining another request's evaluation.", m.coalesceHits)
 	counter("chkpt_admission_rejected_total", "Requests shed by the admission queue (429).", m.rejected)
 	counter("chkpt_sweep_cancelled_total", "Sweeps terminated by client cancellation.", m.sweepCancelled)
+	counter("chkpt_sessions_created_total", "Advisor sessions created.", ss.created)
+	counter("chkpt_sessions_evicted_total", "Advisor sessions reclaimed by TTL expiry.", ss.evicted)
+	counter("chkpt_sessions_rejected_total", "Session creations refused by the store capacity bound (429).", ss.rejected)
+	counter("chkpt_session_decisions_total", "Advisor decisions served over /v1/sessions.", m.decisions)
+	fmt.Fprintf(w, "# HELP chkpt_sessions_open Live advisor sessions.\n# TYPE chkpt_sessions_open gauge\nchkpt_sessions_open %d\n", ss.open)
 
 	if hasCache {
 		counter("chkpt_engine_cache_hits_total", "Engine artifact cache hits.", cacheStats.Hits)

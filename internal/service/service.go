@@ -5,6 +5,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/engine"
@@ -30,6 +31,16 @@ type Config struct {
 	// admission to completion. Zero means 2 minutes; negative disables the
 	// timeout.
 	RequestTimeout time.Duration
+	// SessionTTL bounds how long an untouched advisor session stays live;
+	// every request for a session slides its window. Zero means 15
+	// minutes.
+	SessionTTL time.Duration
+	// MaxSessions bounds the live session store; creations beyond it (with
+	// nothing expired to reclaim) answer 429. Zero means 1024.
+	MaxSessions int
+	// Version is the build identification reported by /healthz. Empty
+	// means "dev".
+	Version string
 	// Logger receives structured access logs. Nil means text logs on
 	// stderr.
 	Logger *slog.Logger
@@ -42,6 +53,8 @@ type Server struct {
 	adm     *admission
 	coal    *coalescer
 	met     *metrics
+	store   *sessionStore
+	version string
 	log     *slog.Logger
 	timeout time.Duration
 	handler http.Handler
@@ -72,6 +85,18 @@ func New(cfg Config) *Server {
 	if timeout == 0 {
 		timeout = 2 * time.Minute
 	}
+	ttl := cfg.SessionTTL
+	if ttl <= 0 {
+		ttl = 15 * time.Minute
+	}
+	maxSessions := cfg.MaxSessions
+	if maxSessions <= 0 {
+		maxSessions = 1024
+	}
+	version := cfg.Version
+	if version == "" {
+		version = "dev"
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -81,6 +106,8 @@ func New(cfg Config) *Server {
 		adm:     newAdmission(conc, depth),
 		coal:    newCoalescer(),
 		met:     newMetrics(),
+		store:   newSessionStore(ttl, maxSessions),
+		version: version,
 		log:     logger,
 		timeout: timeout,
 	}
@@ -92,6 +119,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/recommend", s.handleRecommend)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleSessionEvents)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.handler = s.instrument(mux)
 	return s
 }
@@ -101,7 +132,7 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler { return s.handler }
 
 // Metrics returns a point-in-time snapshot of the server's counters.
-func (s *Server) Metrics() Snapshot { return s.met.snapshot() }
+func (s *Server) Metrics() Snapshot { return s.met.snapshot(s.store.stats()) }
 
 // runContext returns the context a coalesced evaluation executes under:
 // bounded by the request timeout but detached from any single client, so
@@ -156,8 +187,15 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 // without limit.
 func metricsPath(path string) string {
 	switch path {
-	case "/healthz", "/metrics", "/v1/evaluate", "/v1/sweep", "/v1/recommend", "/v1/registry":
+	case "/healthz", "/metrics", "/v1/evaluate", "/v1/sweep", "/v1/recommend", "/v1/registry", "/v1/sessions":
 		return path
+	}
+	// Session ids are per-client random: collapse them into two series.
+	if strings.HasPrefix(path, "/v1/sessions/") {
+		if strings.HasSuffix(path, "/events") {
+			return "/v1/sessions/{id}/events"
+		}
+		return "/v1/sessions/{id}"
 	}
 	return "other"
 }

@@ -1,0 +1,215 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/spec"
+)
+
+// SessionState is the observable state of a live session, embedded in
+// every session response.
+type SessionState struct {
+	Policy    string  `json:"policy"`
+	Now       float64 `json:"now"`
+	Remaining float64 `json:"remaining"`
+	Failures  int     `json:"failures,omitempty"`
+	Outage    bool    `json:"outage,omitempty"`
+	Done      bool    `json:"done,omitempty"`
+}
+
+// SessionResponse answers session creation and state reads. Decision is
+// present whenever the platform is up (an outage has no decision until
+// its recovered event arrives).
+type SessionResponse struct {
+	ID        string            `json:"id"`
+	Name      string            `json:"name,omitempty"`
+	ExpiresAt time.Time         `json:"expiresAt"`
+	State     SessionState      `json:"state"`
+	Decision  *advisor.Decision `json:"decision,omitempty"`
+}
+
+// SessionEventsRequest is the POST /v1/sessions/{id}/events payload: a
+// batch of events applied in order.
+type SessionEventsRequest struct {
+	Events []advisor.Event `json:"events"`
+}
+
+// SessionEventsResponse reports how much of a batch applied and the
+// decision that now stands. On a rejected event the response is a 400
+// whose body still carries Applied: everything before the bad event is
+// applied and stays applied (the advisor rejects atomically per event,
+// not per batch).
+type SessionEventsResponse struct {
+	ID       string            `json:"id"`
+	Applied  int               `json:"applied"`
+	State    SessionState      `json:"state"`
+	Decision *advisor.Decision `json:"decision,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+// sessionState snapshots a session. Callers hold the liveSession mutex.
+func sessionState(s *advisor.Session) SessionState {
+	return SessionState{
+		Policy:    s.PolicyName(),
+		Now:       s.Now(),
+		Remaining: s.Remaining(),
+		Failures:  s.Failures(),
+		Outage:    s.InOutage(),
+		Done:      s.Done(),
+	}
+}
+
+// advise asks the session for its standing decision, counting every
+// decision actually served. During an outage there is none (nil).
+func (s *Server) advise(sess *advisor.Session) *advisor.Decision {
+	if sess.InOutage() {
+		return nil
+	}
+	d, err := sess.Advise()
+	if err != nil {
+		return nil
+	}
+	s.met.sessionDecision()
+	return &d
+}
+
+// handleSessionCreate compiles a session spec and stores a live session.
+// Compilation can build DP planners, so it runs inside the same admission
+// bulkhead as evaluations; the store itself enforces the session-count
+// bound (full store → 429, like the queue).
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	ss, err := spec.DecodeSession(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, decodeStatus(err), err)
+		return
+	}
+	// Shed a full store before compiling: DP-planner specs pay a real
+	// solve in CompileAdvisor, which a doomed creation must not burn.
+	if s.store.full() {
+		writeError(w, http.StatusTooManyRequests, errSessionsFull)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if err := s.adm.acquire(ctx); err != nil {
+		if errors.Is(err, errOverload) {
+			s.met.reject()
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	adv, err := spec.CompileAdvisor(ctx, s.eng, ss)
+	s.adm.release()
+	if err != nil {
+		// Compilation failures are configuration mistakes: unknown names,
+		// infeasible geometry, unschedulable policies.
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := adv.NewSession()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ls, expires, err := s.store.create(ss.Name, sess)
+	if err != nil {
+		if errors.Is(err, errSessionsFull) {
+			// Counted by the store (chkpt_sessions_rejected_total), not as
+			// an admission-queue shed.
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	ls.mu.Lock()
+	resp := &SessionResponse{
+		ID:        ls.id,
+		Name:      ls.name,
+		ExpiresAt: expires,
+		State:     sessionState(ls.sess),
+		Decision:  s.advise(ls.sess),
+	}
+	ls.mu.Unlock()
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// errSessionNotFound is the 404 body for unknown or expired ids.
+func errSessionNotFound(id string) error {
+	return fmt.Errorf("service: no live session %q (unknown, expired or deleted)", id)
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ls, expires, ok := s.store.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errSessionNotFound(id))
+		return
+	}
+	ls.mu.Lock()
+	resp := &SessionResponse{
+		ID:        ls.id,
+		Name:      ls.name,
+		ExpiresAt: expires,
+		State:     sessionState(ls.sess),
+		Decision:  s.advise(ls.sess),
+	}
+	ls.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req SessionEventsRequest
+	if err := decodeStrictJSON(w, r, &req); err != nil {
+		writeError(w, decodeStatus(err), err)
+		return
+	}
+	if len(req.Events) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("service: event batch is empty"))
+		return
+	}
+	ls, _, ok := s.store.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errSessionNotFound(id))
+		return
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	resp := &SessionEventsResponse{ID: ls.id}
+	for _, ev := range req.Events {
+		if err := ls.sess.Observe(ev); err != nil {
+			// Typed advisor validation error: the batch stops here, the
+			// prefix stays applied, and the client learns exactly which
+			// constraint the event violated.
+			resp.State = sessionState(ls.sess)
+			resp.Error = err.Error()
+			writeJSON(w, http.StatusBadRequest, resp)
+			return
+		}
+		resp.Applied++
+	}
+	resp.State = sessionState(ls.sess)
+	resp.Decision = s.advise(ls.sess)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.store.delete(id) {
+		writeError(w, http.StatusNotFound, errSessionNotFound(id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// decodeStrictJSON strict-decodes a small JSON request body.
+func decodeStrictJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	return spec.DecodeStrict(http.MaxBytesReader(w, r.Body, maxSpecBytes), v)
+}

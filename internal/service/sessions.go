@@ -1,0 +1,167 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/advisor"
+)
+
+// errSessionsFull reports that the bounded session store is at capacity
+// with no expired session to reclaim; the handler maps it to 429 +
+// Retry-After, like the admission queue.
+var errSessionsFull = errors.New("service: session store full")
+
+// liveSession is one stored advisor session. Its mutex serializes event
+// application and advising: advisor.Session is not goroutine-safe, and
+// two concurrent event batches for the same id must apply in some total
+// order. The expiry deadline is store state, guarded by the store mutex
+// (get slides it concurrently with handlers holding only mu), so
+// create/get hand handlers a snapshot instead of exposing the field.
+type liveSession struct {
+	mu      sync.Mutex
+	id      string
+	name    string
+	sess    *advisor.Session
+	expires time.Time // guarded by sessionStore.mu, not mu
+}
+
+// sessionStats is a point-in-time snapshot of the store's counters.
+type sessionStats struct {
+	open     int
+	created  uint64
+	evicted  uint64 // TTL expiries reclaimed
+	rejected uint64 // creations refused at capacity
+}
+
+// sessionStore is the bounded TTL store behind /v1/sessions. Sessions
+// expire ttl after their last touch (sliding window); expired entries are
+// reclaimed lazily — on lookup, and wholesale when a creation finds the
+// store full. A full store with nothing expired rejects the creation:
+// shedding new sessions beats silently killing live ones.
+type sessionStore struct {
+	mu   sync.Mutex
+	byID map[string]*liveSession
+	ttl  time.Duration
+	cap  int
+	now  func() time.Time // injectable clock for the expiry tests
+
+	created  uint64
+	evicted  uint64
+	rejected uint64
+}
+
+func newSessionStore(ttl time.Duration, capacity int) *sessionStore {
+	return &sessionStore{
+		byID: map[string]*liveSession{},
+		ttl:  ttl,
+		cap:  capacity,
+		now:  time.Now,
+	}
+}
+
+// sweepLocked reclaims every expired session. Callers hold st.mu.
+func (st *sessionStore) sweepLocked(now time.Time) {
+	for id, ls := range st.byID {
+		if now.After(ls.expires) {
+			delete(st.byID, id)
+			st.evicted++
+		}
+	}
+}
+
+// full reports whether the store is at capacity after reclaiming
+// expired sessions — the cheap advisory check the create handler runs
+// before paying for a spec compile. The authoritative check stays in
+// create (a racing creation can still fill the store in between).
+func (st *sessionStore) full() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.byID) >= st.cap {
+		st.sweepLocked(st.now())
+	}
+	if len(st.byID) >= st.cap {
+		st.rejected++
+		return true
+	}
+	return false
+}
+
+// create stores a new session under a fresh id, returning it with its
+// expiry deadline.
+func (st *sessionStore) create(name string, sess *advisor.Session) (*liveSession, time.Time, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := st.now()
+	if len(st.byID) >= st.cap {
+		st.sweepLocked(now)
+	}
+	if len(st.byID) >= st.cap {
+		st.rejected++
+		return nil, time.Time{}, errSessionsFull
+	}
+	var raw [16]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return nil, time.Time{}, err
+	}
+	ls := &liveSession{
+		id:      hex.EncodeToString(raw[:]),
+		name:    name,
+		sess:    sess,
+		expires: now.Add(st.ttl),
+	}
+	st.byID[ls.id] = ls
+	st.created++
+	return ls, ls.expires, nil
+}
+
+// get returns the live session and slides its expiry window, reporting
+// the new deadline. An expired session is reclaimed and reported
+// missing.
+func (st *sessionStore) get(id string) (*liveSession, time.Time, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ls, ok := st.byID[id]
+	if !ok {
+		return nil, time.Time{}, false
+	}
+	now := st.now()
+	if now.After(ls.expires) {
+		delete(st.byID, id)
+		st.evicted++
+		return nil, time.Time{}, false
+	}
+	ls.expires = now.Add(st.ttl)
+	return ls, ls.expires, true
+}
+
+// delete removes a session, reporting whether it existed (expired
+// sessions count as gone).
+func (st *sessionStore) delete(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ls, ok := st.byID[id]
+	if !ok {
+		return false
+	}
+	delete(st.byID, id)
+	if st.now().After(ls.expires) {
+		st.evicted++
+		return false
+	}
+	return true
+}
+
+func (st *sessionStore) stats() sessionStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return sessionStats{
+		open:     len(st.byID),
+		created:  st.created,
+		evicted:  st.evicted,
+		rejected: st.rejected,
+	}
+}

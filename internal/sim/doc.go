@@ -31,6 +31,14 @@
 // structures (DP tables, planners) live in repro/internal/policy and are
 // safe for concurrent runs of the experiment engine.
 //
+// The decision loop itself lives in repro/internal/advisor: Run builds an
+// advisor.Session around the policy and replays the failure trace into
+// it, keeping only the trace walking and the time accounting here (the
+// Job/State/Policy types are aliases of the advisor's). RunSession runs
+// the same loop over a caller-built session — instrumented or pre-seeded
+// (PrereleaseHistory) — which is how the equivalence between the online
+// API and the paper's batch evaluation is regression-tested.
+//
 // Run, LowerBound and RunReplicated take a context.Context and poll it
 // every few hundred decision-loop iterations: cancellation or deadline
 // expiry aborts the walk promptly with ctx.Err(), and an uncancelled

@@ -2,9 +2,11 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/advisor"
 	"repro/internal/trace"
 )
 
@@ -14,85 +16,29 @@ import (
 // context costs nothing measurable per run.
 const ctxCheckEvery = 256
 
-// Job describes one simulation instance. All durations are in seconds of
-// simulated time; Work is the failure-free execution time W(p) of the job
-// on the enrolled units.
-type Job struct {
-	Work  float64 // W(p): total work to execute
-	C     float64 // checkpoint cost C(p)
-	R     float64 // recovery cost R(p)
-	D     float64 // downtime of a failed unit
-	Units int     // number of enrolled failure units
-	Start float64 // job release date within the trace (the paper uses 1 year)
-}
-
-// Validate reports whether the job parameters are usable.
-func (j *Job) Validate() error {
-	switch {
-	case !(j.Work > 0):
-		return fmt.Errorf("sim: non-positive work %v", j.Work)
-	case j.C < 0 || j.R < 0 || j.D < 0:
-		return fmt.Errorf("sim: negative overhead C=%v R=%v D=%v", j.C, j.R, j.D)
-	case j.Units <= 0:
-		return fmt.Errorf("sim: non-positive unit count %d", j.Units)
-	case j.Start < 0:
-		return fmt.Errorf("sim: negative start %v", j.Start)
-	}
-	return nil
-}
-
-// State is the information available to a checkpointing policy at a
-// decision point (after the initial release, a committed chunk, or a
-// completed recovery).
-type State struct {
-	Job       *Job
-	Now       float64 // absolute simulated time
-	Remaining float64 // work not yet committed to a checkpoint
-	Failures  int     // failures observed so far during this run
-
-	// LastRenewal[u] is the absolute time at which unit u last began a
-	// lifetime: 0 if it never failed, otherwise failure time + D (§2.1: a
-	// unit starts a fresh lifetime at the beginning of the recovery
-	// period). Policies must treat it as read-only.
-	LastRenewal []float64
-
-	// FailedUnits lists the distinct units that have failed at least once,
-	// in first-failure order. Units not listed have LastRenewal 0, i.e.
-	// their age is simply Now. This lets policies on million-unit
-	// platforms build their state in O(#failed) instead of O(#units).
-	FailedUnits []int32
-}
-
-// Tau returns the time elapsed since unit u's last renewal.
-func (s *State) Tau(u int) float64 { return s.Now - s.LastRenewal[u] }
-
-// Policy decides the size of the next chunk to execute before
-// checkpointing.
-type Policy interface {
-	// Name returns the policy's display name.
-	Name() string
-	// Start is invoked once per run before the first decision. It returns
-	// an error when the policy cannot produce a meaningful schedule for
-	// the job (e.g. Liu's frequency function yielding intervals shorter
-	// than C, see §5.2.2 footnote 2).
-	Start(job *Job) error
-	// NextChunk returns the amount of work to attempt before the next
-	// checkpoint, in (0, s.Remaining]. The simulator clamps out-of-range
-	// values defensively.
-	NextChunk(s *State) float64
-}
-
-// FailureObserver is implemented by policies that need to know when a
-// failure occurred (e.g. to invalidate a planned chunk sequence).
-type FailureObserver interface {
-	OnFailure(s *State)
-}
-
-// CommitObserver is implemented by policies that track successfully
-// committed chunks (e.g. to walk a precomputed DP table).
-type CommitObserver interface {
-	OnChunkCommitted(s *State, chunk float64)
-}
+// The decision contract — job, policy-visible state, the Policy interface
+// and its observer callbacks — lives in internal/advisor since the online
+// session API was extracted from this simulator. The aliases keep the
+// simulator's historical surface: policies are written against either
+// package interchangeably.
+type (
+	// Job describes one simulation instance. All durations are in seconds
+	// of simulated time; Work is the failure-free execution time W(p) of
+	// the job on the enrolled units.
+	Job = advisor.Job
+	// State is the information available to a checkpointing policy at a
+	// decision point.
+	State = advisor.State
+	// Policy decides the size of the next chunk to execute before
+	// checkpointing.
+	Policy = advisor.Policy
+	// FailureObserver is implemented by policies that need to know when a
+	// failure occurred.
+	FailureObserver = advisor.FailureObserver
+	// CommitObserver is implemented by policies that track successfully
+	// committed chunks.
+	CommitObserver = advisor.CommitObserver
+)
 
 // Result aggregates one simulated run. The time components partition the
 // makespan exactly:
@@ -119,34 +65,87 @@ type Result struct {
 // The context bounds the simulation: cancellation or deadline expiry stops
 // the decision loop promptly and returns ctx.Err(). An uncancelled context
 // never changes the result.
+//
+// Run is a client of the online advisor API: it builds an
+// advisor.Session around the policy and replays the trace into it —
+// every decision comes from Session.Advise and every commit, failure and
+// recovery is fed back through Session.Observe. The simulator owns only
+// the trace walking and the time accounting.
 func Run(ctx context.Context, job *Job, pol Policy, ts *trace.Set) (Result, error) {
-	if err := job.Validate(); err != nil {
+	if err := validateRun(job, ts); err != nil {
 		return Result{}, err
 	}
-	if len(ts.Units) < job.Units {
-		return Result{}, fmt.Errorf("sim: trace has %d units, job needs %d", len(ts.Units), job.Units)
-	}
-	if err := pol.Start(job); err != nil {
-		return Result{}, fmt.Errorf("sim: policy %s cannot start: %w", pol.Name(), err)
-	}
-
 	r := newRun(job, ts)
-	fo, _ := pol.(FailureObserver)
-	co, _ := pol.(CommitObserver)
+	sess, err := advisor.NewSession(advisor.Config{Job: job, Policy: pol, History: r.history})
+	if err != nil {
+		var se *advisor.StartError
+		if errors.As(err, &se) {
+			// The simulator's historical error shape for unschedulable
+			// policies.
+			return Result{}, fmt.Errorf("sim: policy %s cannot start: %w", se.Policy, se.Err)
+		}
+		return Result{}, err
+	}
+	return r.drive(ctx, sess)
+}
 
-	// Work smaller than workEps is considered done; protects against
-	// floating-point residue from repeated subtraction.
-	workEps := 1e-9 * job.Work
+// RunSession simulates the failure trace against a caller-built advisor
+// session: the session supplies every decision and absorbs every event,
+// so a pre-seeded or instrumented session (telemetry taps, recorded
+// replays) runs under exactly the simulator semantics of Run. The session
+// must be fresh and consistent with the trace: its clock must sit at the
+// job release adjusted for the trace's pre-release downtime — build it
+// with PrereleaseHistory — and nothing may have been observed yet.
+func RunSession(ctx context.Context, job *Job, sess *advisor.Session, ts *trace.Set) (Result, error) {
+	if err := validateRun(job, ts); err != nil {
+		return Result{}, err
+	}
+	r := newRun(job, ts)
+	if sess.Now() != r.now || sess.Remaining() != job.Work || sess.InOutage() {
+		return Result{}, fmt.Errorf("sim: session state (now=%v remaining=%v outage=%v) does not match a fresh run of the trace (now=%v remaining=%v)",
+			sess.Now(), sess.Remaining(), sess.InOutage(), r.now, job.Work)
+	}
+	return r.drive(ctx, sess)
+}
 
-	for iter := 0; r.state.Remaining > workEps; iter++ {
+// PrereleaseHistory extracts the failures that precede the job release
+// from the trace, in chronological order — the History a session needs to
+// start bit-identically to Run on the same trace.
+func PrereleaseHistory(job *Job, ts *trace.Set) []advisor.PastFailure {
+	r := newRun(job, ts)
+	return r.history
+}
+
+// validateRun checks the (job, trace) pair like Run always has.
+func validateRun(job *Job, ts *trace.Set) error {
+	if err := job.Validate(); err != nil {
+		return err
+	}
+	if len(ts.Units) < job.Units {
+		return fmt.Errorf("sim: trace has %d units, job needs %d", len(ts.Units), job.Units)
+	}
+	return nil
+}
+
+// drive is the simulation loop: decisions from the session, failures from
+// the trace, accounting in the run.
+func (r *run) drive(ctx context.Context, sess *advisor.Session) (Result, error) {
+	job := r.job
+	for iter := 0; ; iter++ {
 		if iter%ctxCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				return Result{}, err
 			}
 		}
-		chunk := pol.NextChunk(&r.state)
-		chunk = r.clampChunk(pol, chunk)
-		end := r.state.Now + chunk + job.C
+		d, err := sess.Advise()
+		if err != nil {
+			return Result{}, err
+		}
+		if d.Done {
+			break
+		}
+		chunk := d.Chunk
+		end := r.now + chunk + job.C
 		ev, ok := r.nextFailureBefore(end)
 		if !ok {
 			// Chunk and checkpoint commit.
@@ -154,29 +153,34 @@ func Run(ctx context.Context, job *Job, pol Policy, ts *trace.Set) (Result, erro
 			r.res.CheckpointTime += job.C
 			r.res.Checkpoints++
 			r.res.Chunks++
-			r.state.Remaining -= chunk
-			r.state.Now = end
-			if co != nil {
-				co.OnChunkCommitted(&r.state, chunk)
+			r.now = end
+			if err := sess.Observe(advisor.Event{Kind: advisor.EventCheckpointed, Time: end, Work: chunk}); err != nil {
+				return Result{}, err
 			}
 			continue
 		}
 		// Failure strikes during the chunk or its checkpoint.
-		r.res.LostTime += ev.Time - r.state.Now
-		r.state.Now = ev.Time
-		r.recordFailure(ev)
-		r.settleOutage()
-		if fo != nil {
-			fo.OnFailure(&r.state)
+		r.res.LostTime += ev.Time - r.now
+		r.now = ev.Time
+		if err := r.recordFailure(sess, ev); err != nil {
+			return Result{}, err
+		}
+		if err := r.settleOutage(sess); err != nil {
+			return Result{}, err
+		}
+		if err := sess.Observe(advisor.Event{Kind: advisor.EventRecovered, Time: r.now}); err != nil {
+			return Result{}, err
 		}
 	}
-	r.state.Remaining = 0
-	r.res.Makespan = r.state.Now - job.Start
-	r.res.HorizonExceeded = r.state.Now > ts.Horizon
+	r.res.Makespan = r.now - job.Start
+	r.res.HorizonExceeded = r.now > r.ts.Horizon
 	return r.res, nil
 }
 
-// run carries the mutable simulation state shared by Run and LowerBound.
+// run carries the trace-walking state shared by Run and LowerBound: the
+// failure cursor, the downtime barrier and the time accounting. The
+// policy-visible state (renewal ages, failure counts) lives in the
+// advisor session Run drives; LowerBound needs none of it.
 type run struct {
 	job    *Job
 	ts     *trace.Set
@@ -185,57 +189,55 @@ type run struct {
 	// barrier is the earliest time at which all units are simultaneously
 	// up: the max over all processed failures of failureTime + D. It is
 	// monotone, so a single scalar suffices even for millions of units.
-	barrier float64
-	state   State
-	res     Result
+	barrier   float64
+	now       float64
+	remaining float64 // tracked for LowerBound's walk; Run follows the session
+	history   []advisor.PastFailure
+	res       Result
 }
 
 func newRun(job *Job, ts *trace.Set) *run {
 	r := &run{
-		job:    job,
-		ts:     ts,
-		events: ts.MergedEvents(job.Units),
-	}
-	r.state = State{
-		Job:         job,
-		Now:         job.Start,
-		Remaining:   job.Work,
-		LastRenewal: make([]float64, job.Units),
+		job:       job,
+		ts:        ts,
+		events:    ts.MergedEvents(job.Units),
+		now:       job.Start,
+		remaining: job.Work,
 	}
 	// Process failures that occurred before the release date: they set the
-	// units' renewal times (and possibly an initial outage barrier).
+	// units' renewal times (via the session history) and possibly an
+	// initial outage barrier.
 	for r.evIdx < len(r.events) && r.events[r.evIdx].Time < job.Start {
 		ev := r.events[r.evIdx]
 		r.evIdx++
 		r.markFailed(ev)
+		r.history = append(r.history, advisor.PastFailure{Unit: int(ev.Unit), Time: ev.Time})
 	}
 	// If a unit is still down at release, wait for the platform.
-	if r.barrier > r.state.Now {
-		r.res.WaitTime += r.barrier - r.state.Now
-		r.state.Now = r.barrier
+	if r.barrier > r.now {
+		r.res.WaitTime += r.barrier - r.now
+		r.now = r.barrier
 	}
 	return r
 }
 
-// markFailed updates renewal bookkeeping for a failure event without
-// counting it against the run (used for pre-release failures).
+// markFailed advances the downtime barrier for a failure event.
 func (r *run) markFailed(ev trace.Event) {
-	if r.state.LastRenewal[ev.Unit] == 0 {
-		r.state.FailedUnits = append(r.state.FailedUnits, ev.Unit)
-	}
-	up := ev.Time + r.job.D
-	r.state.LastRenewal[ev.Unit] = up
-	if up > r.barrier {
+	if up := ev.Time + r.job.D; up > r.barrier {
 		r.barrier = up
 	}
 }
 
-// recordFailure counts and books an in-run failure.
-func (r *run) recordFailure(ev trace.Event) {
+// recordFailure counts and books an in-run failure, forwarding it to the
+// session when one is attached (Run; LowerBound passes nil).
+func (r *run) recordFailure(sess *advisor.Session, ev trace.Event) error {
 	r.res.Failures++
-	r.state.Failures++
 	r.markFailed(ev)
 	r.evIdx++ // the event is consumed
+	if sess != nil {
+		return sess.Observe(advisor.Event{Kind: advisor.EventFailure, Time: ev.Time, Unit: int(ev.Unit)})
+	}
+	return nil
 }
 
 // nextFailureBefore returns the earliest unconsumed failure event strictly
@@ -255,7 +257,7 @@ func (r *run) nextFailureBefore(t float64) (trace.Event, bool) {
 // during the wait extend it), then attempt an uninterrupted recovery of
 // length R, restarting the whole resolution if a failure strikes
 // mid-recovery. On return the platform has a freshly restored checkpoint.
-func (r *run) settleOutage() {
+func (r *run) settleOutage(sess *advisor.Session) error {
 	for {
 		// Wait for the downtime barrier, absorbing failures that land
 		// inside the waiting interval.
@@ -264,46 +266,32 @@ func (r *run) settleOutage() {
 			if !ok {
 				break
 			}
-			r.res.WaitTime += ev.Time - r.state.Now
-			r.state.Now = ev.Time
-			r.recordFailure(ev)
+			r.res.WaitTime += ev.Time - r.now
+			r.now = ev.Time
+			if err := r.recordFailure(sess, ev); err != nil {
+				return err
+			}
 		}
-		if r.barrier > r.state.Now {
-			r.res.WaitTime += r.barrier - r.state.Now
-			r.state.Now = r.barrier
+		if r.barrier > r.now {
+			r.res.WaitTime += r.barrier - r.now
+			r.now = r.barrier
 		}
 		// Attempt the recovery.
-		recEnd := r.state.Now + r.job.R
+		recEnd := r.now + r.job.R
 		ev, ok := r.nextFailureBefore(recEnd)
 		if !ok {
 			r.res.RecoveryTime += r.job.R
 			r.res.Recoveries++
-			r.state.Now = recEnd
-			return
+			r.now = recEnd
+			return nil
 		}
 		// Recovery interrupted; the partial recovery is lost time.
-		r.res.LostTime += ev.Time - r.state.Now
-		r.state.Now = ev.Time
-		r.recordFailure(ev)
+		r.res.LostTime += ev.Time - r.now
+		r.now = ev.Time
+		if err := r.recordFailure(sess, ev); err != nil {
+			return err
+		}
 	}
-}
-
-// clampChunk sanitizes a policy decision.
-func (r *run) clampChunk(pol Policy, chunk float64) float64 {
-	if math.IsNaN(chunk) {
-		panic(fmt.Sprintf("sim: policy %s returned NaN chunk", pol.Name()))
-	}
-	minChunk := 1e-9 * r.job.Work
-	if minChunk <= 0 {
-		minChunk = 1e-9
-	}
-	if chunk < minChunk {
-		chunk = minChunk
-	}
-	if chunk > r.state.Remaining {
-		chunk = r.state.Remaining
-	}
-	return chunk
 }
 
 // LowerBound simulates the omniscient policy of §4.1: it knows every
@@ -313,14 +301,11 @@ func (r *run) clampChunk(pol Policy, chunk float64) float64 {
 // bound idles until the failure. Its makespan lower-bounds every policy on
 // the same trace. The context cancels the walk like Run's.
 func LowerBound(ctx context.Context, job *Job, ts *trace.Set) (Result, error) {
-	if err := job.Validate(); err != nil {
+	if err := validateRun(job, ts); err != nil {
 		return Result{}, err
 	}
-	if len(ts.Units) < job.Units {
-		return Result{}, fmt.Errorf("sim: trace has %d units, job needs %d", len(ts.Units), job.Units)
-	}
 	r := newRun(job, ts)
-	for iter := 0; r.state.Remaining > 1e-9*job.Work; iter++ {
+	for iter := 0; r.remaining > 1e-9*job.Work; iter++ {
 		if iter%ctxCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				return Result{}, err
@@ -332,41 +317,43 @@ func LowerBound(ctx context.Context, job *Job, ts *trace.Set) (Result, error) {
 			ev, ok = r.events[r.evIdx], true
 		}
 		if ok {
-			window = ev.Time - r.state.Now
+			window = ev.Time - r.now
 		} else {
 			window = math.Inf(1)
 		}
-		if r.state.Remaining <= window {
+		if r.remaining <= window {
 			// Finish before the next failure; no final checkpoint.
-			r.res.WorkTime += r.state.Remaining
-			r.state.Now += r.state.Remaining
-			r.state.Remaining = 0
+			r.res.WorkTime += r.remaining
+			r.now += r.remaining
+			r.remaining = 0
 			break
 		}
 		// Work as much as the window allows, checkpoint just in time.
 		useful := window - job.C
 		if useful > 0 {
-			if useful > r.state.Remaining {
-				useful = r.state.Remaining
+			if useful > r.remaining {
+				useful = r.remaining
 			}
 			r.res.WorkTime += useful
 			r.res.CheckpointTime += job.C
 			r.res.Checkpoints++
 			r.res.Chunks++
-			r.state.Remaining -= useful
+			r.remaining -= useful
 			// Any slack between checkpoint end and the failure is waiting.
 			r.res.WaitTime += window - useful - job.C
 		} else {
 			// The window cannot even fit a checkpoint: idle through it.
 			r.res.WaitTime += window
 		}
-		r.state.Now = ev.Time
-		r.recordFailure(ev)
-		r.settleOutage()
+		r.now = ev.Time
+		if err := r.recordFailure(nil, ev); err != nil {
+			return Result{}, err
+		}
+		r.settleOutage(nil) //nolint:errcheck // no session: cannot fail
 	}
-	r.state.Remaining = 0
-	r.res.Makespan = r.state.Now - job.Start
-	r.res.HorizonExceeded = r.state.Now > ts.Horizon
+	r.remaining = 0
+	r.res.Makespan = r.now - job.Start
+	r.res.HorizonExceeded = r.now > ts.Horizon
 	return r.res, nil
 }
 

@@ -1,0 +1,108 @@
+package spec
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/advisor"
+	"repro/internal/engine"
+)
+
+// SessionSpec is the declarative form of an online advisor session: the
+// scenario supplying the job geometry and failure law, plus the one
+// policy that will advise it. It is the document POST /v1/sessions
+// accepts.
+//
+// Because a live session replays real events instead of generated
+// traces, the scenario's trace-only fields are optional here: an unset
+// Traces defaults to 1 and an unset Horizon to unbounded. Everything
+// else is validated exactly like an experiment scenario.
+type SessionSpec struct {
+	// Name labels the session in logs and errors.
+	Name string `json:"name,omitempty"`
+	// Scenario is the platform/law/job configuration to advise.
+	Scenario ScenarioSpec `json:"scenario"`
+	// Policy is the advising policy (any registered kind).
+	Policy PolicySpec `json:"policy"`
+}
+
+// Validate checks the statically checkable structure: a registered
+// policy kind with valid parameters. Scenario problems surface when the
+// spec compiles.
+func (ss *SessionSpec) Validate() error {
+	if !policyKindRegistered(ss.Policy.Kind) {
+		return fmt.Errorf("spec: unknown policy kind %q (have: %v)", ss.Policy.Kind, PolicyKinds())
+	}
+	if ss.Policy.Kind == "period" && !(ss.Policy.Period > 0) {
+		return fmt.Errorf("spec: period policy needs a positive period, got %v", ss.Policy.Period)
+	}
+	return nil
+}
+
+// DecodeSession reads and validates a session spec (strict JSON: unknown
+// fields are errors).
+func DecodeSession(r io.Reader) (*SessionSpec, error) {
+	var ss SessionSpec
+	if err := decodeStrict(r, &ss); err != nil {
+		return nil, err
+	}
+	if err := ss.Validate(); err != nil {
+		return nil, err
+	}
+	return &ss, nil
+}
+
+// EncodeSession writes the session spec in its canonical indented form.
+func EncodeSession(w io.Writer, ss *SessionSpec) error {
+	if err := ss.Validate(); err != nil {
+		return err
+	}
+	return encodeIndent(w, ss)
+}
+
+// CompileAdvisor compiles a session spec into an advisor: the scenario
+// compiles to its job geometry and the policy compiles through the same
+// registry (and engine cache) as the batch experiments, so every
+// registered policy kind — including user-registered ones — can drive an
+// online session, sharing planners with concurrently running
+// evaluations. A policy that cannot schedule the scenario (a skipped
+// candidate in batch runs) is an error here: a session cannot silently
+// skip its only policy.
+func CompileAdvisor(ctx context.Context, eng *engine.Engine, ss *SessionSpec) (*advisor.Advisor, error) {
+	if eng == nil {
+		eng = engine.Default()
+	}
+	if err := ss.Validate(); err != nil {
+		return nil, err
+	}
+	// Live sessions have no generated traces: default the trace-only
+	// scenario fields instead of forcing callers to invent them.
+	scSpec := ss.Scenario
+	if scSpec.Name == "" {
+		scSpec.Name = ss.Name
+	}
+	if scSpec.Traces == 0 {
+		scSpec.Traces = 1
+	}
+	if scSpec.Horizon == 0 {
+		scSpec.Horizon = math.Inf(1)
+	}
+	sc, err := scSpec.Compile()
+	if err != nil {
+		return nil, err
+	}
+	d, err := sc.Derive()
+	if err != nil {
+		return nil, err
+	}
+	cand, err := ss.Policy.Candidate(ctx, PolicyEnv{Engine: eng, Scenario: sc, Derived: d})
+	if err != nil {
+		return nil, fmt.Errorf("spec: session %q: %w", ss.Name, err)
+	}
+	if cand.SkipReason != "" {
+		return nil, fmt.Errorf("spec: session %q: policy %s cannot schedule this scenario: %s", ss.Name, cand.Name, cand.SkipReason)
+	}
+	return advisor.NewAdvisor(d.Job(sc.Start), cand.Name, cand.New)
+}

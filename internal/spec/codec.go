@@ -38,6 +38,13 @@ func encodeIndent(w io.Writer, v any) error {
 	return err
 }
 
+// DecodeStrict decodes one JSON document into v with the spec layer's
+// strictness: unknown fields and trailing data are errors. It is the
+// decoding primitive behind every spec document, exported for layers
+// (the HTTP service) that apply the same contract to their own request
+// bodies.
+func DecodeStrict(r io.Reader, v any) error { return decodeStrict(r, v) }
+
 // DecodeExperiment reads and validates an experiment spec.
 func DecodeExperiment(r io.Reader) (*ExperimentSpec, error) {
 	var es ExperimentSpec

@@ -30,4 +30,9 @@
 // re-executed through -spec produces byte-identical output to the
 // flag-driven invocation, and the expansion order of grids is part of the
 // format — reordering axes is a breaking change.
+//
+// Beyond batch experiments, SessionSpec + CompileAdvisor compile a
+// (scenario, policy) pair into an online advisor (internal/advisor)
+// through the same policy registry and engine cache — the declarative
+// entry point behind the HTTP service's POST /v1/sessions.
 package spec

@@ -1,0 +1,69 @@
+package spec
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// FuzzDecodeExperiment hammers the strict decoder with arbitrary bytes:
+// it must never panic, and anything it accepts must survive the
+// declarative API's own contract — validate, expand deterministically,
+// and re-encode to a document that decodes back.
+func FuzzDecodeExperiment(f *testing.F) {
+	// The checked-in fixtures are the richest seeds available.
+	for _, fixture := range []string{
+		"../../cmd/chkpt-tables/testdata/table2.json",
+		"../../cmd/chkpt-figures/testdata/fig5.json",
+		"../../cmd/chkpt-sim/testdata/run.json",
+	} {
+		if b, err := os.ReadFile(fixture); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte(`{"name":"x","scenario":{"platform":{"preset":"oneproc"},"dist":{"family":"exponential"},"horizon":1e9,"traces":1},"candidates":{"standard":{"dpNextFailureQuanta":10}}}`))
+	f.Add([]byte(`{"name":"x","unknown":1}`))
+	f.Add([]byte(`{}[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		es, err := DecodeExperiment(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		cells, err := es.Expand()
+		if err != nil {
+			return
+		}
+		for i, c := range cells {
+			if c.Index != i {
+				t.Fatalf("cell %d carries index %d", i, c.Index)
+			}
+		}
+		var buf bytes.Buffer
+		if err := EncodeExperiment(&buf, es); err != nil {
+			t.Fatalf("accepted spec failed to encode: %v", err)
+		}
+		if _, err := DecodeExperiment(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v\n%s", err, buf.Bytes())
+		}
+	})
+}
+
+// FuzzDecodeSession is the same contract for the session documents the
+// HTTP service accepts on POST /v1/sessions.
+func FuzzDecodeSession(f *testing.F) {
+	f.Add([]byte(`{"name":"s","scenario":{"platform":{"preset":"oneproc"},"dist":{"family":"exponential"}},"policy":{"kind":"young"}}`))
+	f.Add([]byte(`{"policy":{"kind":"nope"}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ss, err := DecodeSession(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeSession(&buf, ss); err != nil {
+			t.Fatalf("accepted session spec failed to encode: %v", err)
+		}
+		if _, err := DecodeSession(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v\n%s", err, buf.Bytes())
+		}
+	})
+}
