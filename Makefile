@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench-smoke serve-smoke session-smoke fuzz-smoke spec-goldens spec-golden-check
+.PHONY: build test vet lint race bench-smoke bench-json serve-smoke session-smoke fuzz-smoke spec-goldens spec-golden-check
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,32 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Formatting, go vet, and the project's own analyzers (cmd/chkpt-vet):
+# determinism, ctxflow, errwrap, registry, nopanic. See
+# internal/analysis/doc.go for what each one guards and the
+# //chkpt:allow suppression syntax.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+	  echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/chkpt-vet ./...
+
 race:
 	$(GO) test -race ./...
 
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Machine-readable benchmark baseline for this PR: one real benchmark
+# pass piped through chkpt-benchjson into BENCH_$(PR).json. Bump PR=
+# per stacked PR; the prose interpretation stays in BENCH.md.
+PR ?= 6
+
+bench-json:
+	$(GO) test -run xxx -bench . -benchmem ./... | $(GO) run ./cmd/chkpt-benchjson -pr $(PR) > BENCH_$(PR).json
+	@echo "wrote BENCH_$(PR).json"
 
 # Boot chkpt-serve, wait for /healthz, assert one real /v1/recommend
 # evaluation answers 200 with non-empty JSON, then shut down cleanly

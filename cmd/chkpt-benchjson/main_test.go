@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/engine
+cpu: AMD EPYC 7763 64-Core Processor
+BenchmarkEngineTable2Row-8   	       3	 412345678 ns/op	 1234567 B/op	    8901 allocs/op
+BenchmarkCacheHit-8          	 1000000	      1234 ns/op	      56 B/op	       2 allocs/op
+PASS
+ok  	repro/internal/engine	2.345s
+pkg: repro/internal/advisor
+BenchmarkPeriodicAdvise-8    	30000000	        37.2 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/advisor	1.200s
+?   	repro/cmd/chkpt-sim	[no test files]
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Errorf("env = %q/%q, want linux/amd64", rep.Goos, rep.Goarch)
+	}
+	if !strings.Contains(rep.CPU, "EPYC") {
+		t.Errorf("cpu = %q, want the cpu: line", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+
+	b := rep.Benchmarks[0]
+	if b.Pkg != "repro/internal/engine" || b.Name != "BenchmarkEngineTable2Row-8" {
+		t.Errorf("first record = %q %q", b.Pkg, b.Name)
+	}
+	if b.Runs != 3 || b.NsPerOp != 412345678 || b.BytesPerOp != 1234567 || b.AllocsPerOp != 8901 {
+		t.Errorf("first record measurements = %+v", b)
+	}
+
+	adv := rep.Benchmarks[2]
+	if adv.Pkg != "repro/internal/advisor" {
+		t.Errorf("pkg tracking across sections: got %q", adv.Pkg)
+	}
+	if adv.NsPerOp != 37.2 || adv.AllocsPerOp != 0 {
+		t.Errorf("fractional ns/op record = %+v", adv)
+	}
+}
+
+func TestParseBenchNoMemColumns(t *testing.T) {
+	rep, err := parseBench(strings.NewReader("pkg: p\nBenchmarkX-4   100   250 ns/op\n"))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	b := rep.Benchmarks[0]
+	if b.NsPerOp != 250 || b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
+		t.Errorf("record without -benchmem columns = %+v", b)
+	}
+}
+
+func TestParseBenchEmptyIsError(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok  \tp\t0.1s\n")); err == nil {
+		t.Fatal("stream without benchmark lines should be an error, got nil")
+	}
+}

@@ -1,0 +1,128 @@
+// Command chkpt-vet runs the project's static-analysis suite: the five
+// analyzers in internal/analysis that machine-check the determinism,
+// context-threading, error-contract, registry-completeness, and
+// no-panic invariants the golden tables and the session replay
+// equivalence depend on.
+//
+// Usage:
+//
+//	chkpt-vet [-json] [-list] [packages ...]
+//
+// Findings print in the go-vet line format and exit with status 1; with
+// -json they print as the standard analysis JSON object
+// {"package": {"analyzer": [{"posn": ..., "message": ...}]}} instead.
+// Suppress an individual finding with an explained directive on or
+// directly above the offending line:
+//
+//	//chkpt:allow <analyzer> -- <reason>
+//
+// Stale or unexplained directives are themselves findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as analysis JSON (package -> analyzer -> diagnostics)")
+	list := flag.Bool("list", false, "list the analyzers and their contracts, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: chkpt-vet [-json] [-list] [packages ...]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the project invariant checkers (default packages: ./...).\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%s\n%s\n\n", a.Name, indent(a.Doc))
+		}
+		return
+	}
+
+	pkgs, _, err := analysis.Load(analysis.LoadConfig{Patterns: flag.Args()})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, pkgs, diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "chkpt-vet: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// jsonDiagnostic matches the per-diagnostic shape `go vet -json` emits.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// writeJSON renders the vet-style two-level JSON object: package import
+// path -> analyzer name -> diagnostics.
+func writeJSON(w *os.File, pkgs []*analysis.Package, diags []analysis.Diagnostic) error {
+	// Attribute each diagnostic to the package whose directory contains
+	// its file.
+	dirToPath := map[string]string{}
+	for _, p := range pkgs {
+		dirToPath[p.Dir] = p.Path
+	}
+	out := map[string]map[string][]jsonDiagnostic{}
+	for _, d := range diags {
+		pkgPath := dirToPath[dirOf(d.Pos.Filename)]
+		if pkgPath == "" {
+			pkgPath = dirOf(d.Pos.Filename)
+		}
+		m := out[pkgPath]
+		if m == nil {
+			m = map[string][]jsonDiagnostic{}
+			out[pkgPath] = m
+		}
+		m[d.Analyzer] = append(m[d.Analyzer], jsonDiagnostic{
+			Posn:    d.Pos.String(),
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}
+
+func dirOf(filename string) string {
+	if i := strings.LastIndexByte(filename, '/'); i >= 0 {
+		return filename[:i]
+	}
+	return "."
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	for i, l := range lines {
+		lines[i] = "    " + strings.TrimSpace(l)
+	}
+	return strings.Join(lines, "\n")
+}

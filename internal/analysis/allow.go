@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// AllowAnalyzerName attributes diagnostics about the suppression
+// directives themselves (malformed or stale //chkpt:allow comments).
+// These diagnostics cannot be suppressed: the directive ledger must stay
+// explainable ("zero unexplained allowlist entries").
+const AllowAnalyzerName = "chkptallow"
+
+// allowDirective is one parsed "//chkpt:allow <analyzer> -- <reason>"
+// comment. A directive suppresses exactly one diagnostic from the named
+// analyzer on its own line or on the line directly below it (so it can
+// sit either at the end of the offending line or on its own line above).
+type allowDirective struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	bad      string // non-empty: malformed, with the complaint
+	used     bool
+}
+
+const allowPrefix = "chkpt:allow"
+
+// parseAllows extracts the directives from one package's comments.
+func parseAllows(pkg *Package) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
+				if !ok {
+					continue
+				}
+				d := &allowDirective{pos: pkg.Fset.Position(c.Pos())}
+				name, reason, hasReason := strings.Cut(text, "--")
+				d.analyzer = strings.TrimSpace(name)
+				d.reason = strings.TrimSpace(reason)
+				switch {
+				case d.analyzer == "":
+					d.bad = "missing analyzer name"
+				case !hasReason || d.reason == "":
+					d.bad = "missing '-- <reason>'"
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applyAllows filters diags through the packages' allow directives and
+// appends diagnostics for malformed, unknown-analyzer, and stale (never
+// matched) directives.
+func applyAllows(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var directives []*allowDirective
+	for _, pkg := range pkgs {
+		directives = append(directives, parseAllows(pkg)...)
+	}
+	// Index healthy directives by file and line for O(1) lookup from a
+	// diagnostic's position.
+	byLine := map[string]map[int][]*allowDirective{}
+	for _, d := range directives {
+		if d.bad == "" && !known[d.analyzer] {
+			d.bad = "unknown analyzer " + strconv.Quote(d.analyzer)
+		}
+		if d.bad != "" {
+			continue
+		}
+		m := byLine[d.pos.Filename]
+		if m == nil {
+			m = map[int][]*allowDirective{}
+			byLine[d.pos.Filename] = m
+		}
+		m[d.pos.Line] = append(m[d.pos.Line], d)
+	}
+
+	kept := diags[:0]
+	for _, diag := range diags {
+		if diag.Analyzer == AllowAnalyzerName {
+			kept = append(kept, diag)
+			continue
+		}
+		if d := matchAllow(byLine, diag); d != nil {
+			d.used = true
+			continue
+		}
+		kept = append(kept, diag)
+	}
+
+	for _, d := range directives {
+		switch {
+		case d.bad != "":
+			kept = append(kept, Diagnostic{
+				Analyzer: AllowAnalyzerName,
+				Pos:      d.pos,
+				Message:  "malformed //" + allowPrefix + " directive: " + d.bad + " (want //" + allowPrefix + " <analyzer> -- <reason>)",
+			})
+		case !d.used:
+			kept = append(kept, Diagnostic{
+				Analyzer: AllowAnalyzerName,
+				Pos:      d.pos,
+				Message:  "stale //" + allowPrefix + " directive for " + d.analyzer + ": it suppressed nothing",
+			})
+		}
+	}
+	return kept
+}
+
+// matchAllow finds the first unused directive for the diagnostic's
+// analyzer on the diagnostic's line or the line above it. Each directive
+// suppresses exactly one diagnostic.
+func matchAllow(byLine map[string]map[int][]*allowDirective, diag Diagnostic) *allowDirective {
+	m := byLine[diag.Pos.Filename]
+	if m == nil {
+		return nil
+	}
+	for _, line := range [2]int{diag.Pos.Line, diag.Pos.Line - 1} {
+		for _, d := range m[line] {
+			if !d.used && d.analyzer == diag.Analyzer {
+				return d
+			}
+		}
+	}
+	return nil
+}

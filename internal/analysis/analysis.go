@@ -1,0 +1,166 @@
+// Package analysis is the project's static-analysis suite: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// driver shape (the container pins a stdlib-only module, so the real
+// x/tools framework is off the table) plus the five project analyzers
+// that machine-check the repository's determinism, context, error and
+// registry contracts. See doc.go for the analyzer-to-invariant map.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check. Exactly one of Run (per package) or
+// RunProgram (whole program, for cross-package invariants such as
+// registry completeness) is set.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//chkpt:allow <name> -- reason" suppression directives.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run analyzes a single package.
+	Run func(*Pass) error
+	// RunProgram analyzes the whole loaded program at once.
+	RunProgram func(*ProgramPass) error
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message states the violated contract.
+	Message string
+}
+
+// String renders the diagnostic in the go-vet line format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Package is one loaded and typechecked package plus the classification
+// flags the analyzers scope themselves by.
+type Package struct {
+	// Path is the import path ("repro/internal/trace").
+	Path string
+	// Name is the package name ("trace", or "main" for commands).
+	Name string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset is the file set shared by every package in the load.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources.
+	Files []*ast.File
+	// Types is the typechecked package.
+	Types *types.Package
+	// Info carries the use/def/type maps for Files.
+	Info *types.Info
+	// Main reports a command (package main); example binaries and cmds
+	// are exempt from the library-only analyzers.
+	Main bool
+	// Internal reports a package under <module>/internal/.
+	Internal bool
+	// Deterministic reports membership in the deterministic core (the
+	// packages whose outputs the golden and replay tests pin).
+	Deterministic bool
+}
+
+// Library reports whether the package is subject to the library-only
+// analyzers (everything that is not a command).
+func (p *Package) Library() bool { return !p.Main }
+
+// Pass is the per-package unit of work handed to Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf resolves the type of an expression in this package.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf resolves an identifier to its object (use or def).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// ProgramPass is the whole-program unit of work handed to
+// Analyzer.RunProgram.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Packages []*Package
+	Fset     *token.FileSet
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over the loaded packages, applies the
+// //chkpt:allow suppression directives, reports stale or malformed
+// directives, and returns the surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+	for _, a := range analyzers {
+		switch {
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				pass := &Pass{Analyzer: a, Pkg: pkg, report: collect}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+				}
+			}
+		case a.RunProgram != nil:
+			pass := &ProgramPass{Analyzer: a, Packages: pkgs, Fset: fset, report: collect}
+			if err := a.RunProgram(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
+			}
+		}
+	}
+
+	diags = applyAllows(pkgs, analyzers, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the suite's analysistest equivalent: fixture packages
+// live under testdata/src/<path> (invisible to the go tool), every
+// expected diagnostic is declared in-line with a `// want "regexp"`
+// comment on the offending line, and RunFixture fails the test on any
+// mismatch in either direction. External (stdlib) imports are resolved
+// through the same `go list -export` machinery the real loader uses.
+
+// FixtureOpts classifies the fixture packages for the analyzers' scoping
+// rules.
+type FixtureOpts struct {
+	// Deterministic lists fixture package paths treated as members of
+	// the deterministic core.
+	Deterministic []string
+	// NotInternal lists fixture package paths NOT treated as internal/
+	// library packages (default: every fixture package is internal).
+	NotInternal []string
+}
+
+// TestingT is the subset of *testing.T the runner needs.
+type TestingT interface {
+	Helper()
+	Fatalf(format string, args ...any)
+	Errorf(format string, args ...any)
+}
+
+// RunFixture loads the fixture packages rooted at testdata/src, runs the
+// analyzer (with allow-directive processing, so fixtures can prove the
+// suppression semantics), and matches diagnostics against `// want`
+// comments.
+func RunFixture(t TestingT, a *Analyzer, opts FixtureOpts, pkgPaths ...string) {
+	t.Helper()
+	pkgs, err := loadFixtures(opts, pkgPaths)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", pkgPaths, err)
+	}
+	diags, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	matchWants(t, pkgs, diags)
+}
+
+// loadFixtures parses and typechecks testdata/src/<path> packages with
+// intra-fixture imports resolved among themselves and everything else
+// resolved from gc export data.
+func loadFixtures(opts FixtureOpts, pkgPaths []string) ([]*Package, error) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	type fixture struct {
+		path    string
+		files   []*ast.File
+		imports []string
+	}
+	parsed := map[string]*fixture{}
+	var order []string
+
+	// Parse the requested packages plus any fixture packages they import.
+	var parse func(path string) error
+	parse = func(path string) error {
+		if _, done := parsed[path]; done {
+			return nil
+		}
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("fixture package %q: %w", path, err)
+		}
+		fx := &fixture{path: path}
+		parsed[path] = fx
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			fx.files = append(fx.files, f)
+			for _, imp := range f.Imports {
+				p, _ := strconv.Unquote(imp.Path.Value)
+				fx.imports = append(fx.imports, p)
+			}
+		}
+		if len(fx.files) == 0 {
+			return fmt.Errorf("fixture package %q has no Go files", path)
+		}
+		// Recurse into intra-fixture imports first so dependency order
+		// falls out of the recursion.
+		for _, p := range fx.imports {
+			if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(p))); err == nil {
+				if err := parse(p); err != nil {
+					return err
+				}
+			}
+		}
+		order = append(order, path)
+		return nil
+	}
+	for _, path := range pkgPaths {
+		if err := parse(path); err != nil {
+			return nil, err
+		}
+	}
+
+	// Resolve external imports via go list -export from the module root.
+	external := map[string]bool{}
+	for _, fx := range parsed {
+		for _, p := range fx.imports {
+			if _, isFixture := parsed[p]; !isFixture {
+				external[p] = true
+			}
+		}
+	}
+	metas := map[string]*listedPackage{}
+	if len(external) > 0 {
+		paths := make([]string, 0, len(external))
+		for p := range external {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		loaded, err := listExport(paths)
+		if err != nil {
+			return nil, err
+		}
+		metas = loaded
+	}
+
+	byPath := map[string]*types.Package{}
+	imp := newLayeredImporter(fset, metas, byPath)
+	det := map[string]bool{}
+	for _, p := range opts.Deterministic {
+		det[p] = true
+	}
+	notInternal := map[string]bool{}
+	for _, p := range opts.NotInternal {
+		notInternal[p] = true
+	}
+
+	var pkgs []*Package
+	for _, path := range order {
+		fx := parsed[path]
+		info := newTypesInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, fx.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typechecking fixture %q: %w", path, err)
+		}
+		byPath[path] = tpkg
+		pkgs = append(pkgs, &Package{
+			Path:          path,
+			Name:          tpkg.Name(),
+			Dir:           filepath.Join(root, filepath.FromSlash(path)),
+			Fset:          fset,
+			Files:         fx.files,
+			Types:         tpkg,
+			Info:          info,
+			Main:          tpkg.Name() == "main",
+			Internal:      !notInternal[path],
+			Deterministic: det[path],
+		})
+	}
+	return pkgs, nil
+}
+
+// listExport resolves export data for the given import paths (and their
+// dependencies) with one go list call (any directory inside the module
+// works; the test binary's working directory qualifies).
+func listExport(paths []string) (map[string]*listedPackage, error) {
+	set, err := goListDir("", paths)
+	if err != nil {
+		return nil, err
+	}
+	return set.byPath, nil
+}
+
+// matchWants compares diagnostics against the `// want "re"` comments.
+func matchWants(t TestingT, pkgs []*Package, diags []Diagnostic) {
+	t.Helper()
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := map[string]map[int][]*want{} // file -> line -> wants
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(strings.TrimPrefix(c.Text, "// "), "want ")
+					if !ok {
+						text, ok = strings.CutPrefix(strings.TrimPrefix(c.Text, "//"), "want ")
+					}
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, raw := range splitQuoted(text) {
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+						}
+						m := wants[pos.Filename]
+						if m == nil {
+							m = map[int][]*want{}
+							wants[pos.Filename] = m
+						}
+						m[pos.Line] = append(m[pos.Line], &want{re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		lineWants := wants[d.Pos.Filename][d.Pos.Line]
+		matched := false
+		for _, w := range lineWants {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for file, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, w.raw)
+				}
+			}
+		}
+	}
+}
+
+// splitQuoted extracts the double-quoted segments of a want comment.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexByte(s, '"')
+		if start < 0 {
+			return out
+		}
+		rest := s[start:]
+		// Find the closing quote, honoring backslash escapes.
+		end := 1
+		for end < len(rest) {
+			if rest[end] == '\\' {
+				end += 2
+				continue
+			}
+			if rest[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(rest) {
+			return out
+		}
+		if unq, err := strconv.Unquote(rest[:end+1]); err == nil {
+			out = append(out, unq)
+		}
+		s = rest[end+1:]
+	}
+}

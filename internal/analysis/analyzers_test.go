@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fixture suites: every analyzer must demonstrate at least one true
+// positive (seeded violations in testdata/src) and keep the sanctioned
+// shapes silent. RunFixture fails on any mismatch in either direction.
+
+func TestDeterminismFixture(t *testing.T) {
+	RunFixture(t, Determinism, FixtureOpts{Deterministic: []string{"determfix"}}, "determfix")
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	RunFixture(t, CtxFlow, FixtureOpts{Deterministic: []string{"ctxfix"}}, "ctxfix")
+}
+
+func TestErrWrapFixture(t *testing.T) {
+	RunFixture(t, ErrWrap, FixtureOpts{}, "errwrapfix")
+}
+
+func TestNoPanicFixture(t *testing.T) {
+	RunFixture(t, NoPanic, FixtureOpts{}, "nopanicfix")
+}
+
+func TestRegistryFixture(t *testing.T) {
+	a := NewRegistry(RegistryConfig{
+		Interfaces: []string{"registryfix/iface.Policy"},
+		Registrars: []RegistrarSpec{
+			{Func: "registryfix/reg.RegisterPolicy", NameArg: 0},
+			{Func: "registryfix/reg.RegisterPreset", NameArg: 0},
+			{Func: "registryfix/reg.RegisterCodec", NameArg: -1, NameField: "Family"},
+		},
+		ImplPrefix:   "registryfix/",
+		PresetResult: "registryfix/iface.Spec",
+	})
+	RunFixture(t, a, FixtureOpts{}, "registryfix/iface", "registryfix/impl", "registryfix/reg")
+}
+
+// TestAllowDirectiveSemantics asserts the suppression contract directly:
+// one directive suppresses exactly one diagnostic of its analyzer, and
+// stale, reasonless, or unknown-analyzer directives are findings
+// themselves. (Asserted programmatically: a // want comment cannot share
+// a line with the directive under test.)
+func TestAllowDirectiveSemantics(t *testing.T) {
+	pkgs, err := loadFixtures(FixtureOpts{}, []string{"allowfix"})
+	if err != nil {
+		t.Fatalf("loading allowfix: %v", err)
+	}
+	diags, err := Run(pkgs, []*Analyzer{ErrWrap})
+	if err != nil {
+		t.Fatalf("running errwrap: %v", err)
+	}
+
+	var errwrap, stale, malformed, unknown []Diagnostic
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "errwrap":
+			errwrap = append(errwrap, d)
+		case strings.Contains(d.Message, "stale"):
+			stale = append(stale, d)
+		case strings.Contains(d.Message, "missing '-- <reason>'"):
+			malformed = append(malformed, d)
+		case strings.Contains(d.Message, "unknown analyzer"):
+			unknown = append(unknown, d)
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+
+	// Two errwrap findings existed on the Two line; the directive must
+	// have suppressed exactly the first (err1), leaving err2.
+	if len(errwrap) != 1 {
+		t.Fatalf("errwrap diagnostics = %d, want exactly 1 surviving (directive suppresses exactly one): %v", len(errwrap), errwrap)
+	}
+	if !strings.Contains(errwrap[0].Message, "err2") {
+		t.Errorf("surviving diagnostic should be the second operand (err2), got: %s", errwrap[0].Message)
+	}
+	if len(stale) != 1 {
+		t.Errorf("stale-directive diagnostics = %d, want 1: %v", len(stale), stale)
+	}
+	if len(malformed) != 1 {
+		t.Errorf("malformed-directive diagnostics = %d, want 1: %v", len(malformed), malformed)
+	}
+	if len(unknown) != 1 {
+		t.Errorf("unknown-analyzer diagnostics = %d, want 1: %v", len(unknown), unknown)
+	}
+	for _, d := range append(append(stale, malformed...), unknown...) {
+		if d.Analyzer != AllowAnalyzerName {
+			t.Errorf("directive diagnostic attributed to %q, want %q: %s", d.Analyzer, AllowAnalyzerName, d)
+		}
+	}
+}
+
+// TestRepoInvariants runs the full suite over the repository itself:
+// the tree must stay clean (modulo explained //chkpt:allow entries, all
+// of which must be live). This is the same gate `make lint` and the CI
+// lint job apply via cmd/chkpt-vet.
+func TestRepoInvariants(t *testing.T) {
+	pkgs, _, err := Load(LoadConfig{Dir: moduleRoot(t)})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags, err := Run(pkgs, Suite())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("repository violates its own invariants: %d finding(s); fix them or add an explained //chkpt:allow", len(diags))
+	}
+}

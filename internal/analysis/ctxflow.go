@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the context-threading contract in the deterministic
+// core: cancellation must flow from the caller, never be synthesized.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: `in the deterministic core, forbid context.Background()/TODO()
+(cancellation must arrive from the caller), require any context.Context
+parameter of an exported function to come first, and require exported
+functions that directly call a context-first function (engine.Run,
+engine.Stream, and every API shaped like them) to take a context
+themselves.`,
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	pkg := pass.Pkg
+	if !pkg.Deterministic || pkg.Main {
+		return nil
+	}
+	info := pkg.Info
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isCallTo(info, call, "context", "Background", "TODO") {
+				pass.Reportf(call.Pos(), "deterministic package synthesizes a context with context.%s; thread the caller's context instead", calleeFunc(info, call).Name())
+			}
+			return true
+		})
+	}
+
+	exportedFuncDecls(pkg.Files, func(fd *ast.FuncDecl) {
+		obj, ok := info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		sig := obj.Type().(*types.Signature)
+
+		if hasContextParam(sig) && !firstParamIsContext(sig) {
+			pass.Reportf(fd.Pos(), "exported %s takes a context.Context that is not the first parameter", fd.Name.Name)
+			return
+		}
+		if hasContextParam(sig) {
+			return
+		}
+		// No context parameter: the function must not directly drive a
+		// context-first API (it would have to synthesize or smuggle one).
+		funcBodyCalls(fd.Body, func(call *ast.CallExpr) {
+			callee := calleeFunc(info, call)
+			if callee == nil || callee.Pkg() == nil {
+				return
+			}
+			csig, ok := callee.Type().(*types.Signature)
+			if !ok || !firstParamIsContext(csig) || len(call.Args) == 0 {
+				return
+			}
+			// A context bound inside the body (a closure parameter, or a
+			// derived ctx) is legitimate; so is one the Background ban
+			// already reported.
+			if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+				if obj := info.ObjectOf(arg); obj != nil && fd.Body != nil &&
+					obj.Pos() >= fd.Body.Pos() && obj.Pos() <= fd.Body.End() {
+					return
+				}
+			}
+			if argCall, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok {
+				if isCallTo(info, argCall, "context", "Background", "TODO") {
+					return
+				}
+			}
+			pass.Reportf(call.Pos(), "exported %s calls context-first %s.%s without taking a context.Context itself", fd.Name.Name, callee.Pkg().Name(), callee.Name())
+		})
+	})
+	return nil
+}

@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Determinism forbids ambient nondeterminism in the deterministic core.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: `forbid wall-clock reads (time.Now/Since/Until, timers), the
+global math/rand generators, environment reads (os.Getenv/LookupEnv/
+Environ), and map iteration that feeds output without a deterministic
+sort, inside the packages whose outputs the golden tables and the
+session replay-equivalence test pin byte-for-byte.`,
+	Run: runDeterminism,
+}
+
+// bannedCalls maps package path -> function names whose call sites break
+// determinism.
+var bannedCalls = map[string][]string{
+	"time": {"Now", "Since", "Until", "Sleep", "After", "Tick", "NewTicker", "NewTimer", "AfterFunc"},
+	"os":   {"Getenv", "LookupEnv", "Environ"},
+}
+
+// bannedImports are packages whose mere presence in a deterministic
+// package is a finding: the repo's internal/rng streams are the only
+// sanctioned randomness source.
+var bannedImports = map[string]string{
+	"math/rand":    "use the deterministic internal/rng streams instead",
+	"math/rand/v2": "use the deterministic internal/rng streams instead",
+}
+
+func runDeterminism(pass *Pass) error {
+	pkg := pass.Pkg
+	if pkg.Main {
+		return nil
+	}
+	// The ambient-state bans guard the deterministic core; the
+	// map-iteration-order check applies to every internal library
+	// package — user-visible byte streams (handlers, error messages)
+	// must not depend on Go's randomized map order anywhere.
+	if !pkg.Deterministic && !pkg.Internal {
+		return nil
+	}
+	for _, f := range pkg.Files {
+		if pkg.Deterministic {
+			for _, imp := range f.Imports {
+				// Import paths are not expressions: unquote the literal
+				// directly rather than going through the type info.
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if why, banned := bannedImports[path]; banned {
+					pass.Reportf(imp.Pos(), "deterministic package imports %s: %s", path, why)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if pkg.Deterministic {
+					checkBannedCall(pass, n)
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, f, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBannedCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	names, ok := bannedCalls[funcPkgPath(fn)]
+	if !ok {
+		return
+	}
+	for _, name := range names {
+		if fn.Name() == name {
+			pass.Reportf(call.Pos(), "deterministic package calls %s.%s: ambient state breaks golden and replay reproducibility", funcPkgPath(fn), name)
+			return
+		}
+	}
+}
+
+// checkMapRange flags `for k := range m` over a map whose body visibly
+// feeds ordered output — appends to a slice declared outside the loop or
+// writes through fmt/io — unless the appended slice is deterministically
+// sorted in the statements that follow the loop (the canonical
+// collect-keys-then-sort fix). Map ranges that only fill other maps,
+// count, or sum are order-insensitive and stay silent.
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	if _, isMap := info.TypeOf(rng.X).Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	var appended []types.Object // slices appended to inside the body
+	writes := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(info, call) || i >= len(n.Lhs) {
+					continue
+				}
+				if obj := assignedObject(info, n.Lhs[i]); obj != nil {
+					appended = append(appended, obj)
+				}
+			}
+		case *ast.CallExpr:
+			if isOutputCall(info, n) {
+				writes = true
+			}
+		}
+		return true
+	})
+
+	if writes {
+		pass.Reportf(rng.Pos(), "map iteration writes output in random key order; iterate sorted keys")
+		return
+	}
+	for _, obj := range appended {
+		if !sortedAfter(pass, file, rng, obj) {
+			pass.Reportf(rng.Pos(), "map iteration appends to %q in random key order without a following sort; iterate sorted keys or sort the result", obj.Name())
+			return
+		}
+	}
+	if orderDependentExit(info, rng) {
+		pass.Reportf(rng.Pos(), "map iteration exits early while feeding the loop variables into calls: which element wins depends on random map order; iterate sorted keys")
+	}
+}
+
+// orderDependentExit reports a return or break that leaves the map loop
+// while the body also passes the loop variables into function calls —
+// the classic first-failing-element pattern whose outcome depends on
+// encounter order. Constant-result existence checks (return true) stay
+// silent because they never feed the loop variables into a call.
+func orderDependentExit(info *types.Info, rng *ast.RangeStmt) bool {
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id != nil {
+			if obj := info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return false
+	}
+	exits, feeds := false, false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its returns do not leave the loop
+		case *ast.ReturnStmt:
+			exits = true
+		case *ast.BranchStmt:
+			if n.Tok.String() == "break" {
+				exits = true
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && loopVars[info.ObjectOf(id)] {
+						feeds = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	}
+	ast.Inspect(rng.Body, walk)
+	return exits && feeds
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// assignedObject resolves the assignment target to a variable object.
+func assignedObject(info *types.Info, lhs ast.Expr) types.Object {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		return info.ObjectOf(id)
+	}
+	return nil
+}
+
+// isOutputCall reports calls that emit ordered output: the fmt printers
+// and Write/WriteString-shaped methods.
+func isOutputCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if funcPkgPath(fn) == "fmt" {
+		switch fn.Name() {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			return true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether a statement after the range loop in the
+// same enclosing block sorts the appended slice (sort.* or slices.Sort*
+// with the slice among the arguments).
+func sortedAfter(pass *Pass, file *ast.File, rng *ast.RangeStmt, obj types.Object) bool {
+	info := pass.Pkg.Info
+	block := enclosingBlock(file, rng)
+	if block == nil {
+		return false
+	}
+	after := false
+	for _, stmt := range block.List {
+		if stmt == ast.Stmt(rng) {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			switch funcPkgPath(fn) {
+			case "sort", "slices":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				argObj := assignedObject(info, arg)
+				if argObj == obj {
+					found = true
+					return false
+				}
+				// sort.Sort(ByX(keys)) / conversions: look one level in.
+				if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok && len(inner.Args) == 1 {
+					if assignedObject(info, inner.Args[0]) == obj {
+						found = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingBlock finds the innermost block statement containing n.
+func enclosingBlock(file *ast.File, n ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	ast.Inspect(file, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if m.Pos() > n.End() || m.End() < n.Pos() {
+			return false
+		}
+		if b, ok := m.(*ast.BlockStmt); ok && b.Pos() <= n.Pos() && n.End() <= b.End() {
+			for _, stmt := range b.List {
+				if stmt.Pos() <= n.Pos() && n.End() <= stmt.End() {
+					if stmt == n {
+						best = b
+					}
+					break
+				}
+			}
+		}
+		return true
+	})
+	return best
+}

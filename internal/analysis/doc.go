@@ -1,0 +1,65 @@
+// Package analysis is the project's static-analysis suite: a set of
+// repo-specific analyzers, run by cmd/chkpt-vet (and by `make lint` and
+// the CI lint job), that machine-check the invariants the test suite
+// can only spot-check. Each analyzer guards a contract the reproduction
+// depends on:
+//
+//   - determinism — the golden tables (cmd/*/testdata/*.golden), the
+//     spec round-trip property tests, and the session replay-equivalence
+//     test all pin outputs byte-for-byte. That only holds if the
+//     deterministic core (dist, rng, trace, policy, sim, theory,
+//     harness, exper, engine, spec, advisor, specialfn, platform) never
+//     reads ambient state: no wall-clock (time.Now/Since/timers), no
+//     global math/rand (internal/rng streams are the only sanctioned
+//     randomness), no environment reads. Map iteration that feeds
+//     ordered output (appends without a following sort, fmt/io writes,
+//     order-dependent early exits) is flagged across every internal
+//     library package, because user-visible byte streams must not
+//     depend on Go's randomized map order anywhere.
+//
+//   - ctxflow — PR 3 threaded context.Context through the entire
+//     evaluation stack so a canceled sweep stops promptly at every
+//     layer. The analyzer keeps that thread intact: in core packages,
+//     ctx is the first parameter, and exported entry points do not
+//     silently mint context.Background()/TODO() (which would detach
+//     the callee from the caller's cancellation).
+//
+//   - errwrap — the service maps advisor sentinel errors (ErrClock,
+//     ErrBadEvent, ErrOutage, ...) to HTTP status codes with
+//     errors.Is, which only works while every wrapping layer uses %w
+//     and every *Error carrier has an Unwrap. The analyzer flags
+//     fmt.Errorf with %v/%s on an error operand (silently severing the
+//     chain), sentinel messages that do not carry the package prefix,
+//     and *Error types holding an error without exposing Unwrap.
+//
+//   - registry — the spec layer's name-keyed registries are the
+//     declarative API's contract: every Policy and Distribution
+//     implementation and every platform preset must be reachable from
+//     a Register* call, and the registered kind string must match the
+//     type's Name() (lowercased), or `{"kind": "..."}` specs and the
+//     /v1/registry endpoint silently drift from the implementations.
+//
+//   - nopanic — library packages return errors; the only sanctioned
+//     panic is the constructor-invariant form whose message starts
+//     with the package prefix ("policy: ..."), so a stack trace
+//     attributes the broken invariant instead of pointing at a random
+//     frame.
+//
+// False positives are suppressed line-by-line with
+//
+//	//chkpt:allow <analyzer> -- <reason>
+//
+// placed on, or directly above, the offending line. Each directive
+// suppresses exactly one diagnostic of the named analyzer; a directive
+// that suppresses nothing is itself reported as stale (as are
+// reasonless or unknown-analyzer directives), so the allowlist cannot
+// rot. TestRepoInvariants runs the full suite over the repository in
+// the ordinary `go test ./...` flow: the tree must stay clean.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer/Pass/Diagnostic, testdata/src fixtures with `// want`
+// comments) but is built on the standard library only: packages are
+// discovered with `go list -deps -export`, module sources are
+// type-checked from source in dependency order, and standard-library
+// dependencies are imported from the compiler's export data.
+package analysis

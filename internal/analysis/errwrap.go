@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ErrWrap enforces the typed-error contract across internal/ packages.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: `in internal/ packages: fmt.Errorf must wrap error operands with
+%w, never stringify them with %v or %s (errors.Is/As must keep seeing
+the advisor sentinels through *EventError and friends); every XxxError
+struct carrying an Err field must declare Unwrap() error; and every
+package-level sentinel (var ErrX = errors.New(...)) must carry the
+package-prefixed message convention ("advisor: ...").`,
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	pkg := pass.Pkg
+	if !pkg.Internal || pkg.Main {
+		return nil
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkErrorfVerbs(pass, call)
+			}
+			return true
+		})
+		checkSentinels(pass, f)
+	}
+	checkUnwrapMethods(pass)
+	return nil
+}
+
+// verbRE matches one printf verb with optional flags/width/precision and
+// captures the verb letter; %% is handled by the caller.
+var verbRE = regexp.MustCompile(`%[-+# 0]*(?:\d+|\*)?(?:\.(?:\d+|\*)?)?(?:\[\d+\])?([a-zA-Z%])`)
+
+// checkErrorfVerbs flags fmt.Errorf calls that format an error-typed
+// operand with %v or %s instead of wrapping it with %w.
+func checkErrorfVerbs(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	if !isCallTo(info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constStringValue(info, call.Args[0])
+	if !ok || strings.Contains(format, "%[") {
+		// Explicitly indexed verbs break the sequential operand walk;
+		// the repo's formats never use them.
+		return
+	}
+	operands := call.Args[1:]
+	argIdx := 0
+	for _, m := range verbRE.FindAllStringSubmatch(format, -1) {
+		verb := m[1]
+		if verb == "%" {
+			continue
+		}
+		// `*` width/precision consume operands too.
+		argIdx += strings.Count(m[0], "*")
+		if argIdx >= len(operands) {
+			break
+		}
+		operand := operands[argIdx]
+		argIdx++
+		if verb != "v" && verb != "s" {
+			continue
+		}
+		t := info.TypeOf(operand)
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		// Stringifying an error you also wrap elsewhere in the same
+		// format is still a finding: %v hides the chain from errors.Is.
+		pass.Reportf(operand.Pos(), "fmt.Errorf formats error %s with %%%s; wrap it with %%w so errors.Is/As keep working", exprString(operand), verb)
+	}
+}
+
+// exprString renders a short operand description for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	default:
+		return "operand"
+	}
+}
+
+// checkSentinels enforces the package-prefixed message convention on
+// package-level error sentinels: var ErrX = errors.New("pkg: ...").
+func checkSentinels(pass *Pass, f *ast.File) {
+	info := pass.Pkg.Info
+	prefix := pass.Pkg.Name + ": "
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, s := range gd.Specs {
+			vs, ok := s.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if !strings.HasPrefix(name.Name, "Err") || i >= len(vs.Values) {
+					continue
+				}
+				call, ok := ast.Unparen(vs.Values[i]).(*ast.CallExpr)
+				if !ok || !isCallTo(info, call, "errors", "New") || len(call.Args) != 1 {
+					continue
+				}
+				msg, ok := constStringValue(info, call.Args[0])
+				if ok && !strings.HasPrefix(msg, prefix) {
+					pass.Reportf(call.Args[0].Pos(), "sentinel %s message %q must start with the package prefix %q", name.Name, msg, prefix)
+				}
+			}
+		}
+	}
+}
+
+// checkUnwrapMethods requires every XxxError struct with an Err field to
+// declare Unwrap() error, so wrapped sentinels stay reachable.
+func checkUnwrapMethods(pass *Pass) {
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasSuffix(name, "Error") || name == "Error" {
+			continue
+		}
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		hasErrField := false
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() == "Err" && isErrorType(f.Type()) {
+				hasErrField = true
+			}
+		}
+		if !hasErrField {
+			continue
+		}
+		if unwrapMethod(named) == nil {
+			pass.Reportf(tn.Pos(), "error type %s carries an Err field but declares no Unwrap() error method; errors.Is/As cannot reach the wrapped sentinel", name)
+		}
+	}
+}
+
+// unwrapMethod finds an Unwrap() error method on T or *T.
+func unwrapMethod(named *types.Named) *types.Func {
+	for _, t := range []types.Type{named, types.NewPointer(named)} {
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			fn, ok := ms.At(i).Obj().(*types.Func)
+			if !ok || fn.Name() != "Unwrap" {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 && isErrorType(sig.Results().At(0).Type()) {
+				return fn
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// calleeFunc resolves a call expression to the function or method object
+// it invokes, or nil for non-function calls (conversions, builtins,
+// calls through function-typed values).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // generic instantiation F[T](...)
+		return calleeFunc(info, &ast.CallExpr{Fun: fun.X})
+	case *ast.IndexListExpr:
+		return calleeFunc(info, &ast.CallExpr{Fun: fun.X})
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcPkgPath returns the import path of the package a function belongs
+// to ("" for builtins and error.Error).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isCallTo reports whether the call invokes one of the named
+// package-level functions of the package with the given import path.
+func isCallTo(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || funcPkgPath(fn) != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// firstParamIsContext reports whether the signature's first parameter is
+// a context.Context.
+func firstParamIsContext(sig *types.Signature) bool {
+	return sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type())
+}
+
+// hasContextParam reports whether any parameter is a context.Context.
+func hasContextParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// panicMessagePrefix extracts the leading string-literal text of a panic
+// argument: a plain literal, the leftmost operand of a + chain, or the
+// constant format argument of fmt.Sprintf / fmt.Errorf. ok is false when
+// no leading literal can be determined.
+func panicMessagePrefix(info *types.Info, arg ast.Expr) (text string, ok bool) {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.BasicLit:
+		return constStringValue(info, e)
+	case *ast.BinaryExpr:
+		return panicMessagePrefix(info, e.X)
+	case *ast.CallExpr:
+		if isCallTo(info, e, "fmt", "Sprintf", "Errorf") && len(e.Args) > 0 {
+			return constStringValue(info, e.Args[0])
+		}
+	case *ast.Ident:
+		return constStringValue(info, e)
+	}
+	return "", false
+}
+
+// constStringValue evaluates e as a typed or untyped string constant.
+func constStringValue(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// funcBodyCalls walks a function body and invokes fn for every call
+// expression, including those inside nested function literals.
+func funcBodyCalls(body *ast.BlockStmt, fn func(*ast.CallExpr)) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}
+
+// exportedFuncDecls yields the exported top-level function and method
+// declarations of the package's files.
+func exportedFuncDecls(files []*ast.File, fn func(*ast.FuncDecl)) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			fn(fd)
+		}
+	}
+}

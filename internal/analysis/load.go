@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// DeterministicPackages is the deterministic core: the packages whose
+// outputs the golden tables, the spec goldens, and the PR 5 session
+// replay-equivalence test pin byte-for-byte. The determinism and ctxflow
+// analyzers scope themselves to this set.
+var DeterministicPackages = map[string]bool{
+	"repro/internal/advisor":   true,
+	"repro/internal/dist":      true,
+	"repro/internal/engine":    true,
+	"repro/internal/exper":     true,
+	"repro/internal/harness":   true,
+	"repro/internal/platform":  true,
+	"repro/internal/policy":    true,
+	"repro/internal/rng":       true,
+	"repro/internal/sim":       true,
+	"repro/internal/spec":      true,
+	"repro/internal/specialfn": true,
+	"repro/internal/theory":    true,
+	"repro/internal/trace":     true,
+}
+
+// LoadConfig parameterizes Load.
+type LoadConfig struct {
+	// Dir is the module root the `go list` invocation runs from. Empty
+	// means the current directory.
+	Dir string
+	// Patterns are the package patterns to analyze (default "./...").
+	Patterns []string
+	// Deterministic overrides the deterministic-core membership test
+	// (default: DeterministicPackages).
+	Deterministic map[string]bool
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// listedSet is one go-list result: packages by path plus stream order.
+type listedSet struct {
+	byPath map[string]*listedPackage
+	order  []*listedPackage
+}
+
+// goListDir runs `go list -deps -export -json` from dir (empty: cwd) on
+// the patterns and decodes the stream.
+func goListDir(dir string, patterns []string) (*listedSet, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Imports,Export,Standard,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	set := &listedSet{byPath: map[string]*listedPackage{}}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		set.byPath[lp.ImportPath] = &lp
+		set.order = append(set.order, &lp)
+	}
+	return set, nil
+}
+
+// Load enumerates, parses, and typechecks the module packages matched by
+// the patterns. Dependencies (the stdlib) are resolved from compiler
+// export data produced by `go list -export`, so the whole load works
+// offline with one shared token.FileSet and one shared type universe —
+// cross-package identity holds, which the registry analyzer relies on.
+// Test files are not loaded: the invariants guard library code, and the
+// test/example exemptions in the analyzers fall out for free.
+func Load(cfg LoadConfig) ([]*Package, *token.FileSet, error) {
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	deterministic := cfg.Deterministic
+	if deterministic == nil {
+		deterministic = DeterministicPackages
+	}
+
+	metas, err := goListDir(cfg.Dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Module packages in dependency order, deps first (go list -deps
+	// guarantees the stream order; filtering preserves it).
+	var moduleOrder []*listedPackage
+	for _, lp := range metas.order {
+		if lp.Module != nil {
+			moduleOrder = append(moduleOrder, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	byPath := map[string]*types.Package{}
+	imp := newLayeredImporter(fset, metas.byPath, byPath)
+
+	var pkgs []*Package
+	for _, lp := range moduleOrder {
+		pkg, err := typecheckListed(fset, imp, lp, deterministic)
+		if err != nil {
+			return nil, nil, err
+		}
+		byPath[lp.ImportPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, fset, nil
+}
+
+// typecheckListed parses and typechecks one module package from its
+// go-list metadata.
+func typecheckListed(fset *token.FileSet, imp types.Importer, lp *listedPackage, deterministic map[string]bool) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typechecking %s: %w", lp.ImportPath, err)
+	}
+	modPath := ""
+	if lp.Module != nil {
+		modPath = lp.Module.Path
+	}
+	return &Package{
+		Path:          lp.ImportPath,
+		Name:          lp.Name,
+		Dir:           lp.Dir,
+		Fset:          fset,
+		Files:         files,
+		Types:         tpkg,
+		Info:          info,
+		Main:          lp.Name == "main",
+		Internal:      strings.HasPrefix(lp.ImportPath, modPath+"/internal/"),
+		Deterministic: deterministic[lp.ImportPath],
+	}, nil
+}
+
+// newTypesInfo allocates the maps every analyzer relies on.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// newLayeredImporter resolves module packages from the already
+// source-typechecked set (dependency order makes them available before
+// any importer asks) and everything else from the gc export data the
+// `go list -export` pass produced.
+func newLayeredImporter(fset *token.FileSet, metas map[string]*listedPackage, module map[string]*types.Package) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		lp, ok := metas[path]
+		if !ok || lp.Export == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(lp.Export)
+	}
+	return &layeredImporter{
+		module: module,
+		gc:     importer.ForCompiler(fset, "gc", lookup),
+	}
+}
+
+type layeredImporter struct {
+	module map[string]*types.Package
+	gc     types.Importer
+}
+
+func (li *layeredImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := li.module[path]; ok {
+		return pkg, nil
+	}
+	return li.gc.Import(path)
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot locates the repository root for go-list invocations from
+// inside test binaries (whose working directory is the package dir).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatalf("not in a module (GOMOD=%q)", gomod)
+	}
+	return filepath.Dir(gomod)
+}
+
+func TestLoadRepo(t *testing.T) {
+	pkgs, _, err := Load(LoadConfig{Dir: moduleRoot(t)})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	tr, ok := byPath["repro/internal/trace"]
+	if !ok {
+		t.Fatalf("repro/internal/trace not loaded; got %d packages", len(pkgs))
+	}
+	if !tr.Deterministic || !tr.Internal || tr.Main {
+		t.Errorf("trace flags = det:%v int:%v main:%v, want det+internal, not main",
+			tr.Deterministic, tr.Internal, tr.Main)
+	}
+	if tr.Types == nil || tr.Info == nil || len(tr.Files) == 0 {
+		t.Fatalf("trace package not typechecked")
+	}
+	sim, ok := byPath["repro/internal/service"]
+	if !ok {
+		t.Fatalf("repro/internal/service not loaded")
+	}
+	if sim.Deterministic {
+		t.Errorf("service must not be in the deterministic core")
+	}
+	for _, cmd := range pkgs {
+		if strings.HasPrefix(cmd.Path, "repro/cmd/") && !cmd.Main {
+			t.Errorf("%s: cmd package not flagged Main", cmd.Path)
+		}
+	}
+}

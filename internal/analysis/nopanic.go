@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic bans panics in library packages except the sanctioned
+// constructor-invariant form.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc: `forbid panic in library packages (commands and examples may
+crash; libraries must return errors) except constructor-invariant panics
+whose message carries the package-prefixed convention ("trace: ..."),
+the one shape the README documents as a programmer error. Anything else
+needs an explicit //chkpt:allow nopanic -- reason.`,
+	Run: runNoPanic,
+}
+
+func runNoPanic(pass *Pass) error {
+	pkg := pass.Pkg
+	if pkg.Main || !pkg.Internal {
+		return nil
+	}
+	info := pkg.Info
+	prefix := pkg.Name + ": "
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltinPanic(info, call) || len(call.Args) != 1 {
+				return true
+			}
+			msg, ok := panicMessagePrefix(info, call.Args[0])
+			if !ok {
+				pass.Reportf(call.Pos(), "library panic with a non-constant message; return an error, or panic %q and add //chkpt:allow nopanic with the invariant", prefix+"...")
+				return true
+			}
+			if !strings.HasPrefix(msg, prefix) {
+				pass.Reportf(call.Pos(), "library panic message %q must carry the package prefix %q (constructor-invariant convention)", msg, prefix)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isBuiltinPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

@@ -1,0 +1,461 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// errNotInProgram marks a registry-config lookup whose defining package
+// is outside the analyzed program (a narrowed chkpt-vet invocation):
+// the corresponding check is skipped rather than failed.
+var errNotInProgram = errors.New("package not in the analyzed program")
+
+// RegistrarSpec names one registration entry point and where the
+// registered name literal lives in its call sites.
+type RegistrarSpec struct {
+	// Func is the fully qualified function, "pkgpath.Name".
+	Func string
+	// NameArg is the argument index of the registered-name string
+	// literal, or -1 when the name lives in a composite-literal field.
+	NameArg int
+	// NameField is the composite-literal field carrying the name when
+	// NameArg is -1 (e.g. DistCodec.Family).
+	NameField string
+}
+
+// RegistryConfig parameterizes the registry analyzer so its fixture
+// tests can point it at miniature registries.
+type RegistryConfig struct {
+	// Interfaces are fully qualified named interfaces ("pkgpath.Name")
+	// whose concrete implementations must be registered.
+	Interfaces []string
+	// Registrars are the registration entry points.
+	Registrars []RegistrarSpec
+	// ImplPrefix scopes the concrete types checked to packages whose
+	// import path starts with it.
+	ImplPrefix string
+	// PresetResult, when set, is a fully qualified named type; every
+	// exported package-level function under ImplPrefix returning it is a
+	// preset constructor that must be reachable from a registrar call.
+	PresetResult string
+}
+
+// DefaultRegistryConfig wires the analyzer to the repo's real
+// registries: the spec package's policy/distribution/platform tables
+// that the engine, service, session, and sweep machinery all key off.
+var DefaultRegistryConfig = RegistryConfig{
+	Interfaces: []string{
+		"repro/internal/advisor.Policy", // sim.Policy aliases it
+		"repro/internal/dist.Distribution",
+	},
+	Registrars: []RegistrarSpec{
+		{Func: "repro/internal/spec.RegisterPolicy", NameArg: 0},
+		{Func: "repro/internal/spec.RegisterDist", NameArg: -1, NameField: "Family"},
+		{Func: "repro/internal/spec.RegisterPlatform", NameArg: 0},
+	},
+	ImplPrefix:   "repro/internal/",
+	PresetResult: "repro/internal/platform.Spec",
+}
+
+// Registry checks the registries for completeness and name coherence.
+var Registry = NewRegistry(DefaultRegistryConfig)
+
+// NewRegistry builds a registry analyzer for the given configuration.
+func NewRegistry(cfg RegistryConfig) *Analyzer {
+	return &Analyzer{
+		Name: "registry",
+		Doc: `every concrete Policy/Distribution implementation and every
+platform preset constructor defined under internal/ must be reachable
+from a Register* call (otherwise new model families silently miss the
+spec, service, session, and sweep machinery), and a registered type
+whose Name() method returns a constant must be registered under exactly
+that name lowercased.`,
+		RunProgram: func(pass *ProgramPass) error { return runRegistry(pass, cfg) },
+	}
+}
+
+func runRegistry(pass *ProgramPass, cfg RegistryConfig) error {
+	prog := newProgramIndex(pass.Packages)
+
+	// A narrowed invocation (chkpt-vet ./internal/trace/...) analyzes a
+	// partial program. Reachability is only sound when every registration
+	// layer is loaded: an implementation pulled in as a dependency would
+	// otherwise look unregistered merely because the package holding the
+	// Register* calls was not asked for. Skip the analyzer entirely in
+	// that case; absent interface/preset packages are likewise skipped.
+	for _, r := range cfg.Registrars {
+		if dot := strings.LastIndex(r.Func, "."); dot >= 0 {
+			if _, ok := prog.byPath[r.Func[:dot]]; !ok {
+				return nil
+			}
+		}
+	}
+	ifaces := make(map[string]*types.Interface)
+	for _, q := range cfg.Interfaces {
+		iface, err := prog.lookupInterface(q)
+		if errors.Is(err, errNotInProgram) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		ifaces[q] = iface
+	}
+
+	// Every registrar call: its registered name plus the closure of
+	// objects reachable from its argument expressions through
+	// package-level function bodies anywhere in the program.
+	type registration struct {
+		name    string
+		reached map[types.Object]bool
+	}
+	var regs []registration
+	reachedAnywhere := map[types.Object]bool{}
+	for _, pkg := range pass.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				spec, ok := matchRegistrar(pkg.Info, call, cfg.Registrars)
+				if !ok {
+					return true
+				}
+				name := registeredName(pkg.Info, call, spec)
+				reached := prog.reachableFromArgs(pkg, call.Args)
+				regs = append(regs, registration{name: name, reached: reached})
+				for obj := range reached {
+					reachedAnywhere[obj] = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Concrete implementations of the registered interfaces.
+	for _, pkg := range pass.Packages {
+		if !strings.HasPrefix(pkg.Path, cfg.ImplPrefix) || pkg.Main {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, tname := range scope.Names() {
+			tn, ok := scope.Lookup(tname).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			var ifaceNames []string
+			for q, iface := range ifaces {
+				if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+					ifaceNames = append(ifaceNames, q)
+				}
+			}
+			if len(ifaceNames) == 0 {
+				continue
+			}
+			sort.Strings(ifaceNames)
+
+			if !prog.typeReached(reachedAnywhere, named) {
+				pass.Reportf(tn.Pos(), "concrete %s implementation %s.%s is not reachable from any Register* call; it will miss the spec/service/session machinery",
+					shortIfaces(ifaceNames), pkg.Name, tname)
+				continue
+			}
+			constName, ok := prog.constantNameMethod(named)
+			if !ok {
+				continue
+			}
+			want := strings.ToLower(constName)
+			var kinds []string
+			hit := false
+			for _, reg := range regs {
+				if reg.name != "" && prog.typeReached(reg.reached, named) {
+					kinds = append(kinds, reg.name)
+					if reg.name == want {
+						hit = true
+					}
+				}
+			}
+			if !hit {
+				sort.Strings(kinds)
+				pass.Reportf(tn.Pos(), "%s.%s has Name() %q but is registered under %v, not %q; registry name and Name() must agree",
+					pkg.Name, tname, constName, kinds, want)
+			}
+		}
+	}
+
+	// Platform-preset constructors.
+	if cfg.PresetResult != "" {
+		presetType, err := prog.lookupNamed(cfg.PresetResult)
+		if errors.Is(err, errNotInProgram) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for _, pkg := range pass.Packages {
+			if !strings.HasPrefix(pkg.Path, cfg.ImplPrefix) || pkg.Main {
+				continue
+			}
+			scope := pkg.Types.Scope()
+			for _, name := range scope.Names() {
+				fn, ok := scope.Lookup(name).(*types.Func)
+				if !ok || !fn.Exported() {
+					continue
+				}
+				sig := fn.Type().(*types.Signature)
+				if !resultsInclude(sig, presetType) {
+					continue
+				}
+				if !reachedAnywhere[fn] {
+					pass.Reportf(fn.Pos(), "preset constructor %s.%s returns %s but is not reachable from any Register* call",
+						pkg.Name, name, presetType.Obj().Name())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func shortIfaces(qualified []string) string {
+	short := make([]string, len(qualified))
+	for i, q := range qualified {
+		if idx := strings.LastIndex(q, "."); idx >= 0 {
+			short[i] = q[strings.LastIndex(q[:idx], "/")+1:]
+		} else {
+			short[i] = q
+		}
+	}
+	return strings.Join(short, "+")
+}
+
+// matchRegistrar resolves a call to one of the configured registrars.
+func matchRegistrar(info *types.Info, call *ast.CallExpr, specs []RegistrarSpec) (RegistrarSpec, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return RegistrarSpec{}, false
+	}
+	q := funcPkgPath(fn) + "." + fn.Name()
+	for _, s := range specs {
+		if s.Func == q {
+			return s, true
+		}
+	}
+	return RegistrarSpec{}, false
+}
+
+// registeredName extracts the registered-name string literal from the
+// call per the registrar spec ("" when not statically determinable).
+func registeredName(info *types.Info, call *ast.CallExpr, spec RegistrarSpec) string {
+	if spec.NameArg >= 0 {
+		if spec.NameArg < len(call.Args) {
+			if s, ok := constStringValue(info, call.Args[spec.NameArg]); ok {
+				return s
+			}
+		}
+		return ""
+	}
+	for _, arg := range call.Args {
+		cl, ok := ast.Unparen(arg).(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		for _, elt := range cl.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == spec.NameField {
+				if s, ok := constStringValue(info, kv.Value); ok {
+					return s
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// programIndex accelerates cross-package lookups for the registry pass.
+type programIndex struct {
+	packages []*Package
+	byPath   map[string]*Package
+	// funcDecls maps package-level function/method objects to their
+	// declarations, program-wide.
+	funcDecls map[*types.Func]*funcDeclIn
+}
+
+type funcDeclIn struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+func newProgramIndex(pkgs []*Package) *programIndex {
+	idx := &programIndex{
+		packages:  pkgs,
+		byPath:    map[string]*Package{},
+		funcDecls: map[*types.Func]*funcDeclIn{},
+	}
+	for _, pkg := range pkgs {
+		idx.byPath[pkg.Path] = pkg
+		for id, obj := range pkg.Info.Defs {
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			for _, f := range pkg.Files {
+				if id.Pos() < f.Pos() || id.Pos() > f.End() {
+					continue
+				}
+				for _, decl := range f.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name == id {
+						idx.funcDecls[fn] = &funcDeclIn{pkg: pkg, decl: fd}
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *programIndex) lookupNamed(qualified string) (*types.Named, error) {
+	dot := strings.LastIndex(qualified, ".")
+	if dot < 0 {
+		return nil, fmt.Errorf("analysis: registry config name %q is not pkgpath.Name", qualified)
+	}
+	pkgPath, name := qualified[:dot], qualified[dot+1:]
+	pkg, ok := idx.byPath[pkgPath]
+	if !ok {
+		return nil, fmt.Errorf("analysis: registry config package %q: %w", pkgPath, errNotInProgram)
+	}
+	obj := pkg.Types.Scope().Lookup(name)
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, fmt.Errorf("analysis: %q does not name a type", qualified)
+	}
+	named, ok := types.Unalias(tn.Type()).(*types.Named)
+	if !ok {
+		return nil, fmt.Errorf("analysis: %q is not a named type", qualified)
+	}
+	return named, nil
+}
+
+func (idx *programIndex) lookupInterface(qualified string) (*types.Interface, error) {
+	named, err := idx.lookupNamed(qualified)
+	if err != nil {
+		return nil, err
+	}
+	iface, ok := named.Underlying().(*types.Interface)
+	if !ok {
+		return nil, fmt.Errorf("analysis: %q is not an interface", qualified)
+	}
+	return iface, nil
+}
+
+// reachableFromArgs computes the set of objects referenced from the
+// argument expressions, closed transitively over the bodies of
+// package-level functions declared anywhere in the analyzed program.
+func (idx *programIndex) reachableFromArgs(pkg *Package, args []ast.Expr) map[types.Object]bool {
+	reached := map[types.Object]bool{}
+	var work []*funcDeclIn
+	seen := map[*types.Func]bool{}
+
+	collect := func(p *Package, root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			reached[obj] = true
+			if fn, ok := obj.(*types.Func); ok && !seen[fn] {
+				if fd := idx.funcDecls[fn]; fd != nil {
+					seen[fn] = true
+					work = append(work, fd)
+				}
+			}
+			return true
+		})
+	}
+
+	for _, arg := range args {
+		collect(pkg, arg)
+	}
+	for len(work) > 0 {
+		fd := work[len(work)-1]
+		work = work[:len(work)-1]
+		if fd.decl.Body != nil {
+			collect(fd.pkg, fd.decl.Body)
+		}
+	}
+	return reached
+}
+
+// typeReached reports whether the type itself or any function
+// constructing it (results include T or *T) is in the reached set.
+func (idx *programIndex) typeReached(reached map[types.Object]bool, named *types.Named) bool {
+	if reached[named.Obj()] {
+		return true
+	}
+	for obj := range reached {
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		if resultsInclude(sig, named) {
+			return true
+		}
+	}
+	return false
+}
+
+// resultsInclude reports whether any result of the signature is T or *T.
+func resultsInclude(sig *types.Signature, named *types.Named) bool {
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj() == named.Obj() {
+			return true
+		}
+	}
+	return false
+}
+
+// constantNameMethod extracts the constant return value of a Name()
+// string method declared as a single `return "literal"`.
+func (idx *programIndex) constantNameMethod(named *types.Named) (string, bool) {
+	for _, t := range []types.Type{named, types.NewPointer(named)} {
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			fn, ok := ms.At(i).Obj().(*types.Func)
+			if !ok || fn.Name() != "Name" {
+				continue
+			}
+			fd := idx.funcDecls[fn]
+			if fd == nil || fd.decl.Body == nil || len(fd.decl.Body.List) != 1 {
+				return "", false
+			}
+			ret, ok := fd.decl.Body.List[0].(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				return "", false
+			}
+			return constStringValue(fd.pkg.Info, ret.Results[0])
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,28 @@
+// Package allowfix exercises the //chkpt:allow directive semantics: a
+// directive suppresses exactly one diagnostic of the named analyzer on
+// its own line or the line below, and stale, reasonless, or
+// unknown-analyzer directives are themselves findings. The companion
+// test asserts on the diagnostics directly instead of using // want
+// comments (a want comment cannot share a line with a directive).
+package allowfix
+
+import "fmt"
+
+// Two produces two errwrap findings on one line; the directive must
+// suppress exactly the first, leaving the err2 finding.
+func Two(err1, err2 error) error {
+	//chkpt:allow errwrap -- demonstrates that one directive suppresses exactly one diagnostic
+	return fmt.Errorf("%v and %v", err1, err2)
+}
+
+// Clean has no finding: the directive above it is stale and must be
+// reported.
+//
+//chkpt:allow errwrap -- matches nothing on purpose
+func Clean() error { return nil }
+
+//chkpt:allow errwrap
+func MissingReason() {}
+
+//chkpt:allow mystery -- no analyzer has this name
+func Unknown() {}

@@ -1,0 +1,40 @@
+// Package ctxfix seeds true positives for every ctxflow rule plus the
+// legitimate shapes that must stay silent.
+package ctxfix
+
+import "context"
+
+func helper(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// Synthesize trips the Background/TODO ban.
+func Synthesize() {
+	ctx := context.Background() // want "synthesizes a context with context.Background"
+	_ = ctx
+	_ = context.TODO() // want "synthesizes a context with context.TODO"
+}
+
+// BadOrder takes a context that is not the first parameter.
+func BadOrder(name string, ctx context.Context) string { // want "context.Context that is not the first parameter"
+	_ = ctx
+	return name
+}
+
+// NoCtx drives a context-first API without taking a context.
+func NoCtx() int {
+	return helper(nil, 1) // want "calls context-first ctxfix.helper without taking a context.Context"
+}
+
+// WithCtx threads the caller's context and must stay silent.
+func WithCtx(ctx context.Context) int {
+	return helper(ctx, 2)
+}
+
+// Spawn closes over a context bound by the closure itself: legitimate.
+func Spawn() func(context.Context) int {
+	return func(ctx context.Context) int {
+		return helper(ctx, 3)
+	}
+}

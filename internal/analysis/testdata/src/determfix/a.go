@@ -1,0 +1,91 @@
+// Package determfix seeds one true positive for every determinism rule
+// plus the sanctioned shapes that must stay silent.
+package determfix
+
+import (
+	"fmt"
+	"io"
+	"math/rand" // want "deterministic package imports math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+var sink any
+
+// Clock trips the wall-clock bans.
+func Clock() {
+	sink = time.Now()           // want "calls time.Now"
+	_ = time.Since(time.Time{}) // want "calls time.Since"
+}
+
+// Env trips the environment-read ban.
+func Env() string {
+	return os.Getenv("HOME") // want "calls os.Getenv"
+}
+
+// Rand trips nothing beyond the import ban above.
+func Rand() int { return rand.Int() }
+
+// UnsortedKeys appends map keys without sorting them.
+func UnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "appends to \"keys\" in random key order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedKeys is the canonical fix and must stay silent.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Prints writes inside the iteration.
+func Prints(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "writes output in random key order"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// FirstFailure exits early with a loop-variable-derived result: which
+// element wins depends on map order.
+func FirstFailure(m map[string]int) error {
+	for k, v := range m { // want "exits early while feeding the loop variables"
+		if err := check(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Contains is a constant-result existence check and must stay silent.
+func Contains(m map[string]int, want string) bool {
+	for k := range m {
+		if k == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Sum is order-insensitive and must stay silent.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func check(k string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("determfix: %s negative", k)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+// Package errwrapfix seeds true positives for every errwrap rule plus
+// conforming shapes that must stay silent.
+package errwrapfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadPrefix violates the package-prefixed sentinel convention.
+var ErrBadPrefix = errors.New("oops: misfiled sentinel") // want "must start with the package prefix \"errwrapfix: \""
+
+// ErrGood conforms.
+var ErrGood = errors.New("errwrapfix: good sentinel")
+
+// StringifyV hides the error chain behind %v.
+func StringifyV(err error) error {
+	return fmt.Errorf("decoding spec: %v", err) // want "formats error err with %v; wrap it with %w"
+}
+
+// StringifyS hides the error chain behind %s.
+func StringifyS(err error) error {
+	return fmt.Errorf("spec %s failed: %s", "name", err) // want "formats error err with %s; wrap it with %w"
+}
+
+// Wrap conforms.
+func Wrap(err error) error {
+	return fmt.Errorf("decoding spec: %w", err)
+}
+
+// NonError formats non-error operands and must stay silent.
+func NonError(n int) error {
+	return fmt.Errorf("errwrapfix: %d items, %v state", n, struct{}{})
+}
+
+// NakedError carries an Err field without Unwrap: errors.Is cannot see
+// through it.
+type NakedError struct { // want "declares no Unwrap"
+	Op  string
+	Err error
+}
+
+func (e *NakedError) Error() string { return "errwrapfix: " + e.Op }
+
+// WrappedError conforms.
+type WrappedError struct {
+	Op  string
+	Err error
+}
+
+func (e *WrappedError) Error() string { return "errwrapfix: " + e.Op }
+func (e *WrappedError) Unwrap() error { return e.Err }

@@ -1,0 +1,34 @@
+// Package nopanicfix seeds true positives for the nopanic rules plus
+// the sanctioned constructor-invariant shapes.
+package nopanicfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NewCount panics in the sanctioned constructor-invariant form: package
+// prefix, constant message. Must stay silent.
+func NewCount(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("nopanicfix: non-positive count %d", n))
+	}
+	return n
+}
+
+// Concat panics with a prefixed concatenation: still constant-led, silent.
+func Concat(name string) {
+	if name == "" {
+		panic("nopanicfix: " + name + " must be named")
+	}
+}
+
+// WrongPrefix panics with someone else's prefix.
+func WrongPrefix() {
+	panic("otherpkg: wrong prefix") // want "must carry the package prefix \"nopanicfix: \""
+}
+
+// Opaque panics with a non-constant message.
+func Opaque() {
+	panic(errors.New("dynamic")) // want "panic with a non-constant message"
+}

@@ -1,0 +1,10 @@
+// Package iface is the miniature contract layer of the registry
+// fixture: the interface whose implementations must register, and the
+// preset result type whose constructors must register.
+package iface
+
+// Policy is the mini registry interface.
+type Policy interface{ Name() string }
+
+// Spec is the mini platform-preset result type.
+type Spec struct{ MTBF float64 }

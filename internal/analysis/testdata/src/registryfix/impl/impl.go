@@ -1,0 +1,37 @@
+// Package impl defines the registry fixture's concrete implementations:
+// a registered one, an orphan, a misnamed one, and preset constructors.
+package impl
+
+import "registryfix/iface"
+
+// Good is registered under "good", matching its Name().
+type Good struct{}
+
+func (Good) Name() string { return "Good" }
+
+// NewGood is the constructor the registration closure reaches.
+func NewGood() Good { return Good{} }
+
+// Orphan implements Policy but no Register call reaches it.
+type Orphan struct{} // want "implementation impl.Orphan is not reachable from any Register"
+
+func (Orphan) Name() string { return "Orphan" }
+
+// Misnamed is registered, but under a kind that contradicts its Name().
+type Misnamed struct{} // want "registered under .wrong., not .misnamed.; registry name"
+
+func (Misnamed) Name() string { return "Misnamed" }
+
+// Dist is registered through the composite-literal (codec) registrar.
+type Dist struct{}
+
+func (Dist) Name() string { return "Dist" }
+
+// NewDist is the codec Build constructor.
+func NewDist() Dist { return Dist{} }
+
+// GoodPreset is reachable from a RegisterPreset call.
+func GoodPreset() iface.Spec { return iface.Spec{MTBF: 1} }
+
+// OrphanPreset is not.
+func OrphanPreset() iface.Spec { return iface.Spec{} } // want "preset constructor impl.OrphanPreset returns Spec but is not reachable"

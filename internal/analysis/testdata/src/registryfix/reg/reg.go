@@ -1,0 +1,41 @@
+// Package reg is the registry fixture's registration layer, mirroring
+// the shapes of spec.RegisterPolicy (name argument), spec.RegisterDist
+// (name inside a codec composite literal), and spec.RegisterPlatform.
+package reg
+
+import (
+	"registryfix/iface"
+	"registryfix/impl"
+)
+
+var (
+	policies = map[string]func() iface.Policy{}
+	presets  = map[string]func() iface.Spec{}
+	codecs   = map[string]Codec{}
+)
+
+// RegisterPolicy mirrors the kind-plus-builder registrar shape.
+func RegisterPolicy(kind string, f func() iface.Policy) { policies[kind] = f }
+
+// RegisterPreset mirrors the platform-preset registrar shape.
+func RegisterPreset(name string, f func() iface.Spec) { presets[name] = f }
+
+// Codec mirrors spec.DistCodec: the registered name lives in a field.
+type Codec struct {
+	Family string
+	Build  func() iface.Policy
+}
+
+// RegisterCodec mirrors the composite-literal registrar shape.
+func RegisterCodec(c Codec) { codecs[c.Family] = c }
+
+// build is an intermediate helper: reachability must close over
+// package-level function bodies, not just the literal arguments.
+func build() iface.Policy { return impl.NewGood() }
+
+func init() {
+	RegisterPolicy("good", func() iface.Policy { return build() })
+	RegisterPolicy("wrong", func() iface.Policy { return impl.Misnamed{} })
+	RegisterPreset("petafix", func() iface.Spec { return impl.GoodPreset() })
+	RegisterCodec(Codec{Family: "dist", Build: func() iface.Policy { return impl.NewDist() }})
+}

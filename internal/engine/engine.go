@@ -259,6 +259,7 @@ func (e *Engine) generateTraces(d dist.Distribution, units int, horizon, downtim
 	nb := (units + size - 1) / size
 	// Background context: a trace set is an atomic cached artifact — a
 	// partially generated set must never escape into the cache.
+	//chkpt:allow ctxflow -- cached artifacts are built to completion on purpose: honoring a caller's cancellation here could cache a partially generated trace set
 	_, _ = Run(context.Background(), e, nb, func(b int) (struct{}, error) {
 		lo, hi := b*size, (b+1)*size
 		if hi > units {

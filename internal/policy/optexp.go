@@ -30,7 +30,7 @@ func NewOptExp(work, platformRate, c float64) (*Periodic, error) {
 func MustOptExp(work, platformRate, c float64) *Periodic {
 	p, err := NewOptExp(work, platformRate, c)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("policy: MustOptExp(%v, %v, %v): %v", work, platformRate, c, err))
 	}
 	return p
 }

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"maps"
 	"net/http"
 	"runtime"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -423,7 +425,9 @@ var recommendParams = map[string]bool{
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	for key := range q {
+	// Sorted keys: with several unknown parameters the complaint must
+	// name the same one on every request, not vary with map order.
+	for _, key := range slices.Sorted(maps.Keys(q)) {
 		if !recommendParams[key] {
 			writeError(w, http.StatusBadRequest,
 				fmt.Errorf("service: unknown query parameter %q (have: platform, p, mtbf, family, shape, work, c, d, r, traces, seed, quanta, periodlb)", key))
@@ -504,9 +508,15 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// C/D/R/work overrides turn the preset into a custom platform, so the
-	// spec still states exactly what ran.
+	// spec still states exactly what ran. Fixed order: with several bad
+	// overrides the 400 must name the same parameter on every request.
 	override := false
-	for key, dst := range map[string]*float64{"c": &plat.CBase, "r": &plat.RBase, "d": &plat.D, "work": &plat.W} {
+	overrides := []struct {
+		key string
+		dst *float64
+	}{{"c", &plat.CBase}, {"r", &plat.RBase}, {"d", &plat.D}, {"work", &plat.W}}
+	for _, o := range overrides {
+		key, dst := o.key, o.dst
 		v, ok, err := queryFloat(q, key)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
