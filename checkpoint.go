@@ -329,6 +329,11 @@ func WithStateApprox(nExact, nApprox int) DPNextFailureOption {
 	return policy.WithStateApprox(nExact, nApprox)
 }
 
+// WithCoarseQuanta opts DPNextFailure post-failure re-plans into the
+// approximate coarse mode (n quanta, bounded value loss); the pristine
+// plan stays exact. See the policy package docs for when this is safe.
+func WithCoarseQuanta(n int) DPNextFailureOption { return policy.WithCoarseQuanta(n) }
+
 // BuildDPMakespanTable precomputes the Algorithm 1 table; share it across
 // runs with NewDPMakespan.
 func BuildDPMakespanTable(d Distribution, work, c, r, down, tau0 float64, quanta int) (*DPMakespanTable, error) {

@@ -1,0 +1,176 @@
+package main
+
+// The compare subcommand is the bench-regression gate: it diffs two
+// BENCH_<n>.json documents and exits non-zero when the new run regresses
+// past the thresholds, so CI can pin a committed baseline.
+//
+//	chkpt-benchjson compare -threshold 5 -allocs-threshold 1.5 -min-ns 1000 old.json new.json
+//
+// A benchmark regresses when its ns/op grows by more than the threshold
+// factor, when its allocs/op grow by more than the allocs threshold
+// factor, or when a zero-alloc benchmark starts allocating at all (the
+// zero-alloc pins are exact: any alloc is a contract break, not noise).
+// Benchmarks present on only one side are reported but never fail the
+// gate — suites are allowed to grow and shrink. Baselines faster than
+// -min-ns are skipped for the ns/op check: at sub-microsecond scale the
+// timer and scheduler noise on shared CI machines dwarfs any real change.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// compareMain runs the compare subcommand; args excludes "compare".
+func compareMain(args []string, stdout, stderr io.Writer) int {
+	fs := newCompareFlags(args, stderr)
+	if fs == nil {
+		return 2
+	}
+	oldRep, err := loadReport(fs.oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "chkpt-benchjson compare: %v\n", err)
+		return 1
+	}
+	newRep, err := loadReport(fs.newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "chkpt-benchjson compare: %v\n", err)
+		return 1
+	}
+	regressions := runCompare(oldRep, newRep, fs.threshold, fs.allocsThreshold, fs.minNs, stdout)
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "chkpt-benchjson compare: %d regression(s) past threshold %g (allocs %g)\n",
+			regressions, fs.threshold, fs.allocsThreshold)
+		return 1
+	}
+	return 0
+}
+
+type compareFlags struct {
+	threshold       float64
+	allocsThreshold float64
+	minNs           float64
+	oldPath         string
+	newPath         string
+}
+
+// newCompareFlags parses the subcommand flags by hand (two positional
+// paths after optional flags), keeping the main package free of a second
+// flag.FlagSet whose usage text would shadow the converter's.
+func newCompareFlags(args []string, stderr io.Writer) *compareFlags {
+	fs := &compareFlags{threshold: 2, allocsThreshold: 1.5, minNs: 0}
+	var paths []string
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		var dst *float64
+		switch arg {
+		case "-threshold", "--threshold":
+			dst = &fs.threshold
+		case "-allocs-threshold", "--allocs-threshold":
+			dst = &fs.allocsThreshold
+		case "-min-ns", "--min-ns":
+			dst = &fs.minNs
+		default:
+			paths = append(paths, arg)
+			continue
+		}
+		if i+1 >= len(args) {
+			fmt.Fprintf(stderr, "chkpt-benchjson compare: %s needs a value\n", arg)
+			return nil
+		}
+		i++
+		if parseFloatFlag(args[i], dst, arg, stderr) != nil {
+			return nil
+		}
+	}
+	if len(paths) != 2 {
+		fmt.Fprintln(stderr, "usage: chkpt-benchjson compare [-threshold f] [-allocs-threshold f] [-min-ns f] old.json new.json")
+		return nil
+	}
+	if fs.threshold < 1 || fs.allocsThreshold < 1 {
+		fmt.Fprintln(stderr, "chkpt-benchjson compare: thresholds must be >= 1")
+		return nil
+	}
+	fs.oldPath, fs.newPath = paths[0], paths[1]
+	return fs
+}
+
+func parseFloatFlag(v string, dst *float64, flag string, stderr io.Writer) error {
+	if _, err := fmt.Sscanf(v, "%g", dst); err != nil {
+		fmt.Fprintf(stderr, "chkpt-benchjson compare: %s: bad value %q\n", flag, v)
+		return err
+	}
+	return nil
+}
+
+// loadReport reads and decodes one BENCH_<n>.json document.
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	dec := json.NewDecoder(f)
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return &rep, nil
+}
+
+// benchKey identifies a benchmark across reports. The -<procs> suffix is
+// part of the recorded name; runs on machines with different GOMAXPROCS
+// intentionally read as added/removed rather than silently comparing
+// different parallelism.
+func benchKey(b Benchmark) string { return b.Pkg + "." + b.Name }
+
+// runCompare prints the per-benchmark delta table and returns the number
+// of regressions.
+func runCompare(oldRep, newRep *Report, threshold, allocsThreshold, minNs float64, w io.Writer) int {
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldRep.Benchmarks {
+		oldBy[benchKey(b)] = b
+	}
+	regressions := 0
+	seen := map[string]bool{}
+	for _, nb := range newRep.Benchmarks {
+		key := benchKey(nb)
+		seen[key] = true
+		ob, ok := oldBy[key]
+		if !ok {
+			fmt.Fprintf(w, "ADDED    %s  %.0f ns/op  %d allocs/op\n", key, nb.NsPerOp, nb.AllocsPerOp)
+			continue
+		}
+		status, reasons := "ok", ""
+		if ob.NsPerOp >= minNs && ob.NsPerOp > 0 && nb.NsPerOp > ob.NsPerOp*threshold {
+			status, reasons = "REGRESS", fmt.Sprintf(" ns/op %.2fx>%g", nb.NsPerOp/ob.NsPerOp, threshold)
+		}
+		switch {
+		case ob.AllocsPerOp == 0 && nb.AllocsPerOp > 0:
+			status = "REGRESS"
+			reasons += fmt.Sprintf(" allocs 0->%d", nb.AllocsPerOp)
+		case ob.AllocsPerOp > 0 && float64(nb.AllocsPerOp) > float64(ob.AllocsPerOp)*allocsThreshold:
+			status = "REGRESS"
+			reasons += fmt.Sprintf(" allocs %d->%d (> %gx)", ob.AllocsPerOp, nb.AllocsPerOp, allocsThreshold)
+		}
+		if status == "REGRESS" {
+			regressions++
+		}
+		ratio := 0.0
+		if ob.NsPerOp > 0 {
+			ratio = nb.NsPerOp / ob.NsPerOp
+		}
+		fmt.Fprintf(w, "%-8s %s  %.0f -> %.0f ns/op (%.2fx)  %d -> %d allocs/op%s\n",
+			status, key, ob.NsPerOp, nb.NsPerOp, ratio, ob.AllocsPerOp, nb.AllocsPerOp, reasons)
+	}
+	for _, ob := range oldRep.Benchmarks {
+		if !seen[benchKey(ob)] {
+			fmt.Fprintf(w, "REMOVED  %s\n", benchKey(ob))
+		}
+	}
+	return regressions
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cmpReport builds a report with the given (name, ns, allocs) triples in
+// one synthetic package.
+func cmpReport(benches ...Benchmark) *Report {
+	for i := range benches {
+		benches[i].Pkg = "example/pkg"
+		benches[i].Runs = 100
+	}
+	return &Report{PR: 1, Benchmarks: benches}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	oldR := cmpReport(Benchmark{Name: "BenchmarkX-8", NsPerOp: 500000, AllocsPerOp: 18})
+	newR := cmpReport(Benchmark{Name: "BenchmarkX-8", NsPerOp: 1500, AllocsPerOp: 0})
+	var out strings.Builder
+	if n := runCompare(oldR, newR, 2, 1.5, 0, &out); n != 0 {
+		t.Fatalf("improvement flagged as %d regression(s):\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("missing ok line:\n%s", out.String())
+	}
+}
+
+func TestCompareNsRegressionFails(t *testing.T) {
+	oldR := cmpReport(Benchmark{Name: "BenchmarkX-8", NsPerOp: 10000})
+	newR := cmpReport(Benchmark{Name: "BenchmarkX-8", NsPerOp: 25000})
+	var out strings.Builder
+	if n := runCompare(oldR, newR, 2, 1.5, 0, &out); n != 1 {
+		t.Fatalf("2.5x slowdown past a 2x threshold should regress, got %d:\n%s", n, out.String())
+	}
+	// The same delta under a looser threshold passes.
+	if n := runCompare(oldR, newR, 3, 1.5, 0, &out); n != 0 {
+		t.Fatalf("2.5x slowdown under a 3x threshold should pass, got %d", n)
+	}
+}
+
+func TestCompareAllocRegressionFails(t *testing.T) {
+	oldR := cmpReport(Benchmark{Name: "BenchmarkX-8", NsPerOp: 10000, AllocsPerOp: 10})
+	newR := cmpReport(Benchmark{Name: "BenchmarkX-8", NsPerOp: 10000, AllocsPerOp: 20})
+	var out strings.Builder
+	if n := runCompare(oldR, newR, 2, 1.5, 0, &out); n != 1 {
+		t.Fatalf("2x alloc growth past a 1.5x threshold should regress, got %d:\n%s", n, out.String())
+	}
+}
+
+func TestCompareZeroAllocPinIsExact(t *testing.T) {
+	oldR := cmpReport(Benchmark{Name: "BenchmarkX-8", NsPerOp: 10000, AllocsPerOp: 0})
+	newR := cmpReport(Benchmark{Name: "BenchmarkX-8", NsPerOp: 10000, AllocsPerOp: 1})
+	var out strings.Builder
+	if n := runCompare(oldR, newR, 10, 10, 0, &out); n != 1 {
+		t.Fatalf("0->1 allocs must regress regardless of thresholds, got %d:\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs 0->1") {
+		t.Fatalf("missing zero-alloc reason:\n%s", out.String())
+	}
+}
+
+func TestCompareMinNsSkipsNoiseDominatedBaselines(t *testing.T) {
+	// 100 ns -> 900 ns is a 9x "slowdown" but the baseline is below
+	// min-ns: timer noise, not a regression.
+	oldR := cmpReport(Benchmark{Name: "BenchmarkTiny-8", NsPerOp: 100})
+	newR := cmpReport(Benchmark{Name: "BenchmarkTiny-8", NsPerOp: 900})
+	var out strings.Builder
+	if n := runCompare(oldR, newR, 2, 1.5, 1000, &out); n != 0 {
+		t.Fatalf("sub-min-ns baseline should be exempt from the ns gate, got %d:\n%s", n, out.String())
+	}
+	// But its alloc contract still holds.
+	oldR.Benchmarks[0].AllocsPerOp = 0
+	newR.Benchmarks[0].AllocsPerOp = 3
+	if n := runCompare(oldR, newR, 2, 1.5, 1000, &out); n != 1 {
+		t.Fatalf("alloc gate must apply below min-ns too, got %d", n)
+	}
+}
+
+func TestCompareAddedRemovedTolerated(t *testing.T) {
+	oldR := cmpReport(
+		Benchmark{Name: "BenchmarkKept-8", NsPerOp: 10000},
+		Benchmark{Name: "BenchmarkGone-8", NsPerOp: 10000},
+	)
+	newR := cmpReport(
+		Benchmark{Name: "BenchmarkKept-8", NsPerOp: 10000},
+		Benchmark{Name: "BenchmarkNew-8", NsPerOp: 999999, AllocsPerOp: 50},
+	)
+	var out strings.Builder
+	if n := runCompare(oldR, newR, 2, 1.5, 0, &out); n != 0 {
+		t.Fatalf("added/removed benchmarks must not fail the gate, got %d:\n%s", n, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "ADDED    example/pkg.BenchmarkNew-8") ||
+		!strings.Contains(s, "REMOVED  example/pkg.BenchmarkGone-8") {
+		t.Fatalf("added/removed not reported:\n%s", s)
+	}
+}
+
+func TestComparePackageDisambiguatesNames(t *testing.T) {
+	oldR := &Report{PR: 1, Benchmarks: []Benchmark{
+		{Pkg: "a", Name: "BenchmarkX-8", NsPerOp: 100000},
+		{Pkg: "b", Name: "BenchmarkX-8", NsPerOp: 100},
+	}}
+	newR := &Report{PR: 2, Benchmarks: []Benchmark{
+		{Pkg: "a", Name: "BenchmarkX-8", NsPerOp: 100000},
+		{Pkg: "b", Name: "BenchmarkX-8", NsPerOp: 120},
+	}}
+	var out strings.Builder
+	if n := runCompare(oldR, newR, 2, 1.5, 0, &out); n != 0 {
+		t.Fatalf("same-name benchmarks in different packages crossed wires: %d\n%s", n, out.String())
+	}
+}
+
+// TestCompareMainEndToEnd drives the subcommand entry point: flags,
+// file IO, exit codes, and the malformed-input error path.
+func TestCompareMainEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldP := write("old.json", `{"pr":6,"benchmarks":[{"pkg":"p","name":"BenchmarkA-8","runs":1,"nsPerOp":556246,"allocsPerOp":15}]}`)
+	goodP := write("new.json", `{"pr":7,"benchmarks":[{"pkg":"p","name":"BenchmarkA-8","runs":100,"nsPerOp":1500}]}`)
+	badP := write("bad.json", `{"pr":7,"benchmarks":[{"pkg":"p","name":"BenchmarkA-8","runs":100,"nsPerOp":9999999,"allocsPerOp":200}]}`)
+	malformed := write("malformed.json", `{"pr": 7, "benchmarks": [`)
+	empty := write("empty.json", `{"pr": 7, "benchmarks": []}`)
+
+	var out, errOut strings.Builder
+	if code := compareMain([]string{"-threshold", "5", oldP, goodP}, &out, &errOut); code != 0 {
+		t.Fatalf("improvement exit = %d, stderr: %s", code, errOut.String())
+	}
+	if code := compareMain([]string{"-threshold", "5", "-allocs-threshold", "1.5", oldP, badP}, &out, &errOut); code != 1 {
+		t.Fatalf("regression exit = %d, want 1", code)
+	}
+	if code := compareMain([]string{oldP, malformed}, &out, &errOut); code != 1 {
+		t.Fatalf("malformed JSON exit = %d, want 1", code)
+	}
+	if code := compareMain([]string{oldP, empty}, &out, &errOut); code != 1 {
+		t.Fatalf("empty report exit = %d, want 1", code)
+	}
+	if code := compareMain([]string{oldP}, &out, &errOut); code != 2 {
+		t.Fatalf("missing operand exit = %d, want 2", code)
+	}
+	if code := compareMain([]string{"-threshold", "0.5", oldP, goodP}, &out, &errOut); code != 2 {
+		t.Fatalf("sub-1 threshold exit = %d, want 2", code)
+	}
+}

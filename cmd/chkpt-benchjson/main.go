@@ -10,6 +10,13 @@
 // what a regression tracker needs to diff two PRs without re-parsing
 // free-form text. Records keep the input order, so consecutive runs of
 // the same suite diff cleanly.
+//
+// The compare subcommand diffs two such documents and exits non-zero on
+// a regression, turning the committed baseline into a CI gate:
+//
+//	chkpt-benchjson compare -threshold 5 -allocs-threshold 1.5 -min-ns 1000 BENCH_6.json BENCH_7.json
+//
+// See compare.go for the regression rules.
 package main
 
 import (
@@ -44,6 +51,9 @@ type Report struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(compareMain(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	pr := flag.Int("pr", 0, "PR number stamped into the report (required)")
 	flag.Parse()
 	if *pr <= 0 {

@@ -87,6 +87,73 @@ func BenchmarkSessionDPNextFailureStep(b *testing.B) {
 	}
 }
 
+// dpnfFailureStep drives one failure/recovery advisory cycle, cycling
+// through units and varying where in the chunk the failure lands so the
+// post-recovery age multiset changes bitwise every iteration — each cycle
+// pays an honest grid refill + DP re-solve instead of hitting the
+// warm-start memo.
+func dpnfFailureStep(tb testing.TB, sess *advisor.Session, i int, unit *int) {
+	d, err := sess.Advise()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fracs := [4]float64{0.3, 0.45, 0.55, 0.7}
+	at := d.Now + d.Chunk*fracs[i%len(fracs)]
+	if err := sess.Observe(advisor.Event{Kind: advisor.EventFailure, Time: at, Unit: *unit}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := sess.Observe(advisor.Event{Kind: advisor.EventRecovered, Time: at + 660}); err != nil {
+		tb.Fatal(err)
+	}
+	*unit = (*unit + 1) % 64
+}
+
+// BenchmarkSessionDPNextFailureStepCold is the from-scratch incremental
+// cost: the failure offset varies per iteration, so the sorted age
+// multiset is never bitwise-stationary and the warm-start memo cannot
+// serve the previous plan (unlike the perfectly cyclic ...Step pattern
+// above, where it does). This is the number to compare against the old
+// allocate-everything solver.
+func BenchmarkSessionDPNextFailureStepCold(b *testing.B) {
+	law := dist.NewExponentialMean(125 * 365.25 * 86400)
+	planner := policy.NewDPNextFailurePlanner(law, law.Mean(), policy.WithQuanta(60))
+	sess, err := advisor.NewSession(advisor.Config{
+		Job:    benchJob(),
+		Policy: planner.NewPolicy(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	unit := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dpnfFailureStep(b, sess, i, &unit)
+	}
+}
+
+// BenchmarkSessionDPNextFailureStepCoarse is the cold pattern with the
+// opt-in coarse re-planning mode: post-failure solves run at 12 quanta on
+// the 256-point grid instead of 60 on 1024.
+func BenchmarkSessionDPNextFailureStepCoarse(b *testing.B) {
+	law := dist.NewExponentialMean(125 * 365.25 * 86400)
+	planner := policy.NewDPNextFailurePlanner(law, law.Mean(),
+		policy.WithQuanta(60), policy.WithCoarseQuanta(12))
+	sess, err := advisor.NewSession(advisor.Config{
+		Job:    benchJob(),
+		Policy: planner.NewPolicy(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	unit := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dpnfFailureStep(b, sess, i, &unit)
+	}
+}
+
 // BenchmarkSessionDPNextFailureCommit measures the cheap DP path: plan
 // walking between failures (no replan, just cursor pops and commits).
 func BenchmarkSessionDPNextFailureCommit(b *testing.B) {
@@ -115,5 +182,62 @@ func TestPeriodicSteadyStateZeroAlloc(t *testing.T) {
 	allocs := testing.AllocsPerRun(1000, func() { step(t, sess) })
 	if allocs != 0 {
 		t.Fatalf("periodic Advise/Observe cycle allocates %.1f times per step, want 0", allocs)
+	}
+}
+
+func newDPNFSession(t *testing.T) *advisor.Session {
+	t.Helper()
+	law := dist.NewExponentialMean(125 * 365.25 * 86400)
+	planner := policy.NewDPNextFailurePlanner(law, law.Mean(), policy.WithQuanta(60))
+	sess, err := advisor.NewSession(advisor.Config{
+		Job:    benchJob(),
+		Policy: planner.NewPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+// TestDPNextFailureCommitZeroAlloc pins the DPNextFailure commit path
+// (plan-cursor walking between failures) at zero allocations once the
+// planner's scratch slabs are warm.
+func TestDPNextFailureCommitZeroAlloc(t *testing.T) {
+	sess := newDPNFSession(t)
+	// Warm: one failure puts the session on the incremental replan path
+	// and sizes the slabs; a few commits settle the advisory bookkeeping.
+	unit := 0
+	for i := 0; i < 3; i++ {
+		dpnfFailureStep(t, sess, i, &unit)
+	}
+	for i := 0; i < 80; i++ {
+		step(t, sess)
+	}
+	allocs := testing.AllocsPerRun(300, func() { step(t, sess) })
+	if allocs != 0 {
+		t.Fatalf("DPNextFailure commit cycle allocates %.1f times per step, want 0", allocs)
+	}
+}
+
+// TestDPNextFailureFailureStepZeroAlloc pins the full failure cycle —
+// Advise with a fresh replan (grid refill + DP solve) plus the failure
+// and recovery events — at zero allocations once every unit has failed
+// at least once (so FailedUnits no longer grows).
+func TestDPNextFailureFailureStepZeroAlloc(t *testing.T) {
+	sess := newDPNFSession(t)
+	unit := 0
+	// Warm past 2*64 iterations: all units enter FailedUnits and all
+	// scratch slabs (groups, grid, DP tables, decision buffers) reach
+	// their steady-state capacity.
+	for i := 0; i < 140; i++ {
+		dpnfFailureStep(t, sess, i, &unit)
+	}
+	i := 140
+	allocs := testing.AllocsPerRun(200, func() {
+		dpnfFailureStep(t, sess, i, &unit)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("DPNextFailure failure cycle allocates %.1f times per step, want 0", allocs)
 	}
 }

@@ -66,6 +66,11 @@ func TestSessionReplayMatchesSimulatorForEveryPolicyKind(t *testing.T) {
 		"dpmakespan":    {Kind: "dpmakespan", Quanta: 30},
 	}
 
+	type replayCase struct {
+		name string
+		ps   spec.PolicySpec
+	}
+	var cases []replayCase
 	for _, kind := range spec.PolicyKinds() {
 		if kind == "lowerbound" {
 			continue // the omniscient bound is not a simulable policy
@@ -74,14 +79,25 @@ func TestSessionReplayMatchesSimulatorForEveryPolicyKind(t *testing.T) {
 		if !ok {
 			ps = spec.PolicySpec{Kind: kind}
 		}
-		cand, err := ps.Candidate(context.Background(), env)
+		cases = append(cases, replayCase{name: kind, ps: ps})
+	}
+	// The approximate coarse re-planning mode must satisfy the same
+	// replay contract: approximation changes which plan is chosen, never
+	// the determinism of serving it.
+	cases = append(cases, replayCase{
+		name: "dpnextfailure-coarse",
+		ps:   spec.PolicySpec{Kind: "dpnextfailure", Quanta: 30, CoarseQuanta: 10},
+	})
+
+	for _, tc := range cases {
+		cand, err := tc.ps.Candidate(context.Background(), env)
 		if err != nil {
-			t.Fatalf("%s: %v", kind, err)
+			t.Fatalf("%s: %v", tc.name, err)
 		}
 		if cand.SkipReason != "" {
-			t.Fatalf("%s: unexpectedly unschedulable on the fixture scenario: %s", kind, cand.SkipReason)
+			t.Fatalf("%s: unexpectedly unschedulable on the fixture scenario: %s", tc.name, cand.SkipReason)
 		}
-		t.Run(kind, func(t *testing.T) {
+		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
 			for traceIdx := 0; traceIdx < 2; traceIdx++ {
 				ts := trace.GenerateRenewal(sc.Dist, d.Units, sc.Horizon, sc.Spec.D, sc.TraceSeed(traceIdx))

@@ -121,6 +121,15 @@ func (c *Cache) do(key string, build func() (any, int64, error)) (any, error) {
 	return e.val, e.err
 }
 
+// Do is the exported build-once lookup with the same semantics as do:
+// one build per live key, concurrent requesters block on the first
+// builder, errors are not cached. It satisfies policy.SharedCache so
+// DPNextFailure planners can share survival grids through the engine
+// cache (see Engine.SharedGridOptions).
+func (c *Cache) Do(key string, build func() (artifact any, weight int64, err error)) (any, error) {
+	return c.do(key, build)
+}
+
 // removeLocked unlinks an entry; the caller holds c.mu.
 func (c *Cache) removeLocked(e *cacheEntry) {
 	delete(c.entries, e.key)
@@ -179,7 +188,8 @@ func (e *Engine) DPMakespanTable(d dist.Distribution, work, cost, rec, down, tau
 func (e *Engine) DPNextFailurePlanner(d dist.Distribution, unitMean float64, quanta int) *policy.DPNextFailurePlanner {
 	e = or(e)
 	build := func() *policy.DPNextFailurePlanner {
-		return policy.NewDPNextFailurePlanner(d, unitMean, policy.WithQuanta(quanta))
+		opts := append([]policy.DPNextFailureOption{policy.WithQuanta(quanta)}, e.SharedGridOptions(d)...)
+		return policy.NewDPNextFailurePlanner(d, unitMean, opts...)
 	}
 	if e.cache == nil {
 		return build()

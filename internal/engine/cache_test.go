@@ -3,11 +3,13 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/dist"
+	"repro/internal/sim"
 )
 
 func TestCacheBuildsOncePerKey(t *testing.T) {
@@ -235,5 +237,65 @@ func TestDistKeyDistinguishesParameters(t *testing.T) {
 	w := dist.WeibullFromMeanShape(1e6, 0.7)
 	if distKey(w) != fmt.Sprint(w) {
 		t.Fatal("parametric laws should key by their String")
+	}
+}
+
+// TestDPNextFailureSharedGrids pins the survival-grid sharing path: two
+// sessions of the engine-cached planner replanning the same failure state
+// must serve the second grid from the cache (hits increase, no second
+// miss for the grid key) and decide bit-identically — a cached grid is a
+// pure function of its key, so sharing never changes decisions.
+func TestDPNextFailureSharedGrids(t *testing.T) {
+	law := dist.WeibullFromMeanShape(2e6, 0.7)
+	e := New(Config{Workers: 1, Cache: NewCache(0)})
+	planner := e.DPNextFailurePlanner(law, 2e6, 20)
+
+	job := &sim.Job{Work: 1e12, C: 400, R: 400, D: 60, Units: 8}
+	// Two failed units + the never-failed group: 3 age groups, inside the
+	// shared-grid eligibility bound.
+	state := func() *sim.State {
+		renew := make([]float64, 8)
+		renew[1], renew[4] = 6e5, 3e5
+		return &sim.State{Job: job, Now: 1e6, Remaining: job.Work,
+			LastRenewal: renew, FailedUnits: []int32{1, 4}, Failures: 2}
+	}
+
+	p1 := planner.NewPolicy()
+	if err := p1.Start(job); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Cache().Stats()
+	c1 := p1.NextChunk(state())
+	mid := e.Cache().Stats()
+	if mid.Misses != before.Misses+1 {
+		t.Fatalf("first replan should miss once for the shared grid: misses %d -> %d", before.Misses, mid.Misses)
+	}
+
+	p2 := planner.NewPolicy()
+	if err := p2.Start(job); err != nil {
+		t.Fatal(err)
+	}
+	c2 := p2.NextChunk(state())
+	after := e.Cache().Stats()
+	if after.Misses != mid.Misses {
+		t.Fatalf("second replan rebuilt the shared grid: misses %d -> %d", mid.Misses, after.Misses)
+	}
+	if after.Hits <= mid.Hits {
+		t.Fatalf("second replan should hit the shared grid: hits %d -> %d", mid.Hits, after.Hits)
+	}
+	if math.Float64bits(c1) != math.Float64bits(c2) {
+		t.Fatalf("shared-grid decision diverged: %v vs %v", c1, c2)
+	}
+
+	// A cacheless engine hands out planners with sharing disabled; the
+	// decision must still be bit-identical (the grid is the same pure
+	// function either way).
+	bare := New(Config{Workers: 1}).DPNextFailurePlanner(law, 2e6, 20)
+	p3 := bare.NewPolicy()
+	if err := p3.Start(job); err != nil {
+		t.Fatal(err)
+	}
+	if c3 := p3.NextChunk(state()); math.Float64bits(c3) != math.Float64bits(c1) {
+		t.Fatalf("unshared decision diverged: %v vs %v", c3, c1)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dist"
+	"repro/internal/policy"
 	"repro/internal/trace"
 )
 
@@ -62,6 +63,18 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Cache returns the engine's artifact cache (nil when caching is off).
 func (e *Engine) Cache() *Cache { return e.cache }
+
+// SharedGridOptions returns the DPNextFailure planner options that wire
+// survival-grid sharing to this engine's cache, keyed by the canonical
+// law identity. Empty when the engine runs without a cache. A cached grid
+// is a pure function of its key, so sharing never changes decisions.
+func (e *Engine) SharedGridOptions(d dist.Distribution) []policy.DPNextFailureOption {
+	e = or(e)
+	if e.cache == nil {
+		return nil
+	}
+	return []policy.DPNextFailureOption{policy.WithSharedGrids(e.cache, distKey(d))}
+}
 
 // CacheStats returns a point-in-time snapshot of the engine cache's
 // counters. ok is false when the engine runs without a cache; the snapshot

@@ -32,6 +32,23 @@
 // fresh per simulated trace) is what lets the experiment engine run
 // hundreds of traces concurrently against shared planning work.
 //
+// DPNextFailure re-plans incrementally: each session keeps scratch slabs
+// for the age groups, the survival grid and the DP value/argmin tables,
+// reuses the grid when its inputs are bitwise unchanged, and serves the
+// previous plan outright when the whole decision state is — so the
+// post-failure hot path is allocation-free and often solve-free.
+// Sessions on the same (law, platform) can additionally share survival
+// grids through an engine cache (WithSharedGrids, wired by
+// engine.SharedGridOptions). None of this changes a single decision:
+// exact-mode plans are bit-identical to the frozen from-scratch solver
+// in dpnextfailure_reference.go, which exists solely as the oracle for
+// the differential suite (dpnf_differential_test.go) and
+// FuzzDPNextFailureReplan. The one knowing exception is opt-in:
+// WithCoarseQuanta(n) solves post-failure re-plans at a coarser
+// resolution with a provable expected-work bound
+// V(coarse) >= V(exact) - m*u_c (m exact chunks, u_c the coarse
+// quantum); the pristine first plan is always exact.
+//
 // The declarative layer (repro/internal/spec) registers every policy in
 // a name-keyed registry ("young", "dalylow", "dalyhigh", "optexp",
 // "bouguerra", "liu", "period", "dpnextfailure", "dpmakespan") that

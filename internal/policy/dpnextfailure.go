@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/dist"
@@ -16,13 +17,14 @@ import (
 // next failure, re-planned after every failure.
 //
 // The planner is shared read-only by every concurrent run of a scenario;
-// the per-trace mutable execution state (the chunk-plan cursor and the
-// failure counter) lives in the DPNextFailure instances it hands out via
-// NewPolicy. Because the very first planning pass of a run depends only on
-// the job geometry when no unit has failed yet, the planner memoizes that
-// pristine-state plan: in scenarios where the job is released before the
-// first failure (the paper's single-processor tables), the expensive
-// initial DP is solved once per scenario instead of once per trace.
+// the per-trace mutable execution state (the chunk-plan cursor, the
+// failure counter, and the re-planning scratch slabs) lives in the
+// DPNextFailure instances it hands out via NewPolicy. Because the very
+// first planning pass of a run depends only on the job geometry when no
+// unit has failed yet, the planner memoizes that pristine-state plan: in
+// scenarios where the job is released before the first failure (the
+// paper's single-processor tables), the expensive initial DP is solved
+// once per scenario instead of once per trace.
 //
 // Implementation notes mirroring §3.3:
 //
@@ -38,19 +40,56 @@ import (
 //     only the first half of the planned chunks is executed before
 //     re-planning, exactly as the paper prescribes to keep the algorithm
 //     fast enough for production use.
+//
+// Incremental re-planning (this file's warm path) keeps every decision
+// bit-identical to the frozen from-scratch solver in
+// dpnextfailure_reference.go while removing its per-call cost:
+//
+//   - All DP state (value/argmin tables, the G(t) grid, the age-group
+//     buffers, the extracted plan) lives in per-instance preallocated
+//     slabs, so steady-state re-planning allocates nothing.
+//   - The horizon cap min(2*MTBF/p, 30 Young periods) is hoisted into
+//     Start — it depends only on the job, not the state.
+//   - The survival grid is rebuilt only when its inputs (age groups,
+//     horizon, resolution) actually changed, and can be shared across
+//     sessions on the same (law, platform) through an engine cache via
+//     WithSharedGrids.
+//   - Candidate chunks whose provable upper bound e^d <= 1+d+d^2/2
+//     (valid for d <= 0) cannot beat the incumbent skip the math.Exp
+//     call; a 1e-9 relative slack absorbs float rounding so the argmax —
+//     and therefore the plan — is exactly the reference's.
+//   - WithCoarseQuanta opts post-failure re-plans into a coarser DP
+//     (fewer quanta, a 256-point grid). That mode is approximate by
+//     construction; its value loss is bounded (see doc.go) and it is
+//     never used for the pristine plan or when exactness is required.
 type DPNextFailurePlanner struct {
 	d        dist.Distribution
 	unitMean float64 // per-unit MTBF used for the horizon truncation
 	quanta   int
+	coarse   int // 0 = always exact; else post-failure replan resolution
 	nExact   int
 	nApprox  int
 	halfPlan bool
+
+	// grids, when non-nil, shares built survival grids across sessions
+	// keyed by (lawKey, age groups, horizon, resolution). Consulted only
+	// for small group counts: key construction allocates, and large group
+	// sets are session-specific anyway.
+	grids  SharedCache
+	lawKey string
 
 	// pristine memoizes the plan for failure-free initial states, keyed by
 	// the state signature. Computed under mu so concurrent first-deciders
 	// of the same scenario share one DP solve.
 	mu       sync.Mutex
 	pristine map[pristineKey][]float64
+}
+
+// SharedCache is the minimal surface of a build-once artifact cache used
+// to share survival grids across planner instances; engine.Cache
+// implements it. build returns the artifact and its weight in bytes.
+type SharedCache interface {
+	Do(key string, build func() (artifact any, weight int64, err error)) (any, error)
 }
 
 // pristineKey identifies a failure-free decision state completely: with no
@@ -64,11 +103,16 @@ type pristineKey struct {
 }
 
 // DPNextFailure walks a shared DPNextFailurePlanner during one simulated
-// run. It carries only per-trace mutable state and is cheap to construct.
+// run. It carries the per-trace mutable state: the plan cursor, the
+// failure counter, the job-derived horizon cap (hoisted out of replan by
+// Start), and the lazily-allocated re-planning scratch slabs.
 type DPNextFailure struct {
-	planner  *DPNextFailurePlanner
-	plan     []float64
-	failures int
+	planner    *DPNextFailurePlanner
+	horizonCap float64 // min(2*MTBF/p, 30 Young periods); set by Start
+	plan       []float64
+	cursor     int
+	failures   int
+	rp         *replanScratch
 }
 
 // DPNextFailureOption customizes the policy.
@@ -90,6 +134,28 @@ func WithStateApprox(nExact, nApprox int) DPNextFailureOption {
 // (useful for tests on tiny instances).
 func WithFullPlan() DPNextFailureOption {
 	return func(p *DPNextFailure) { p.planner.halfPlan = false }
+}
+
+// WithCoarseQuanta opts post-failure re-plans into an approximate coarse
+// mode: they solve the truncated DP over n quanta (n < WithQuanta's
+// resolution) on a 256-point survival grid instead of the exact
+// configuration. The pristine (failure-free) plan is always solved at
+// full resolution. Coarse decisions are NOT bit-identical to the exact
+// solver; the expected-work loss of a coarse plan is bounded by roughly
+// one coarse quantum per planned chunk (asserted by the differential
+// suite). Use for latency-sensitive serving where re-plan throughput
+// matters more than the last fraction of expected work.
+func WithCoarseQuanta(n int) DPNextFailureOption {
+	return func(p *DPNextFailure) { p.planner.coarse = n }
+}
+
+// WithSharedGrids wires the planner to a cross-session artifact cache for
+// survival grids. lawKey must uniquely identify the failure law (the
+// engine uses its canonical distribution key); grids are further keyed by
+// the exact bit patterns of the age groups and horizon, so a cache hit is
+// bitwise-equivalent to building the grid locally.
+func WithSharedGrids(c SharedCache, lawKey string) DPNextFailureOption {
+	return func(p *DPNextFailure) { p.planner.grids, p.planner.lawKey = c, lawKey }
 }
 
 // NewDPNextFailurePlanner returns the immutable shared planner. d is the
@@ -127,15 +193,37 @@ func NewDPNextFailure(d dist.Distribution, unitMean float64, opts ...DPNextFailu
 // Name implements sim.Policy.
 func (p *DPNextFailure) Name() string { return "DPNextFailure" }
 
-// Start implements sim.Policy.
+// Start implements sim.Policy. Besides validating the configuration it
+// derives the horizon cap, which depends only on the job: replan used to
+// recompute it on every call.
 func (p *DPNextFailure) Start(job *sim.Job) error {
-	if p.planner.quanta < 2 {
-		return fmt.Errorf("policy: DPNextFailure needs at least 2 quanta, got %d", p.planner.quanta)
+	pl := p.planner
+	if pl.quanta < 2 {
+		return fmt.Errorf("policy: DPNextFailure needs at least 2 quanta, got %d", pl.quanta)
 	}
-	if !(p.planner.unitMean > 0) {
-		return fmt.Errorf("policy: DPNextFailure: non-positive unit MTBF %v", p.planner.unitMean)
+	if pl.coarse != 0 && (pl.coarse < 2 || pl.coarse > pl.quanta) {
+		return fmt.Errorf("policy: DPNextFailure coarse quanta must be in [2, quanta=%d], got %d", pl.quanta, pl.coarse)
 	}
+	if !(pl.unitMean > 0) {
+		return fmt.Errorf("policy: DPNextFailure: non-positive unit MTBF %v", pl.unitMean)
+	}
+	// Horizon truncation: min(remaining, 2 * platform MTBF) (§3.3). On
+	// mid-size platforms 2*MTBF/p can span only a handful of optimal
+	// chunks, which would make the quantum coarser than the decisions it
+	// must resolve; we additionally cap the horizon at ~30 Young periods
+	// so the quantum stays a small fraction of a chunk. At the paper's
+	// Petascale/Exascale scales the 2*MTBF/p term is the smaller one and
+	// the behavior is exactly the paper's. The state-dependent min with
+	// Remaining happens in replan; everything else is job-only and lives
+	// here.
+	platformMTBF := pl.unitMean / float64(job.Units)
+	hc := 2 * platformMTBF
+	if young := 30 * math.Sqrt(2*job.C*platformMTBF); young > 0 && young < hc {
+		hc = young
+	}
+	p.horizonCap = hc
 	p.plan = nil
+	p.cursor = 0
 	p.failures = 0
 	return nil
 }
@@ -143,6 +231,7 @@ func (p *DPNextFailure) Start(job *sim.Job) error {
 // OnFailure invalidates the current plan.
 func (p *DPNextFailure) OnFailure(s *sim.State) {
 	p.plan = nil
+	p.cursor = 0
 	p.failures = s.Failures
 }
 
@@ -150,37 +239,41 @@ func (p *DPNextFailure) OnFailure(s *sim.State) {
 func (p *DPNextFailure) NextChunk(s *sim.State) float64 {
 	if s.Failures != p.failures {
 		p.plan = nil
+		p.cursor = 0
 		p.failures = s.Failures
 	}
-	if len(p.plan) == 0 {
+	if p.cursor >= len(p.plan) {
 		if s.Failures == 0 && len(s.FailedUnits) == 0 && s.Remaining == s.Job.Work {
 			// Failure-free initial state: identical for every trace of the
 			// scenario, so the plan is memoized on the shared planner.
-			p.plan = p.planner.pristinePlan(s)
+			p.plan = p.planner.pristinePlan(p, s)
 		} else {
-			p.plan = p.planner.replan(s)
+			p.plan = p.replan(s)
 		}
+		p.cursor = 0
 	}
 	if len(p.plan) == 0 {
 		// Degenerate state (e.g. empirical law past its support): creep
 		// forward one quantum at a time.
 		return math.Min(s.Remaining, math.Max(s.Remaining/float64(p.planner.quanta), 1e-9))
 	}
-	chunk := p.plan[0]
-	p.plan = p.plan[1:]
+	chunk := p.plan[p.cursor]
+	p.cursor++
 	return math.Min(chunk, s.Remaining)
 }
 
 // pristinePlan returns the memoized plan for a failure-free state. The
-// plan slice is shared read-only: NextChunk only re-slices it.
-func (pl *DPNextFailurePlanner) pristinePlan(s *sim.State) []float64 {
+// returned slice is shared read-only across instances: NextChunk only
+// walks it with a cursor. The stored plan is copied out of the solving
+// instance's scratch slab, which later re-plans overwrite.
+func (pl *DPNextFailurePlanner) pristinePlan(p *DPNextFailure, s *sim.State) []float64 {
 	key := pristineKey{remaining: s.Remaining, now: s.Now, c: s.Job.C, units: s.Job.Units}
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	if plan, ok := pl.pristine[key]; ok {
 		return plan
 	}
-	plan := pl.replan(s)
+	plan := append([]float64(nil), p.replan(s)...)
 	if pl.pristine == nil {
 		pl.pristine = map[pristineKey][]float64{}
 	}
@@ -195,52 +288,261 @@ type taugroup struct {
 	weight float64
 }
 
-// replan solves the truncated NextFailure DP and returns the chunk plan.
-func (pl *DPNextFailurePlanner) replan(s *sim.State) []float64 {
-	// Horizon truncation: min(remaining, 2 * platform MTBF) (§3.3). On
-	// mid-size platforms 2*MTBF/p can span only a handful of optimal
-	// chunks, which would make the quantum coarser than the decisions it
-	// must resolve; we additionally cap the horizon at ~30 Young periods
-	// so the quantum stays a small fraction of a chunk. At the paper's
-	// Petascale/Exascale scales the 2*MTBF/p term is the smaller one and
-	// the behavior is exactly the paper's.
-	platformMTBF := pl.unitMean / float64(s.Job.Units)
-	target := math.Min(s.Remaining, 2*platformMTBF)
-	if young := 30 * math.Sqrt(2*s.Job.C*platformMTBF); young > 0 && young < target {
-		target = young
+// Grid resolutions: the exact mode matches the reference solver's 1024
+// points; coarse mode trades resolution for fill cost.
+const (
+	gridPoints       = 1024
+	coarseGridPoints = 256
+
+	// sharedGridMaxGroups bounds when the cross-session grid cache is
+	// consulted: key construction allocates, and states with many distinct
+	// ages are effectively unique to their session anyway. Small counts
+	// (the pristine single group, the first few failures) are exactly the
+	// ones many sessions share.
+	sharedGridMaxGroups = 4
+
+	// dpBoundSlack absorbs float rounding between the pruning upper bound
+	// and the exact candidate value so a pruned candidate provably cannot
+	// have been the argmax. See solveNextFailureDPInto.
+	dpBoundSlack = 1 + 1e-9
+)
+
+// replanScratch holds one instance's preallocated re-planning state. All
+// slabs grow to their high-water mark once and are reused; the warm path
+// performs no allocation.
+type replanScratch struct {
+	// Age-group construction buffers (buildGroupsInto).
+	taus    []float64
+	groups  []taugroup
+	refs    []float64
+	weights []float64
+
+	// The survival grid last used, with the signature it was built from.
+	// grid may point at ownGrid (backed by gbuf) or at a cache-shared,
+	// immutable grid; the signature makes reuse decisions identical either
+	// way.
+	grid       *survivalGrid
+	ownGrid    survivalGrid
+	gbuf       []float64
+	gridGroups []taugroup
+	gridTmax   float64
+	gridN      int
+
+	// DP slabs. val's first row (rem = 0) is all zeros and is never
+	// written by a solve; solvedX tracks the stride the slab was last used
+	// with so a resolution switch re-zeros exactly that row.
+	val     []float64
+	choice  []int32
+	iu      []float64 // iu[i] = float64(i) * u for the current solve
+	solvedX int
+
+	// The last extracted (untruncated) plan and the full input signature
+	// it was solved from; a bitwise match re-serves it without solving.
+	plan      []float64
+	prevU     float64
+	prevC     float64
+	prevX     int
+	prevTrunc bool
+	planOK    bool
+}
+
+func (p *DPNextFailure) scratch() *replanScratch {
+	if p.rp == nil {
+		p.rp = &replanScratch{}
 	}
+	return p.rp
+}
+
+// replan solves the truncated NextFailure DP for the current state and
+// returns the chunk plan (a view into the instance scratch, valid until
+// the next replan). In exact mode the result is bit-identical to
+// replanReference; with WithCoarseQuanta and at least one observed
+// failure it solves the cheaper coarse configuration instead.
+func (p *DPNextFailure) replan(s *sim.State) []float64 {
+	pl := p.planner
+	target := math.Min(s.Remaining, p.horizonCap)
 	if target <= 0 {
 		return nil
 	}
 	truncated := target < s.Remaining*(1-1e-12)
-	x := pl.quanta
+	x, gridN := pl.quanta, gridPoints
+	if pl.coarse > 0 && s.Failures > 0 {
+		x, gridN = pl.coarse, coarseGridPoints
+	}
 	u := target / float64(x)
+	c := s.Job.C
+	tmax := float64(x)*(u+c) + u + c
 
-	groups := pl.buildGroups(s)
-	grid := newSurvivalGrid(pl.d, groups, float64(x)*(u+s.Job.C)+u+s.Job.C)
+	sc := p.scratch()
+	groups := pl.buildGroupsInto(s, sc)
 
-	plan, _ := solveNextFailureDP(x, u, s.Job.C, grid)
+	gridFresh := sc.grid != nil && sc.gridN == gridN && sc.gridTmax == tmax && sameGroups(groups, sc.gridGroups)
+	if sc.planOK && gridFresh && sc.prevX == x && sc.prevU == u && sc.prevC == c && sc.prevTrunc == truncated {
+		// Bitwise-identical inputs: the previous solve's plan is this
+		// state's plan.
+		return pl.finishPlan(sc, truncated)
+	}
+	if !gridFresh {
+		sc.acquireGrid(pl, groups, tmax, gridN)
+	}
+
+	pl.solveInto(sc, x, u, c)
+	sc.prevU, sc.prevC, sc.prevX, sc.prevTrunc, sc.planOK = u, c, x, truncated, true
+	return pl.finishPlan(sc, truncated)
+}
+
+// finishPlan applies the §3.3 execute-half-the-plan rule to the scratch
+// plan.
+func (pl *DPNextFailurePlanner) finishPlan(sc *replanScratch, truncated bool) []float64 {
+	plan := sc.plan
 	if truncated && pl.halfPlan && len(plan) > 1 {
 		plan = plan[:(len(plan)+1)/2]
 	}
 	return plan
 }
 
-// buildGroups constructs the §3.3 approximate age state: the NExact
+// sameGroups reports whether two group sets are bitwise identical.
+func sameGroups(a, b []taugroup) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// acquireGrid points sc.grid at a survival grid for (groups, tmax, gridN):
+// a cache-shared one when the planner has a grid cache and the group set
+// is small, otherwise one (re)built into the instance-owned slab. Both
+// paths produce bitwise-identical grids.
+func (sc *replanScratch) acquireGrid(pl *DPNextFailurePlanner, groups []taugroup, tmax float64, gridN int) {
+	var grid *survivalGrid
+	if pl.grids != nil && len(groups) <= sharedGridMaxGroups {
+		grid = pl.sharedGrid(groups, tmax, gridN)
+	}
+	if grid == nil {
+		need := gridN + 2
+		if cap(sc.gbuf) < need {
+			sc.gbuf = make([]float64, need)
+		}
+		sc.ownGrid.g = sc.gbuf[:need]
+		fillSurvivalGrid(&sc.ownGrid, pl.d, groups, tmax, gridN)
+		grid = &sc.ownGrid
+	}
+	sc.grid = grid
+	sc.gridGroups = append(sc.gridGroups[:0], groups...)
+	sc.gridTmax = tmax
+	sc.gridN = gridN
+	sc.planOK = false
+}
+
+// sharedGrid fetches (building once across all sessions) the grid from
+// the planner's shared cache. Returns nil on any cache error so the
+// caller falls back to a local build.
+func (pl *DPNextFailurePlanner) sharedGrid(groups []taugroup, tmax float64, gridN int) *survivalGrid {
+	key := gridCacheKey(pl.lawKey, groups, tmax, gridN)
+	v, err := pl.grids.Do(key, func() (any, int64, error) {
+		sg := &survivalGrid{g: make([]float64, gridN+2)}
+		fillSurvivalGrid(sg, pl.d, groups, tmax, gridN)
+		return sg, int64((gridN + 2) * 8), nil
+	})
+	if err != nil {
+		return nil
+	}
+	sg, ok := v.(*survivalGrid)
+	if !ok {
+		return nil
+	}
+	return sg
+}
+
+// gridCacheKey encodes every bit the grid depends on: the law, the exact
+// age-group values and weights, the horizon, and the resolution. Equal
+// keys therefore imply bitwise-equal grids.
+func gridCacheKey(lawKey string, groups []taugroup, tmax float64, gridN int) string {
+	b := make([]byte, 0, 48+len(lawKey)+35*len(groups))
+	b = append(b, "dpnfgrid|"...)
+	b = append(b, lawKey...)
+	b = append(b, '|')
+	b = strconv.AppendUint(b, math.Float64bits(tmax), 16)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(gridN), 10)
+	for _, gr := range groups {
+		b = append(b, '|')
+		b = strconv.AppendUint(b, math.Float64bits(gr.tau), 16)
+		b = append(b, ':')
+		b = strconv.AppendUint(b, math.Float64bits(gr.weight), 16)
+	}
+	return string(b)
+}
+
+// solveInto runs the DP solve against the current scratch grid, managing
+// the value/argmin slabs, and leaves the extracted plan in sc.plan.
+func (pl *DPNextFailurePlanner) solveInto(sc *replanScratch, x int, u, c float64) {
+	stride := x + 1
+	need := stride * stride
+	if cap(sc.val) < need || cap(sc.choice) < need {
+		sc.val = make([]float64, need) // zeroed: row 0 must stay zero
+		sc.choice = make([]int32, need)
+		sc.solvedX = x
+	} else {
+		sc.val = sc.val[:need]
+		sc.choice = sc.choice[:need]
+		if sc.solvedX != x {
+			// The slab was last indexed with a different stride, so this
+			// solve's row 0 may overlap cells the previous one wrote.
+			for i := 0; i < stride; i++ {
+				sc.val[i] = 0
+			}
+			sc.solvedX = x
+		}
+	}
+	if cap(sc.iu) < stride {
+		sc.iu = make([]float64, stride)
+	} else {
+		sc.iu = sc.iu[:stride]
+	}
+	for i := range sc.iu {
+		sc.iu[i] = float64(i) * u
+	}
+
+	solveNextFailureDPInto(x, c, sc.grid, sc.val, sc.choice, sc.iu)
+
+	// Extract the plan from the initial state.
+	plan := sc.plan[:0]
+	rem, n := x, 0
+	for rem > 0 {
+		i := int(sc.choice[rem*stride+n])
+		if i <= 0 {
+			break
+		}
+		plan = append(plan, sc.iu[i])
+		rem -= i
+		n++
+	}
+	sc.plan = plan
+}
+
+// buildGroupsInto constructs the §3.3 approximate age state: the NExact
 // smallest ages exactly, the rest binned onto NApprox survival-quantile
 // reference values. Units that never failed share a single group (their
 // age is simply Now), which keeps the construction O(#failed log #failed)
-// even on million-unit platforms.
-func (pl *DPNextFailurePlanner) buildGroups(s *sim.State) []taugroup {
-	taus := make([]float64, 0, len(s.FailedUnits))
+// even on million-unit platforms. All buffers come from sc; the returned
+// slice aliases sc.groups.
+func (pl *DPNextFailurePlanner) buildGroupsInto(s *sim.State, sc *replanScratch) []taugroup {
+	taus := sc.taus[:0]
 	for _, u := range s.FailedUnits {
 		taus = append(taus, s.Tau(int(u)))
 	}
 	sort.Float64s(taus)
+	sc.taus = taus
 	neverCount := s.Job.Units - len(taus)
 	neverTau := s.Now // renewal at trace time 0
 
-	var groups []taugroup
+	groups := sc.groups[:0]
 	nExact := pl.nExact
 	if nExact > len(taus) {
 		nExact = len(taus)
@@ -257,6 +559,7 @@ func (pl *DPNextFailurePlanner) buildGroups(s *sim.State) []taugroup {
 		if neverCount > 0 {
 			groups = append(groups, taugroup{tau: neverTau, weight: float64(neverCount)})
 		}
+		sc.groups = groups
 		return groups
 	}
 
@@ -269,7 +572,13 @@ func (pl *DPNextFailurePlanner) buildGroups(s *sim.State) []taugroup {
 		tauHi = neverTau
 	}
 	m := pl.nApprox
-	refs := make([]float64, m)
+	refs := sc.refs
+	if cap(refs) < m {
+		refs = make([]float64, m)
+	} else {
+		refs = refs[:m]
+	}
+	sc.refs = refs
 	refs[0] = tauLo
 	refs[m-1] = tauHi
 	sLo := pl.d.Survival(tauLo)
@@ -279,33 +588,45 @@ func (pl *DPNextFailurePlanner) buildGroups(s *sim.State) []taugroup {
 		refs[i-1] = dist.InverseSurvival(pl.d, q)
 	}
 	sort.Float64s(refs)
-	weights := make([]float64, m)
-	assign := func(t float64, w float64) {
-		// Nearest reference by age.
-		i := sort.SearchFloat64s(refs, t)
-		switch {
-		case i == 0:
-			weights[0] += w
-		case i >= m:
-			weights[m-1] += w
-		case t-refs[i-1] <= refs[i]-t:
-			weights[i-1] += w
-		default:
-			weights[i] += w
+	weights := sc.weights
+	if cap(weights) < m {
+		weights = make([]float64, m)
+	} else {
+		weights = weights[:m]
+		for i := range weights {
+			weights[i] = 0
 		}
 	}
+	sc.weights = weights
 	for _, t := range rest {
-		assign(t, 1)
+		assignNearest(refs, weights, t, 1)
 	}
 	if neverCount > 0 {
-		assign(neverTau, float64(neverCount))
+		assignNearest(refs, weights, neverTau, float64(neverCount))
 	}
 	for i, w := range weights {
 		if w > 0 {
 			groups = append(groups, taugroup{tau: refs[i], weight: w})
 		}
 	}
+	sc.groups = groups
 	return groups
+}
+
+// assignNearest adds weight w to the reference value nearest t by age.
+func assignNearest(refs, weights []float64, t, w float64) {
+	m := len(refs)
+	i := sort.SearchFloat64s(refs, t)
+	switch {
+	case i == 0:
+		weights[0] += w
+	case i >= m:
+		weights[m-1] += w
+	case t-refs[i-1] <= refs[i]-t:
+		weights[i-1] += w
+	default:
+		weights[i] += w
+	}
 }
 
 func boolToInt(b bool) int {
@@ -323,21 +644,54 @@ type survivalGrid struct {
 	g    []float64
 }
 
+// newSurvivalGrid builds a freshly allocated exact-resolution grid. The
+// warm path uses fillSurvivalGrid into a scratch slab instead.
 func newSurvivalGrid(d dist.Distribution, groups []taugroup, tmax float64) *survivalGrid {
-	// Resolution: fine enough that linear interpolation of the cumulative
-	// hazard is accurate; 1024 points over the horizon suffices for the
-	// smooth laws used here.
-	const n = 1024
-	sg := &survivalGrid{step: tmax / float64(n), g: make([]float64, n+2)}
-	for j := range sg.g {
-		t := float64(j) * sg.step
-		var acc float64
-		for _, gr := range groups {
-			acc += gr.weight * d.CumHazard(gr.tau+t)
-		}
-		sg.g[j] = acc
-	}
+	sg := &survivalGrid{g: make([]float64, gridPoints+2)}
+	fillSurvivalGrid(sg, d, groups, tmax, gridPoints)
 	return sg
+}
+
+// fillSurvivalGrid populates sg (whose g must already have length n+2)
+// with the cumulative-hazard mixture of groups over [0, tmax]. The
+// per-family arms are operation-for-operation identical to the generic
+// loop — they exist only to devirtualize the CumHazard call on the two
+// closed-form laws that dominate planning workloads, which the reference
+// solver pays interface dispatch for. Resolution note (exact mode): 1024
+// points over the horizon is fine enough that linear interpolation of the
+// cumulative hazard is accurate for the smooth laws used here.
+func fillSurvivalGrid(sg *survivalGrid, d dist.Distribution, groups []taugroup, tmax float64, n int) {
+	sg.step = tmax / float64(n)
+	g := sg.g
+	switch law := d.(type) {
+	case dist.Exponential:
+		for j := range g {
+			t := float64(j) * sg.step
+			var acc float64
+			for _, gr := range groups {
+				acc += gr.weight * law.CumHazard(gr.tau+t)
+			}
+			g[j] = acc
+		}
+	case dist.Weibull:
+		for j := range g {
+			t := float64(j) * sg.step
+			var acc float64
+			for _, gr := range groups {
+				acc += gr.weight * law.CumHazard(gr.tau+t)
+			}
+			g[j] = acc
+		}
+	default:
+		for j := range g {
+			t := float64(j) * sg.step
+			var acc float64
+			for _, gr := range groups {
+				acc += gr.weight * d.CumHazard(gr.tau+t)
+			}
+			g[j] = acc
+		}
+	}
 }
 
 // at linearly interpolates G(t).
@@ -360,59 +714,97 @@ func (sg *survivalGrid) psuc(a, b float64) float64 {
 	return math.Exp(sg.at(a) - sg.at(b))
 }
 
-// solveNextFailureDP runs Algorithm 2 on x quanta of size u with
-// checkpoint cost c and returns the optimal chunk plan (chunk sizes in
-// work time) along with its objective value, the expected work before the
-// next failure. State (x', n): x' quanta remaining, n chunks committed;
-// the elapsed execution time is (x-x')*u + n*c, which makes the whole
-// transition structure expressible through the survival grid. G(a) is
-// hoisted out of the candidate loop — every transition from a state shares
-// the same start age.
-func solveNextFailureDP(x int, u, c float64, grid *survivalGrid) ([]float64, float64) {
+// solveNextFailureDPInto runs Algorithm 2 on x quanta of size u with
+// checkpoint cost c, writing into the provided slabs. State (x', n): x'
+// quanta remaining, n chunks committed; the elapsed execution time is
+// (x-x')*u + n*c, which makes the whole transition structure expressible
+// through the survival grid. G(a) is hoisted out of the candidate loop —
+// every transition from a state shares the same start age.
+//
+// Two candidate filters skip the math.Exp call without ever changing the
+// argmax (so plans stay bit-identical to solveNextFailureDPReference):
+//
+//   - d <= -745: math.Exp(d) underflows to exactly 0, so v = 0 can never
+//     exceed best (best >= 0 and ties keep the incumbent).
+//   - Otherwise, e^d <= 1 + d + d^2/2 for every d <= 0 (the difference
+//     has nonpositive derivative and vanishes at 0), so when that bound
+//     times w — inflated by dpBoundSlack to absorb the rounding of the
+//     bound, of math.Exp, and of the products — is still strictly below
+//     the incumbent, the exact v := Exp(d)*w could not have won. The only
+//     positive d values that can occur are rounding-level (G is
+//     nondecreasing), where the slack again covers the gap.
+func solveNextFailureDPInto(x int, c float64, grid *survivalGrid, val []float64, choice []int32, iu []float64) {
 	stride := x + 1
-	val := make([]float64, stride*stride)
-	choice := make([]int32, stride*stride)
-	idx := func(rem, n int) int { return rem*stride + n }
-
 	for rem := 1; rem <= x; rem++ {
 		maxN := x - rem
+		row := rem * stride
 		for n := 0; n <= maxN; n++ {
-			a := float64(x-rem)*u + float64(n)*c
+			a := iu[x-rem] + float64(n)*c
 			ga := grid.at(a)
 			best := 0.0
 			bestI := int32(0)
+			succ := (rem-1)*stride + n + 1 // idx(rem-i, n+1) at i = 1
 			for i := 1; i <= rem; i++ {
-				b := a + float64(i)*u + c
-				v := math.Exp(ga-grid.at(b)) * (float64(i)*u + val[idx(rem-i, n+1)])
-				if v > best {
+				w := iu[i] + val[succ]
+				succ -= stride
+				d := ga - grid.at(a+iu[i]+c)
+				if d <= -745 {
+					continue
+				}
+				if q := 1 + d + 0.5*d*d; q*w*dpBoundSlack < best {
+					continue
+				}
+				if v := math.Exp(d) * w; v > best {
 					best = v
 					bestI = int32(i)
 				}
 			}
-			val[idx(rem, n)] = best
-			choice[idx(rem, n)] = bestI
+			val[row+n] = best
+			choice[row+n] = bestI
 		}
 	}
+}
 
-	// Extract the plan from the initial state.
+// solveNextFailureDP solves with freshly allocated tables and returns the
+// optimal chunk plan along with its objective value, the expected work
+// before the next failure. Kept for callers outside the warm path.
+func solveNextFailureDP(x int, u, c float64, grid *survivalGrid) ([]float64, float64) {
+	stride := x + 1
+	val := make([]float64, stride*stride)
+	choice := make([]int32, stride*stride)
+	iu := make([]float64, stride)
+	for i := range iu {
+		iu[i] = float64(i) * u
+	}
+	solveNextFailureDPInto(x, c, grid, val, choice, iu)
+
 	var plan []float64
 	rem, n := x, 0
 	for rem > 0 {
-		i := int(choice[idx(rem, n)])
+		i := int(choice[rem*stride+n])
 		if i <= 0 {
 			break
 		}
-		plan = append(plan, float64(i)*u)
+		plan = append(plan, iu[i])
 		rem -= i
 		n++
 	}
-	return plan, val[idx(x, 0)]
+	return plan, val[x*stride]
+}
+
+// buildGroups constructs the §3.3 age-group state with fresh buffers.
+// Production re-planning goes through buildGroupsInto; this remains for
+// direct callers and tests.
+func (pl *DPNextFailurePlanner) buildGroups(s *sim.State) []taugroup {
+	return pl.buildGroupsInto(s, &replanScratch{})
 }
 
 // PlanAndValue solves the DP for the given state and returns the full
 // (untruncated-by-half) plan and its objective value, the expected work
 // completed before the next failure. Used by tests to compare against the
-// brute-force oracle of Proposition 3.
+// brute-force oracle of Proposition 3. Unlike replan it never applies the
+// Young-period horizon cap or the coarse mode, matching its historical
+// contract; the returned plan is freshly allocated.
 func (p *DPNextFailure) PlanAndValue(s *sim.State) ([]float64, float64) {
 	pl := p.planner
 	platformMTBF := pl.unitMean / float64(s.Job.Units)

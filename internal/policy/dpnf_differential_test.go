@@ -1,0 +1,381 @@
+package policy
+
+// Differential equivalence suite for the incremental DPNextFailure
+// re-planner: the production replan (warm-start memo, slab-backed solve,
+// devirtualized grid fill, candidate pruning) must produce bit-identical
+// plans to the frozen from-scratch reference in
+// dpnextfailure_reference.go, on randomized failure/recovery sequences
+// across every distribution family. Coarse mode is approximate by design;
+// its expected-work loss and simulated-makespan impact are bounded below
+// instead.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/theory"
+	"repro/internal/trace"
+)
+
+// diffLaws returns one representative per distribution family, all with
+// comparable means so one harness geometry exercises them all.
+func diffLaws(mean float64) []dist.Distribution {
+	// A deterministic empirical sample: quantiles of a Weibull with the
+	// same mean, so the support is bounded (exercising the +Inf hazard
+	// tail) but not degenerate.
+	w := dist.WeibullFromMeanShape(mean, 0.9)
+	samples := make([]float64, 257)
+	for i := range samples {
+		samples[i] = w.Quantile((float64(i) + 0.5) / float64(len(samples)))
+	}
+	return []dist.Distribution{
+		dist.NewExponentialMean(mean),
+		dist.WeibullFromMeanShape(mean, 0.7),
+		dist.GammaFromMeanShape(mean, 2.0),
+		dist.LogNormalFromMeanSigma(mean, 1.1),
+		dist.NewEmpirical(samples),
+	}
+}
+
+// diffEvolve drives one policy instance through `steps` randomized
+// failure/recovery/progress mutations, comparing the production replan
+// against the reference at every state (and re-asking some states twice
+// to cover the warm-start memo path).
+func diffEvolve(t *testing.T, d dist.Distribution, p *DPNextFailure, job *sim.Job, seed uint64, steps int) {
+	t.Helper()
+	if err := p.Start(job); err != nil {
+		t.Fatal(err)
+	}
+	pl := p.planner
+	r := rng.NewStream(seed, 7)
+	s := &sim.State{Job: job, Now: 0, Remaining: job.Work, LastRenewal: make([]float64, job.Units)}
+	seen := make([]bool, job.Units)
+	scale := pl.unitMean / float64(job.Units) / 4
+
+	for step := 0; step < steps; step++ {
+		dt := (0.05 + r.Float64()) * scale
+		s.Now += dt
+		switch r.IntN(10) {
+		case 0, 1, 2, 3, 4:
+			// A unit fails and renews (possibly mid-downtime: its renewal
+			// can sit slightly in the future, making its age negative).
+			u := r.IntN(job.Units)
+			if !seen[u] {
+				seen[u] = true
+				s.FailedUnits = append(s.FailedUnits, int32(u))
+			}
+			s.LastRenewal[u] = s.Now + job.D*r.Float64()
+			s.Failures++
+		case 5:
+			// Work commits; occasionally drop Remaining below the horizon
+			// so the untruncated full-plan path runs too.
+			s.Remaining *= 0.5 + 0.5*r.Float64()
+			if r.IntN(8) == 0 {
+				s.Remaining = scale * (0.1 + r.Float64())
+			}
+			if s.Remaining < 1 {
+				s.Remaining = 1
+			}
+		case 6:
+			// Fresh attempt restores most of the work (keeps the long-plan
+			// path in play after a shrinking streak).
+			s.Remaining = job.Work * (0.2 + 0.8*r.Float64())
+		case 7:
+			// Long quiet stretch: ages grow, grid horizon unchanged.
+			s.Now += 20 * dt
+		default:
+			// No mutation: the very same state is re-planned again below.
+		}
+
+		got := p.replan(s)
+		want := pl.replanReference(s)
+		diffComparePlans(t, step, got, want)
+		if t.Failed() {
+			t.Fatalf("law %s seed %d step %d: production diverged from reference", d.Name(), seed, step)
+		}
+		if r.IntN(4) == 0 {
+			// Identical state again: must serve the memoized plan, still
+			// bit-identical.
+			diffComparePlans(t, step, p.replan(s), want)
+			if t.Failed() {
+				t.Fatalf("law %s seed %d step %d: memoized replan diverged", d.Name(), seed, step)
+			}
+		}
+	}
+}
+
+func diffComparePlans(t *testing.T, step int, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("step %d: plan length %d, reference %d (got %v want %v)", step, len(got), len(want), got, want)
+		return
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Errorf("step %d chunk %d: %x (%v) vs reference %x (%v)", step,
+				i, math.Float64bits(got[i]), got[i], math.Float64bits(want[i]), want[i])
+			return
+		}
+	}
+}
+
+// TestDPNextFailureReplanMatchesReferenceAllFamilies is the exactness
+// contract: thousands of randomized states through both planners, every
+// plan bit-identical, for every family and several platform shapes
+// (single unit, few units, many-units all-exact, and an approximation
+// collapse where distinct ages exceed nApprox).
+func TestDPNextFailureReplanMatchesReferenceAllFamilies(t *testing.T) {
+	const mean = 2e6
+	configs := []struct {
+		name  string
+		units int
+		steps int
+		opts  []DPNextFailureOption
+	}{
+		{"single", 1, 130, []DPNextFailureOption{WithQuanta(12)}},
+		{"few", 6, 150, []DPNextFailureOption{WithQuanta(10)}},
+		{"manyExact", 24, 120, []DPNextFailureOption{WithQuanta(8)}},
+		{"collapse", 40, 120, []DPNextFailureOption{WithQuanta(8), WithStateApprox(3, 6)}},
+	}
+	for _, d := range diffLaws(mean) {
+		for ci, cfg := range configs {
+			t.Run(d.Name()+"/"+cfg.name, func(t *testing.T) {
+				t.Parallel()
+				job := &sim.Job{Work: 1e12, C: 400, R: 400, D: 60, Units: cfg.units}
+				p := NewDPNextFailure(d, mean, cfg.opts...)
+				diffEvolve(t, d, p, job, uint64(100*ci+1), cfg.steps)
+			})
+		}
+	}
+}
+
+// TestDPNextFailureBuildGroupsEdgeCases pins the age-group construction
+// on the corners that production traffic rarely hits, against the
+// reference implementation and against structural invariants.
+func TestDPNextFailureBuildGroupsEdgeCases(t *testing.T) {
+	w := dist.WeibullFromMeanShape(1e6, 0.7)
+
+	t.Run("allNeverFailed", func(t *testing.T) {
+		job := &sim.Job{Work: 1e9, C: 300, R: 300, D: 60, Units: 32}
+		s := &sim.State{Job: job, Now: 5000, Remaining: job.Work, LastRenewal: make([]float64, 32)}
+		p := NewDPNextFailure(w, 1e6)
+		groups := p.planner.buildGroups(s)
+		ref := p.planner.buildGroupsReference(s)
+		diffCompareGroups(t, groups, ref)
+		if len(groups) != 1 || groups[0].tau != 5000 || groups[0].weight != 32 {
+			t.Errorf("all-never-failed state should be one group {5000, 32}, got %+v", groups)
+		}
+	})
+
+	t.Run("nExactExceedsFailed", func(t *testing.T) {
+		job := &sim.Job{Work: 1e9, C: 300, R: 300, D: 60, Units: 8}
+		renew := make([]float64, 8)
+		renew[2], renew[5] = 900, 400
+		s := &sim.State{Job: job, Now: 1000, Remaining: job.Work, LastRenewal: renew,
+			FailedUnits: []int32{2, 5}, Failures: 2}
+		p := NewDPNextFailure(w, 1e6, WithStateApprox(10, 100))
+		groups := p.planner.buildGroups(s)
+		ref := p.planner.buildGroupsReference(s)
+		diffCompareGroups(t, groups, ref)
+		// 2 exact groups (ages 100 and 600) plus the never group (6 units
+		// of age 1000).
+		if len(groups) != 3 || groups[0].tau != 100 || groups[1].tau != 600 || groups[2].weight != 6 {
+			t.Errorf("unexpected groups %+v", groups)
+		}
+	})
+
+	t.Run("nApproxCollapse", func(t *testing.T) {
+		job := &sim.Job{Work: 1e9, C: 300, R: 300, D: 60, Units: 64}
+		renew := make([]float64, 64)
+		s := &sim.State{Job: job, Now: 1e5, Remaining: job.Work, Failures: 40}
+		for i := 0; i < 40; i++ {
+			renew[i] = 1e5 * float64(i+1) / 50
+			s.FailedUnits = append(s.FailedUnits, int32(i))
+		}
+		s.LastRenewal = renew
+		p := NewDPNextFailure(w, 1e6, WithStateApprox(4, 9))
+		groups := p.planner.buildGroups(s)
+		ref := p.planner.buildGroupsReference(s)
+		diffCompareGroups(t, groups, ref)
+		if len(groups) > 4+9 {
+			t.Errorf("collapse produced %d groups, want <= nExact+nApprox=13", len(groups))
+		}
+		var total float64
+		for _, g := range groups {
+			total += g.weight
+		}
+		if math.Abs(total-64) > 1e-9 {
+			t.Errorf("group weights sum to %v, want 64", total)
+		}
+	})
+}
+
+func diffCompareGroups(t *testing.T, got, want []taugroup) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("groups %d vs reference %d: %+v vs %+v", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("group %d: %+v vs reference %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDPNextFailureCoarseValueBound asserts the coarse mode's
+// approximation contract: rounding the exact plan down onto the coarse
+// quantum grid loses at most one coarse quantum of work per chunk (and
+// only raises every survival factor), so the coarse DP — which searches a
+// superset of those rounded plans — must achieve
+//
+//	V(coarse) >= V(exact) - len(exactPlan)*u_coarse - gridSlack
+//
+// with V evaluated by the independent closed-form oracle of
+// Proposition 3, not by either DP's own value table. gridSlack covers the
+// coarse 256-point hazard interpolation.
+func TestDPNextFailureCoarseValueBound(t *testing.T) {
+	const mean = 2e6
+	const quanta, coarse = 30, 8
+	for _, d := range diffLaws(mean) {
+		t.Run(d.Name(), func(t *testing.T) {
+			t.Parallel()
+			job := &sim.Job{Work: 1e12, C: 500, R: 500, D: 60, Units: 3}
+			exact := NewDPNextFailure(d, mean, WithQuanta(quanta), WithFullPlan())
+			co := NewDPNextFailure(d, mean, WithQuanta(quanta), WithCoarseQuanta(coarse), WithFullPlan())
+			if err := exact.Start(job); err != nil {
+				t.Fatal(err)
+			}
+			if err := co.Start(job); err != nil {
+				t.Fatal(err)
+			}
+			r := rng.NewStream(42, 3)
+			s := &sim.State{Job: job, Now: 0, Remaining: job.Work, LastRenewal: make([]float64, 3),
+				FailedUnits: []int32{0, 1, 2}}
+			taus := make([]float64, 3)
+			for step := 0; step < 40; step++ {
+				s.Now += (0.1 + r.Float64()) * mean / 12
+				u := r.IntN(3)
+				s.LastRenewal[u] = s.Now
+				s.Failures++
+				for i := range taus {
+					taus[i] = s.Now - s.LastRenewal[i]
+				}
+				planE := exact.replan(s)
+				planC := co.replan(s)
+				if len(planE) == 0 || len(planC) == 0 {
+					t.Fatalf("step %d: empty plan (exact %d, coarse %d)", step, len(planE), len(planC))
+				}
+				ve := theory.ExpectedWorkBeforeFailureMulti(d, taus, job.C, planE)
+				vc := theory.ExpectedWorkBeforeFailureMulti(d, taus, job.C, planC)
+				target := math.Min(s.Remaining, exact.horizonCap)
+				uCoarse := target / coarse
+				bound := ve - float64(len(planE))*uCoarse - 0.02*ve
+				if vc < bound {
+					t.Fatalf("step %d: coarse value %v below bound %v (exact %v, %d exact chunks, u_c %v)",
+						step, vc, bound, ve, len(planE), uCoarse)
+				}
+			}
+		})
+	}
+}
+
+// TestDPNextFailureCoarseSimulatedMakespan runs the same failure traces
+// through the exact and coarse policies end-to-end: the coarse mode's
+// whole-run cost must stay within a few percent of the exact solver's.
+func TestDPNextFailureCoarseSimulatedMakespan(t *testing.T) {
+	w := dist.WeibullFromMeanShape(20000, 0.7)
+	job := &sim.Job{Work: 30000, C: 200, R: 200, D: 60, Units: 4, Start: 1000}
+	var exactTotal, coarseTotal float64
+	for seed := uint64(11); seed < 17; seed++ {
+		ts := trace.GenerateRenewal(w, 4, 1e8, 60, seed)
+		pe := NewDPNextFailure(w, 20000, WithQuanta(60))
+		re, err := sim.Run(context.Background(), job, pe, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := NewDPNextFailure(w, 20000, WithQuanta(60), WithCoarseQuanta(15))
+		rc, err := sim.Run(context.Background(), job, pc, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactTotal += re.Makespan
+		coarseTotal += rc.Makespan
+	}
+	if coarseTotal > exactTotal*1.05 {
+		t.Fatalf("coarse mode makespan %v exceeds exact %v by more than 5%%", coarseTotal, exactTotal)
+	}
+	if !(coarseTotal > 0) {
+		t.Fatalf("degenerate coarse makespan %v", coarseTotal)
+	}
+}
+
+// TestDPNextFailureWarmReplanZeroAlloc pins the incremental replan at
+// zero allocations once the scratch slabs are warm, under genuinely
+// changing state (ages advance and a unit renews every cycle, so the
+// grid refills and the DP re-solves — no memo shortcut).
+func TestDPNextFailureWarmReplanZeroAlloc(t *testing.T) {
+	law := dist.NewExponentialMean(4e9)
+	job := &sim.Job{Work: 1e18, C: 600, R: 600, D: 60, Units: 64}
+	p := NewDPNextFailure(law, 4e9, WithQuanta(20))
+	if err := p.Start(job); err != nil {
+		t.Fatal(err)
+	}
+	s := &sim.State{Job: job, Now: 0, Remaining: job.Work, LastRenewal: make([]float64, 64)}
+	for i := 0; i < 64; i++ {
+		s.FailedUnits = append(s.FailedUnits, int32(i))
+		s.LastRenewal[i] = float64(i) * 977
+	}
+	s.Now = 64 * 977
+	s.Failures = 64
+	unit := 0
+	cycle := func() {
+		s.Now += 13337.25
+		s.LastRenewal[unit] = s.Now - 600
+		unit = (unit + 1) % 64
+		s.Failures++
+		if plan := p.replan(s); len(plan) == 0 {
+			t.Fatal("empty plan")
+		}
+	}
+	cycle() // warm the slabs
+	if allocs := testing.AllocsPerRun(150, cycle); allocs != 0 {
+		t.Fatalf("warm replan allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestDPNextFailureCoarseReplanZeroAlloc is the same pin for the coarse
+// serving mode (which flips between grid resolutions relative to the
+// pristine solve).
+func TestDPNextFailureCoarseReplanZeroAlloc(t *testing.T) {
+	law := dist.NewExponentialMean(4e9)
+	job := &sim.Job{Work: 1e18, C: 600, R: 600, D: 60, Units: 64}
+	p := NewDPNextFailure(law, 4e9, WithQuanta(60), WithCoarseQuanta(12))
+	if err := p.Start(job); err != nil {
+		t.Fatal(err)
+	}
+	s := &sim.State{Job: job, Now: 0, Remaining: job.Work, LastRenewal: make([]float64, 64)}
+	for i := 0; i < 64; i++ {
+		s.FailedUnits = append(s.FailedUnits, int32(i))
+		s.LastRenewal[i] = float64(i) * 977
+	}
+	s.Now = 64 * 977
+	s.Failures = 64
+	unit := 0
+	cycle := func() {
+		s.Now += 13337.25
+		s.LastRenewal[unit] = s.Now - 600
+		unit = (unit + 1) % 64
+		s.Failures++
+		if plan := p.replan(s); len(plan) == 0 {
+			t.Fatal("empty plan")
+		}
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(150, cycle); allocs != 0 {
+		t.Fatalf("warm coarse replan allocates %.1f times per call, want 0", allocs)
+	}
+}

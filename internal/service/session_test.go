@@ -132,6 +132,37 @@ func TestSessionDecisionsAreDeterministic(t *testing.T) {
 	}
 }
 
+// TestSessionCoarseQuantaKnob: the coarse re-planning knob reaches the
+// planner through /v1/sessions — decisions stay deterministic, failure
+// events keep producing fresh decisions, and an out-of-range value is a
+// 400 at create time, not a silent fallback to exact mode.
+func TestSessionCoarseQuantaKnob(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	spec := sessionSpecJSON(`{"kind": "dpnextfailure", "quanta": 24, "coarseQuanta": 8}`)
+	a := createSession(t, ts.URL, spec)
+	b := createSession(t, ts.URL, spec)
+	if a.Decision == nil || b.Decision == nil || *a.Decision != *b.Decision {
+		t.Fatalf("same coarse spec, different decisions: %+v vs %+v", a.Decision, b.Decision)
+	}
+	chunk := a.Decision.Chunk
+	resp, er := postEvents(t, ts.URL, a.ID, []advisor.Event{
+		{Kind: advisor.EventFailure, Time: chunk / 2, Unit: 0},
+		{Kind: advisor.EventRecovered, Time: chunk/2 + 120},
+	})
+	if resp.StatusCode != http.StatusOK || er.Decision == nil || !(er.Decision.Chunk > 0) {
+		t.Fatalf("post-failure coarse decision: status %d, %+v", resp.StatusCode, er)
+	}
+	if er.State.Failures != 1 {
+		t.Fatalf("failure not recorded: %+v", er.State)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/sessions",
+		sessionSpecJSON(`{"kind": "dpnextfailure", "quanta": 24, "coarseQuanta": 25}`))
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "coarseQuanta") {
+		t.Fatalf("out-of-range coarseQuanta: %d %s", resp.StatusCode, body)
+	}
+}
+
 func TestSessionBadEventsReturn400WithTypedDetail(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	sr := createSession(t, ts.URL, sessionSpecJSON(`{"kind": "young"}`))

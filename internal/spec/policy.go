@@ -31,6 +31,11 @@ type PolicySpec struct {
 	// "dpnextfailure"; both zero keeps the paper's 10/100).
 	NExact  int `json:"nExact,omitempty"`
 	NApprox int `json:"nApprox,omitempty"`
+	// CoarseQuanta, when positive, opts kind "dpnextfailure" into the
+	// approximate coarse re-planning mode: post-failure re-plans solve at
+	// this resolution (must be in [2, quanta]) instead of Quanta. Zero
+	// keeps the exact solver for every re-plan.
+	CoarseQuanta int `json:"coarseQuanta,omitempty"`
 }
 
 // PolicyEnv is the scenario context a policy builder compiles against.
@@ -186,8 +191,11 @@ func init() {
 	RegisterPolicy("dpnextfailure", func(_ context.Context, ps PolicySpec, env PolicyEnv) (harness.Candidate, error) {
 		d := env.Derived
 		quanta := ps.quantaOr(150)
+		if ps.CoarseQuanta < 0 || (ps.CoarseQuanta > 0 && (ps.CoarseQuanta < 2 || ps.CoarseQuanta > quanta)) {
+			return harness.Candidate{}, fmt.Errorf("spec: dpnextfailure coarseQuanta must be in [2, quanta=%d], got %d", quanta, ps.CoarseQuanta)
+		}
 		var planner *policy.DPNextFailurePlanner
-		if ps.NExact > 0 || ps.NApprox > 0 {
+		if ps.NExact > 0 || ps.NApprox > 0 || ps.CoarseQuanta > 0 {
 			// A field left zero keeps its paper default (10/100) — the
 			// planner panics on a zero approximation size.
 			nExact, nApprox := ps.NExact, ps.NApprox
@@ -198,9 +206,17 @@ func init() {
 				nApprox = 100
 			}
 			// The engine cache keys planners by (law, mean, quanta) only;
-			// custom state-approximation sizes build uncached.
-			planner = policy.NewDPNextFailurePlanner(env.Scenario.Dist, d.UnitMean,
-				policy.WithQuanta(quanta), policy.WithStateApprox(nExact, nApprox))
+			// custom state-approximation or coarse-mode planners build
+			// uncached — but still share survival grids through the
+			// engine cache.
+			opts := []policy.DPNextFailureOption{
+				policy.WithQuanta(quanta), policy.WithStateApprox(nExact, nApprox),
+			}
+			if ps.CoarseQuanta > 0 {
+				opts = append(opts, policy.WithCoarseQuanta(ps.CoarseQuanta))
+			}
+			opts = append(opts, env.Engine.SharedGridOptions(env.Scenario.Dist)...)
+			planner = policy.NewDPNextFailurePlanner(env.Scenario.Dist, d.UnitMean, opts...)
 		} else {
 			planner = env.Engine.DPNextFailurePlanner(env.Scenario.Dist, d.UnitMean, quanta)
 		}

@@ -514,6 +514,8 @@ func TestDPNextFailurePartialStateApprox(t *testing.T) {
 	for _, ps := range []PolicySpec{
 		{Kind: "dpnextfailure", Quanta: 20, NExact: 5},
 		{Kind: "dpnextfailure", Quanta: 20, NApprox: 20},
+		{Kind: "dpnextfailure", Quanta: 20, CoarseQuanta: 8},
+		{Kind: "dpnextfailure", Quanta: 20, NExact: 5, CoarseQuanta: 20},
 	} {
 		cand, err := ps.Candidate(context.Background(), env)
 		if err != nil {
@@ -522,6 +524,71 @@ func TestDPNextFailurePartialStateApprox(t *testing.T) {
 		if _, err := cand.New(); err != nil {
 			t.Fatalf("%+v: New: %v", ps, err)
 		}
+	}
+}
+
+// TestDPNextFailureCoarseQuantaValidation: the coarse resolution must be
+// a real DP resolution no finer than the exact one; everything else is a
+// spec error, not a silent clamp.
+func TestDPNextFailureCoarseQuantaValidation(t *testing.T) {
+	sc, err := ScenarioSpec{
+		Name:     "coarse",
+		Platform: PlatformRef{Preset: "oneproc"},
+		P:        1,
+		Dist:     DistSpec{Family: "weibull", Shape: 0.7},
+		Horizon:  2 * platform.Year,
+		Traces:   1,
+		Seed:     3,
+	}.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sc.Derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := PolicyEnv{Engine: engine.New(engine.Config{Workers: 1}), Scenario: sc, Derived: d}
+	for _, ps := range []PolicySpec{
+		{Kind: "dpnextfailure", Quanta: 20, CoarseQuanta: 1},
+		{Kind: "dpnextfailure", Quanta: 20, CoarseQuanta: 21},
+		{Kind: "dpnextfailure", Quanta: 20, CoarseQuanta: -4},
+	} {
+		if _, err := ps.Candidate(context.Background(), env); err == nil || !strings.Contains(err.Error(), "coarseQuanta") {
+			t.Errorf("%+v: err = %v, want coarseQuanta validation error", ps, err)
+		}
+	}
+}
+
+// TestPolicySpecCoarseQuantaRoundTrip: the knob survives a strict
+// decode/encode cycle and unknown-field rejection still holds around it.
+func TestPolicySpecCoarseQuantaRoundTrip(t *testing.T) {
+	in := `{"kind":"dpnextfailure","quanta":24,"coarseQuanta":8}`
+	var ps PolicySpec
+	if err := decodeStrict(strings.NewReader(in), &ps); err != nil {
+		t.Fatal(err)
+	}
+	if ps.CoarseQuanta != 8 || ps.Quanta != 24 {
+		t.Fatalf("decoded %+v", ps)
+	}
+	out, err := json.Marshal(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PolicySpec
+	if err := decodeStrict(bytes.NewReader(out), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != ps {
+		t.Fatalf("round trip %+v != %+v", back, ps)
+	}
+	// Zero stays omitted: exact-mode specs keep their golden encodings.
+	ps.CoarseQuanta = 0
+	out, err = json.Marshal(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "coarseQuanta") {
+		t.Fatalf("zero coarseQuanta serialized: %s", out)
 	}
 }
 
