@@ -95,6 +95,12 @@ serve-smoke:
 # it, then SIGTERM and require a clean drain (open sessions must not
 # block shutdown). Complements serve-smoke, which covers the evaluation
 # endpoints.
+#
+# Phase two is the durability smoke: reboot with -data-dir, open a
+# session and run a sweep job to completion, SIGKILL the server (no
+# drain courtesy), restart over the same directory, and require the
+# session to answer its pre-crash decision, the recovery counter to read
+# 1, and the re-submitted sweep job to re-run zero cells.
 session-smoke:
 	@set -e; \
 	if [ "$(CHKPT_SERVE)" = "/tmp/chkpt-serve-smoke" ]; then $(GO) build -o $(CHKPT_SERVE) ./cmd/chkpt-serve; fi; \
@@ -116,7 +122,46 @@ session-smoke:
 	test "$$code" = "204"; \
 	curl -sf -X POST --data-binary '{"name":"left-open","scenario":{"platform":{"preset":"oneproc","mtbf":86400},"p":1,"dist":{"family":"exponential"}},"policy":{"kind":"dalyhigh"}}' http://$(SERVE_ADDR)/v1/sessions | grep -q '"chunk"'; \
 	kill $$pid; wait $$pid 2>/dev/null || true; \
-	echo "session smoke OK (drained with a session open)"
+	echo "session smoke OK (drained with a session open)"; \
+	datadir=$$(mktemp -d); \
+	$(CHKPT_SERVE) -addr $(SERVE_ADDR) -drain 5s -data-dir $$datadir & pid=$$!; \
+	trap 'kill -9 $$pid 2>/dev/null || true; rm -rf $$datadir' EXIT; \
+	for i in $$(seq 1 50); do \
+	  curl -sf http://$(SERVE_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	create=$$(curl -sf -X POST --data-binary '{"name":"durable","scenario":{"platform":{"preset":"oneproc","mtbf":86400},"p":1,"dist":{"family":"exponential"}},"policy":{"kind":"dpnextfailure","quanta":30}}' http://$(SERVE_ADDR)/v1/sessions); \
+	id=$$(echo "$$create" | sed -n 's/.*"id": *"\([a-f0-9]*\)".*/\1/p' | head -n 1); \
+	test -n "$$id"; echo "durable session id: $$id"; \
+	dec=$$(curl -sf -X POST --data-binary '{"events":[{"kind":"failure","time":1000,"unit":0},{"kind":"recovered","time":1660}]}' http://$(SERVE_ADDR)/v1/sessions/$$id/events); \
+	chunk=$$(echo "$$dec" | grep -o '"chunk": [0-9.e+-]*' | head -n 1); \
+	test -n "$$chunk"; echo "pre-crash decision: $$chunk"; \
+	job=$$(curl -sf -X POST --data-binary '{"name":"durable-sweep","scenario":{"name":"cell","platform":{"preset":"oneproc","mtbf":86400},"p":1,"dist":{"family":"exponential"},"horizon":63072000,"traces":2,"seed":7},"grid":{"mtbf":[43200,86400]},"candidates":{"policies":[{"kind":"young"}]}}' http://$(SERVE_ADDR)/v1/sweeps); \
+	jobid=$$(echo "$$job" | sed -n 's/.*"id": *"\([a-f0-9]*\)".*/\1/p' | head -n 1); \
+	test -n "$$jobid"; echo "sweep job id: $$jobid"; \
+	for i in $$(seq 1 50); do \
+	  curl -sf http://$(SERVE_ADDR)/metrics | grep -q '^chkpt_sweep_cells_computed_total 2' && break; sleep 0.2; \
+	done; \
+	curl -sf http://$(SERVE_ADDR)/metrics | grep -q '^chkpt_sweep_cells_computed_total 2'; \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; \
+	echo "server killed (SIGKILL); restarting over $$datadir"; \
+	$(CHKPT_SERVE) -addr $(SERVE_ADDR) -drain 5s -data-dir $$datadir & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf $$datadir' EXIT; \
+	for i in $$(seq 1 50); do \
+	  curl -sf http://$(SERVE_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	get=$$(curl -sf http://$(SERVE_ADDR)/v1/sessions/$$id); \
+	echo "$$get" | grep -qF "$$chunk"; \
+	echo "$$get" | grep -q '"failures": 1'; \
+	curl -sf http://$(SERVE_ADDR)/metrics | grep -q '^chkpt_sessions_recovered_total 1'; \
+	resub=$$(curl -sf -X POST --data-binary '{"name":"durable-sweep","scenario":{"name":"cell","platform":{"preset":"oneproc","mtbf":86400},"p":1,"dist":{"family":"exponential"},"horizon":63072000,"traces":2,"seed":7},"grid":{"mtbf":[43200,86400]},"candidates":{"policies":[{"kind":"young"}]}}' http://$(SERVE_ADDR)/v1/sweeps); \
+	echo "$$resub" | grep -q '"resumed": true'; \
+	echo "$$resub" | grep -q '"completed": 2'; \
+	echo "$$resub" | grep -q '"done": true'; \
+	curl -sf http://$(SERVE_ADDR)/metrics | grep -q '^chkpt_sweep_cells_restored_total 2'; \
+	curl -sf http://$(SERVE_ADDR)/metrics | grep -q '^chkpt_sweep_cells_computed_total 0'; \
+	kill $$pid; wait $$pid 2>/dev/null || true; \
+	rm -rf $$datadir; \
+	echo "session smoke OK (recovered the session and the sweep job after SIGKILL)"
 
 # One short native-fuzz pass per fuzz target: the corpus-free smoke that
 # keeps the fuzz functions compiling and the decoders panic-free.
@@ -125,6 +170,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzDecodeSession -fuzztime 10s ./internal/spec
 	$(GO) test -run xxx -fuzz FuzzSessionEvents -fuzztime 10s ./internal/advisor
 	$(GO) test -run xxx -fuzz FuzzDPNextFailureReplan -fuzztime 10s ./internal/policy
+	$(GO) test -run xxx -fuzz FuzzStoreDecode -fuzztime 10s ./internal/store
 
 # Pinned fixture parameters — keep in sync with cmd/chkpt-tables/main_test.go.
 TABLE2_ARGS   := -exp table2 -traces 3 -quanta 30 -seed 11 -periodlb-traces 4

@@ -6,14 +6,20 @@
 // Endpoints (see internal/service): POST /v1/evaluate, POST /v1/sweep
 // (NDJSON streaming), GET /v1/recommend, the online advisor sessions
 // (POST /v1/sessions, GET/DELETE /v1/sessions/{id},
-// POST /v1/sessions/{id}/events), GET /v1/registry, GET /healthz,
-// GET /metrics.
+// POST /v1/sessions/{id}/events), durable sweep jobs (POST /v1/sweeps,
+// GET /v1/sweeps/{id}), GET /v1/registry, GET /healthz, GET /metrics.
+//
+// With -data-dir the server mounts a durable store (internal/store):
+// advisor sessions are journaled and replayed bit-identically after a
+// restart, and sweep jobs resume from their persisted cells instead of
+// re-running them.
 //
 // Examples:
 //
 //	chkpt-serve                              # 127.0.0.1:8080
 //	chkpt-serve -version                     # build info, then exit
 //	chkpt-serve -addr :9090 -workers 8 -concurrent 4 -queue 64
+//	chkpt-serve -data-dir /var/lib/chkpt     # survive restarts
 //	curl -s localhost:8080/v1/recommend?platform=petascale\&p=4096\&family=weibull\&shape=0.7
 //	curl -s -X POST --data-binary @spec.json localhost:8080/v1/sweep
 //	curl -s -X POST --data-binary @session.json localhost:8080/v1/sessions
@@ -35,6 +41,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 const tool = "chkpt-serve"
@@ -76,6 +83,17 @@ func main() {
 	if servef.RequestTimeout == 0 {
 		cfg.RequestTimeout = -1
 	}
+	// -data-dir mounts the durable store: sessions and sweep jobs survive
+	// a restart (even a kill -9 — every acknowledged record is fsynced).
+	if servef.DataDir != "" {
+		fst, err := store.Open(servef.DataDir, store.Options{})
+		if err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		defer fst.Close()
+		cfg.Store = fst
+		logger.Info("durable store", "dir", servef.DataDir)
+	}
 
 	srv := service.New(cfg)
 	httpSrv := &http.Server{
@@ -108,5 +126,8 @@ func main() {
 		cliutil.Fatal(tool, err)
 	}
 	<-drained
+	// Stop background sweep runners before the deferred store close, so
+	// no runner races a closed store.
+	srv.Close()
 	logger.Info("stopped")
 }

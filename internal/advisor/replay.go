@@ -1,0 +1,46 @@
+package advisor
+
+import "fmt"
+
+// ReplayStep is one recorded step of a session's history: either an
+// applied event, or an "advised" marker recording a decision point at
+// which the policy was consulted. The distinction matters because some
+// policies (DPNextFailure) advance internal state in NextChunk, so a
+// faithful replay must consult the policy at exactly the recorded
+// points — no more, no fewer.
+type ReplayStep struct {
+	// Advised marks a decision point; Event is ignored when set.
+	Advised bool
+	// Event is the applied event for non-marker steps.
+	Event Event
+}
+
+// ReplaySession mints a session and re-applies a recorded history. By
+// the replay-equivalence property (see the equivalence test suite), the
+// returned session is bit-identical — same pending decision, same
+// policy state — to the session that recorded the steps. A step that
+// fails to re-apply indicates a corrupt or out-of-order log and is
+// reported with its index.
+func (a *Advisor) ReplaySession(history []PastFailure, steps []ReplayStep) (*Session, error) {
+	s, err := a.NewSession(history...)
+	if err != nil {
+		return nil, err
+	}
+	for i, st := range steps {
+		if st.Advised {
+			if _, err := s.Advise(); err != nil {
+				return nil, fmt.Errorf("advisor: replay step %d (advised): %w", i, err)
+			}
+			continue
+		}
+		if err := s.Observe(st.Event); err != nil {
+			return nil, fmt.Errorf("advisor: replay step %d (%s event): %w", i, st.Event.Kind, err)
+		}
+	}
+	return s, nil
+}
+
+// HasDecision reports whether a decision is currently cached — i.e. the
+// policy has been consulted since the last schedule-changing event. The
+// service journals an "advised" marker exactly when this flips to true.
+func (s *Session) HasDecision() bool { return s.hasDecision }

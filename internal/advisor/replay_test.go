@@ -1,0 +1,114 @@
+package advisor_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/engine"
+	"repro/internal/spec"
+)
+
+// sessionAdvisor compiles a oneproc advisor for the given policy spec.
+func sessionAdvisor(t *testing.T, ps spec.PolicySpec) *advisor.Advisor {
+	t.Helper()
+	adv, err := spec.CompileAdvisor(context.Background(), engine.New(engine.Config{Workers: 2}), &spec.SessionSpec{
+		Name: "replay-test",
+		Scenario: spec.ScenarioSpec{
+			Platform: spec.PlatformRef{Preset: "oneproc", MTBF: 86400},
+			P:        1,
+			Dist:     spec.DistSpec{Family: "exponential"},
+		},
+		Policy: ps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return adv
+}
+
+// TestReplaySessionRestoresState: a session rebuilt from its recorded
+// steps — events plus advised markers — lands on the identical pending
+// decision and observable state. DPNextFailure is the policy whose
+// NextChunk advances an internal plan cursor, so it is the policy that
+// would expose a replay consulting the policy at the wrong points.
+func TestReplaySessionRestoresState(t *testing.T) {
+	for _, ps := range []spec.PolicySpec{
+		{Kind: "young"},
+		{Kind: "dpnextfailure", Quanta: 30},
+	} {
+		t.Run(ps.Kind, func(t *testing.T) {
+			adv := sessionAdvisor(t, ps)
+			live, err := adv.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Drive the live session, journaling steps the way the service
+			// does: an advised marker whenever no decision is cached, then
+			// the observed events.
+			var steps []advisor.ReplayStep
+			advise := func() advisor.Decision {
+				t.Helper()
+				if !live.HasDecision() {
+					steps = append(steps, advisor.ReplayStep{Advised: true})
+				}
+				d, err := live.Advise()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return d
+			}
+			observe := func(ev advisor.Event) {
+				t.Helper()
+				if err := live.Observe(ev); err != nil {
+					t.Fatal(err)
+				}
+				steps = append(steps, advisor.ReplayStep{Event: ev})
+			}
+
+			d0 := advise()
+			observe(advisor.Event{Kind: advisor.EventProgress, Time: d0.Chunk / 2, Work: d0.Chunk / 2})
+			observe(advisor.Event{Kind: advisor.EventFailure, Time: d0.Chunk, Unit: 0})
+			observe(advisor.Event{Kind: advisor.EventRecovered, Time: d0.Chunk + 120})
+			d1 := advise()
+			observe(advisor.Event{Kind: advisor.EventCheckpointed, Time: d1.Chunk + d1.Chunk, Work: d1.Chunk})
+			want := advise()
+
+			replayed, err := adv.ReplaySession(nil, steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !replayed.HasDecision() {
+				t.Fatal("replayed session has no cached decision")
+			}
+			got, err := replayed.Advise()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("replayed decision %+v != live %+v", got, want)
+			}
+			if replayed.Now() != live.Now() || replayed.Remaining() != live.Remaining() ||
+				replayed.Failures() != live.Failures() || replayed.InOutage() != live.InOutage() {
+				t.Fatalf("replayed state (now %v rem %v fail %d) != live (now %v rem %v fail %d)",
+					replayed.Now(), replayed.Remaining(), replayed.Failures(),
+					live.Now(), live.Remaining(), live.Failures())
+			}
+		})
+	}
+}
+
+// TestReplaySessionReportsBadStep: a step that cannot re-apply names its
+// index — the diagnostic for a corrupt or out-of-order log.
+func TestReplaySessionReportsBadStep(t *testing.T) {
+	adv := sessionAdvisor(t, spec.PolicySpec{Kind: "young"})
+	_, err := adv.ReplaySession(nil, []advisor.ReplayStep{
+		{Advised: true},
+		{Event: advisor.Event{Kind: advisor.EventRecovered, Time: 10}}, // no outage pending
+	})
+	if err == nil || !strings.Contains(err.Error(), "replay step 1") {
+		t.Fatalf("want step-indexed error, got %v", err)
+	}
+}

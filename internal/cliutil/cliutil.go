@@ -87,13 +87,17 @@ func (f *RunFlags) Validate() error {
 }
 
 // ServeFlags carries the serving flags shared by chkpt-serve (and any
-// future networked tool): listen address, admission bounds, timeouts.
+// future networked tool): listen address, admission bounds, timeouts,
+// and the durability directory.
 type ServeFlags struct {
 	Addr           string
 	Concurrent     int
 	Queue          int
 	RequestTimeout time.Duration
 	Drain          time.Duration
+	// DataDir is the durable store directory; empty keeps everything in
+	// memory (sessions and sweep jobs die with the process).
+	DataDir string
 }
 
 // AddServeFlags registers the serving flag set.
@@ -104,6 +108,7 @@ func AddServeFlags(fs *flag.FlagSet) *ServeFlags {
 	fs.IntVar(&f.Queue, "queue", 16, "admission queue depth beyond the execution slots; overflow answers 429")
 	fs.DurationVar(&f.RequestTimeout, "request-timeout", 2*time.Minute, "per-request evaluation timeout (0 = none)")
 	fs.DurationVar(&f.Drain, "drain", 15*time.Second, "graceful drain window on SIGINT/SIGTERM")
+	fs.StringVar(&f.DataDir, "data-dir", "", "durable store directory for sessions and sweep jobs (empty = in-memory only)")
 	return f
 }
 

@@ -19,6 +19,16 @@
 //     `chkpt-tables -spec` prints, so a stream concatenation reproduces
 //     the batch output exactly. Client disconnects cancel the sweep via
 //     the request context.
+//   - POST /v1/sweeps, GET /v1/sweeps/{id} — durable sweep jobs: the
+//     same grid as /v1/sweep, journaled in the store (internal/store)
+//     under the spec's canonical hash before the submission is
+//     acknowledged. Cells persist content-addressed in expansion order
+//     as they complete, so the completed set is always a prefix;
+//     re-submitting an identical spec resumes from that prefix and
+//     re-runs zero completed cells, across process restarts included.
+//     GET streams the cells as NDJSON from ?from=N (default 0) — the
+//     persisted prefix straight from the store, then live cells as the
+//     runner lands them — byte-identical to the /v1/sweep stream.
 //   - GET  /v1/recommend — convenience lookup: platform preset, law
 //     family/shape, processor count and optional C/D/R/work overrides in
 //     query parameters; returns the winning policy and period.
@@ -29,13 +39,19 @@
 //     registry into a live session; event batches apply in order under a
 //     per-session lock and answer with the next decision; sessions live
 //     in a bounded TTL store (sliding window, lazy reclamation; a full
-//     store answers 429 like the admission queue).
+//     store answers 429 like the admission queue). Every accepted event
+//     is appended to the durable session log before the decision is
+//     returned, so a restarted server rehydrates a session on demand by
+//     replaying its journal — bit-identical to the uninterrupted
+//     session, per the advisor/simulator equivalence contract. DELETE
+//     and TTL eviction write tombstones: a dead session stays dead.
 //   - GET  /v1/registry  — the registered distribution families, policy
 //     kinds and platform presets (the spec registries).
 //   - GET  /healthz, GET /metrics — liveness with build info, and
 //     Prometheus-style text metrics (request counts, latency histograms,
 //     coalescing hits, admission rejections, engine cache
-//     hit/miss/eviction counters, session store gauges/counters).
+//     hit/miss/eviction counters, session store gauges/counters,
+//     session recoveries, sweep-job and durable-store counters).
 //
 // The server is production-shaped rather than a demo mux: a bounded
 // admission queue sheds load with 429 + Retry-After before work starts,

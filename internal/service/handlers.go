@@ -156,8 +156,8 @@ func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	st, ok := s.eng.CacheStats()
-	s.met.writeTo(w, st, ok, s.store.stats())
+	cs, ok := s.eng.CacheStats()
+	s.met.writeTo(w, cs, ok, s.store.stats(), s.st.Stats())
 }
 
 // decodeSpec reads and strict-decodes the request body into an
@@ -303,27 +303,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), err)
 		return
 	}
-	if es.Table == "series" {
-		writeError(w, http.StatusBadRequest,
-			errors.New("service: the series layout pivots all cells into one table and cannot stream; use table \"degradation\" or \"spares\""))
-		return
-	}
-	cells, err := es.Expand()
+	// Pre-flight every cell: a sweep that can only fail must answer 400
+	// before the 200 + NDJSON stream starts, like /v1/evaluate does.
+	cells, err := validateSweepSpec(es)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
-	}
-	// Pre-flight every cell: a sweep that can only fail must answer 400
-	// before the 200 + NDJSON stream starts, like /v1/evaluate does.
-	for _, cell := range cells {
-		if _, err := cell.Scenario.Compile(); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		if err := cell.Candidates.Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
 	}
 
 	ctx, cancel := s.requestContext(r)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/store"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds. Evaluations
@@ -48,6 +49,11 @@ type metrics struct {
 	rejected       uint64 // admissions shed with 429
 	sweepCancelled uint64 // sweeps ended by client cancellation
 	decisions      uint64 // advisor decisions served over /v1/sessions
+
+	sweepJobsCreated   uint64 // durable sweep jobs journaled
+	sweepJobsResumed   uint64 // POSTs/loads that found an existing job
+	sweepCellsComputed uint64 // cells actually evaluated by job runners
+	sweepCellsRestored uint64 // cells recovered from the store, not re-run
 }
 
 func newMetrics() *metrics {
@@ -97,6 +103,30 @@ func (m *metrics) sessionDecision() {
 	m.decisions++
 }
 
+func (m *metrics) sweepJobCreate() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepJobsCreated++
+}
+
+func (m *metrics) sweepJobResume() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepJobsResumed++
+}
+
+func (m *metrics) sweepCellCompute() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepCellsComputed++
+}
+
+func (m *metrics) sweepCellsRestore(n uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepCellsRestored += n
+}
+
 // Snapshot is a point-in-time copy of the server's counters, exposed for
 // tests and operational introspection.
 type Snapshot struct {
@@ -115,24 +145,41 @@ type Snapshot struct {
 	// count the store's lifecycle events.
 	SessionsOpen                                       int
 	SessionsCreated, SessionsEvicted, SessionsRejected uint64
+	// SessionsRecovered counts sessions rehydrated from the durable log
+	// after a restart (or after being dropped from memory).
+	SessionsRecovered uint64
 	// SessionDecisions counts advisor decisions served over /v1/sessions.
 	SessionDecisions uint64
+	// SweepJobsCreated / SweepJobsResumed count durable sweep jobs
+	// journaled vs found already journaled; SweepCellsComputed /
+	// SweepCellsRestored count cells evaluated vs recovered from the
+	// store without re-running.
+	SweepJobsCreated, SweepJobsResumed     uint64
+	SweepCellsComputed, SweepCellsRestored uint64
+	// Store snapshots the persistence backend's operation counters.
+	Store store.Stats
 }
 
-func (m *metrics) snapshot(ss sessionStats) Snapshot {
+func (m *metrics) snapshot(ss sessionStats, st store.Stats) Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		Requests:         make(map[string]uint64, len(m.requests)),
-		CoalesceRuns:     m.coalesceRuns,
-		CoalesceHits:     m.coalesceHits,
-		Rejected:         m.rejected,
-		SweepCancelled:   m.sweepCancelled,
-		SessionsOpen:     ss.open,
-		SessionsCreated:  ss.created,
-		SessionsEvicted:  ss.evicted,
-		SessionsRejected: ss.rejected,
-		SessionDecisions: m.decisions,
+		Requests:           make(map[string]uint64, len(m.requests)),
+		CoalesceRuns:       m.coalesceRuns,
+		CoalesceHits:       m.coalesceHits,
+		Rejected:           m.rejected,
+		SweepCancelled:     m.sweepCancelled,
+		SessionsOpen:       ss.open,
+		SessionsCreated:    ss.created,
+		SessionsEvicted:    ss.evicted,
+		SessionsRejected:   ss.rejected,
+		SessionsRecovered:  ss.recovered,
+		SessionDecisions:   m.decisions,
+		SweepJobsCreated:   m.sweepJobsCreated,
+		SweepJobsResumed:   m.sweepJobsResumed,
+		SweepCellsComputed: m.sweepCellsComputed,
+		SweepCellsRestored: m.sweepCellsRestored,
+		Store:              st,
 	}
 	for k, v := range m.requests {
 		s.Requests[k] = v
@@ -143,7 +190,7 @@ func (m *metrics) snapshot(ss sessionStats) Snapshot {
 // writeTo renders the counters in the Prometheus text exposition format,
 // with deterministic (sorted) series order. cacheStats carries the engine
 // cache's counters when the engine has a cache.
-func (m *metrics) writeTo(w io.Writer, cacheStats engine.CacheStats, hasCache bool, ss sessionStats) {
+func (m *metrics) writeTo(w io.Writer, cacheStats engine.CacheStats, hasCache bool, ss sessionStats, st store.Stats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -187,7 +234,16 @@ func (m *metrics) writeTo(w io.Writer, cacheStats engine.CacheStats, hasCache bo
 	counter("chkpt_sessions_created_total", "Advisor sessions created.", ss.created)
 	counter("chkpt_sessions_evicted_total", "Advisor sessions reclaimed by TTL expiry.", ss.evicted)
 	counter("chkpt_sessions_rejected_total", "Session creations refused by the store capacity bound (429).", ss.rejected)
+	counter("chkpt_sessions_recovered_total", "Sessions rehydrated from the durable event log.", ss.recovered)
 	counter("chkpt_session_decisions_total", "Advisor decisions served over /v1/sessions.", m.decisions)
+	counter("chkpt_sweep_jobs_created_total", "Durable sweep jobs journaled via POST /v1/sweeps.", m.sweepJobsCreated)
+	counter("chkpt_sweep_jobs_resumed_total", "Sweep-job submissions or loads that found an existing job.", m.sweepJobsResumed)
+	counter("chkpt_sweep_cells_computed_total", "Sweep-job cells evaluated by the runners.", m.sweepCellsComputed)
+	counter("chkpt_sweep_cells_restored_total", "Sweep-job cells recovered from the result store without re-running.", m.sweepCellsRestored)
+	counter("chkpt_store_appends_total", "Session-log records durably appended.", st.Appends)
+	counter("chkpt_store_replays_total", "Session logs replayed for recovery.", st.Replays)
+	counter("chkpt_store_puts_total", "Result-store values written.", st.Puts)
+	counter("chkpt_store_gets_total", "Result-store lookups (hits and misses).", st.Gets)
 	fmt.Fprintf(w, "# HELP chkpt_sessions_open Live advisor sessions.\n# TYPE chkpt_sessions_open gauge\nchkpt_sessions_open %d\n", ss.open)
 
 	if hasCache {

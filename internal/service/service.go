@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/store"
 )
 
 // Config tunes a Server. The zero value is serviceable: default engine,
@@ -38,6 +39,11 @@ type Config struct {
 	// MaxSessions bounds the live session store; creations beyond it (with
 	// nothing expired to reclaim) answer 429. Zero means 1024.
 	MaxSessions int
+	// Store is the durable persistence layer: the session event log and
+	// the content-addressed result store. Nil means store.NewMem() — the
+	// previous in-process behavior, where nothing survives the process.
+	// The caller owns a provided store (the server never closes it).
+	Store store.Store
 	// Version is the build identification reported by /healthz. Empty
 	// means "dev".
 	Version string
@@ -54,10 +60,17 @@ type Server struct {
 	coal    *coalescer
 	met     *metrics
 	store   *sessionStore
+	st      store.Store
+	sweeps  *sweepJobs
 	version string
 	log     *slog.Logger
 	timeout time.Duration
 	handler http.Handler
+
+	// jobsCtx bounds background sweep-job runners to the server lifetime;
+	// Close cancels it and waits for them.
+	jobsCtx    context.Context
+	jobsCancel context.CancelFunc
 
 	// evalGate, when set (tests only), runs inside every coalesced
 	// evaluation after admission and before the engine run.
@@ -101,15 +114,24 @@ func New(cfg Config) *Server {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
+	st := cfg.Store
+	if st == nil {
+		st = store.NewMem()
+	}
+	jobsCtx, jobsCancel := context.WithCancel(context.Background())
 	s := &Server{
-		eng:     eng,
-		adm:     newAdmission(conc, depth),
-		coal:    newCoalescer(),
-		met:     newMetrics(),
-		store:   newSessionStore(ttl, maxSessions),
-		version: version,
-		log:     logger,
-		timeout: timeout,
+		eng:        eng,
+		adm:        newAdmission(conc, depth),
+		coal:       newCoalescer(),
+		met:        newMetrics(),
+		store:      newSessionStore(ttl, maxSessions, st),
+		st:         st,
+		sweeps:     newSweepJobs(),
+		version:    version,
+		log:        logger,
+		timeout:    timeout,
+		jobsCtx:    jobsCtx,
+		jobsCancel: jobsCancel,
 	}
 
 	mux := http.NewServeMux()
@@ -123,6 +145,8 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
 	mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleSessionEvents)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepJobCreate)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepJobGet)
 	s.handler = s.instrument(mux)
 	return s
 }
@@ -132,7 +156,16 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler { return s.handler }
 
 // Metrics returns a point-in-time snapshot of the server's counters.
-func (s *Server) Metrics() Snapshot { return s.met.snapshot(s.store.stats()) }
+func (s *Server) Metrics() Snapshot { return s.met.snapshot(s.store.stats(), s.st.Stats()) }
+
+// Close stops the server's background work: it cancels every running
+// sweep-job runner and waits for them to drain. It does not close the
+// configured store — the caller owns that handle (and closes it after
+// Close returns, so no runner races a closed store).
+func (s *Server) Close() {
+	s.jobsCancel()
+	s.sweeps.wait()
+}
 
 // runContext returns the context a coalesced evaluation executes under:
 // bounded by the request timeout but detached from any single client, so
@@ -187,7 +220,7 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 // without limit.
 func metricsPath(path string) string {
 	switch path {
-	case "/healthz", "/metrics", "/v1/evaluate", "/v1/sweep", "/v1/recommend", "/v1/registry", "/v1/sessions":
+	case "/healthz", "/metrics", "/v1/evaluate", "/v1/sweep", "/v1/recommend", "/v1/registry", "/v1/sessions", "/v1/sweeps":
 		return path
 	}
 	// Session ids are per-client random: collapse them into two series.
@@ -196,6 +229,10 @@ func metricsPath(path string) string {
 			return "/v1/sessions/{id}/events"
 		}
 		return "/v1/sessions/{id}"
+	}
+	// Sweep-job ids are content hashes: unbounded cardinality, one series.
+	if strings.HasPrefix(path, "/v1/sweeps/") {
+		return "/v1/sweeps/{id}"
 	}
 	return "other"
 }

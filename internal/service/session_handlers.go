@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/advisor"
 	"repro/internal/spec"
+	"repro/internal/store"
 )
 
 // SessionState is the observable state of a live session, embedded in
@@ -65,11 +66,24 @@ func sessionState(s *advisor.Session) SessionState {
 
 // advise asks the session for its standing decision, counting every
 // decision actually served. During an outage there is none (nil).
-func (s *Server) advise(sess *advisor.Session) *advisor.Decision {
-	if sess.InOutage() {
+//
+// When no decision is cached, consulting the policy is a state change
+// (DPNextFailure advances its plan cursor in NextChunk), so the
+// decision point is journaled as an "advised" record BEFORE the policy
+// runs: replay then consults the policy at exactly the same points. If
+// the append fails, the policy is left unconsulted and no decision is
+// served — the client retries, nothing desyncs. Callers hold ls.mu.
+func (s *Server) advise(ls *liveSession) *advisor.Decision {
+	if ls.sess.InOutage() {
 		return nil
 	}
-	d, err := sess.Advise()
+	if !ls.sess.HasDecision() {
+		if err := s.st.AppendAdvised(ls.id); err != nil {
+			s.log.Error("session advised-marker append failed", "session", ls.id, "err", err)
+			return nil
+		}
+	}
+	d, err := ls.sess.Advise()
 	if err != nil {
 		return nil
 	}
@@ -128,13 +142,20 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	// Journal the creating spec before acknowledging: a session the
+	// client has seen must be recoverable from its log.
+	if err := s.st.AppendCreated(ls.id, ss); err != nil {
+		s.store.drop(ls.id)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	ls.mu.Lock()
 	resp := &SessionResponse{
 		ID:        ls.id,
 		Name:      ls.name,
 		ExpiresAt: expires,
 		State:     sessionState(ls.sess),
-		Decision:  s.advise(ls.sess),
+		Decision:  s.advise(ls),
 	}
 	ls.mu.Unlock()
 	writeJSON(w, http.StatusCreated, resp)
@@ -145,11 +166,68 @@ func errSessionNotFound(id string) error {
 	return fmt.Errorf("service: no live session %q (unknown, expired or deleted)", id)
 }
 
+// getSession returns the live session for id, rehydrating it from the
+// durable log when it is not in memory (the restarted-server path).
+// Rehydration recompiles the advisor from the journaled spec — a real
+// solve for DP policies, so it runs inside the admission bulkhead like
+// creation does — and replays the recorded steps, which by the replay
+// equivalence property restores the session bit-identically. On failure
+// it writes the error response and returns ok=false.
+func (s *Server) getSession(w http.ResponseWriter, r *http.Request, id string) (*liveSession, time.Time, bool) {
+	if ls, expires, ok := s.store.get(id); ok {
+		return ls, expires, true
+	}
+	rep, err := s.st.Replay(id)
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrNoSession), errors.Is(err, store.ErrTombstoned):
+			writeError(w, http.StatusNotFound, errSessionNotFound(id))
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return nil, time.Time{}, false
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if err := s.adm.acquire(ctx); err != nil {
+		if errors.Is(err, errOverload) {
+			s.met.reject()
+			writeError(w, http.StatusTooManyRequests, err)
+			return nil, time.Time{}, false
+		}
+		writeError(w, errorStatus(err), err)
+		return nil, time.Time{}, false
+	}
+	adv, err := spec.CompileAdvisor(ctx, s.eng, rep.Spec)
+	s.adm.release()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return nil, time.Time{}, false
+	}
+	sess, err := adv.ReplaySession(nil, rep.Steps)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return nil, time.Time{}, false
+	}
+	ls, expires, err := s.store.adopt(id, rep.Spec.Name, sess)
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrTombstoned):
+			writeError(w, http.StatusNotFound, errSessionNotFound(id))
+		case errors.Is(err, errSessionsFull):
+			writeError(w, http.StatusTooManyRequests, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return nil, time.Time{}, false
+	}
+	return ls, expires, true
+}
+
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	ls, expires, ok := s.store.get(id)
+	ls, expires, ok := s.getSession(w, r, id)
 	if !ok {
-		writeError(w, http.StatusNotFound, errSessionNotFound(id))
 		return
 	}
 	ls.mu.Lock()
@@ -158,7 +236,7 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 		Name:      ls.name,
 		ExpiresAt: expires,
 		State:     sessionState(ls.sess),
-		Decision:  s.advise(ls.sess),
+		Decision:  s.advise(ls),
 	}
 	ls.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
@@ -175,9 +253,8 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("service: event batch is empty"))
 		return
 	}
-	ls, _, ok := s.store.get(id)
+	ls, _, ok := s.getSession(w, r, id)
 	if !ok {
-		writeError(w, http.StatusNotFound, errSessionNotFound(id))
 		return
 	}
 	ls.mu.Lock()
@@ -193,20 +270,40 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, resp)
 			return
 		}
+		// Journal before acknowledging: an event the client saw applied
+		// must survive a restart. If the append fails, the in-memory
+		// session is ahead of its log — drop it, so the next access
+		// rehydrates from the acknowledged durable prefix.
+		if err := s.st.AppendEvent(ls.id, ev); err != nil {
+			s.store.drop(ls.id)
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
 		resp.Applied++
 	}
 	resp.State = sessionState(ls.sess)
-	resp.Decision = s.advise(ls.sess)
+	resp.Decision = s.advise(ls)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.store.delete(id) {
-		writeError(w, http.StatusNotFound, errSessionNotFound(id))
+	if s.store.delete(id) {
+		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	w.WriteHeader(http.StatusNoContent)
+	// Not live — but its log may exist (a restarted server deleting a
+	// session it never rehydrated). Tombstone it directly so the delete
+	// is durable without paying for a replay.
+	err := s.st.Tombstone(id)
+	switch {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, store.ErrNoSession), errors.Is(err, store.ErrTombstoned):
+		writeError(w, http.StatusNotFound, errSessionNotFound(id))
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
 }
 
 // decodeStrictJSON strict-decodes a small JSON request body.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/advisor"
+	"repro/internal/store"
 )
 
 // errSessionsFull reports that the bounded session store is at capacity
@@ -31,10 +32,11 @@ type liveSession struct {
 
 // sessionStats is a point-in-time snapshot of the store's counters.
 type sessionStats struct {
-	open     int
-	created  uint64
-	evicted  uint64 // TTL expiries reclaimed
-	rejected uint64 // creations refused at capacity
+	open      int
+	created   uint64
+	evicted   uint64 // TTL expiries reclaimed
+	rejected  uint64 // creations refused at capacity
+	recovered uint64 // sessions rehydrated from the durable log
 }
 
 // sessionStore is the bounded TTL store behind /v1/sessions. Sessions
@@ -42,33 +44,49 @@ type sessionStats struct {
 // reclaimed lazily — on lookup, and wholesale when a creation finds the
 // store full. A full store with nothing expired rejects the creation:
 // shedding new sessions beats silently killing live ones.
+//
+// The store is the live (in-memory) half only; the durable half is the
+// session log it tombstones into whenever it reaps an entry, so an
+// expired or deleted session is never resurrectable by rehydration.
 type sessionStore struct {
 	mu   sync.Mutex
 	byID map[string]*liveSession
 	ttl  time.Duration
 	cap  int
+	log  store.SessionLog
 	now  func() time.Time // injectable clock for the expiry tests
 
-	created  uint64
-	evicted  uint64
-	rejected uint64
+	created   uint64
+	evicted   uint64
+	rejected  uint64
+	recovered uint64
 }
 
-func newSessionStore(ttl time.Duration, capacity int) *sessionStore {
+func newSessionStore(ttl time.Duration, capacity int, log store.SessionLog) *sessionStore {
 	return &sessionStore{
 		byID: map[string]*liveSession{},
 		ttl:  ttl,
 		cap:  capacity,
+		log:  log,
 		now:  time.Now,
 	}
+}
+
+// reapLocked evicts one expired session: it drops the map entry and
+// tombstones the log so the session cannot come back through replay.
+// The tombstone is best-effort — eviction must proceed even when the
+// backing log is failing. Callers hold st.mu.
+func (st *sessionStore) reapLocked(id string) {
+	delete(st.byID, id)
+	st.evicted++
+	_ = st.log.Tombstone(id)
 }
 
 // sweepLocked reclaims every expired session. Callers hold st.mu.
 func (st *sessionStore) sweepLocked(now time.Time) {
 	for id, ls := range st.byID {
 		if now.After(ls.expires) {
-			delete(st.byID, id)
-			st.evicted++
+			st.reapLocked(id)
 		}
 	}
 }
@@ -130,16 +148,52 @@ func (st *sessionStore) get(id string) (*liveSession, time.Time, bool) {
 	}
 	now := st.now()
 	if now.After(ls.expires) {
-		delete(st.byID, id)
-		st.evicted++
+		st.reapLocked(id)
 		return nil, time.Time{}, false
 	}
 	ls.expires = now.Add(st.ttl)
 	return ls, ls.expires, true
 }
 
-// delete removes a session, reporting whether it existed (expired
-// sessions count as gone).
+// adopt installs a session rehydrated from the durable log under its
+// original id, sliding (or starting) its expiry window. A racing
+// rehydration of the same id wins for both: the caller gets the entry
+// that is already live.
+func (st *sessionStore) adopt(id, name string, sess *advisor.Session) (*liveSession, time.Time, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := st.now()
+	if ls, ok := st.byID[id]; ok {
+		if now.After(ls.expires) {
+			// The live entry expired while the caller was replaying: reap it
+			// (tombstoning the log) instead of resurrecting it.
+			st.reapLocked(id)
+			return nil, time.Time{}, store.ErrTombstoned
+		}
+		ls.expires = now.Add(st.ttl)
+		return ls, ls.expires, nil
+	}
+	if len(st.byID) >= st.cap {
+		st.sweepLocked(now)
+	}
+	if len(st.byID) >= st.cap {
+		st.rejected++
+		return nil, time.Time{}, errSessionsFull
+	}
+	ls := &liveSession{
+		id:      id,
+		name:    name,
+		sess:    sess,
+		expires: now.Add(st.ttl),
+	}
+	st.byID[id] = ls
+	st.recovered++
+	return ls, ls.expires, nil
+}
+
+// delete removes a session and tombstones its log, reporting whether it
+// was live (expired sessions count as gone — they were tombstoned by
+// the reap).
 func (st *sessionStore) delete(id string) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -147,21 +201,33 @@ func (st *sessionStore) delete(id string) bool {
 	if !ok {
 		return false
 	}
-	delete(st.byID, id)
 	if st.now().After(ls.expires) {
-		st.evicted++
+		st.reapLocked(id)
 		return false
 	}
+	delete(st.byID, id)
+	_ = st.log.Tombstone(id)
 	return true
+}
+
+// drop removes a live entry without tombstoning — the desync escape
+// hatch: when a durable append fails after the in-memory session already
+// applied the event, the entry is dropped so the next access rehydrates
+// from the acknowledged durable prefix.
+func (st *sessionStore) drop(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.byID, id)
 }
 
 func (st *sessionStore) stats() sessionStats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return sessionStats{
-		open:     len(st.byID),
-		created:  st.created,
-		evicted:  st.evicted,
-		rejected: st.rejected,
+		open:      len(st.byID),
+		created:   st.created,
+		evicted:   st.evicted,
+		rejected:  st.rejected,
+		recovered: st.recovered,
 	}
 }

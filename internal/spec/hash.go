@@ -26,3 +26,23 @@ func CanonicalHash(es *ExperimentSpec) (string, error) {
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:]), nil
 }
+
+// CanonicalCellHash returns a stable identity for one cell of an
+// experiment: the SHA-256 of the canonical spec encoding followed by
+// the cell's expansion index. Because Expand assigns indices in a
+// deterministic order, (spec, index) names the same scenario/candidate
+// pair forever — the content address under which the durable result
+// store files the cell.
+func CanonicalCellHash(es *ExperimentSpec, index int) (string, error) {
+	if err := es.Validate(); err != nil {
+		return "", err
+	}
+	b, err := json.Marshal(es)
+	if err != nil {
+		return "", fmt.Errorf("spec: hash: %w", err)
+	}
+	h := sha256.New()
+	h.Write(b)
+	fmt.Fprintf(h, "#cell/%d", index)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

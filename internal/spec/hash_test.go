@@ -119,3 +119,51 @@ func TestEvaluateOne(t *testing.T) {
 		t.Errorf("multi-cell experiment: err = %v, want exactly-1 rejection", err)
 	}
 }
+
+// TestCanonicalCellHash: cell keys are per-index, disjoint from the
+// experiment hash, and stable across the encode/decode round trip — the
+// properties the durable sweep-job store keys on.
+func TestCanonicalCellHash(t *testing.T) {
+	es := hashFixture()
+	h, err := CanonicalHash(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, err := CanonicalCellHash(es, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c0) != 64 || strings.ToLower(c0) != c0 {
+		t.Fatalf("cell hash %q is not lowercase sha256 hex", c0)
+	}
+	c1, err := CanonicalCellHash(es, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0 == c1 {
+		t.Error("cell hashes for distinct indices collide")
+	}
+	if c0 == h || c1 == h {
+		t.Error("cell hash collides with the experiment hash")
+	}
+
+	var buf bytes.Buffer
+	if err := EncodeExperiment(&buf, es); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeExperiment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := CanonicalCellHash(decoded, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0 != c0 {
+		t.Errorf("cell hash changed across encode/decode: %s vs %s", c0, r0)
+	}
+
+	if _, err := CanonicalCellHash(&ExperimentSpec{}, 0); err == nil {
+		t.Error("invalid spec produced a cell hash")
+	}
+}

@@ -1,0 +1,69 @@
+// Package store is the durable persistence layer behind the serving
+// tier: an append-only session event log and a content-addressed result
+// store, each with an in-memory backend (MemStore — the previous
+// in-process behavior, and the test double) and a stdlib-only on-disk
+// backend (FileStore). The interface is deliberately small so a
+// bbolt/SQLite/Redis backend can slot in later without touching the
+// service layer.
+//
+// # Replay is recovery
+//
+// The advisor layer's equivalence suite (PR 5) proves that a Session
+// replayed from its event stream is bit-identical to the session that
+// produced it. Durability therefore does not snapshot advisor state —
+// it journals the inputs:
+//
+//   - a "created" record carrying the declarative spec.SessionSpec the
+//     session was compiled from,
+//   - one "event" record per accepted advisor.Event, appended before the
+//     resulting decision is released to the client,
+//   - an "advised" record at every decision point where the policy was
+//     actually consulted (policies such as DPNextFailure advance an
+//     internal plan cursor in NextChunk, so a faithful replay must
+//     consult the policy at exactly the recorded points, no more and no
+//     fewer),
+//   - a terminal "tombstone" record written by DELETE and by TTL
+//     eviction, after which the session is never resurrectable.
+//
+// A restarted server rehydrates a requested session lazily: Replay
+// returns the spec and the recorded steps, the service recompiles the
+// advisor through the same registry and engine cache, and
+// Advisor.ReplaySession re-applies the steps. The recovered session's
+// next decision is byte-identical to the uninterrupted one.
+//
+// The result store is a flat content-addressed KV keyed by
+// spec.CanonicalCellHash (experiment canonical hash + cell index): a
+// sweep job persists each rendered cell as it completes, in the
+// deterministic expansion order, so the completed set is always a
+// prefix. Re-submitting an identical spec — or restarting a crashed
+// server — re-runs only the missing suffix.
+//
+// # On-disk format
+//
+// FileStore keeps one framed-JSONL log per session under sessions/ and
+// a sequence of append-only framed-JSONL segments under results/. Every
+// record is one line:
+//
+//	<8 lowercase hex chars: CRC-32C of payload><space><compact JSON payload>\n
+//
+// Appends are a single write followed by fsync, so a record is durable
+// before the HTTP response that depends on it. Two failure modes are
+// distinguished on read:
+//
+//   - A torn tail — trailing bytes with no terminating newline — is the
+//     signature of a crash mid-append. The record was never acknowledged,
+//     so replay repairs the log by truncating the torn bytes and
+//     continues.
+//   - A corrupt terminated line (bad frame, CRC mismatch, malformed
+//     JSON) is real corruption and surfaces as a *CorruptError; nothing
+//     is silently skipped.
+//
+// Segment files rotate at Options.SegmentBytes; only the last (active)
+// segment may carry a torn tail — a torn or corrupt sealed segment is an
+// error at Open.
+//
+// FileStore assumes a single process owns the directory (the service
+// holds it for the server's lifetime); it does not implement file
+// locking. Appends serialize on one mutex, fsync included — durability
+// over throughput, which is noise next to an engine evaluation.
+package store

@@ -1,0 +1,454 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/advisor"
+	"repro/internal/spec"
+)
+
+// Options tunes a FileStore.
+type Options struct {
+	// SegmentBytes is the size at which a result segment is sealed and a
+	// new one started. Zero means DefaultSegmentBytes.
+	SegmentBytes int64
+}
+
+// DefaultSegmentBytes is the default result-segment rotation size.
+const DefaultSegmentBytes = 8 << 20
+
+// fsSession is the in-process view of one on-disk session log: whether
+// this process has opened it (AppendCreated or Replay) and whether it
+// has seen a tombstone.
+type fsSession struct {
+	tombstoned bool
+}
+
+// FileStore is the stdlib-only on-disk backend: framed-JSONL session
+// logs under dir/sessions and append-only result segments under
+// dir/results (see doc.go for the format and crash semantics). A single
+// process owns the directory for its lifetime.
+type FileStore struct {
+	counters
+	dir string
+	opt Options
+
+	mu sync.Mutex
+	// sessions tracks the logs this process has opened; appends to a
+	// session the process has never created or replayed are refused.
+	sessions map[string]*fsSession
+	// idx caches every stored result; segments are the journal, this map
+	// is the index, rebuilt from the segments at Open.
+	idx map[string][]byte
+	// active is the open handle of the last (writable) segment; activeN
+	// its sequence number, activeSize its current length.
+	active     *os.File
+	activeN    int
+	activeSize int64
+	closed     bool
+}
+
+// Open mounts (or initializes) a file store rooted at dir.
+func Open(dir string, opt Options) (*FileStore, error) {
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = DefaultSegmentBytes
+	}
+	st := &FileStore{
+		dir:      dir,
+		opt:      opt,
+		sessions: make(map[string]*fsSession),
+		idx:      make(map[string][]byte),
+	}
+	for _, sub := range []string{st.sessionsDir(), st.resultsDir()} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	if err := st.loadSegments(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (st *FileStore) sessionsDir() string { return filepath.Join(st.dir, "sessions") }
+func (st *FileStore) resultsDir() string  { return filepath.Join(st.dir, "results") }
+
+func (st *FileStore) sessionPath(id string) string {
+	return filepath.Join(st.sessionsDir(), id+".log")
+}
+
+func segmentName(n int) string { return fmt.Sprintf("seg-%06d.log", n) }
+
+// validSessionID accepts ids that are safe as file names: non-empty,
+// not dot-led, and drawn from [A-Za-z0-9._-]. An unsafe id wraps
+// ErrNoSession — such an id can never name a stored log, and the read
+// paths should answer "not found", not "server error".
+func validSessionID(id string) error {
+	bad := func() error {
+		return fmt.Errorf("store: invalid session id %q: %w", id, ErrNoSession)
+	}
+	if id == "" || id[0] == '.' {
+		return bad()
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return bad()
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a freshly created file's entry is
+// durable, not just its bytes.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// appendDurable opens path for appending, writes line and fsyncs it.
+func appendDurable(path string, line []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(line); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func (st *FileStore) AppendCreated(id string, ss *spec.SessionSpec) error {
+	if err := validSessionID(id); err != nil {
+		return err
+	}
+	line, err := encodeSessionRecord(sessionRecord{Kind: recCreated, Spec: ss})
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	path := st.sessionPath(id)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if errors.Is(err, fs.ErrExist) {
+		return fmt.Errorf("store: create session %s: %w", id, ErrSessionExists)
+	}
+	if err != nil {
+		return fmt.Errorf("store: create session %s: %w", id, err)
+	}
+	if _, err := f.Write(line); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		// The record was not acknowledged; drop the partial file so the id
+		// is not burned by a half-created log.
+		os.Remove(path)
+		return fmt.Errorf("store: create session %s: %w", id, err)
+	}
+	if err := syncDir(st.sessionsDir()); err != nil {
+		return fmt.Errorf("store: create session %s: %w", id, err)
+	}
+	st.sessions[id] = &fsSession{}
+	st.appends.Add(1)
+	return nil
+}
+
+func (st *FileStore) AppendEvent(id string, ev advisor.Event) error {
+	line, err := encodeSessionRecord(sessionRecord{Kind: recEvent, Event: &ev})
+	if err != nil {
+		return err
+	}
+	return st.appendOpen(id, line)
+}
+
+func (st *FileStore) AppendAdvised(id string) error {
+	line, err := encodeSessionRecord(sessionRecord{Kind: recAdvised})
+	if err != nil {
+		return err
+	}
+	return st.appendOpen(id, line)
+}
+
+// appendOpen appends one record to a session this process has opened.
+func (st *FileStore) appendOpen(id string, line []byte) error {
+	if err := validSessionID(id); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	s, ok := st.sessions[id]
+	switch {
+	case !ok:
+		return fmt.Errorf("store: append session %s: %w", id, ErrNoSession)
+	case s.tombstoned:
+		return fmt.Errorf("store: append session %s: %w", id, ErrTombstoned)
+	}
+	if err := appendDurable(st.sessionPath(id), line); err != nil {
+		return fmt.Errorf("store: append session %s: %w", id, err)
+	}
+	st.appends.Add(1)
+	return nil
+}
+
+func (st *FileStore) Tombstone(id string) error {
+	if err := validSessionID(id); err != nil {
+		return err
+	}
+	line, err := encodeSessionRecord(sessionRecord{Kind: recTombstone})
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	// Tombstone does not require the session to be open: a restarted
+	// server may reap a session it never rehydrated. Load the log's state
+	// (repairing any torn tail) if this process has not seen it.
+	s, ok := st.sessions[id]
+	if !ok {
+		if _, _, err := st.loadSessionLocked(id); err != nil {
+			return err
+		}
+		s = st.sessions[id]
+	}
+	if s.tombstoned {
+		return fmt.Errorf("store: tombstone session %s: %w", id, ErrTombstoned)
+	}
+	if err := appendDurable(st.sessionPath(id), line); err != nil {
+		return fmt.Errorf("store: tombstone session %s: %w", id, err)
+	}
+	s.tombstoned = true
+	st.appends.Add(1)
+	return nil
+}
+
+func (st *FileStore) Replay(id string) (*SessionReplay, error) {
+	if err := validSessionID(id); err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil, ErrClosed
+	}
+	rep, tombstoned, err := st.loadSessionLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if tombstoned {
+		return nil, fmt.Errorf("store: replay session %s: %w", id, ErrTombstoned)
+	}
+	st.replays.Add(1)
+	return rep, nil
+}
+
+// loadSessionLocked reads, repairs and parses one session log, caching
+// its open/tombstoned state. It returns the replay (nil when the log is
+// tombstoned) and whether a tombstone terminates it.
+func (st *FileStore) loadSessionLocked(id string) (*SessionReplay, bool, error) {
+	path := st.sessionPath(id)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, fmt.Errorf("store: replay session %s: %w", id, ErrNoSession)
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: replay session %s: %w", id, err)
+	}
+	frames, torn, err := decodeFrames(data)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: replay session %s: %w", id, err)
+	}
+	if torn > 0 {
+		// A crash mid-append left an unacknowledged fragment; truncate it
+		// away so later appends extend a clean log.
+		if err := os.Truncate(path, int64(len(data)-torn)); err != nil {
+			return nil, false, fmt.Errorf("store: repair session %s: %w", id, err)
+		}
+	}
+	rep, err := replayRecords(frames)
+	switch {
+	case errors.Is(err, ErrTombstoned):
+		st.sessions[id] = &fsSession{tombstoned: true}
+		return nil, true, nil
+	case errors.Is(err, ErrNoSession):
+		// The log exists but holds no acknowledged record (crash between
+		// create and first write, now repaired to empty).
+		return nil, false, fmt.Errorf("store: replay session %s: %w", id, ErrNoSession)
+	case err != nil:
+		return nil, false, fmt.Errorf("store: replay session %s: %w", id, err)
+	}
+	st.sessions[id] = &fsSession{}
+	return rep, false, nil
+}
+
+// loadSegments scans dir/results at Open: sealed segments must be
+// clean, the last segment may carry a torn tail (repaired by
+// truncation), and every surviving record lands in the index.
+func (st *FileStore) loadSegments() error {
+	entries, err := os.ReadDir(st.resultsDir())
+	if err != nil {
+		return fmt.Errorf("store: open results: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if strings.HasPrefix(n, "seg-") && strings.HasSuffix(n, ".log") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		path := filepath.Join(st.resultsDir(), name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("store: open segment %s: %w", name, err)
+		}
+		frames, torn, err := decodeFrames(data)
+		if err != nil {
+			return fmt.Errorf("store: open segment %s: %w", name, err)
+		}
+		last := i == len(names)-1
+		if torn > 0 {
+			if !last {
+				return fmt.Errorf("store: open segment %s: %w", name,
+					&CorruptError{Offset: len(data) - torn, Reason: "torn tail in a sealed segment"})
+			}
+			if err := os.Truncate(path, int64(len(data)-torn)); err != nil {
+				return fmt.Errorf("store: repair segment %s: %w", name, err)
+			}
+		}
+		for _, fr := range frames {
+			rec, err := decodeKVRecord(fr.payload, fr.off)
+			if err != nil {
+				return fmt.Errorf("store: open segment %s: %w", name, err)
+			}
+			st.idx[rec.Key] = rec.Val
+		}
+		var n int
+		if _, err := fmt.Sscanf(name, "seg-%06d.log", &n); err == nil && n > st.activeN {
+			st.activeN = n
+		}
+		if last {
+			st.activeSize = int64(len(data) - torn)
+		}
+	}
+	if len(names) == 0 {
+		st.activeN = 1
+		st.activeSize = 0
+		return st.openActive(true)
+	}
+	return st.openActive(false)
+}
+
+// openActive opens (creating when fresh) the writable segment.
+func (st *FileStore) openActive(create bool) error {
+	flags := os.O_WRONLY | os.O_APPEND
+	if create {
+		flags |= os.O_CREATE
+	}
+	name := segmentName(st.activeN)
+	f, err := os.OpenFile(filepath.Join(st.resultsDir(), name), flags, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open segment %s: %w", name, err)
+	}
+	st.active = f
+	if create {
+		if err := syncDir(st.resultsDir()); err != nil {
+			return fmt.Errorf("store: open segment %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func (st *FileStore) Put(key string, val []byte) error {
+	if key == "" {
+		return errors.New("store: put with an empty key")
+	}
+	line, err := encodeKVRecord(key, val)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if st.activeSize >= st.opt.SegmentBytes {
+		if err := st.active.Close(); err != nil {
+			return fmt.Errorf("store: seal segment %s: %w", segmentName(st.activeN), err)
+		}
+		st.activeN++
+		st.activeSize = 0
+		if err := st.openActive(true); err != nil {
+			return err
+		}
+	}
+	if _, err := st.active.Write(line); err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	if err := st.active.Sync(); err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	st.activeSize += int64(len(line))
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	st.idx[key] = cp
+	st.puts.Add(1)
+	return nil
+}
+
+func (st *FileStore) Get(key string) ([]byte, bool, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil, false, ErrClosed
+	}
+	st.gets.Add(1)
+	v, ok := st.idx[key]
+	if !ok {
+		return nil, false, nil
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, true, nil
+}
+
+func (st *FileStore) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	if st.active != nil {
+		if err := st.active.Close(); err != nil {
+			return fmt.Errorf("store: close: %w", err)
+		}
+	}
+	return nil
+}

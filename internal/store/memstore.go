@@ -1,0 +1,154 @@
+package store
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/advisor"
+	"repro/internal/spec"
+)
+
+// memSession is one session's journal in a MemStore.
+type memSession struct {
+	spec       *spec.SessionSpec
+	steps      []advisor.ReplayStep
+	tombstoned bool
+}
+
+// MemStore is the in-memory backend: the previous in-process behavior
+// (nothing survives the process) and the default when no -data-dir is
+// configured. It honors the full Store contract, including tombstones,
+// so the service logic is identical over both backends.
+type MemStore struct {
+	counters
+	mu       sync.Mutex
+	sessions map[string]*memSession
+	kv       map[string][]byte
+	closed   bool
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *MemStore {
+	return &MemStore{
+		sessions: make(map[string]*memSession),
+		kv:       make(map[string][]byte),
+	}
+}
+
+func (m *MemStore) AppendCreated(id string, ss *spec.SessionSpec) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if _, ok := m.sessions[id]; ok {
+		return ErrSessionExists
+	}
+	cp := *ss
+	m.sessions[id] = &memSession{spec: &cp}
+	m.appends.Add(1)
+	return nil
+}
+
+func (m *MemStore) AppendEvent(id string, ev advisor.Event) error {
+	return m.appendStep(id, advisor.ReplayStep{Event: ev})
+}
+
+func (m *MemStore) AppendAdvised(id string) error {
+	return m.appendStep(id, advisor.ReplayStep{Advised: true})
+}
+
+func (m *MemStore) appendStep(id string, st advisor.ReplayStep) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	s, ok := m.sessions[id]
+	switch {
+	case !ok:
+		return ErrNoSession
+	case s.tombstoned:
+		return ErrTombstoned
+	}
+	s.steps = append(s.steps, st)
+	m.appends.Add(1)
+	return nil
+}
+
+func (m *MemStore) Tombstone(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	s, ok := m.sessions[id]
+	switch {
+	case !ok:
+		return ErrNoSession
+	case s.tombstoned:
+		return ErrTombstoned
+	}
+	s.tombstoned = true
+	m.appends.Add(1)
+	return nil
+}
+
+func (m *MemStore) Replay(id string) (*SessionReplay, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	s, ok := m.sessions[id]
+	switch {
+	case !ok:
+		return nil, ErrNoSession
+	case s.tombstoned:
+		return nil, ErrTombstoned
+	}
+	m.replays.Add(1)
+	cp := *s.spec
+	steps := make([]advisor.ReplayStep, len(s.steps))
+	copy(steps, s.steps)
+	return &SessionReplay{Spec: &cp, Steps: steps}, nil
+}
+
+func (m *MemStore) Put(key string, val []byte) error {
+	if key == "" {
+		return errors.New("store: put with an empty key")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	m.kv[key] = cp
+	m.puts.Add(1)
+	return nil
+}
+
+func (m *MemStore) Get(key string) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false, ErrClosed
+	}
+	m.gets.Add(1)
+	v, ok := m.kv[key]
+	if !ok {
+		return nil, false, nil
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, true, nil
+}
+
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

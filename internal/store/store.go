@@ -1,0 +1,107 @@
+package store
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/advisor"
+	"repro/internal/spec"
+)
+
+// Typed store errors. Backends wrap these so the service layer can
+// errors.Is-classify without string matching.
+var (
+	// ErrNoSession reports an operation on a session the store has never
+	// seen (or whose log is gone).
+	ErrNoSession = errors.New("store: no such session")
+	// ErrTombstoned reports an operation on a session that was ended by a
+	// tombstone record; it is never resurrectable.
+	ErrTombstoned = errors.New("store: session is tombstoned")
+	// ErrSessionExists reports an AppendCreated for an id that already has
+	// a log.
+	ErrSessionExists = errors.New("store: session already exists")
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("store: store is closed")
+)
+
+// SessionReplay is a session's full recorded history: the spec it was
+// compiled from and the steps to re-apply, in order.
+type SessionReplay struct {
+	// Spec is the creating record's declarative session spec.
+	Spec *spec.SessionSpec
+	// Steps are the recorded events and decision points, oldest first —
+	// exactly what Advisor.ReplaySession consumes.
+	Steps []advisor.ReplayStep
+}
+
+// SessionLog is the append-only session journal. Appends for a session
+// are accepted only while the store considers it open in this process —
+// after AppendCreated, or after a successful Replay — which keeps a
+// process from blindly extending a log it has never read.
+type SessionLog interface {
+	// AppendCreated begins session id's log with its creating spec. The
+	// id must be a fresh one; an existing log answers ErrSessionExists.
+	AppendCreated(id string, ss *spec.SessionSpec) error
+	// AppendEvent appends one accepted advisor event.
+	AppendEvent(id string, ev advisor.Event) error
+	// AppendAdvised records a decision point at which the policy was
+	// consulted (see doc.go: replay must consult it at the same points).
+	AppendAdvised(id string) error
+	// Tombstone terminates the log: every later Replay answers
+	// ErrTombstoned. Tombstoning a tombstoned session is ErrTombstoned;
+	// an unknown one is ErrNoSession.
+	Tombstone(id string) error
+	// Replay returns the session's recorded history and marks it open for
+	// appends. Unknown sessions answer ErrNoSession, ended ones
+	// ErrTombstoned, damaged logs a *CorruptError.
+	Replay(id string) (*SessionReplay, error)
+}
+
+// ResultStore is the content-addressed result KV: Put is durable before
+// it returns, Get reports a miss with ok=false (an error means the
+// store itself failed).
+type ResultStore interface {
+	Put(key string, val []byte) error
+	Get(key string) (val []byte, ok bool, err error)
+}
+
+// Store is the full persistence layer the service mounts: both faces
+// plus lifecycle and counters.
+type Store interface {
+	SessionLog
+	ResultStore
+	// Stats snapshots the store's operation counters.
+	Stats() Stats
+	// Close releases the backend. Further operations answer ErrClosed.
+	Close() error
+}
+
+// Stats is a point-in-time snapshot of a store's operation counters,
+// surfaced on /metrics by the service.
+type Stats struct {
+	// Appends counts session-log records durably appended (created,
+	// event, advised and tombstone records alike).
+	Appends uint64
+	// Replays counts session logs replayed.
+	Replays uint64
+	// Puts and Gets count result-store writes and lookups (hits and
+	// misses both count as a Get).
+	Puts, Gets uint64
+}
+
+// counters is the atomic tally embedded by both backends.
+type counters struct {
+	appends atomic.Uint64
+	replays atomic.Uint64
+	puts    atomic.Uint64
+	gets    atomic.Uint64
+}
+
+func (c *counters) Stats() Stats {
+	return Stats{
+		Appends: c.appends.Load(),
+		Replays: c.replays.Load(),
+		Puts:    c.puts.Load(),
+		Gets:    c.gets.Load(),
+	}
+}
