@@ -47,7 +47,7 @@ bench-smoke:
 # stationary), so a 1x run would record only the cold first iteration.
 # Everything else stays at 1x to keep the pass fast; both streams feed
 # one chkpt-benchjson invocation (the parser handles concatenation).
-PR ?= 7
+PR ?= 9
 ADVISOR_BENCHTIME ?= 20000x
 
 bench-json:
@@ -68,18 +68,24 @@ bench-compare:
 	$(GO) run ./cmd/chkpt-benchjson compare -threshold 5 -allocs-threshold 1.5 -min-ns 1000 $(BENCH_BASELINE) /tmp/bench-current.json
 
 # Boot chkpt-serve, wait for /healthz, assert one real /v1/recommend
-# evaluation answers 200 with non-empty JSON, then shut down cleanly
-# (SIGTERM must drain, not linger). A real binary, not `go run`: the
-# wrapper does not forward SIGTERM to the child. Override CHKPT_SERVE to
-# smoke a prebuilt binary (CI does).
+# evaluation answers 200 with non-empty JSON, then walk the
+# observability surface: a session event under a known X-Request-ID must
+# surface that id in /v1/debug/traces alongside replan and append spans,
+# /metrics must expose the span-fed stage histograms with real counts,
+# and the -debug-addr pprof listener must serve a 1-second CPU profile.
+# Finally shut down cleanly (SIGTERM must drain, not linger). A real
+# binary, not `go run`: the wrapper does not forward SIGTERM to the
+# child. Override CHKPT_SERVE to smoke a prebuilt binary (CI does).
 CHKPT_SERVE ?= /tmp/chkpt-serve-smoke
 SERVE_ADDR  ?= 127.0.0.1:8941
+DEBUG_ADDR  ?= 127.0.0.1:8951
 
 serve-smoke:
 	@set -e; \
 	if [ "$(CHKPT_SERVE)" = "/tmp/chkpt-serve-smoke" ]; then $(GO) build -o $(CHKPT_SERVE) ./cmd/chkpt-serve; fi; \
-	$(CHKPT_SERVE) -addr $(SERVE_ADDR) -drain 5s & pid=$$!; \
-	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	datadir=$$(mktemp -d); \
+	$(CHKPT_SERVE) -addr $(SERVE_ADDR) -debug-addr $(DEBUG_ADDR) -log-format json -data-dir $$datadir -drain 5s & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf $$datadir' EXIT; \
 	for i in $$(seq 1 50); do \
 	  curl -sf http://$(SERVE_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.2; \
 	done; \
@@ -87,7 +93,25 @@ serve-smoke:
 	echo "healthz: $$health"; test -n "$$health"; \
 	rec=$$(curl -sf "http://$(SERVE_ADDR)/v1/recommend?platform=oneproc&mtbf=86400&family=exponential&traces=3&quanta=30&seed=11"); \
 	echo "$$rec" | head -n 12; test -n "$$rec"; \
+	create=$$(curl -sf -X POST --data-binary '{"name":"obs-smoke","scenario":{"platform":{"preset":"oneproc","mtbf":86400},"p":1,"dist":{"family":"exponential"}},"policy":{"kind":"dpnextfailure","quanta":30}}' http://$(SERVE_ADDR)/v1/sessions); \
+	id=$$(echo "$$create" | sed -n 's/.*"id": *"\([a-f0-9]*\)".*/\1/p' | head -n 1); \
+	test -n "$$id"; echo "session id: $$id"; \
+	curl -sf -H 'X-Request-ID: smoke-events-1' -X POST --data-binary '{"events":[{"kind":"failure","time":1000,"unit":0},{"kind":"recovered","time":1660}]}' http://$(SERVE_ADDR)/v1/sessions/$$id/events | grep -q '"chunk"'; \
+	traces=$$(curl -sf "http://$(SERVE_ADDR)/v1/debug/traces?limit=512"); \
+	echo "$$traces" | grep -q '"request": *"smoke-events-1"'; \
+	echo "$$traces" | grep -q '"name": *"advisor.replan"'; \
+	echo "$$traces" | grep -q '"name": *"store.append"'; \
+	echo "traces OK (request id + replan + append spans)"; \
+	metrics=$$(curl -sf http://$(SERVE_ADDR)/metrics); \
+	echo "$$metrics" | grep -q '^chkpt_replan_seconds_bucket{warm="false",le="+Inf"} [1-9]'; \
+	echo "$$metrics" | grep -q '^chkpt_store_fsync_seconds_count [1-9]'; \
+	echo "$$metrics" | grep -q '^chkpt_engine_cell_seconds_bucket'; \
+	echo "$$metrics" | grep -q '^chkpt_engine_cache_seconds_bucket{result="miss",le="+Inf"} [1-9]'; \
+	echo "metrics OK (stage histograms populated)"; \
+	curl -sf "http://$(DEBUG_ADDR)/debug/pprof/profile?seconds=1" -o /tmp/serve-smoke-profile.pb.gz; \
+	test -s /tmp/serve-smoke-profile.pb.gz; echo "pprof OK ($$(wc -c < /tmp/serve-smoke-profile.pb.gz) bytes)"; \
 	kill $$pid; wait $$pid 2>/dev/null || true; \
+	rm -rf $$datadir; \
 	echo "serve smoke OK"
 
 # Online-session round trip against the real binary: create a session,

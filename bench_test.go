@@ -102,12 +102,12 @@ func BenchmarkEngineDPTableCache(b *testing.B) {
 	law := checkpoint.WeibullFromMeanShape(checkpoint.Day, 0.7)
 	cache := checkpoint.NewCache(0)
 	eng := checkpoint.NewEngine(checkpoint.EngineConfig{Workers: 1, Cache: cache})
-	if _, err := eng.DPMakespanTable(law, 20*checkpoint.Day, 600, 600, 60, 0, 80); err != nil {
+	if _, err := eng.DPMakespanTable(context.Background(), law, 20*checkpoint.Day, 600, 600, 60, 0, 80); err != nil {
 		b.Fatal(err) // warm the entry: every iteration below is a hit
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.DPMakespanTable(law, 20*checkpoint.Day, 600, 600, 60, 0, 80); err != nil {
+		if _, err := eng.DPMakespanTable(context.Background(), law, 20*checkpoint.Day, 600, 600, 60, 0, 80); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -125,10 +125,10 @@ func BenchmarkEngineTraceCache(b *testing.B) {
 	law := checkpoint.WeibullFromMeanShape(125*checkpoint.Year, 0.7)
 	cache := checkpoint.NewCache(0)
 	eng := checkpoint.NewEngine(checkpoint.EngineConfig{Cache: cache})
-	eng.GenerateTraces(law, 45208, 12*checkpoint.Year, 60, 3)
+	eng.GenerateTraces(context.Background(), law, 45208, 12*checkpoint.Year, 60, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng.GenerateTraces(law, 45208, 12*checkpoint.Year, 60, 3)
+		eng.GenerateTraces(context.Background(), law, 45208, 12*checkpoint.Year, 60, 3)
 	}
 	b.StopTimer()
 	if st := cache.Stats(); st.Hits == 0 {

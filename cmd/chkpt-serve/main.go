@@ -7,7 +7,8 @@
 // (NDJSON streaming), GET /v1/recommend, the online advisor sessions
 // (POST /v1/sessions, GET/DELETE /v1/sessions/{id},
 // POST /v1/sessions/{id}/events), durable sweep jobs (POST /v1/sweeps,
-// GET /v1/sweeps/{id}), GET /v1/registry, GET /healthz, GET /metrics.
+// GET /v1/sweeps/{id}), GET /v1/registry, GET /healthz, GET /metrics,
+// and the in-process span buffer (GET /v1/debug/traces).
 //
 // With -data-dir the server mounts a durable store (internal/store):
 // advisor sessions are journaled and replayed bit-identically after a
@@ -20,6 +21,7 @@
 //	chkpt-serve -version                     # build info, then exit
 //	chkpt-serve -addr :9090 -workers 8 -concurrent 4 -queue 64
 //	chkpt-serve -data-dir /var/lib/chkpt     # survive restarts
+//	chkpt-serve -log-format json -debug-addr 127.0.0.1:6060  # shippers + pprof
 //	curl -s localhost:8080/v1/recommend?platform=petascale\&p=4096\&family=weibull\&shape=0.7
 //	curl -s -X POST --data-binary @spec.json localhost:8080/v1/sweep
 //	curl -s -X POST --data-binary @session.json localhost:8080/v1/sessions
@@ -35,6 +37,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"time"
@@ -65,7 +68,12 @@ func main() {
 		cliutil.Fatal(tool, err)
 	}
 
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	var logger *slog.Logger
+	if servef.LogFormat == "json" {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	} else {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	cfg := service.Config{
 		Engine:         eng,
 		MaxConcurrent:  servef.Concurrent,
@@ -100,6 +108,26 @@ func main() {
 		Addr:              servef.Addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// -debug-addr serves net/http/pprof on its own listener: profiling is
+	// an operator surface and never rides the public API address. The
+	// DefaultServeMux carries the pprof handlers (this package imports
+	// net/http/pprof for exactly that side effect) and nothing else — the
+	// API mux above is built from scratch.
+	if servef.DebugAddr != "" {
+		debugSrv := &http.Server{
+			Addr:              servef.DebugAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("debug server listening", "addr", servef.DebugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug server failed", "err", err)
+			}
+		}()
+		defer debugSrv.Close()
 	}
 
 	// The same signal wiring the batch tools use: SIGINT/SIGTERM cancels

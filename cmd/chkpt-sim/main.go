@@ -199,7 +199,7 @@ func runAccounting(ctx context.Context, eng *engine.Engine, es *spec.ExperimentS
 	// the cache (they could never be requested twice).
 	tracesEng := eng.WithoutCache()
 	results, err := engine.Run(ctx, eng, sc.Traces, func(i int) (sim.Result, error) {
-		ts := tracesEng.GenerateTraces(sc.Dist, d.Units, sc.Horizon, sc.Spec.D, sc.TraceSeed(i))
+		ts := tracesEng.GenerateTraces(ctx, sc.Dist, d.Units, sc.Horizon, sc.Spec.D, sc.TraceSeed(i))
 		if lower {
 			return sim.LowerBound(ctx, job, ts)
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -213,7 +214,7 @@ func genTrace(args []string) error {
 		return err
 	}
 	eng := checkpoint.NewEngine(checkpoint.EngineConfig{Workers: *workers})
-	ts := eng.GenerateTraces(d, tspec.Units, tspec.Horizon, tspec.Downtime, tspec.Seed)
+	ts := eng.GenerateTraces(context.Background(), d, tspec.Units, tspec.Horizon, tspec.Downtime, tspec.Seed)
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

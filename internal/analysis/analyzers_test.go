@@ -13,6 +13,14 @@ func TestDeterminismFixture(t *testing.T) {
 	RunFixture(t, Determinism, FixtureOpts{Deterministic: []string{"determfix"}}, "determfix")
 }
 
+// TestDeterminismObsFixture pins the observability carve-out: in a
+// package named obs, time.Now is permitted inside realClock.Now only —
+// every other method name, receiver type, free function, and banned
+// clock call is still flagged.
+func TestDeterminismObsFixture(t *testing.T) {
+	RunFixture(t, Determinism, FixtureOpts{Deterministic: []string{"obsfix"}}, "obsfix")
+}
+
 func TestCtxFlowFixture(t *testing.T) {
 	RunFixture(t, CtxFlow, FixtureOpts{Deterministic: []string{"ctxfix"}}, "ctxfix")
 }

@@ -13,7 +13,10 @@ var Determinism = &Analyzer{
 global math/rand generators, environment reads (os.Getenv/LookupEnv/
 Environ), and map iteration that feeds output without a deterministic
 sort, inside the packages whose outputs the golden tables and the
-session replay-equivalence test pin byte-for-byte.`,
+session replay-equivalence test pin byte-for-byte. The one sanctioned
+wall-clock read is the obs package's real clock: time.Now is permitted
+only inside realClock.Now, the injection boundary everything else gets
+its Clock from.`,
 	Run: runDeterminism,
 }
 
@@ -58,11 +61,16 @@ func runDeterminism(pass *Pass) error {
 				}
 			}
 		}
+		// Track the enclosing function declaration so the obs real-clock
+		// carve-out can recognize its one sanctioned time.Now site.
+		var enclosing *ast.FuncDecl
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
+			case *ast.FuncDecl:
+				enclosing = n
 			case *ast.CallExpr:
 				if pkg.Deterministic {
-					checkBannedCall(pass, n)
+					checkBannedCall(pass, enclosing, n)
 				}
 			case *ast.RangeStmt:
 				checkMapRange(pass, f, n)
@@ -73,7 +81,27 @@ func runDeterminism(pass *Pass) error {
 	return nil
 }
 
-func checkBannedCall(pass *Pass, call *ast.CallExpr) {
+// isRealClockNow reports whether call sits inside the observability
+// layer's sanctioned wall-clock read: the Now method on the obs
+// package's realClock receiver. Every other wall-clock consumer takes
+// an injected obs.Clock, so this is the single point where real time
+// enters.
+func isRealClockNow(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr) bool {
+	if pkg.Name != "obs" || fd == nil || fd.Name.Name != "Now" || fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return false
+	}
+	if fd.Body == nil || call.Pos() < fd.Body.Pos() || call.End() > fd.Body.End() {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "realClock"
+}
+
+func checkBannedCall(pass *Pass, enclosing *ast.FuncDecl, call *ast.CallExpr) {
 	fn := calleeFunc(pass.Pkg.Info, call)
 	if fn == nil {
 		return
@@ -84,6 +112,9 @@ func checkBannedCall(pass *Pass, call *ast.CallExpr) {
 	}
 	for _, name := range names {
 		if fn.Name() == name {
+			if funcPkgPath(fn) == "time" && name == "Now" && isRealClockNow(pass.Pkg, enclosing, call) {
+				return
+			}
 			pass.Reportf(call.Pos(), "deterministic package calls %s.%s: ambient state breaks golden and replay reproducibility", funcPkgPath(fn), name)
 			return
 		}

@@ -26,6 +26,7 @@ var DeterministicPackages = map[string]bool{
 	"repro/internal/engine":    true,
 	"repro/internal/exper":     true,
 	"repro/internal/harness":   true,
+	"repro/internal/obs":       true,
 	"repro/internal/platform":  true,
 	"repro/internal/policy":    true,
 	"repro/internal/rng":       true,

@@ -1,0 +1,30 @@
+// Package obs mirrors the real observability package's clock boundary:
+// time.Now is sanctioned inside realClock.Now — the single point where
+// wall-clock time enters the deterministic core — and banned everywhere
+// else, even in this package.
+package obs
+
+import "time"
+
+// realClock is the one sanctioned wall-clock source.
+type realClock struct{}
+
+// Now is the carve-out: the only permitted time.Now call site.
+func (realClock) Now() time.Time { return time.Now() }
+
+// fakeClock has the right method name on the wrong receiver.
+type fakeClock struct{}
+
+// Now on any other receiver is still banned.
+func (*fakeClock) Now() time.Time { return time.Now() } // want "calls time.Now"
+
+// Now as a free function is not the realClock method.
+func Now() time.Time { return time.Now() } // want "calls time.Now"
+
+// Stamp is on the sanctioned receiver but is not the Now method.
+func (realClock) Stamp() time.Time { return time.Now() } // want "calls time.Now"
+
+// Since is banned everywhere, including inside realClock.Now's package.
+func (realClock) Age(t time.Time) time.Duration {
+	return time.Since(t) // want "calls time.Since"
+}

@@ -98,6 +98,12 @@ type ServeFlags struct {
 	// DataDir is the durable store directory; empty keeps everything in
 	// memory (sessions and sweep jobs die with the process).
 	DataDir string
+	// LogFormat selects the access-log encoding: "text" (human-readable,
+	// the default) or "json" (one JSON object per line, for shippers).
+	LogFormat string
+	// DebugAddr, when non-empty, serves net/http/pprof on a second
+	// listener so profiling never rides the public API address.
+	DebugAddr string
 }
 
 // AddServeFlags registers the serving flag set.
@@ -109,6 +115,8 @@ func AddServeFlags(fs *flag.FlagSet) *ServeFlags {
 	fs.DurationVar(&f.RequestTimeout, "request-timeout", 2*time.Minute, "per-request evaluation timeout (0 = none)")
 	fs.DurationVar(&f.Drain, "drain", 15*time.Second, "graceful drain window on SIGINT/SIGTERM")
 	fs.StringVar(&f.DataDir, "data-dir", "", "durable store directory for sessions and sweep jobs (empty = in-memory only)")
+	fs.StringVar(&f.LogFormat, "log-format", "text", "structured log encoding: text or json")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "", "listen address for the pprof debug server (empty = disabled)")
 	return f
 }
 
@@ -125,6 +133,8 @@ func (f *ServeFlags) Validate() error {
 		return fmt.Errorf("-request-timeout must be >= 0 (0 = none), got %v", f.RequestTimeout)
 	case f.Drain <= 0:
 		return fmt.Errorf("-drain must be > 0, got %v", f.Drain)
+	case f.LogFormat != "text" && f.LogFormat != "json":
+		return fmt.Errorf("-log-format must be text or json, got %q", f.LogFormat)
 	}
 	return nil
 }

@@ -99,6 +99,7 @@ func TestServeFlagsValidation(t *testing.T) {
 		{func(f *ServeFlags) { f.Queue = -2 }, "-queue"},
 		{func(f *ServeFlags) { f.RequestTimeout = -1 }, "-request-timeout"},
 		{func(f *ServeFlags) { f.Drain = 0 }, "-drain"},
+		{func(f *ServeFlags) { f.LogFormat = "yaml" }, "-log-format"},
 	}
 	for _, c := range cases {
 		f := valid()

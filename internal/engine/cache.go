@@ -2,11 +2,14 @@ package engine
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/policy"
 )
 
@@ -82,18 +85,47 @@ func (c *Cache) Stats() CacheStats {
 	}
 }
 
-// do returns the memoized value for key, invoking build at most once per
-// live entry. A lookup that finds an in-flight entry counts as a hit and
-// blocks until the builder finishes. Build errors are returned but not
-// cached, so a later retry rebuilds.
-func (c *Cache) do(key string, build func() (any, int64, error)) (any, error) {
+// artifactKind returns the cache key's type tag (the segment before the
+// first '|'): the bounded span attribute identifying what kind of
+// artifact was resolved without leaking the full parameter vector.
+func artifactKind(key string) string {
+	if i := strings.IndexByte(key, '|'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// do returns the memoized value for key like lookup, recording the
+// resolution as an "engine.cache" span (attrs: artifact kind, hit|miss)
+// when the context carries a tracer. A hit's span duration is the time
+// spent waiting on the entry (zero for ready entries, the residual build
+// time for in-flight ones); a miss's is the build itself.
+func (c *Cache) do(ctx context.Context, key string, build func() (any, int64, error)) (any, error) {
+	_, sp := obs.StartSpan(ctx, "engine.cache")
+	sp.SetAttr("artifact", artifactKind(key))
+	v, hit, err := c.lookup(key, build)
+	if hit {
+		sp.SetAttr("cache", "hit")
+	} else {
+		sp.SetAttr("cache", "miss")
+	}
+	sp.End()
+	return v, err
+}
+
+// lookup returns the memoized value for key, invoking build at most once
+// per live entry, and reports whether the lookup hit an existing entry. A
+// lookup that finds an in-flight entry counts as a hit and blocks until
+// the builder finishes. Build errors are returned but not cached, so a
+// later retry rebuilds.
+func (c *Cache) lookup(key string, build func() (any, int64, error)) (any, bool, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
 		c.lru.MoveToFront(e.elem)
 		c.mu.Unlock()
 		<-e.ready
-		return e.val, e.err
+		return e.val, true, e.err
 	}
 	e := &cacheEntry{key: key, ready: make(chan struct{})}
 	e.elem = c.lru.PushFront(e)
@@ -118,16 +150,18 @@ func (c *Cache) do(key string, build func() (any, int64, error)) (any, error) {
 		}
 	}
 	c.mu.Unlock()
-	return e.val, e.err
+	return e.val, false, e.err
 }
 
-// Do is the exported build-once lookup with the same semantics as do:
-// one build per live key, concurrent requesters block on the first
-// builder, errors are not cached. It satisfies policy.SharedCache so
-// DPNextFailure planners can share survival grids through the engine
-// cache (see Engine.SharedGridOptions).
+// Do is the exported build-once lookup with the same semantics as
+// lookup: one build per live key, concurrent requesters block on the
+// first builder, errors are not cached. It satisfies policy.SharedCache
+// so DPNextFailure planners can share survival grids through the engine
+// cache (see Engine.SharedGridOptions). Unlike the engine's own getters
+// it records no span: its callers run deep inside an instrumented cell.
 func (c *Cache) Do(key string, build func() (artifact any, weight int64, err error)) (any, error) {
-	return c.do(key, build)
+	v, _, err := c.lookup(key, build)
+	return v, err
 }
 
 // removeLocked unlinks an entry; the caller holds c.mu.
@@ -158,8 +192,10 @@ func (c *Cache) evictLocked() {
 
 // DPMakespanTable returns the memoized Algorithm 1 table for the given
 // macro-processor law and job geometry, building it on the first request.
-// Without a cache it builds directly.
-func (e *Engine) DPMakespanTable(d dist.Distribution, work, cost, rec, down, tau0 float64, quanta int) (*policy.DPMakespanTable, error) {
+// Without a cache it builds directly. The context carries observability
+// only (the cache resolution span); building is not cancellable — a
+// cached artifact is built to completion or not at all.
+func (e *Engine) DPMakespanTable(ctx context.Context, d dist.Distribution, work, cost, rec, down, tau0 float64, quanta int) (*policy.DPMakespanTable, error) {
 	e = or(e)
 	if e.cache == nil {
 		return policy.BuildDPMakespanTable(d, work, cost, rec, down, tau0, quanta)
@@ -167,7 +203,7 @@ func (e *Engine) DPMakespanTable(d dist.Distribution, work, cost, rec, down, tau
 	key := fmt.Sprintf("dpm|%s|%x|%x|%x|%x|%x|%d",
 		distKey(d), math.Float64bits(work), math.Float64bits(cost),
 		math.Float64bits(rec), math.Float64bits(down), math.Float64bits(tau0), quanta)
-	v, err := e.cache.do(key, func() (any, int64, error) {
+	v, err := e.cache.do(ctx, key, func() (any, int64, error) {
 		t, err := policy.BuildDPMakespanTable(d, work, cost, rec, down, tau0, quanta)
 		if err != nil {
 			return nil, 0, err
@@ -184,8 +220,9 @@ func (e *Engine) DPMakespanTable(d dist.Distribution, work, cost, rec, down, tau
 // for the given per-unit law, MTBF and resolution. Sharing the planner
 // across evaluations shares its pristine-state plan memo, so the expensive
 // first planning pass of a scenario is computed once and reused by every
-// trace (and every repeat of the scenario).
-func (e *Engine) DPNextFailurePlanner(d dist.Distribution, unitMean float64, quanta int) *policy.DPNextFailurePlanner {
+// trace (and every repeat of the scenario). The context carries
+// observability only (the cache resolution span).
+func (e *Engine) DPNextFailurePlanner(ctx context.Context, d dist.Distribution, unitMean float64, quanta int) *policy.DPNextFailurePlanner {
 	e = or(e)
 	build := func() *policy.DPNextFailurePlanner {
 		opts := append([]policy.DPNextFailureOption{policy.WithQuanta(quanta)}, e.SharedGridOptions(d)...)
@@ -195,7 +232,7 @@ func (e *Engine) DPNextFailurePlanner(d dist.Distribution, unitMean float64, qua
 		return build()
 	}
 	key := fmt.Sprintf("dpnf|%s|%x|%d", distKey(d), math.Float64bits(unitMean), quanta)
-	v, _ := e.cache.do(key, func() (any, int64, error) {
+	v, _ := e.cache.do(ctx, key, func() (any, int64, error) {
 		return build(), 1 << 10, nil
 	})
 	return v.(*policy.DPNextFailurePlanner)

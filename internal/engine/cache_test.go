@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -16,7 +17,7 @@ func TestCacheBuildsOncePerKey(t *testing.T) {
 	c := NewCache(0)
 	var builds atomic.Int64
 	for i := 0; i < 5; i++ {
-		v, err := c.do("k", func() (any, int64, error) {
+		v, err := c.do(context.Background(), "k", func() (any, int64, error) {
 			builds.Add(1)
 			return 42, 8, nil
 		})
@@ -41,7 +42,7 @@ func TestCacheConcurrentLookupsShareOneBuild(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := c.do("shared", func() (any, int64, error) {
+			v, err := c.do(context.Background(), "shared", func() (any, int64, error) {
 				builds.Add(1)
 				return "v", 8, nil
 			})
@@ -71,10 +72,10 @@ func TestCacheDoesNotCacheErrors(t *testing.T) {
 		}
 		return 7, 8, nil
 	}
-	if _, err := c.do("k", build); err != boom {
+	if _, err := c.do(context.Background(), "k", build); err != boom {
 		t.Fatalf("first lookup err = %v, want %v", err, boom)
 	}
-	v, err := c.do("k", build)
+	v, err := c.do(context.Background(), "k", build)
 	if err != nil || v.(int) != 7 {
 		t.Fatalf("retry got %v, %v; want rebuilt value", v, err)
 	}
@@ -86,7 +87,7 @@ func TestCacheDoesNotCacheErrors(t *testing.T) {
 func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
 	c := NewCache(100) // room for two 40-byte entries
 	mk := func(k string) {
-		if _, err := c.do(k, func() (any, int64, error) { return k, 40, nil }); err != nil {
+		if _, err := c.do(context.Background(), k, func() (any, int64, error) { return k, 40, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -121,7 +122,7 @@ func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
 // cache's counters, and degrades to (zero, false) without a cache.
 func TestEngineCacheStatsSnapshot(t *testing.T) {
 	eng := New(Config{Workers: 1, Cache: NewCache(0)})
-	if _, err := eng.Cache().do("k", func() (any, int64, error) { return 1, 8, nil }); err != nil {
+	if _, err := eng.Cache().do(context.Background(), "k", func() (any, int64, error) { return 1, 8, nil }); err != nil {
 		t.Fatal(err)
 	}
 	st, ok := eng.CacheStats()
@@ -147,7 +148,7 @@ func TestCacheAccountingSurvivesConcurrentChurn(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 400; i++ {
 				key := fmt.Sprintf("k%d", (g*7+i)%40)
-				if _, err := c.do(key, func() (any, int64, error) {
+				if _, err := c.do(context.Background(), key, func() (any, int64, error) {
 					return key, weight, nil
 				}); err != nil {
 					t.Error(err)
@@ -169,11 +170,11 @@ func TestCacheAccountingSurvivesConcurrentChurn(t *testing.T) {
 func TestDPMakespanTableCached(t *testing.T) {
 	law := dist.WeibullFromMeanShape(86400, 0.7)
 	e := New(Config{Workers: 2, Cache: NewCache(0)})
-	t1, err := e.DPMakespanTable(law, 20*86400, 600, 600, 60, 0, 40)
+	t1, err := e.DPMakespanTable(context.Background(), law, 20*86400, 600, 600, 60, 0, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t2, err := e.DPMakespanTable(law, 20*86400, 600, 600, 60, 0, 40)
+	t2, err := e.DPMakespanTable(context.Background(), law, 20*86400, 600, 600, 60, 0, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestDPMakespanTableCached(t *testing.T) {
 		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
 	}
 	// Different quanta is a different table.
-	t3, err := e.DPMakespanTable(law, 20*86400, 600, 600, 60, 0, 41)
+	t3, err := e.DPMakespanTable(context.Background(), law, 20*86400, 600, 600, 60, 0, 41)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestDPMakespanTableCached(t *testing.T) {
 		t.Fatal("distinct quanta shared a table")
 	}
 	// A build error is reported and not cached.
-	if _, err := e.DPMakespanTable(law, -1, 600, 600, 60, 0, 40); err == nil {
+	if _, err := e.DPMakespanTable(context.Background(), law, -1, 600, 600, 60, 0, 40); err == nil {
 		t.Fatal("want error for negative work")
 	}
 }
@@ -200,17 +201,17 @@ func TestDPMakespanTableCached(t *testing.T) {
 func TestDPNextFailurePlannerCached(t *testing.T) {
 	law := dist.WeibullFromMeanShape(3.942e9, 0.7)
 	e := New(Config{Workers: 2, Cache: NewCache(0)})
-	p1 := e.DPNextFailurePlanner(law, law.Mean(), 120)
-	p2 := e.DPNextFailurePlanner(law, law.Mean(), 120)
+	p1 := e.DPNextFailurePlanner(context.Background(), law, law.Mean(), 120)
+	p2 := e.DPNextFailurePlanner(context.Background(), law, law.Mean(), 120)
 	if p1 != p2 {
 		t.Fatal("same key built two planners")
 	}
-	if p3 := e.DPNextFailurePlanner(law, law.Mean(), 150); p3 == p1 {
+	if p3 := e.DPNextFailurePlanner(context.Background(), law, law.Mean(), 150); p3 == p1 {
 		t.Fatal("distinct quanta shared a planner")
 	}
 	// Without a cache the engine still hands out working planners.
 	bare := New(Config{Workers: 1})
-	if p := bare.DPNextFailurePlanner(law, law.Mean(), 120); p == nil {
+	if p := bare.DPNextFailurePlanner(context.Background(), law, law.Mean(), 120); p == nil {
 		t.Fatal("nil planner from cacheless engine")
 	}
 }
@@ -248,7 +249,7 @@ func TestDistKeyDistinguishesParameters(t *testing.T) {
 func TestDPNextFailureSharedGrids(t *testing.T) {
 	law := dist.WeibullFromMeanShape(2e6, 0.7)
 	e := New(Config{Workers: 1, Cache: NewCache(0)})
-	planner := e.DPNextFailurePlanner(law, 2e6, 20)
+	planner := e.DPNextFailurePlanner(context.Background(), law, 2e6, 20)
 
 	job := &sim.Job{Work: 1e12, C: 400, R: 400, D: 60, Units: 8}
 	// Two failed units + the never-failed group: 3 age groups, inside the
@@ -290,7 +291,7 @@ func TestDPNextFailureSharedGrids(t *testing.T) {
 	// A cacheless engine hands out planners with sharing disabled; the
 	// decision must still be bit-identical (the grid is the same pure
 	// function either way).
-	bare := New(Config{Workers: 1}).DPNextFailurePlanner(law, 2e6, 20)
+	bare := New(Config{Workers: 1}).DPNextFailurePlanner(context.Background(), law, 2e6, 20)
 	p3 := bare.NewPolicy()
 	if err := p3.Start(job); err != nil {
 		t.Fatal(err)

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/trace"
 )
@@ -100,6 +102,23 @@ func (e *Engine) WithoutCache() *Engine {
 	return &Engine{workers: e.workers}
 }
 
+// instrumentCell wraps a cell function so every invocation records an
+// "engine.cell" span (attr: cell index) under the context's tracer. When
+// the context carries no tracer the function is returned untouched, so
+// uninstrumented runs pay nothing per cell.
+func instrumentCell[T any](ctx context.Context, fn func(i int) (T, error)) func(i int) (T, error) {
+	if obs.TracerFrom(ctx) == nil {
+		return fn
+	}
+	return func(i int) (T, error) {
+		_, sp := obs.StartSpan(ctx, "engine.cell")
+		sp.SetAttr("cell", strconv.Itoa(i))
+		v, err := fn(i)
+		sp.End()
+		return v, err
+	}
+}
+
 // Run executes cells 0..n-1 on the engine's worker pool and returns their
 // results indexed by cell: the output is identical for every worker count.
 // Every cell runs even if another fails; the returned error is the
@@ -115,6 +134,7 @@ func Run[T any](ctx context.Context, e *Engine, n int, fn func(i int) (T, error)
 	if n <= 0 {
 		return nil, ctx.Err()
 	}
+	fn = instrumentCell(ctx, fn)
 	results := make([]T, n)
 	errs := make([]error, n)
 	w := e.workers
@@ -172,6 +192,7 @@ func Stream[T any](ctx context.Context, e *Engine, n int, fn func(i int) (T, err
 	if n <= 0 {
 		return ctx.Err()
 	}
+	fn = instrumentCell(ctx, fn)
 	results := make([]T, n)
 	errs := make([]error, n)
 	done := make([]bool, n)
@@ -245,23 +266,26 @@ func Stream[T any](ctx context.Context, e *Engine, n int, fn func(i int) (T, err
 // unit count, horizon, downtime and seed — through the cache when the
 // engine has one, and generated block-parallel on the worker pool
 // otherwise. The per-unit rng substreams make the result bit-identical to
-// trace.GenerateRenewal for every worker count.
-func (e *Engine) GenerateTraces(d dist.Distribution, units int, horizon, downtime float64, seed uint64) *trace.Set {
+// trace.GenerateRenewal for every worker count. The context carries
+// observability only (the cache resolution span and per-block generation
+// spans); generation is not cancellable — a cached artifact is built to
+// completion or not at all.
+func (e *Engine) GenerateTraces(ctx context.Context, d dist.Distribution, units int, horizon, downtime float64, seed uint64) *trace.Set {
 	e = or(e)
 	if e.cache == nil {
-		return e.generateTraces(d, units, horizon, downtime, seed)
+		return e.generateTraces(ctx, d, units, horizon, downtime, seed)
 	}
 	key := fmt.Sprintf("trace|%s|%d|%x|%x|%d",
 		distKey(d), units, math.Float64bits(horizon), math.Float64bits(downtime), seed)
-	v, _ := e.cache.do(key, func() (any, int64, error) {
-		s := e.generateTraces(d, units, horizon, downtime, seed)
+	v, _ := e.cache.do(ctx, key, func() (any, int64, error) {
+		s := e.generateTraces(ctx, d, units, horizon, downtime, seed)
 		return s, traceSetWeight(s), nil
 	})
 	return v.(*trace.Set)
 }
 
 // generateTraces fills the per-unit traces in parallel blocks.
-func (e *Engine) generateTraces(d dist.Distribution, units int, horizon, downtime float64, seed uint64) *trace.Set {
+func (e *Engine) generateTraces(ctx context.Context, d dist.Distribution, units int, horizon, downtime float64, seed uint64) *trace.Set {
 	const minParallelUnits = 512
 	if e.workers <= 1 || units < minParallelUnits {
 		return trace.GenerateRenewal(d, units, horizon, downtime, seed)
@@ -270,10 +294,11 @@ func (e *Engine) generateTraces(d dist.Distribution, units int, horizon, downtim
 	blocks := e.workers * 4
 	size := (units + blocks - 1) / blocks
 	nb := (units + size - 1) / size
-	// Background context: a trace set is an atomic cached artifact — a
-	// partially generated set must never escape into the cache.
-	//chkpt:allow ctxflow -- cached artifacts are built to completion on purpose: honoring a caller's cancellation here could cache a partially generated trace set
-	_, _ = Run(context.Background(), e, nb, func(b int) (struct{}, error) {
+	// Detached context: a trace set is an atomic cached artifact — a
+	// partially generated set must never escape into the cache, so the
+	// caller's cancellation is shed while its tracer and request id are
+	// kept for the per-block generation spans.
+	_, _ = Run(obs.Detach(ctx), e, nb, func(b int) (struct{}, error) {
 		lo, hi := b*size, (b+1)*size
 		if hi > units {
 			hi = units

@@ -143,7 +143,7 @@ func TestGenerateTracesMatchesSequentialGeneration(t *testing.T) {
 	want := trace.GenerateRenewal(law, units, horizon, down, seed)
 	for _, workers := range []int{1, 3, 8} {
 		e := New(Config{Workers: workers})
-		got := e.GenerateTraces(law, units, horizon, down, seed)
+		got := e.GenerateTraces(context.Background(), law, units, horizon, down, seed)
 		if len(got.Units) != len(want.Units) {
 			t.Fatalf("workers=%d: %d units, want %d", workers, len(got.Units), len(want.Units))
 		}
@@ -165,8 +165,8 @@ func TestGenerateTracesCachesSets(t *testing.T) {
 	law := dist.NewExponentialMean(1e5)
 	c := NewCache(0)
 	e := New(Config{Workers: 2, Cache: c})
-	a := e.GenerateTraces(law, 16, 1e7, 60, 5)
-	b := e.GenerateTraces(law, 16, 1e7, 60, 5)
+	a := e.GenerateTraces(context.Background(), law, 16, 1e7, 60, 5)
+	b := e.GenerateTraces(context.Background(), law, 16, 1e7, 60, 5)
 	if a != b {
 		t.Fatal("second generation did not hit the cache")
 	}
@@ -174,7 +174,7 @@ func TestGenerateTracesCachesSets(t *testing.T) {
 		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
 	}
 	// A different seed is a different artifact.
-	if c2 := e.GenerateTraces(law, 16, 1e7, 60, 6); c2 == a {
+	if c2 := e.GenerateTraces(context.Background(), law, 16, 1e7, 60, 6); c2 == a {
 		t.Fatal("distinct seeds shared a cache entry")
 	}
 }
@@ -191,8 +191,8 @@ func TestWithoutCacheBypassesTheCache(t *testing.T) {
 		t.Fatal("WithoutCache kept a cache")
 	}
 	before := c.Stats()
-	a := bare.GenerateTraces(law, 16, 1e7, 60, 5)
-	b := bare.GenerateTraces(law, 16, 1e7, 60, 5)
+	a := bare.GenerateTraces(context.Background(), law, 16, 1e7, 60, 5)
+	b := bare.GenerateTraces(context.Background(), law, 16, 1e7, 60, 5)
 	if a == b {
 		t.Fatal("uncached generations returned the same set")
 	}

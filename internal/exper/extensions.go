@@ -102,7 +102,7 @@ func optimalPPoint(ctx context.Context, spec platform.Spec, law dist.Distributio
 	eng := p.engine()
 	makespans, err := engine.Run(ctx, eng, traces, func(i int) (float64, error) {
 		seed := p.seed() + uint64(i+1)*0x9e3779b97f4a7c15
-		ts := eng.GenerateTraces(law, procs, horizon, spec.D, seed)
+		ts := eng.GenerateTraces(ctx, law, procs, horizon, spec.D, seed)
 		res, err := sim.Run(ctx, job, opt, ts)
 		if err != nil {
 			return 0, err
@@ -206,7 +206,7 @@ func replicationPoint(ctx context.Context, spec platform.Spec, law dist.Distribu
 	eng := p.engine()
 	cells, err := engine.Run(ctx, eng, traces, func(i int) (pair, error) {
 		seed := p.seed() + uint64(i+1)*0x9e3779b97f4a7c15
-		ts := eng.GenerateTraces(law, procs, horizon, spec.D, seed)
+		ts := eng.GenerateTraces(ctx, law, procs, horizon, spec.D, seed)
 		resW, err := sim.Run(ctx, jobWhole, optWhole, ts)
 		if err != nil {
 			return pair{}, err

@@ -122,7 +122,7 @@ func StandardCandidatesWith(ctx context.Context, eng *engine.Engine, sc Scenario
 	if cfg.DPNextFailureQuanta > 0 {
 		// One immutable planner shared by every run: its pristine-state
 		// plan memo turns the per-trace initial DP solve into a lookup.
-		planner := eng.DPNextFailurePlanner(sc.Dist, d.UnitMean, cfg.DPNextFailureQuanta)
+		planner := eng.DPNextFailurePlanner(ctx, sc.Dist, d.UnitMean, cfg.DPNextFailureQuanta)
 		out = append(out, Candidate{Name: "DPNextFailure", New: func() (sim.Policy, error) {
 			return planner.NewPolicy(), nil
 		}})
@@ -134,7 +134,7 @@ func StandardCandidatesWith(ctx context.Context, eng *engine.Engine, sc Scenario
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		cand, err := DPMakespanCandidate(eng, sc, d, cfg.DPMakespanQuanta)
+		cand, err := DPMakespanCandidate(ctx, eng, sc, d, cfg.DPMakespanQuanta)
 		if err != nil {
 			out = append(out, Candidate{Name: "DPMakespan", SkipReason: err.Error()})
 		} else {
@@ -150,7 +150,7 @@ func StandardCandidatesWith(ctx context.Context, eng *engine.Engine, sc Scenario
 // that all processors are rejuvenated after each failure, i.e. it plans on
 // the aggregated macro-processor law. Exponential laws get a finer quantum
 // (the one-dimensional DP is cheap and exact).
-func DPMakespanCandidate(eng *engine.Engine, sc Scenario, d Derived, quanta int) (Candidate, error) {
+func DPMakespanCandidate(ctx context.Context, eng *engine.Engine, sc Scenario, d Derived, quanta int) (Candidate, error) {
 	macro := sc.Dist
 	if d.Units > 1 {
 		var err error
@@ -168,7 +168,7 @@ func DPMakespanCandidate(eng *engine.Engine, sc Scenario, d Derived, quanta int)
 			quanta = 8000
 		}
 	}
-	table, err := eng.DPMakespanTable(macro, d.WorkP, d.C, d.R, d.D, 0, quanta)
+	table, err := eng.DPMakespanTable(ctx, macro, d.WorkP, d.C, d.R, d.D, 0, quanta)
 	if err != nil {
 		return Candidate{}, err
 	}

@@ -166,7 +166,7 @@ func EvaluateWith(ctx context.Context, eng *engine.Engine, sc Scenario, cands []
 			makespans: make([]float64, nc),
 			failures:  make([]float64, nc),
 		}
-		ts := eng.GenerateTraces(sc.Dist, d.Units, sc.Horizon, sc.Spec.D, sc.TraceSeed(i))
+		ts := eng.GenerateTraces(ctx, sc.Dist, d.Units, sc.Horizon, sc.Spec.D, sc.TraceSeed(i))
 		lb, err := sim.LowerBound(ctx, job, ts)
 		if err != nil {
 			return cell, fmt.Errorf("trace %d: LowerBound: %w", i, err)

@@ -71,7 +71,7 @@ func SearchPeriodLBWith(ctx context.Context, eng *engine.Engine, sc Scenario, cf
 	searchSc.Seed ^= cfg.SeedOffset
 	sets := make([]*trace.Set, cfg.EvalTraces)
 	for i := range sets {
-		sets[i] = eng.GenerateTraces(sc.Dist, d.Units, sc.Horizon, sc.Spec.D, searchSc.TraceSeed(i))
+		sets[i] = eng.GenerateTraces(ctx, sc.Dist, d.Units, sc.Horizon, sc.Spec.D, searchSc.TraceSeed(i))
 	}
 	job := d.Job(sc.Start)
 

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the injected time source. Everything outside this package
+// that needs wall-clock time takes a Clock; the deterministic core
+// takes none at all.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+}
+
+// realClock is the one place in the module allowed to read the wall
+// clock; the chkpt-vet determinism analyzer pins time.Now to this
+// method.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// NewRealClock returns the wall clock.
+func NewRealClock() Clock { return realClock{} }
+
+// FakeClock is a deterministic test clock: every Now advances the
+// clock by a fixed tick, so consecutive reads are strictly increasing
+// and measured durations are reproducible.
+type FakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	tick time.Duration
+}
+
+// NewFakeClock returns a fake clock starting at start, advancing by
+// tick on every Now (non-positive tick means 1ms).
+func NewFakeClock(start time.Time, tick time.Duration) *FakeClock {
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	return &FakeClock{now: start, tick: tick}
+}
+
+// Now returns the current fake time and advances the clock one tick.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	c.now = c.now.Add(c.tick)
+	return t
+}
+
+// Advance moves the clock forward by d without counting as a read.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testClock() *FakeClock {
+	return NewFakeClock(time.Unix(1_700_000_000, 0).UTC(), time.Millisecond)
+}
+
+func TestFakeClockDeterministic(t *testing.T) {
+	a, b := testClock(), testClock()
+	for i := 0; i < 5; i++ {
+		ta, tb := a.Now(), b.Now()
+		if !ta.Equal(tb) {
+			t.Fatalf("read %d: %v != %v", i, ta, tb)
+		}
+	}
+	c := testClock()
+	t0 := c.Now()
+	c.Advance(time.Hour)
+	if got := c.Now().Sub(t0); got != time.Hour+time.Millisecond {
+		t.Fatalf("Advance+tick = %v, want 1h1ms", got)
+	}
+}
+
+func TestStartSpanWithoutTracerIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "nothing")
+	if sp != nil {
+		t.Fatalf("expected nil span without a tracer")
+	}
+	if ctx2 != ctx {
+		t.Fatalf("expected the context back unchanged")
+	}
+	// All methods must be nil-safe.
+	sp.SetAttr("k", "v")
+	sp.End()
+	sp.End()
+}
+
+func TestSpanRecordingAndParentage(t *testing.T) {
+	tr := NewTracer(TracerConfig{Clock: testClock(), Capacity: 16})
+	ctx := WithRequestID(WithTracer(context.Background(), tr), "req-1")
+
+	ctx, root := StartSpan(ctx, "root")
+	_, child := StartSpan(ctx, "child")
+	child.SetAttr("cache", "hit")
+	child.End()
+	root.End()
+
+	spans := tr.Recent(0)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Newest first: root ended last.
+	gotRoot, gotChild := spans[0], spans[1]
+	if gotRoot.Name != "root" || gotChild.Name != "child" {
+		t.Fatalf("order: got %q then %q, want root then child", gotRoot.Name, gotChild.Name)
+	}
+	if gotChild.Parent != gotRoot.ID {
+		t.Fatalf("child.Parent = %d, want root id %d", gotChild.Parent, gotRoot.ID)
+	}
+	if gotRoot.Parent != 0 {
+		t.Fatalf("root.Parent = %d, want 0", gotRoot.Parent)
+	}
+	for _, s := range spans {
+		if s.Request != "req-1" {
+			t.Fatalf("span %q request = %q, want req-1", s.Name, s.Request)
+		}
+		if s.Duration <= 0 {
+			t.Fatalf("span %q duration = %v, want > 0", s.Name, s.Duration)
+		}
+	}
+	if len(gotChild.Attrs) != 1 || gotChild.Attrs[0] != (Attr{Key: "cache", Value: "hit"}) {
+		t.Fatalf("child attrs = %v", gotChild.Attrs)
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(TracerConfig{Clock: testClock(), Capacity: 4})
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, sp := StartSpan(ctx, fmt.Sprintf("s%d", i))
+		sp.End()
+	}
+	spans := tr.Recent(0)
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	for i, want := range []string{"s9", "s8", "s7", "s6"} {
+		if spans[i].Name != want {
+			t.Fatalf("spans[%d] = %q, want %q", i, spans[i].Name, want)
+		}
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[0].Name != "s9" || got[1].Name != "s8" {
+		t.Fatalf("Recent(2) = %v", got)
+	}
+}
+
+func TestTracerOnEnd(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	tr := NewTracer(TracerConfig{Clock: testClock(), OnEnd: func(s Span) {
+		mu.Lock()
+		seen = append(seen, s.Name)
+		mu.Unlock()
+	}})
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := StartSpan(ctx, "observed")
+	sp.End()
+	sp.End() // double End must not re-observe
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 || seen[0] != "observed" {
+		t.Fatalf("OnEnd saw %v, want [observed]", seen)
+	}
+}
+
+func TestDetachKeepsValuesDropsCancellation(t *testing.T) {
+	tr := NewTracer(TracerConfig{Clock: testClock()})
+	ctx, cancel := context.WithCancel(context.Background())
+	ctx = WithRequestID(WithTracer(ctx, tr), "req-7")
+	ctx, parent := StartSpan(ctx, "parent")
+
+	det := Detach(ctx)
+	cancel()
+	if det.Err() != nil {
+		t.Fatalf("detached context inherited cancellation: %v", det.Err())
+	}
+	if TracerFrom(det) != tr {
+		t.Fatalf("detached context lost the tracer")
+	}
+	if RequestID(det) != "req-7" {
+		t.Fatalf("detached context lost the request id")
+	}
+	_, child := StartSpan(det, "child")
+	child.End()
+	parent.End()
+	spans := tr.Recent(0)
+	if spans[1].Name != "child" || spans[1].Parent == 0 {
+		t.Fatalf("detached child lost its parent: %+v", spans[1])
+	}
+}
+
+func TestSanitizeRequestID(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"abc-123", "abc-123"},
+		{"", ""},
+		{"evil\r\nheader", "evilheader"},
+		{"tab\tchar", "tabchar"},
+	}
+	for _, c := range cases {
+		if got := SanitizeRequestID(c.in); got != c.want {
+			t.Errorf("SanitizeRequestID(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	long := make([]byte, 200)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if got := SanitizeRequestID(string(long)); len(got) != 64 {
+		t.Errorf("long id trimmed to %d bytes, want 64", len(got))
+	}
+}
+
+func TestIDSources(t *testing.T) {
+	seq := NewSequenceIDSource("test")
+	if a, b := seq.NewID(), seq.NewID(); a != "test-000001" || b != "test-000002" {
+		t.Fatalf("sequence ids = %q, %q", a, b)
+	}
+	rnd := NewRandomIDSource()
+	a, b := rnd.NewID(), rnd.NewID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("random ids = %q, %q", a, b)
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer(TracerConfig{Clock: testClock(), Capacity: 64})
+	ctx := WithTracer(context.Background(), tr)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, sp := StartSpan(ctx, "outer")
+				_, inner := StartSpan(c, "inner")
+				inner.SetAttr("i", "x")
+				inner.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Recent(0)); got != 64 {
+		t.Fatalf("retained %d spans, want full ring of 64", got)
+	}
+}
+
+func BenchmarkStartSpanEnd(b *testing.B) {
+	tr := NewTracer(TracerConfig{})
+	ctx := WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "bench")
+		sp.End()
+	}
+}
+
+func BenchmarkStartSpanNoTracer(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "bench")
+		sp.End()
+	}
+}

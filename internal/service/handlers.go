@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/exper"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/spec"
 )
@@ -160,6 +161,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.writeTo(w, cs, ok, s.store.stats(), s.st.Stats())
 }
 
+// TracesResponse is the GET /v1/debug/traces payload: the most recent
+// finished spans, newest first.
+type TracesResponse struct {
+	Spans []obs.Span `json:"spans"`
+}
+
+// handleTraces serves the span ring buffer. The optional limit query
+// parameter bounds the answer (default 256, at most the ring size).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit, err := queryInt(r.URL.Query(), "limit", 256)
+	if err != nil || limit <= 0 {
+		if err == nil {
+			err = fmt.Errorf("service: query parameter limit=%d must be > 0", limit)
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spans := s.tracer.Recent(limit)
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Spans: spans})
+}
+
 // decodeSpec reads and strict-decodes the request body into an
 // experiment spec, surfacing unknown fields and structural problems as
 // one descriptive error.
@@ -173,7 +198,7 @@ func decodeSpec(w http.ResponseWriter, r *http.Request) (*spec.ExperimentSpec, e
 // disconnecting waiter never cancels work other waiters share.
 func (s *Server) evaluateCoalesced(ctx context.Context, hash string, cell spec.Cell) (spec.CellResult, bool, error) {
 	v, shared, err := s.coal.do(ctx, hash, func() (any, error) {
-		runCtx, cancel := s.runContext()
+		runCtx, cancel := s.runContext(ctx)
 		defer cancel()
 		if err := s.adm.acquire(runCtx); err != nil {
 			return nil, err

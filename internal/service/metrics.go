@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -17,18 +18,28 @@ import (
 // paper-scale sweeps), so the buckets are log-spaced across that span.
 var latencyBuckets = []float64{0.005, 0.02, 0.1, 0.5, 2, 10, 60}
 
-// histogram is a fixed-bucket latency histogram.
+// spanBuckets are the upper bounds for the span-fed stage histograms.
+// Warm re-plans are ~10µs, cold DP builds ~1ms, fsyncs ~1ms, engine
+// cells up to seconds, so these reach two decades lower than the
+// request buckets.
+var spanBuckets = []float64{0.00001, 0.0001, 0.001, 0.005, 0.02, 0.1, 0.5, 2, 10}
+
+// histogram is a fixed-bucket latency histogram. Its bucket slice is
+// sized at construction — observe never allocates, so a histogram that
+// is scraped before its first observation still renders every bucket.
 type histogram struct {
-	buckets []uint64 // observations <= latencyBuckets[i]
+	bounds  []float64
+	buckets []uint64 // observations <= bounds[i]
 	sum     float64
 	count   uint64
 }
 
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, buckets: make([]uint64, len(bounds))}
+}
+
 func (h *histogram) observe(sec float64) {
-	if h.buckets == nil {
-		h.buckets = make([]uint64, len(latencyBuckets))
-	}
-	for i, le := range latencyBuckets {
+	for i, le := range h.bounds {
 		if sec <= le {
 			h.buckets[i]++
 		}
@@ -54,12 +65,29 @@ type metrics struct {
 	sweepJobsResumed   uint64 // POSTs/loads that found an existing job
 	sweepCellsComputed uint64 // cells actually evaluated by job runners
 	sweepCellsRestored uint64 // cells recovered from the store, not re-run
+
+	// Span-fed stage histograms, constructed up front so a scrape before
+	// the first observation still renders the full bucket set.
+	replanCold  *histogram // chkpt_replan_seconds{warm="false"}
+	replanWarm  *histogram // chkpt_replan_seconds{warm="true"}
+	storeFsync  *histogram // chkpt_store_fsync_seconds
+	engineCell  *histogram // chkpt_engine_cell_seconds
+	engineHit   *histogram // chkpt_engine_cache_seconds{result="hit"}
+	engineMiss  *histogram // chkpt_engine_cache_seconds{result="miss"}
+	storeReplay *histogram // chkpt_store_replay_seconds
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: map[string]uint64{},
-		latency:  map[string]*histogram{},
+		requests:    map[string]uint64{},
+		latency:     map[string]*histogram{},
+		replanCold:  newHistogram(spanBuckets),
+		replanWarm:  newHistogram(spanBuckets),
+		storeFsync:  newHistogram(spanBuckets),
+		engineCell:  newHistogram(spanBuckets),
+		engineHit:   newHistogram(spanBuckets),
+		engineMiss:  newHistogram(spanBuckets),
+		storeReplay: newHistogram(spanBuckets),
 	}
 }
 
@@ -69,10 +97,47 @@ func (m *metrics) observe(path string, code int, dur time.Duration) {
 	m.requests[path+" "+strconv.Itoa(code)]++
 	h, ok := m.latency[path]
 	if !ok {
-		h = &histogram{}
+		h = newHistogram(latencyBuckets)
 		m.latency[path] = h
 	}
 	h.observe(dur.Seconds())
+}
+
+// observeSpan feeds a finished span into the stage histograms. It is the
+// tracer's OnEnd hook, so every traced stage is summarized on /metrics
+// whether or not anyone reads /v1/debug/traces.
+func (m *metrics) observeSpan(s obs.Span) {
+	sec := s.Duration.Seconds()
+	var attr = func(key string) string {
+		for _, a := range s.Attrs {
+			if a.Key == key {
+				return a.Value
+			}
+		}
+		return ""
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch s.Name {
+	case "advisor.replan":
+		if attr("warm") == "true" {
+			m.replanWarm.observe(sec)
+		} else {
+			m.replanCold.observe(sec)
+		}
+	case "store.fsync":
+		m.storeFsync.observe(sec)
+	case "store.replay":
+		m.storeReplay.observe(sec)
+	case "engine.cell":
+		m.engineCell.observe(sec)
+	case "engine.cache":
+		if attr("cache") == "hit" {
+			m.engineHit.observe(sec)
+		} else {
+			m.engineMiss.observe(sec)
+		}
+	}
 }
 
 func (m *metrics) coalesce(shared bool) {
@@ -216,13 +281,56 @@ func (m *metrics) writeTo(w io.Writer, cacheStats engine.CacheStats, hasCache bo
 	sort.Strings(paths)
 	for _, p := range paths {
 		h := m.latency[p]
-		for i, le := range latencyBuckets {
+		for i, le := range h.bounds {
 			fmt.Fprintf(w, "chkpt_request_duration_seconds_bucket{path=%q,le=%q} %d\n", p, trimFloat(le), h.buckets[i])
 		}
 		fmt.Fprintf(w, "chkpt_request_duration_seconds_bucket{path=%q,le=\"+Inf\"} %d\n", p, h.count)
 		fmt.Fprintf(w, "chkpt_request_duration_seconds_sum{path=%q} %g\n", p, h.sum)
 		fmt.Fprintf(w, "chkpt_request_duration_seconds_count{path=%q} %d\n", p, h.count)
 	}
+
+	// labeledHist renders one histogram family: the HELP/TYPE header once,
+	// then each labeled series' cumulative buckets, +Inf, sum and count.
+	labeledHist := func(name, help string, series []struct {
+		labels string
+		h      *histogram
+	}) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for _, s := range series {
+			sep := ""
+			if s.labels != "" {
+				sep = ","
+			}
+			for i, le := range s.h.bounds {
+				fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, s.labels, sep, trimFloat(le), s.h.buckets[i])
+			}
+			fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, s.labels, sep, s.h.count)
+			if s.labels == "" {
+				fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, s.h.sum, name, s.h.count)
+			} else {
+				fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, s.labels, s.h.sum, name, s.labels, s.h.count)
+			}
+		}
+	}
+	type series = struct {
+		labels string
+		h      *histogram
+	}
+	labeledHist("chkpt_replan_seconds",
+		"Advisor policy consultations by warmth: cold plans build the DP, warm re-plans walk the memo.",
+		[]series{{`warm="false"`, m.replanCold}, {`warm="true"`, m.replanWarm}})
+	labeledHist("chkpt_store_fsync_seconds",
+		"Durable-store fsync latency (the serving tier's checkpoint cost C).",
+		[]series{{"", m.storeFsync}})
+	labeledHist("chkpt_store_replay_seconds",
+		"Session-log replay latency (recovery cost R).",
+		[]series{{"", m.storeReplay}})
+	labeledHist("chkpt_engine_cell_seconds",
+		"Engine cell evaluation latency inside Run/Stream worker loops.",
+		[]series{{"", m.engineCell}})
+	labeledHist("chkpt_engine_cache_seconds",
+		"Engine artifact resolution latency by cache outcome (misses pay the build).",
+		[]series{{`result="hit"`, m.engineHit}, {`result="miss"`, m.engineMiss}})
 
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)

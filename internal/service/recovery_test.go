@@ -2,6 +2,7 @@ package service
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -401,14 +402,14 @@ func TestSweepJobResumesFromPersistedPrefix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fst.Put(sweepJobPrefix+hash, rec); err != nil {
+	if err := fst.Put(context.Background(), sweepJobPrefix+hash, rec); err != nil {
 		t.Fatal(err)
 	}
 	key0, err := spec.CanonicalCellHash(es, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fst.Put(key0, []byte(ref[0])); err != nil {
+	if err := fst.Put(context.Background(), key0, []byte(ref[0])); err != nil {
 		t.Fatal(err)
 	}
 	if err := fst.Close(); err != nil {

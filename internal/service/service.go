@@ -5,10 +5,12 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -50,6 +52,17 @@ type Config struct {
 	// Logger receives structured access logs. Nil means text logs on
 	// stderr.
 	Logger *slog.Logger
+	// Clock is the server's time source (session TTLs, access-log
+	// latencies, span durations). Nil means the real clock; tests inject
+	// obs.NewFakeClock for deterministic timing.
+	Clock obs.Clock
+	// IDs mints request ids for requests arriving without an
+	// X-Request-ID header. Nil means random ids; tests inject
+	// obs.NewSequenceIDSource for deterministic ones.
+	IDs obs.IDSource
+	// TraceCapacity bounds the span ring buffer served by
+	// /v1/debug/traces. Non-positive means obs.DefaultTraceCapacity.
+	TraceCapacity int
 }
 
 // Server is the HTTP evaluation service over the spec/engine stack. Build
@@ -66,6 +79,9 @@ type Server struct {
 	log     *slog.Logger
 	timeout time.Duration
 	handler http.Handler
+	clock   obs.Clock
+	ids     obs.IDSource
+	tracer  *obs.Tracer
 
 	// jobsCtx bounds background sweep-job runners to the server lifetime;
 	// Close cancels it and waits for them.
@@ -118,18 +134,35 @@ func New(cfg Config) *Server {
 	if st == nil {
 		st = store.NewMem()
 	}
-	jobsCtx, jobsCancel := context.WithCancel(context.Background())
+	clock := cfg.Clock
+	if clock == nil {
+		clock = obs.NewRealClock()
+	}
+	ids := cfg.IDs
+	if ids == nil {
+		ids = obs.NewRandomIDSource()
+	}
+	met := newMetrics()
+	tracer := obs.NewTracer(obs.TracerConfig{
+		Clock:    clock,
+		Capacity: cfg.TraceCapacity,
+		OnEnd:    met.observeSpan,
+	})
+	jobsCtx, jobsCancel := context.WithCancel(obs.WithTracer(context.Background(), tracer))
 	s := &Server{
 		eng:        eng,
 		adm:        newAdmission(conc, depth),
 		coal:       newCoalescer(),
-		met:        newMetrics(),
-		store:      newSessionStore(ttl, maxSessions, st),
+		met:        met,
+		store:      newSessionStore(ttl, maxSessions, st, clock),
 		st:         st,
 		sweeps:     newSweepJobs(),
 		version:    version,
 		log:        logger,
 		timeout:    timeout,
+		clock:      clock,
+		ids:        ids,
+		tracer:     tracer,
 		jobsCtx:    jobsCtx,
 		jobsCancel: jobsCancel,
 	}
@@ -147,6 +180,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweepJobCreate)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepJobGet)
+	mux.HandleFunc("GET /v1/debug/traces", s.handleTraces)
 	s.handler = s.instrument(mux)
 	return s
 }
@@ -170,11 +204,15 @@ func (s *Server) Close() {
 // runContext returns the context a coalesced evaluation executes under:
 // bounded by the request timeout but detached from any single client, so
 // one disconnecting waiter never cancels the work other waiters share.
-func (s *Server) runContext() (context.Context, context.CancelFunc) {
+// The observability values (tracer, request id, parent span) are carried
+// over, so the detached work stays correlated with the request that
+// started the flight.
+func (s *Server) runContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	detached := obs.Detach(ctx)
 	if s.timeout < 0 {
-		return context.WithCancel(context.Background())
+		return context.WithCancel(detached)
 	}
-	return context.WithTimeout(context.Background(), s.timeout)
+	return context.WithTimeout(detached, s.timeout)
 }
 
 // requestContext bounds a non-coalesced (streaming) request: the client's
@@ -237,16 +275,33 @@ func metricsPath(path string) string {
 	return "other"
 }
 
-// instrument wraps the mux with access logging and per-path metrics.
+// instrument wraps the mux with request-id propagation, span tracing,
+// access logging and per-path metrics. The request id (client-supplied
+// X-Request-ID, sanitized, or freshly minted) is echoed on the response,
+// attached to the access log line, and carried on the request context so
+// every span recorded downstream correlates to it.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := obs.SanitizeRequestID(r.Header.Get("X-Request-ID"))
+		if reqID == "" {
+			reqID = s.ids.NewID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		ctx := obs.WithRequestID(obs.WithTracer(r.Context(), s.tracer), reqID)
+		ctx, span := obs.StartSpan(ctx, "http.request")
+		span.SetAttr("method", r.Method)
+		span.SetAttr("path", metricsPath(r.URL.Path))
+		r = r.WithContext(ctx)
+
 		sw := &statusWriter{ResponseWriter: w}
-		start := time.Now()
+		start := s.clock.Now()
 		next.ServeHTTP(sw, r)
-		dur := time.Since(start)
+		dur := s.clock.Now().Sub(start)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
+		span.SetAttr("status", strconv.Itoa(sw.status))
+		span.End()
 		s.met.observe(metricsPath(r.URL.Path), sw.status, dur)
 		s.log.Info("request",
 			"method", r.Method,
@@ -255,6 +310,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			"bytes", sw.bytes,
 			"dur_ms", dur.Milliseconds(),
 			"remote", r.RemoteAddr,
+			"request_id", reqID,
 		)
 	})
 }

@@ -1,12 +1,14 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
 	"repro/internal/advisor"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/store"
 )
@@ -73,19 +75,38 @@ func sessionState(s *advisor.Session) SessionState {
 // runs: replay then consults the policy at exactly the same points. If
 // the append fails, the policy is left unconsulted and no decision is
 // served — the client retries, nothing desyncs. Callers hold ls.mu.
-func (s *Server) advise(ls *liveSession) *advisor.Decision {
+//
+// A fresh consult records an "advisor.replan" span whose warm attribute
+// separates the session's first plan (cold) from later re-plans that
+// warm-start off the previous plan.
+func (s *Server) advise(ctx context.Context, ls *liveSession) *advisor.Decision {
 	if ls.sess.InOutage() {
 		return nil
 	}
-	if !ls.sess.HasDecision() {
-		if err := s.st.AppendAdvised(ls.id); err != nil {
+	fresh := !ls.sess.HasDecision()
+	if fresh {
+		if err := s.st.AppendAdvised(ctx, ls.id); err != nil {
 			s.log.Error("session advised-marker append failed", "session", ls.id, "err", err)
 			return nil
 		}
 	}
+	var span *obs.ActiveSpan
+	if fresh {
+		_, span = obs.StartSpan(ctx, "advisor.replan")
+		span.SetAttr("session", ls.id)
+		if ls.advised {
+			span.SetAttr("warm", "true")
+		} else {
+			span.SetAttr("warm", "false")
+		}
+	}
 	d, err := ls.sess.Advise()
+	span.End()
 	if err != nil {
 		return nil
+	}
+	if fresh {
+		ls.advised = true
 	}
 	s.met.sessionDecision()
 	return &d
@@ -103,7 +124,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Shed a full store before compiling: DP-planner specs pay a real
 	// solve in CompileAdvisor, which a doomed creation must not burn.
-	if s.store.full() {
+	if s.store.full(r.Context()) {
 		writeError(w, http.StatusTooManyRequests, errSessionsFull)
 		return
 	}
@@ -131,7 +152,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ls, expires, err := s.store.create(ss.Name, sess)
+	ls, expires, err := s.store.create(r.Context(), ss.Name, sess)
 	if err != nil {
 		if errors.Is(err, errSessionsFull) {
 			// Counted by the store (chkpt_sessions_rejected_total), not as
@@ -144,7 +165,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Journal the creating spec before acknowledging: a session the
 	// client has seen must be recoverable from its log.
-	if err := s.st.AppendCreated(ls.id, ss); err != nil {
+	if err := s.st.AppendCreated(r.Context(), ls.id, ss); err != nil {
 		s.store.drop(ls.id)
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -155,7 +176,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		Name:      ls.name,
 		ExpiresAt: expires,
 		State:     sessionState(ls.sess),
-		Decision:  s.advise(ls),
+		Decision:  s.advise(r.Context(), ls),
 	}
 	ls.mu.Unlock()
 	writeJSON(w, http.StatusCreated, resp)
@@ -174,10 +195,10 @@ func errSessionNotFound(id string) error {
 // equivalence property restores the session bit-identically. On failure
 // it writes the error response and returns ok=false.
 func (s *Server) getSession(w http.ResponseWriter, r *http.Request, id string) (*liveSession, time.Time, bool) {
-	if ls, expires, ok := s.store.get(id); ok {
+	if ls, expires, ok := s.store.get(r.Context(), id); ok {
 		return ls, expires, true
 	}
-	rep, err := s.st.Replay(id)
+	rep, err := s.st.Replay(r.Context(), id)
 	if err != nil {
 		switch {
 		case errors.Is(err, store.ErrNoSession), errors.Is(err, store.ErrTombstoned):
@@ -209,7 +230,7 @@ func (s *Server) getSession(w http.ResponseWriter, r *http.Request, id string) (
 		writeError(w, http.StatusInternalServerError, err)
 		return nil, time.Time{}, false
 	}
-	ls, expires, err := s.store.adopt(id, rep.Spec.Name, sess)
+	ls, expires, err := s.store.adopt(r.Context(), id, rep.Spec.Name, sess)
 	if err != nil {
 		switch {
 		case errors.Is(err, store.ErrTombstoned):
@@ -236,7 +257,7 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 		Name:      ls.name,
 		ExpiresAt: expires,
 		State:     sessionState(ls.sess),
-		Decision:  s.advise(ls),
+		Decision:  s.advise(r.Context(), ls),
 	}
 	ls.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
@@ -261,7 +282,12 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	defer ls.mu.Unlock()
 	resp := &SessionEventsResponse{ID: ls.id}
 	for _, ev := range req.Events {
-		if err := ls.sess.Observe(ev); err != nil {
+		_, osp := obs.StartSpan(r.Context(), "advisor.observe")
+		osp.SetAttr("session", ls.id)
+		osp.SetAttr("kind", string(ev.Kind))
+		err := ls.sess.Observe(ev)
+		osp.End()
+		if err != nil {
 			// Typed advisor validation error: the batch stops here, the
 			// prefix stays applied, and the client learns exactly which
 			// constraint the event violated.
@@ -274,7 +300,7 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		// must survive a restart. If the append fails, the in-memory
 		// session is ahead of its log — drop it, so the next access
 		// rehydrates from the acknowledged durable prefix.
-		if err := s.st.AppendEvent(ls.id, ev); err != nil {
+		if err := s.st.AppendEvent(r.Context(), ls.id, ev); err != nil {
 			s.store.drop(ls.id)
 			writeError(w, http.StatusInternalServerError, err)
 			return
@@ -282,20 +308,20 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		resp.Applied++
 	}
 	resp.State = sessionState(ls.sess)
-	resp.Decision = s.advise(ls)
+	resp.Decision = s.advise(r.Context(), ls)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if s.store.delete(id) {
+	if s.store.delete(r.Context(), id) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
 	// Not live — but its log may exist (a restarted server deleting a
 	// session it never rehydrated). Tombstone it directly so the delete
 	// is durable without paying for a replay.
-	err := s.st.Tombstone(id)
+	err := s.st.Tombstone(r.Context(), id)
 	switch {
 	case err == nil:
 		w.WriteHeader(http.StatusNoContent)

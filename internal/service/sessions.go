@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/advisor"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -28,6 +30,10 @@ type liveSession struct {
 	name    string
 	sess    *advisor.Session
 	expires time.Time // guarded by sessionStore.mu, not mu
+	// advised records that this live entry has consulted the policy at
+	// least once, so the next consult is a warm re-plan off the previous
+	// plan's memo rather than a cold DP build. Guarded by mu.
+	advised bool
 }
 
 // sessionStats is a point-in-time snapshot of the store's counters.
@@ -62,13 +68,13 @@ type sessionStore struct {
 	recovered uint64
 }
 
-func newSessionStore(ttl time.Duration, capacity int, log store.SessionLog) *sessionStore {
+func newSessionStore(ttl time.Duration, capacity int, log store.SessionLog, clock obs.Clock) *sessionStore {
 	return &sessionStore{
 		byID: map[string]*liveSession{},
 		ttl:  ttl,
 		cap:  capacity,
 		log:  log,
-		now:  time.Now,
+		now:  clock.Now,
 	}
 }
 
@@ -76,17 +82,17 @@ func newSessionStore(ttl time.Duration, capacity int, log store.SessionLog) *ses
 // tombstones the log so the session cannot come back through replay.
 // The tombstone is best-effort — eviction must proceed even when the
 // backing log is failing. Callers hold st.mu.
-func (st *sessionStore) reapLocked(id string) {
+func (st *sessionStore) reapLocked(ctx context.Context, id string) {
 	delete(st.byID, id)
 	st.evicted++
-	_ = st.log.Tombstone(id)
+	_ = st.log.Tombstone(ctx, id)
 }
 
 // sweepLocked reclaims every expired session. Callers hold st.mu.
-func (st *sessionStore) sweepLocked(now time.Time) {
+func (st *sessionStore) sweepLocked(ctx context.Context, now time.Time) {
 	for id, ls := range st.byID {
 		if now.After(ls.expires) {
-			st.reapLocked(id)
+			st.reapLocked(ctx, id)
 		}
 	}
 }
@@ -95,11 +101,11 @@ func (st *sessionStore) sweepLocked(now time.Time) {
 // expired sessions — the cheap advisory check the create handler runs
 // before paying for a spec compile. The authoritative check stays in
 // create (a racing creation can still fill the store in between).
-func (st *sessionStore) full() bool {
+func (st *sessionStore) full(ctx context.Context) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if len(st.byID) >= st.cap {
-		st.sweepLocked(st.now())
+		st.sweepLocked(ctx, st.now())
 	}
 	if len(st.byID) >= st.cap {
 		st.rejected++
@@ -110,12 +116,12 @@ func (st *sessionStore) full() bool {
 
 // create stores a new session under a fresh id, returning it with its
 // expiry deadline.
-func (st *sessionStore) create(name string, sess *advisor.Session) (*liveSession, time.Time, error) {
+func (st *sessionStore) create(ctx context.Context, name string, sess *advisor.Session) (*liveSession, time.Time, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	now := st.now()
 	if len(st.byID) >= st.cap {
-		st.sweepLocked(now)
+		st.sweepLocked(ctx, now)
 	}
 	if len(st.byID) >= st.cap {
 		st.rejected++
@@ -139,7 +145,7 @@ func (st *sessionStore) create(name string, sess *advisor.Session) (*liveSession
 // get returns the live session and slides its expiry window, reporting
 // the new deadline. An expired session is reclaimed and reported
 // missing.
-func (st *sessionStore) get(id string) (*liveSession, time.Time, bool) {
+func (st *sessionStore) get(ctx context.Context, id string) (*liveSession, time.Time, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	ls, ok := st.byID[id]
@@ -148,7 +154,7 @@ func (st *sessionStore) get(id string) (*liveSession, time.Time, bool) {
 	}
 	now := st.now()
 	if now.After(ls.expires) {
-		st.reapLocked(id)
+		st.reapLocked(ctx, id)
 		return nil, time.Time{}, false
 	}
 	ls.expires = now.Add(st.ttl)
@@ -159,7 +165,7 @@ func (st *sessionStore) get(id string) (*liveSession, time.Time, bool) {
 // original id, sliding (or starting) its expiry window. A racing
 // rehydration of the same id wins for both: the caller gets the entry
 // that is already live.
-func (st *sessionStore) adopt(id, name string, sess *advisor.Session) (*liveSession, time.Time, error) {
+func (st *sessionStore) adopt(ctx context.Context, id, name string, sess *advisor.Session) (*liveSession, time.Time, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	now := st.now()
@@ -167,14 +173,14 @@ func (st *sessionStore) adopt(id, name string, sess *advisor.Session) (*liveSess
 		if now.After(ls.expires) {
 			// The live entry expired while the caller was replaying: reap it
 			// (tombstoning the log) instead of resurrecting it.
-			st.reapLocked(id)
+			st.reapLocked(ctx, id)
 			return nil, time.Time{}, store.ErrTombstoned
 		}
 		ls.expires = now.Add(st.ttl)
 		return ls, ls.expires, nil
 	}
 	if len(st.byID) >= st.cap {
-		st.sweepLocked(now)
+		st.sweepLocked(ctx, now)
 	}
 	if len(st.byID) >= st.cap {
 		st.rejected++
@@ -194,7 +200,7 @@ func (st *sessionStore) adopt(id, name string, sess *advisor.Session) (*liveSess
 // delete removes a session and tombstones its log, reporting whether it
 // was live (expired sessions count as gone — they were tombstoned by
 // the reap).
-func (st *sessionStore) delete(id string) bool {
+func (st *sessionStore) delete(ctx context.Context, id string) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	ls, ok := st.byID[id]
@@ -202,11 +208,11 @@ func (st *sessionStore) delete(id string) bool {
 		return false
 	}
 	if st.now().After(ls.expires) {
-		st.reapLocked(id)
+		st.reapLocked(ctx, id)
 		return false
 	}
 	delete(st.byID, id)
-	_ = st.log.Tombstone(id)
+	_ = st.log.Tombstone(ctx, id)
 	return true
 }
 

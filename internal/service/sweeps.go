@@ -115,7 +115,7 @@ func validateSweepSpec(es *spec.ExperimentSpec) ([]spec.Cell, error) {
 // materializeJob builds the in-memory job for an experiment: content
 // addresses for every cell, plus the completed prefix probed from the
 // store (the restored cells a resumed job will not re-run).
-func (s *Server) materializeJob(es *spec.ExperimentSpec, hash string, cells []spec.Cell) (*sweepJob, error) {
+func (s *Server) materializeJob(ctx context.Context, es *spec.ExperimentSpec, hash string, cells []spec.Cell) (*sweepJob, error) {
 	j := &sweepJob{
 		id:     hash,
 		table:  es.Table,
@@ -134,7 +134,7 @@ func (s *Server) materializeJob(es *spec.ExperimentSpec, hash string, cells []sp
 	// order), so probing forward to the first miss recovers the
 	// watermark without any job-state record.
 	for _, key := range j.keys {
-		_, ok, err := s.st.Get(key)
+		_, ok, err := s.st.Get(ctx, key)
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +197,7 @@ func (s *Server) runSweepCells(j *sweepJob) error {
 		if err != nil {
 			return err
 		}
-		if err := s.st.Put(j.keys[res.Index], b); err != nil {
+		if err := s.st.Put(s.jobsCtx, j.keys[res.Index], b); err != nil {
 			return err
 		}
 		s.met.sweepCellCompute()
@@ -211,13 +211,13 @@ func (s *Server) runSweepCells(j *sweepJob) error {
 
 // getJob finds (or rebuilds from the store) the job named by id. A
 // missing id answers (nil, nil).
-func (s *Server) getJob(id string) (*sweepJob, error) {
+func (s *Server) getJob(ctx context.Context, id string) (*sweepJob, error) {
 	s.sweeps.mu.Lock()
 	defer s.sweeps.mu.Unlock()
 	if j, ok := s.sweeps.jobs[id]; ok {
 		return j, nil
 	}
-	val, ok, err := s.st.Get(sweepJobPrefix + id)
+	val, ok, err := s.st.Get(ctx, sweepJobPrefix+id)
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +232,7 @@ func (s *Server) getJob(id string) (*sweepJob, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: sweep job %s: %w", id, err)
 	}
-	j, err := s.materializeJob(es, id, cells)
+	j, err := s.materializeJob(ctx, es, id, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -268,7 +268,7 @@ func (s *Server) handleSweepJobCreate(w http.ResponseWriter, r *http.Request) {
 	if !known {
 		// Not materialized in this process — the job still counts as
 		// resumed if a previous life journaled it.
-		if _, ok, err := s.st.Get(sweepJobPrefix + hash); err != nil {
+		if _, ok, err := s.st.Get(r.Context(), sweepJobPrefix+hash); err != nil {
 			s.sweeps.mu.Unlock()
 			writeError(w, http.StatusInternalServerError, err)
 			return
@@ -279,7 +279,7 @@ func (s *Server) handleSweepJobCreate(w http.ResponseWriter, r *http.Request) {
 			// encoding is all a restarted server needs to rebuild the grid.
 			b, err := json.Marshal(es)
 			if err == nil {
-				err = s.st.Put(sweepJobPrefix+hash, b)
+				err = s.st.Put(r.Context(), sweepJobPrefix+hash, b)
 			}
 			if err != nil {
 				s.sweeps.mu.Unlock()
@@ -287,7 +287,7 @@ func (s *Server) handleSweepJobCreate(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		j, err = s.materializeJob(es, hash, cells)
+		j, err = s.materializeJob(r.Context(), es, hash, cells)
 		if err != nil {
 			s.sweeps.mu.Unlock()
 			writeError(w, http.StatusInternalServerError, err)
@@ -330,7 +330,7 @@ func (s *Server) handleSweepJobGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := s.getJob(id)
+	j, err := s.getJob(r.Context(), id)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -370,7 +370,7 @@ func (s *Server) handleSweepJobGet(w http.ResponseWriter, r *http.Request) {
 			// cancel), so this is not a cancelled sweep.
 			return
 		}
-		val, ok, err := s.st.Get(j.keys[i])
+		val, ok, err := s.st.Get(ctx, j.keys[i])
 		if err != nil || !ok {
 			if err == nil {
 				err = fmt.Errorf("service: sweep job %s: cell %d missing from the store", j.id, i)

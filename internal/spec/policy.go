@@ -188,7 +188,7 @@ func init() {
 		name := ps.name("Periodic")
 		return harness.Candidate{Name: name, New: static(policy.NewPeriodic(name, ps.Period))}, nil
 	})
-	RegisterPolicy("dpnextfailure", func(_ context.Context, ps PolicySpec, env PolicyEnv) (harness.Candidate, error) {
+	RegisterPolicy("dpnextfailure", func(ctx context.Context, ps PolicySpec, env PolicyEnv) (harness.Candidate, error) {
 		d := env.Derived
 		quanta := ps.quantaOr(150)
 		if ps.CoarseQuanta < 0 || (ps.CoarseQuanta > 0 && (ps.CoarseQuanta < 2 || ps.CoarseQuanta > quanta)) {
@@ -218,7 +218,7 @@ func init() {
 			opts = append(opts, env.Engine.SharedGridOptions(env.Scenario.Dist)...)
 			planner = policy.NewDPNextFailurePlanner(env.Scenario.Dist, d.UnitMean, opts...)
 		} else {
-			planner = env.Engine.DPNextFailurePlanner(env.Scenario.Dist, d.UnitMean, quanta)
+			planner = env.Engine.DPNextFailurePlanner(ctx, env.Scenario.Dist, d.UnitMean, quanta)
 		}
 		return harness.Candidate{Name: ps.name("DPNextFailure"), New: func() (sim.Policy, error) {
 			return planner.NewPolicy(), nil
@@ -230,8 +230,8 @@ func init() {
 	RegisterPolicy("lowerbound", func(_ context.Context, ps PolicySpec, _ PolicyEnv) (harness.Candidate, error) {
 		return harness.Candidate{}, fmt.Errorf("spec: lowerbound is the omniscient bound, not a simulable policy; evaluations report it automatically")
 	})
-	RegisterPolicy("dpmakespan", func(_ context.Context, ps PolicySpec, env PolicyEnv) (harness.Candidate, error) {
-		cand, err := harness.DPMakespanCandidate(env.Engine, env.Scenario, env.Derived, ps.quantaOr(150))
+	RegisterPolicy("dpmakespan", func(ctx context.Context, ps PolicySpec, env PolicyEnv) (harness.Candidate, error) {
+		cand, err := harness.DPMakespanCandidate(ctx, env.Engine, env.Scenario, env.Derived, ps.quantaOr(150))
 		if err != nil {
 			return harness.Candidate{Name: ps.name("DPMakespan"), SkipReason: err.Error()}, nil
 		}

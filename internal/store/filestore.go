@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -11,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/advisor"
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -120,7 +122,9 @@ func syncDir(dir string) error {
 }
 
 // appendDurable opens path for appending, writes line and fsyncs it.
-func appendDurable(path string, line []byte) error {
+// The fsync — the dominant cost of every durable append, the serving
+// tier's checkpoint cost C — gets its own span.
+func appendDurable(ctx context.Context, path string, line []byte) error {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
@@ -129,10 +133,17 @@ func appendDurable(path string, line []byte) error {
 	if _, err := f.Write(line); err != nil {
 		return err
 	}
-	return f.Sync()
+	_, sp := obs.StartSpan(ctx, "store.fsync")
+	err = f.Sync()
+	sp.End()
+	return err
 }
 
-func (st *FileStore) AppendCreated(id string, ss *spec.SessionSpec) error {
+func (st *FileStore) AppendCreated(ctx context.Context, id string, ss *spec.SessionSpec) error {
+	ctx, span := obs.StartSpan(ctx, "store.append")
+	defer span.End()
+	span.SetAttr("kind", "created")
+	span.SetAttr("session", id)
 	if err := validSessionID(id); err != nil {
 		return err
 	}
@@ -153,8 +164,10 @@ func (st *FileStore) AppendCreated(id string, ss *spec.SessionSpec) error {
 	if err != nil {
 		return fmt.Errorf("store: create session %s: %w", id, err)
 	}
-	if _, err := f.Write(line); err == nil {
+	if _, err = f.Write(line); err == nil {
+		_, sp := obs.StartSpan(ctx, "store.fsync")
 		err = f.Sync()
+		sp.End()
 	}
 	if cerr := f.Close(); cerr != nil && err == nil {
 		err = cerr
@@ -173,24 +186,28 @@ func (st *FileStore) AppendCreated(id string, ss *spec.SessionSpec) error {
 	return nil
 }
 
-func (st *FileStore) AppendEvent(id string, ev advisor.Event) error {
+func (st *FileStore) AppendEvent(ctx context.Context, id string, ev advisor.Event) error {
 	line, err := encodeSessionRecord(sessionRecord{Kind: recEvent, Event: &ev})
 	if err != nil {
 		return err
 	}
-	return st.appendOpen(id, line)
+	return st.appendOpen(ctx, id, "event", line)
 }
 
-func (st *FileStore) AppendAdvised(id string) error {
+func (st *FileStore) AppendAdvised(ctx context.Context, id string) error {
 	line, err := encodeSessionRecord(sessionRecord{Kind: recAdvised})
 	if err != nil {
 		return err
 	}
-	return st.appendOpen(id, line)
+	return st.appendOpen(ctx, id, "advised", line)
 }
 
 // appendOpen appends one record to a session this process has opened.
-func (st *FileStore) appendOpen(id string, line []byte) error {
+func (st *FileStore) appendOpen(ctx context.Context, id, kind string, line []byte) error {
+	ctx, span := obs.StartSpan(ctx, "store.append")
+	defer span.End()
+	span.SetAttr("kind", kind)
+	span.SetAttr("session", id)
 	if err := validSessionID(id); err != nil {
 		return err
 	}
@@ -206,14 +223,18 @@ func (st *FileStore) appendOpen(id string, line []byte) error {
 	case s.tombstoned:
 		return fmt.Errorf("store: append session %s: %w", id, ErrTombstoned)
 	}
-	if err := appendDurable(st.sessionPath(id), line); err != nil {
+	if err := appendDurable(ctx, st.sessionPath(id), line); err != nil {
 		return fmt.Errorf("store: append session %s: %w", id, err)
 	}
 	st.appends.Add(1)
 	return nil
 }
 
-func (st *FileStore) Tombstone(id string) error {
+func (st *FileStore) Tombstone(ctx context.Context, id string) error {
+	ctx, span := obs.StartSpan(ctx, "store.append")
+	defer span.End()
+	span.SetAttr("kind", "tombstone")
+	span.SetAttr("session", id)
 	if err := validSessionID(id); err != nil {
 		return err
 	}
@@ -239,7 +260,7 @@ func (st *FileStore) Tombstone(id string) error {
 	if s.tombstoned {
 		return fmt.Errorf("store: tombstone session %s: %w", id, ErrTombstoned)
 	}
-	if err := appendDurable(st.sessionPath(id), line); err != nil {
+	if err := appendDurable(ctx, st.sessionPath(id), line); err != nil {
 		return fmt.Errorf("store: tombstone session %s: %w", id, err)
 	}
 	s.tombstoned = true
@@ -247,7 +268,10 @@ func (st *FileStore) Tombstone(id string) error {
 	return nil
 }
 
-func (st *FileStore) Replay(id string) (*SessionReplay, error) {
+func (st *FileStore) Replay(ctx context.Context, id string) (*SessionReplay, error) {
+	_, span := obs.StartSpan(ctx, "store.replay")
+	defer span.End()
+	span.SetAttr("session", id)
 	if err := validSessionID(id); err != nil {
 		return nil, err
 	}
@@ -385,7 +409,10 @@ func (st *FileStore) openActive(create bool) error {
 	return nil
 }
 
-func (st *FileStore) Put(key string, val []byte) error {
+func (st *FileStore) Put(ctx context.Context, key string, val []byte) error {
+	ctx, span := obs.StartSpan(ctx, "store.put")
+	defer span.End()
+	span.SetAttr("key", key)
 	if key == "" {
 		return errors.New("store: put with an empty key")
 	}
@@ -411,7 +438,10 @@ func (st *FileStore) Put(key string, val []byte) error {
 	if _, err := st.active.Write(line); err != nil {
 		return fmt.Errorf("store: put %s: %w", key, err)
 	}
-	if err := st.active.Sync(); err != nil {
+	_, sp := obs.StartSpan(ctx, "store.fsync")
+	err = st.active.Sync()
+	sp.End()
+	if err != nil {
 		return fmt.Errorf("store: put %s: %w", key, err)
 	}
 	st.activeSize += int64(len(line))
@@ -422,7 +452,7 @@ func (st *FileStore) Put(key string, val []byte) error {
 	return nil
 }
 
-func (st *FileStore) Get(key string) ([]byte, bool, error) {
+func (st *FileStore) Get(_ context.Context, key string) ([]byte, bool, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {

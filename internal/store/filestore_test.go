@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -27,14 +28,14 @@ func TestFileStoreReopen(t *testing.T) {
 	dir := t.TempDir()
 	st := openFile(t, dir, Options{})
 	ss := testSessionSpec()
-	if err := st.AppendCreated("s1", ss); err != nil {
+	if err := st.AppendCreated(context.Background(), "s1", ss); err != nil {
 		t.Fatal(err)
 	}
 	ev := advisor.Event{Kind: advisor.EventCheckpointed, Time: 50, Work: 25}
-	if err := st.AppendEvent("s1", ev); err != nil {
+	if err := st.AppendEvent(context.Background(), "s1", ev); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Put("cell-0", []byte(`{"index":0}`)); err != nil {
+	if err := st.Put(context.Background(), "cell-0", []byte(`{"index":0}`)); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
@@ -42,22 +43,22 @@ func TestFileStoreReopen(t *testing.T) {
 	}
 
 	st2 := openFile(t, dir, Options{})
-	v, ok, err := st2.Get("cell-0")
+	v, ok, err := st2.Get(context.Background(), "cell-0")
 	if err != nil || !ok || string(v) != `{"index":0}` {
 		t.Fatalf("reopened get: %q ok=%v err=%v", v, ok, err)
 	}
 	// A fresh process must replay before appending: the log is not open.
-	if err := st2.AppendEvent("s1", ev); !errors.Is(err, ErrNoSession) {
+	if err := st2.AppendEvent(context.Background(), "s1", ev); !errors.Is(err, ErrNoSession) {
 		t.Fatalf("append before replay: %v, want ErrNoSession", err)
 	}
-	rep, err := st2.Replay("s1")
+	rep, err := st2.Replay(context.Background(), "s1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rep.Steps) != 1 || rep.Steps[0].Event != ev {
 		t.Fatalf("replayed steps %+v", rep.Steps)
 	}
-	if err := st2.AppendAdvised("s1"); err != nil {
+	if err := st2.AppendAdvised(context.Background(), "s1"); err != nil {
 		t.Fatalf("append after replay: %v", err)
 	}
 }
@@ -67,14 +68,14 @@ func TestFileStoreReopen(t *testing.T) {
 func TestFileStoreTornTailRepair(t *testing.T) {
 	dir := t.TempDir()
 	st := openFile(t, dir, Options{})
-	if err := st.AppendCreated("s1", testSessionSpec()); err != nil {
+	if err := st.AppendCreated(context.Background(), "s1", testSessionSpec()); err != nil {
 		t.Fatal(err)
 	}
 	ev := advisor.Event{Kind: advisor.EventProgress, Time: 10, Work: 5}
-	if err := st.AppendEvent("s1", ev); err != nil {
+	if err := st.AppendEvent(context.Background(), "s1", ev); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Put("k", []byte("v")); err != nil {
+	if err := st.Put(context.Background(), "k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
@@ -87,28 +88,28 @@ func TestFileStoreTornTailRepair(t *testing.T) {
 	appendRaw(t, seg, []byte("0123"))
 
 	st2 := openFile(t, dir, Options{})
-	rep, err := st2.Replay("s1")
+	rep, err := st2.Replay(context.Background(), "s1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rep.Steps) != 1 || rep.Steps[0].Event != ev {
 		t.Fatalf("replayed steps after repair: %+v", rep.Steps)
 	}
-	if v, ok, err := st2.Get("k"); err != nil || !ok || string(v) != "v" {
+	if v, ok, err := st2.Get(context.Background(), "k"); err != nil || !ok || string(v) != "v" {
 		t.Fatalf("segment value after repair: %q ok=%v err=%v", v, ok, err)
 	}
 	// The repaired logs accept appends and stay parseable.
-	if err := st2.AppendEvent("s1", ev); err != nil {
+	if err := st2.AppendEvent(context.Background(), "s1", ev); err != nil {
 		t.Fatal(err)
 	}
-	if err := st2.Put("k2", []byte("v2")); err != nil {
+	if err := st2.Put(context.Background(), "k2", []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
 	if err := st2.Close(); err != nil {
 		t.Fatal(err)
 	}
 	st3 := openFile(t, dir, Options{})
-	rep, err = st3.Replay("s1")
+	rep, err = st3.Replay(context.Background(), "s1")
 	if err != nil || len(rep.Steps) != 2 {
 		t.Fatalf("after repair+append: steps %+v, err %v", rep.Steps, err)
 	}
@@ -119,7 +120,7 @@ func TestFileStoreTornTailRepair(t *testing.T) {
 func TestFileStoreCorruptRecord(t *testing.T) {
 	dir := t.TempDir()
 	st := openFile(t, dir, Options{})
-	if err := st.AppendCreated("s1", testSessionSpec()); err != nil {
+	if err := st.AppendCreated(context.Background(), "s1", testSessionSpec()); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
@@ -138,7 +139,7 @@ func TestFileStoreCorruptRecord(t *testing.T) {
 
 	st2 := openFile(t, dir, Options{})
 	var ce *CorruptError
-	if _, err := st2.Replay("s1"); !errors.As(err, &ce) {
+	if _, err := st2.Replay(context.Background(), "s1"); !errors.As(err, &ce) {
 		t.Fatalf("replay of corrupt log: %v, want *CorruptError", err)
 	}
 }
@@ -148,7 +149,7 @@ func TestFileStoreCorruptRecord(t *testing.T) {
 func TestFileStoreCorruptSegmentFailsOpen(t *testing.T) {
 	dir := t.TempDir()
 	st := openFile(t, dir, Options{})
-	if err := st.Put("k", []byte("value")); err != nil {
+	if err := st.Put(context.Background(), "k", []byte("value")); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
@@ -176,7 +177,7 @@ func TestFileStoreSegmentRotation(t *testing.T) {
 	st := openFile(t, dir, Options{SegmentBytes: 128})
 	const n = 20
 	for i := range n {
-		if err := st.Put(fmt.Sprintf("key-%02d", i), bytes.Repeat([]byte{'x'}, 32)); err != nil {
+		if err := st.Put(context.Background(), fmt.Sprintf("key-%02d", i), bytes.Repeat([]byte{'x'}, 32)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -193,7 +194,7 @@ func TestFileStoreSegmentRotation(t *testing.T) {
 
 	st2 := openFile(t, dir, Options{SegmentBytes: 128})
 	for i := range n {
-		if _, ok, err := st2.Get(fmt.Sprintf("key-%02d", i)); err != nil || !ok {
+		if _, ok, err := st2.Get(context.Background(), fmt.Sprintf("key-%02d", i)); err != nil || !ok {
 			t.Fatalf("key-%02d lost after rotation: ok=%v err=%v", i, ok, err)
 		}
 	}
@@ -214,10 +215,10 @@ func TestFileStoreSegmentRotation(t *testing.T) {
 func TestFileStoreInvalidSessionID(t *testing.T) {
 	st := openFile(t, t.TempDir(), Options{})
 	for _, id := range []string{"", "..", "../evil", "a/b", ".hidden"} {
-		if err := st.AppendCreated(id, testSessionSpec()); !errors.Is(err, ErrNoSession) {
+		if err := st.AppendCreated(context.Background(), id, testSessionSpec()); !errors.Is(err, ErrNoSession) {
 			t.Fatalf("create %q: %v, want ErrNoSession wrap", id, err)
 		}
-		if _, err := st.Replay(id); !errors.Is(err, ErrNoSession) {
+		if _, err := st.Replay(context.Background(), id); !errors.Is(err, ErrNoSession) {
 			t.Fatalf("replay %q: %v, want ErrNoSession wrap", id, err)
 		}
 	}

@@ -1,10 +1,12 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"sync"
 
 	"repro/internal/advisor"
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -35,7 +37,11 @@ func NewMem() *MemStore {
 	}
 }
 
-func (m *MemStore) AppendCreated(id string, ss *spec.SessionSpec) error {
+func (m *MemStore) AppendCreated(ctx context.Context, id string, ss *spec.SessionSpec) error {
+	_, span := obs.StartSpan(ctx, "store.append")
+	defer span.End()
+	span.SetAttr("kind", "created")
+	span.SetAttr("session", id)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -50,15 +56,19 @@ func (m *MemStore) AppendCreated(id string, ss *spec.SessionSpec) error {
 	return nil
 }
 
-func (m *MemStore) AppendEvent(id string, ev advisor.Event) error {
-	return m.appendStep(id, advisor.ReplayStep{Event: ev})
+func (m *MemStore) AppendEvent(ctx context.Context, id string, ev advisor.Event) error {
+	return m.appendStep(ctx, id, "event", advisor.ReplayStep{Event: ev})
 }
 
-func (m *MemStore) AppendAdvised(id string) error {
-	return m.appendStep(id, advisor.ReplayStep{Advised: true})
+func (m *MemStore) AppendAdvised(ctx context.Context, id string) error {
+	return m.appendStep(ctx, id, "advised", advisor.ReplayStep{Advised: true})
 }
 
-func (m *MemStore) appendStep(id string, st advisor.ReplayStep) error {
+func (m *MemStore) appendStep(ctx context.Context, id, kind string, st advisor.ReplayStep) error {
+	_, span := obs.StartSpan(ctx, "store.append")
+	defer span.End()
+	span.SetAttr("kind", kind)
+	span.SetAttr("session", id)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -76,7 +86,11 @@ func (m *MemStore) appendStep(id string, st advisor.ReplayStep) error {
 	return nil
 }
 
-func (m *MemStore) Tombstone(id string) error {
+func (m *MemStore) Tombstone(ctx context.Context, id string) error {
+	_, span := obs.StartSpan(ctx, "store.append")
+	defer span.End()
+	span.SetAttr("kind", "tombstone")
+	span.SetAttr("session", id)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -94,7 +108,10 @@ func (m *MemStore) Tombstone(id string) error {
 	return nil
 }
 
-func (m *MemStore) Replay(id string) (*SessionReplay, error) {
+func (m *MemStore) Replay(ctx context.Context, id string) (*SessionReplay, error) {
+	_, span := obs.StartSpan(ctx, "store.replay")
+	defer span.End()
+	span.SetAttr("session", id)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -114,7 +131,7 @@ func (m *MemStore) Replay(id string) (*SessionReplay, error) {
 	return &SessionReplay{Spec: &cp, Steps: steps}, nil
 }
 
-func (m *MemStore) Put(key string, val []byte) error {
+func (m *MemStore) Put(_ context.Context, key string, val []byte) error {
 	if key == "" {
 		return errors.New("store: put with an empty key")
 	}
@@ -130,7 +147,7 @@ func (m *MemStore) Put(key string, val []byte) error {
 	return nil
 }
 
-func (m *MemStore) Get(key string) ([]byte, bool, error) {
+func (m *MemStore) Get(_ context.Context, key string) ([]byte, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 
@@ -38,31 +39,36 @@ type SessionReplay struct {
 // are accepted only while the store considers it open in this process —
 // after AppendCreated, or after a successful Replay — which keeps a
 // process from blindly extending a log it has never read.
+//
+// Every method takes the caller's context for observability (request-id
+// correlation and spans around append/fsync/replay). Durability is not
+// context-interruptible: a backend that has started writing a record
+// finishes it rather than tearing the log.
 type SessionLog interface {
 	// AppendCreated begins session id's log with its creating spec. The
 	// id must be a fresh one; an existing log answers ErrSessionExists.
-	AppendCreated(id string, ss *spec.SessionSpec) error
+	AppendCreated(ctx context.Context, id string, ss *spec.SessionSpec) error
 	// AppendEvent appends one accepted advisor event.
-	AppendEvent(id string, ev advisor.Event) error
+	AppendEvent(ctx context.Context, id string, ev advisor.Event) error
 	// AppendAdvised records a decision point at which the policy was
 	// consulted (see doc.go: replay must consult it at the same points).
-	AppendAdvised(id string) error
+	AppendAdvised(ctx context.Context, id string) error
 	// Tombstone terminates the log: every later Replay answers
 	// ErrTombstoned. Tombstoning a tombstoned session is ErrTombstoned;
 	// an unknown one is ErrNoSession.
-	Tombstone(id string) error
+	Tombstone(ctx context.Context, id string) error
 	// Replay returns the session's recorded history and marks it open for
 	// appends. Unknown sessions answer ErrNoSession, ended ones
 	// ErrTombstoned, damaged logs a *CorruptError.
-	Replay(id string) (*SessionReplay, error)
+	Replay(ctx context.Context, id string) (*SessionReplay, error)
 }
 
 // ResultStore is the content-addressed result KV: Put is durable before
 // it returns, Get reports a miss with ok=false (an error means the
 // store itself failed).
 type ResultStore interface {
-	Put(key string, val []byte) error
-	Get(key string) (val []byte, ok bool, err error)
+	Put(ctx context.Context, key string, val []byte) error
+	Get(ctx context.Context, key string) (val []byte, ok bool, err error)
 }
 
 // Store is the full persistence layer the service mounts: both faces

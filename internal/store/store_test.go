@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -47,28 +48,28 @@ func TestSessionLogConformance(t *testing.T) {
 		t.Run(b.name, func(t *testing.T) {
 			st := b.open(t)
 			ss := testSessionSpec()
-			if err := st.AppendCreated("s1", ss); err != nil {
+			if err := st.AppendCreated(context.Background(), "s1", ss); err != nil {
 				t.Fatal(err)
 			}
-			if err := st.AppendCreated("s1", ss); !errors.Is(err, ErrSessionExists) {
+			if err := st.AppendCreated(context.Background(), "s1", ss); !errors.Is(err, ErrSessionExists) {
 				t.Fatalf("second create: %v, want ErrSessionExists", err)
 			}
-			if err := st.AppendEvent("ghost", advisor.Event{Kind: advisor.EventProgress}); !errors.Is(err, ErrNoSession) {
+			if err := st.AppendEvent(context.Background(), "ghost", advisor.Event{Kind: advisor.EventProgress}); !errors.Is(err, ErrNoSession) {
 				t.Fatalf("append to unknown session: %v, want ErrNoSession", err)
 			}
 
-			if err := st.AppendAdvised("s1"); err != nil {
+			if err := st.AppendAdvised(context.Background(), "s1"); err != nil {
 				t.Fatal(err)
 			}
 			ev1 := advisor.Event{Kind: advisor.EventFailure, Time: 100, Unit: 0}
 			ev2 := advisor.Event{Kind: advisor.EventRecovered, Time: 220}
 			for _, ev := range []advisor.Event{ev1, ev2} {
-				if err := st.AppendEvent("s1", ev); err != nil {
+				if err := st.AppendEvent(context.Background(), "s1", ev); err != nil {
 					t.Fatal(err)
 				}
 			}
 
-			rep, err := st.Replay("s1")
+			rep, err := st.Replay(context.Background(), "s1")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -84,24 +85,24 @@ func TestSessionLogConformance(t *testing.T) {
 					t.Fatalf("step %d = %+v, want %+v", i, stp, want[i])
 				}
 			}
-			if _, err := st.Replay("ghost"); !errors.Is(err, ErrNoSession) {
+			if _, err := st.Replay(context.Background(), "ghost"); !errors.Is(err, ErrNoSession) {
 				t.Fatalf("replay unknown: %v, want ErrNoSession", err)
 			}
 
 			// Tombstone is terminal: no replay, no appends, no re-tombstone.
-			if err := st.Tombstone("s1"); err != nil {
+			if err := st.Tombstone(context.Background(), "s1"); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := st.Replay("s1"); !errors.Is(err, ErrTombstoned) {
+			if _, err := st.Replay(context.Background(), "s1"); !errors.Is(err, ErrTombstoned) {
 				t.Fatalf("replay tombstoned: %v, want ErrTombstoned", err)
 			}
-			if err := st.AppendEvent("s1", ev1); !errors.Is(err, ErrTombstoned) {
+			if err := st.AppendEvent(context.Background(), "s1", ev1); !errors.Is(err, ErrTombstoned) {
 				t.Fatalf("append tombstoned: %v, want ErrTombstoned", err)
 			}
-			if err := st.Tombstone("s1"); !errors.Is(err, ErrTombstoned) {
+			if err := st.Tombstone(context.Background(), "s1"); !errors.Is(err, ErrTombstoned) {
 				t.Fatalf("re-tombstone: %v, want ErrTombstoned", err)
 			}
-			if err := st.Tombstone("ghost"); !errors.Is(err, ErrNoSession) {
+			if err := st.Tombstone(context.Background(), "ghost"); !errors.Is(err, ErrNoSession) {
 				t.Fatalf("tombstone unknown: %v, want ErrNoSession", err)
 			}
 
@@ -120,20 +121,20 @@ func TestResultStoreConformance(t *testing.T) {
 	for _, b := range backends {
 		t.Run(b.name, func(t *testing.T) {
 			st := b.open(t)
-			if _, ok, err := st.Get("missing"); err != nil || ok {
+			if _, ok, err := st.Get(context.Background(), "missing"); err != nil || ok {
 				t.Fatalf("miss: ok=%v err=%v", ok, err)
 			}
-			if err := st.Put("k1", []byte(`{"v":1}`)); err != nil {
+			if err := st.Put(context.Background(), "k1", []byte(`{"v":1}`)); err != nil {
 				t.Fatal(err)
 			}
-			if err := st.Put("k1", []byte("line1\nline2")); err != nil {
+			if err := st.Put(context.Background(), "k1", []byte("line1\nline2")); err != nil {
 				t.Fatal(err)
 			}
-			v, ok, err := st.Get("k1")
+			v, ok, err := st.Get(context.Background(), "k1")
 			if err != nil || !ok || string(v) != "line1\nline2" {
 				t.Fatalf("get: %q ok=%v err=%v", v, ok, err)
 			}
-			if err := st.Put("", nil); err == nil {
+			if err := st.Put(context.Background(), "", nil); err == nil {
 				t.Fatal("empty key accepted")
 			}
 			s := st.Stats()
@@ -152,16 +153,16 @@ func TestStoreClosed(t *testing.T) {
 			if err := st.Close(); err != nil {
 				t.Fatal(err)
 			}
-			if err := st.AppendCreated("s1", testSessionSpec()); !errors.Is(err, ErrClosed) {
+			if err := st.AppendCreated(context.Background(), "s1", testSessionSpec()); !errors.Is(err, ErrClosed) {
 				t.Fatalf("create: %v", err)
 			}
-			if _, err := st.Replay("s1"); !errors.Is(err, ErrClosed) {
+			if _, err := st.Replay(context.Background(), "s1"); !errors.Is(err, ErrClosed) {
 				t.Fatalf("replay: %v", err)
 			}
-			if err := st.Put("k", nil); !errors.Is(err, ErrClosed) {
+			if err := st.Put(context.Background(), "k", nil); !errors.Is(err, ErrClosed) {
 				t.Fatalf("put: %v", err)
 			}
-			if _, _, err := st.Get("k"); !errors.Is(err, ErrClosed) {
+			if _, _, err := st.Get(context.Background(), "k"); !errors.Is(err, ErrClosed) {
 				t.Fatalf("get: %v", err)
 			}
 		})
