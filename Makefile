@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race bench-smoke bench-json bench-compare serve-smoke session-smoke fuzz-smoke spec-goldens spec-golden-check
+.PHONY: build test vet lint race bench-smoke bench-json bench-compare serve-smoke session-smoke cluster-smoke fuzz-smoke spec-goldens spec-golden-check
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ vet:
 	$(GO) vet ./...
 
 # Formatting, go vet, and the project's own analyzers (cmd/chkpt-vet):
-# determinism, ctxflow, errwrap, registry, nopanic. See
+# determinism, ctxflow, errwrap, registry, nopanic, retrysafe. See
 # internal/analysis/doc.go for what each one guards and the
 # //chkpt:allow suppression syntax.
 lint:
@@ -186,6 +186,78 @@ session-smoke:
 	kill $$pid; wait $$pid 2>/dev/null || true; \
 	rm -rf $$datadir; \
 	echo "session smoke OK (recovered the session and the sweep job after SIGKILL)"
+
+# Multi-replica topology smoke: one chkpt-store owning the durable
+# directory, two chkpt-serve replicas mounted on it via -store, and a
+# chkpt-lb round-robin forwarder in front. A DPNextFailure session and a
+# completed sweep job are created through replica A, A is SIGKILLed (no
+# drain courtesy), and replica B must answer the same session
+# byte-identically (modulo the per-replica expiry timestamp) by
+# replaying the shared log, count the rehydration in
+# chkpt_sessions_recovered_total, and resume the sweep job with zero
+# cells re-run. The forwarder must keep serving through the dead
+# backend. Binaries are real (not `go run`) so signals reach the child;
+# CI overrides CHKPT_STORE/CHKPT_SERVE/CHKPT_LB with prebuilt paths.
+CHKPT_STORE ?= /tmp/chkpt-store-smoke
+CHKPT_LB    ?= /tmp/chkpt-lb-smoke
+STORE_ADDR  ?= 127.0.0.1:8961
+SERVE_A     ?= 127.0.0.1:8962
+SERVE_B     ?= 127.0.0.1:8963
+LB_ADDR     ?= 127.0.0.1:8964
+
+cluster-smoke:
+	@set -e; \
+	if [ "$(CHKPT_SERVE)" = "/tmp/chkpt-serve-smoke" ]; then $(GO) build -o $(CHKPT_SERVE) ./cmd/chkpt-serve; fi; \
+	if [ "$(CHKPT_STORE)" = "/tmp/chkpt-store-smoke" ]; then $(GO) build -o $(CHKPT_STORE) ./cmd/chkpt-store; fi; \
+	if [ "$(CHKPT_LB)" = "/tmp/chkpt-lb-smoke" ]; then $(GO) build -o $(CHKPT_LB) ./cmd/chkpt-lb; fi; \
+	datadir=$$(mktemp -d); \
+	$(CHKPT_STORE) -addr $(STORE_ADDR) -data-dir $$datadir -drain 5s & storepid=$$!; \
+	$(CHKPT_SERVE) -addr $(SERVE_A) -store http://$(STORE_ADDR) -replica-id smoke-a -drain 5s & apid=$$!; \
+	$(CHKPT_SERVE) -addr $(SERVE_B) -store http://$(STORE_ADDR) -replica-id smoke-b -drain 5s & bpid=$$!; \
+	$(CHKPT_LB) -addr $(LB_ADDR) -backends http://$(SERVE_A),http://$(SERVE_B) -drain 5s & lbpid=$$!; \
+	trap 'kill -9 $$storepid $$apid $$bpid $$lbpid 2>/dev/null || true; rm -rf $$datadir' EXIT; \
+	for addr in $(STORE_ADDR) $(SERVE_A) $(SERVE_B) $(LB_ADDR); do \
+	  for i in $$(seq 1 50); do \
+	    curl -sf http://$$addr/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	  done; \
+	  curl -sf http://$$addr/healthz >/dev/null; \
+	done; \
+	echo "store + 2 replicas + forwarder up"; \
+	create=$$(curl -sf -X POST --data-binary '{"name":"cluster","scenario":{"platform":{"preset":"oneproc","mtbf":86400},"p":1,"dist":{"family":"exponential"}},"policy":{"kind":"dpnextfailure","quanta":30}}' "http://$(SERVE_A)/v1/sessions?id=cluster-smoke-1"); \
+	echo "$$create" | grep -q '"id": *"cluster-smoke-1"'; \
+	echo "$$create" | grep -q '"chunk"'; \
+	dec=$$(curl -sf -H 'X-Request-ID: cluster-smoke-events' -X POST --data-binary '{"events":[{"kind":"failure","time":1000,"unit":0},{"kind":"recovered","time":1660}]}' http://$(SERVE_A)/v1/sessions/cluster-smoke-1/events); \
+	echo "$$dec" | grep -q '"chunk"'; echo "$$dec" | grep -q '"failures": 1'; \
+	geta=$$(curl -sf http://$(SERVE_A)/v1/sessions/cluster-smoke-1 | grep -v '"expiresAt"'); \
+	test -n "$$geta"; echo "session created on A"; \
+	job=$$(curl -sf -X POST --data-binary '{"name":"cluster-sweep","scenario":{"name":"cell","platform":{"preset":"oneproc","mtbf":86400},"p":1,"dist":{"family":"exponential"},"horizon":63072000,"traces":2,"seed":7},"grid":{"mtbf":[43200,86400]},"candidates":{"policies":[{"kind":"young"}]}}' http://$(SERVE_A)/v1/sweeps); \
+	test -n "$$job"; \
+	for i in $$(seq 1 50); do \
+	  curl -sf http://$(SERVE_A)/metrics | grep -q '^chkpt_sweep_cells_computed_total 2' && break; sleep 0.2; \
+	done; \
+	curl -sf http://$(SERVE_A)/metrics | grep -q '^chkpt_sweep_cells_computed_total 2'; \
+	echo "sweep completed on A"; \
+	kill -9 $$apid; wait $$apid 2>/dev/null || true; \
+	echo "replica A killed (SIGKILL); recovering on B"; \
+	getb=$$(curl -sf http://$(SERVE_B)/v1/sessions/cluster-smoke-1 | grep -v '"expiresAt"'); \
+	test "$$geta" = "$$getb"; \
+	echo "B answered the session byte-identically"; \
+	curl -sf http://$(SERVE_B)/metrics | grep -q '^chkpt_sessions_recovered_total 1'; \
+	resub=$$(curl -sf -X POST --data-binary '{"name":"cluster-sweep","scenario":{"name":"cell","platform":{"preset":"oneproc","mtbf":86400},"p":1,"dist":{"family":"exponential"},"horizon":63072000,"traces":2,"seed":7},"grid":{"mtbf":[43200,86400]},"candidates":{"policies":[{"kind":"young"}]}}' http://$(SERVE_B)/v1/sweeps); \
+	echo "$$resub" | grep -q '"resumed": true'; \
+	echo "$$resub" | grep -q '"completed": 2'; \
+	echo "$$resub" | grep -q '"done": true'; \
+	curl -sf http://$(SERVE_B)/metrics | grep -q '^chkpt_sweep_cells_restored_total 2'; \
+	curl -sf http://$(SERVE_B)/metrics | grep -q '^chkpt_sweep_cells_computed_total 0'; \
+	echo "sweep resumed on B with zero cells re-run"; \
+	for i in 1 2 3 4; do \
+	  curl -sf http://$(LB_ADDR)/v1/sessions/cluster-smoke-1 | grep -q '"chunk"'; \
+	done; \
+	echo "forwarder keeps serving through the dead backend"; \
+	kill $$bpid $$lbpid $$storepid; \
+	wait $$bpid 2>/dev/null || true; wait $$lbpid 2>/dev/null || true; wait $$storepid 2>/dev/null || true; \
+	rm -rf $$datadir; \
+	echo "cluster smoke OK"
 
 # One short native-fuzz pass per fuzz target: the corpus-free smoke that
 # keeps the fuzz functions compiling and the decoders panic-free.

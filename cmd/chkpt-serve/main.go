@@ -15,6 +15,13 @@
 // restart, and sweep jobs resume from their persisted cells instead of
 // re-running them.
 //
+// With -store URL the server mounts a remote store served by
+// chkpt-store instead (internal/cluster): N replicas share one durable
+// state, racing creations resolve through the append-once log, and
+// sweep work is claimed lease-by-lease so no cell ever runs twice.
+// -replica-id names this replica's claims; leave it empty to mint a
+// fleet-unique one.
+//
 // Examples:
 //
 //	chkpt-serve                              # 127.0.0.1:8080
@@ -43,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/cluster"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -102,6 +110,19 @@ func main() {
 		cfg.Store = fst
 		logger.Info("durable store", "dir", servef.DataDir)
 	}
+	// -store mounts a shared remote store served by chkpt-store: this
+	// replica becomes one of N serving the same durable state, claiming
+	// sweep work through the store's lease face.
+	if servef.StoreURL != "" {
+		remote, err := cluster.NewRemote(cluster.RemoteConfig{BaseURL: servef.StoreURL})
+		if err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		defer remote.Close()
+		cfg.Store = remote
+		logger.Info("remote store", "url", servef.StoreURL, "replica", servef.ReplicaID)
+	}
+	cfg.ReplicaID = servef.ReplicaID
 
 	srv := service.New(cfg)
 	httpSrv := &http.Server{

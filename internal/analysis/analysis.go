@@ -69,6 +69,10 @@ type Package struct {
 	// Deterministic reports membership in the deterministic core (the
 	// packages whose outputs the golden and replay tests pin).
 	Deterministic bool
+	// CtxScoped reports membership in the ctxflow extension set:
+	// packages outside the deterministic core that still must thread
+	// the caller's context (the RPC layer).
+	CtxScoped bool
 }
 
 // Library reports whether the package is subject to the library-only

@@ -27,6 +27,9 @@ type FixtureOpts struct {
 	// Deterministic lists fixture package paths treated as members of
 	// the deterministic core.
 	Deterministic []string
+	// CtxScoped lists fixture package paths treated as members of the
+	// ctxflow extension set.
+	CtxScoped []string
 	// NotInternal lists fixture package paths NOT treated as internal/
 	// library packages (default: every fixture package is internal).
 	NotInternal []string
@@ -151,6 +154,10 @@ func loadFixtures(opts FixtureOpts, pkgPaths []string) ([]*Package, error) {
 	for _, p := range opts.Deterministic {
 		det[p] = true
 	}
+	ctxScoped := map[string]bool{}
+	for _, p := range opts.CtxScoped {
+		ctxScoped[p] = true
+	}
 	notInternal := map[string]bool{}
 	for _, p := range opts.NotInternal {
 		notInternal[p] = true
@@ -177,6 +184,7 @@ func loadFixtures(opts FixtureOpts, pkgPaths []string) ([]*Package, error) {
 			Main:          tpkg.Name() == "main",
 			Internal:      !notInternal[path],
 			Deterministic: det[path],
+			CtxScoped:     ctxScoped[path],
 		})
 	}
 	return pkgs, nil

@@ -33,6 +33,16 @@ func TestNoPanicFixture(t *testing.T) {
 	RunFixture(t, NoPanic, FixtureOpts{}, "nopanicfix")
 }
 
+func TestRetrySafeFixture(t *testing.T) {
+	RunFixture(t, RetrySafe, FixtureOpts{}, "retryfix")
+}
+
+// TestCtxFlowScopedFixture: the ctxflow rules also bind in a CtxScoped
+// (RPC-layer) package that is not part of the deterministic core.
+func TestCtxFlowScopedFixture(t *testing.T) {
+	RunFixture(t, CtxFlow, FixtureOpts{CtxScoped: []string{"ctxfix"}}, "ctxfix")
+}
+
 func TestRegistryFixture(t *testing.T) {
 	a := NewRegistry(RegistryConfig{
 		Interfaces: []string{"registryfix/iface.Policy"},

@@ -6,21 +6,22 @@ import (
 )
 
 // CtxFlow enforces the context-threading contract in the deterministic
-// core: cancellation must flow from the caller, never be synthesized.
+// core and the RPC layer: cancellation must flow from the caller, never
+// be synthesized.
 var CtxFlow = &Analyzer{
 	Name: "ctxflow",
-	Doc: `in the deterministic core, forbid context.Background()/TODO()
-(cancellation must arrive from the caller), require any context.Context
-parameter of an exported function to come first, and require exported
-functions that directly call a context-first function (engine.Run,
-engine.Stream, and every API shaped like them) to take a context
-themselves.`,
+	Doc: `in the deterministic core and the ctx-scoped packages (the RPC
+layer), forbid context.Background()/TODO() (cancellation must arrive
+from the caller), require any context.Context parameter of an exported
+function to come first, and require exported functions that directly
+call a context-first function (engine.Run, engine.Stream, and every API
+shaped like them) to take a context themselves.`,
 	Run: runCtxFlow,
 }
 
 func runCtxFlow(pass *Pass) error {
 	pkg := pass.Pkg
-	if !pkg.Deterministic || pkg.Main {
+	if !(pkg.Deterministic || pkg.CtxScoped) || pkg.Main {
 		return nil
 	}
 	info := pkg.Info

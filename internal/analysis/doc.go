@@ -19,10 +19,12 @@
 //
 //   - ctxflow — PR 3 threaded context.Context through the entire
 //     evaluation stack so a canceled sweep stops promptly at every
-//     layer. The analyzer keeps that thread intact: in core packages,
-//     ctx is the first parameter, and exported entry points do not
-//     silently mint context.Background()/TODO() (which would detach
-//     the callee from the caller's cancellation).
+//     layer. The analyzer keeps that thread intact: in core packages
+//     (and the ctx-scoped RPC layer, internal/cluster, where a
+//     synthesized context would also strand the X-Request-ID
+//     correlation), ctx is the first parameter, and exported entry
+//     points do not silently mint context.Background()/TODO() (which
+//     would detach the callee from the caller's cancellation).
 //
 //   - errwrap — the service maps advisor sentinel errors (ErrClock,
 //     ErrBadEvent, ErrOutage, ...) to HTTP status codes with
@@ -44,6 +46,13 @@
 //     with the package prefix ("policy: ..."), so a stack trace
 //     attributes the broken invariant instead of pointing at a random
 //     frame.
+//
+//   - retrysafe — the remote store client (internal/cluster) retries
+//     only idempotent wire operations; re-sending a session-log append
+//     after a lost response could execute it twice and break the
+//     append-once contract. The analyzer proves statically that every
+//     call to the retrying dispatcher (callIdempotent) passes a
+//     compile-time-constant, idempotent operation name.
 //
 // False positives are suppressed line-by-line with
 //

@@ -37,6 +37,15 @@ var DeterministicPackages = map[string]bool{
 	"repro/internal/trace":     true,
 }
 
+// CtxScopedPackages extends the ctxflow analyzer beyond the
+// deterministic core: packages that are not output-pinned but whose
+// whole job is moving requests across process boundaries, where a
+// synthesized context would detach an RPC from its caller's
+// cancellation (and strand its X-Request-ID correlation).
+var CtxScopedPackages = map[string]bool{
+	"repro/internal/cluster": true,
+}
+
 // LoadConfig parameterizes Load.
 type LoadConfig struct {
 	// Dir is the module root the `go list` invocation runs from. Empty
@@ -47,6 +56,9 @@ type LoadConfig struct {
 	// Deterministic overrides the deterministic-core membership test
 	// (default: DeterministicPackages).
 	Deterministic map[string]bool
+	// CtxScoped overrides the ctxflow-extension membership test
+	// (default: CtxScopedPackages).
+	CtxScoped map[string]bool
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -113,6 +125,10 @@ func Load(cfg LoadConfig) ([]*Package, *token.FileSet, error) {
 	if deterministic == nil {
 		deterministic = DeterministicPackages
 	}
+	ctxScoped := cfg.CtxScoped
+	if ctxScoped == nil {
+		ctxScoped = CtxScopedPackages
+	}
 
 	metas, err := goListDir(cfg.Dir, patterns)
 	if err != nil {
@@ -133,7 +149,7 @@ func Load(cfg LoadConfig) ([]*Package, *token.FileSet, error) {
 
 	var pkgs []*Package
 	for _, lp := range moduleOrder {
-		pkg, err := typecheckListed(fset, imp, lp, deterministic)
+		pkg, err := typecheckListed(fset, imp, lp, deterministic, ctxScoped)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -145,7 +161,7 @@ func Load(cfg LoadConfig) ([]*Package, *token.FileSet, error) {
 
 // typecheckListed parses and typechecks one module package from its
 // go-list metadata.
-func typecheckListed(fset *token.FileSet, imp types.Importer, lp *listedPackage, deterministic map[string]bool) (*Package, error) {
+func typecheckListed(fset *token.FileSet, imp types.Importer, lp *listedPackage, deterministic, ctxScoped map[string]bool) (*Package, error) {
 	var files []*ast.File
 	for _, name := range lp.GoFiles {
 		path := filepath.Join(lp.Dir, name)
@@ -176,6 +192,7 @@ func typecheckListed(fset *token.FileSet, imp types.Importer, lp *listedPackage,
 		Main:          lp.Name == "main",
 		Internal:      strings.HasPrefix(lp.ImportPath, modPath+"/internal/"),
 		Deterministic: deterministic[lp.ImportPath],
+		CtxScoped:     ctxScoped[lp.ImportPath],
 	}, nil
 }
 

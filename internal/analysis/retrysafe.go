@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// nonRetriableOps are the wire operations that append to a session log
+// (or end a lease): re-sending one after a lost response can execute it
+// twice, which breaks the append-once contract. This list mirrors the
+// complement of internal/cluster's retriableOps.
+var nonRetriableOps = map[string]bool{
+	"created":       true,
+	"event":         true,
+	"advised":       true,
+	"tombstone":     true,
+	"lease-release": true,
+}
+
+// RetrySafe pins the remote store's retry discipline at the call-graph
+// level: internal/cluster routes every RPC through either call (one
+// attempt) or callIdempotent (bounded retries). A runtime guard inside
+// callIdempotent rejects non-retriable ops, but only on the paths tests
+// happen to execute — this analyzer proves the property statically for
+// every call site.
+var RetrySafe = &Analyzer{
+	Name: "retrysafe",
+	Doc: `every call to a callIdempotent-style retrying dispatcher must
+pass a compile-time-constant operation name that is actually idempotent:
+session-log appends (created, event, advised, tombstone) and
+lease-release must go through the single-attempt path, and a
+non-constant op defeats the audit entirely.`,
+	Run: runRetrySafe,
+}
+
+func runRetrySafe(pass *Pass) error {
+	pkg := pass.Pkg
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil || callee.Name() != "callIdempotent" {
+				return true
+			}
+			// The dispatcher shape is (ctx, op, ...): the op is the
+			// second argument.
+			if len(call.Args) < 2 {
+				return true
+			}
+			opArg := call.Args[1]
+			op, constant := constStringValue(info, opArg)
+			switch {
+			case !constant:
+				pass.Reportf(opArg.Pos(), "callIdempotent op is not a compile-time constant; retry-safety cannot be audited statically")
+			case nonRetriableOps[op]:
+				pass.Reportf(opArg.Pos(), "callIdempotent retries op %q, which is not idempotent (an append-once or release operation); route it through the single-attempt call path", op)
+			}
+			return true
+		})
+	}
+	return nil
+}

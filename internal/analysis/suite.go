@@ -2,5 +2,5 @@ package analysis
 
 // Suite returns the repo's full analyzer suite in reporting order.
 func Suite() []*Analyzer {
-	return []*Analyzer{Determinism, CtxFlow, ErrWrap, Registry, NoPanic}
+	return []*Analyzer{Determinism, CtxFlow, ErrWrap, Registry, NoPanic, RetrySafe}
 }

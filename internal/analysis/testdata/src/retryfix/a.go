@@ -1,0 +1,70 @@
+// Package retryfix seeds true positives for the retrysafe rule — a
+// retrying dispatcher handed a non-idempotent or unauditable operation
+// name — plus the sanctioned shapes that must stay silent.
+package retryfix
+
+import "context"
+
+type response struct{}
+
+type client struct{}
+
+// call is the single-attempt path: anything may go through it.
+func (c *client) call(ctx context.Context, op string, body []byte) (*response, error) {
+	_ = ctx
+	_ = op
+	_ = body
+	return &response{}, nil
+}
+
+// callIdempotent is the retrying path the analyzer audits.
+func (c *client) callIdempotent(ctx context.Context, op string, body []byte) (*response, error) {
+	return c.call(ctx, op, body)
+}
+
+const opReplay = "replay"
+
+func (c *client) Replay(ctx context.Context) error {
+	_, err := c.callIdempotent(ctx, opReplay, nil) // constant, idempotent: silent
+	return err
+}
+
+func (c *client) Get(ctx context.Context) error {
+	_, err := c.callIdempotent(ctx, "get", nil) // literal, idempotent: silent
+	return err
+}
+
+func (c *client) AppendCreated(ctx context.Context) error {
+	_, err := c.call(ctx, "created", nil) // single-attempt path: silent
+	return err
+}
+
+func (c *client) RetriedAppend(ctx context.Context) error {
+	_, err := c.callIdempotent(ctx, "created", nil) // want `retries op "created", which is not idempotent`
+	return err
+}
+
+func (c *client) RetriedEvent(ctx context.Context) error {
+	_, err := c.callIdempotent(ctx, "event", nil) // want `retries op "event", which is not idempotent`
+	return err
+}
+
+func (c *client) RetriedAdvised(ctx context.Context) error {
+	_, err := c.callIdempotent(ctx, "advised", nil) // want `retries op "advised", which is not idempotent`
+	return err
+}
+
+func (c *client) RetriedTombstone(ctx context.Context) error {
+	_, err := c.callIdempotent(ctx, "tombstone", nil) // want `retries op "tombstone", which is not idempotent`
+	return err
+}
+
+func (c *client) RetriedRelease(ctx context.Context) error {
+	_, err := c.callIdempotent(ctx, "lease-release", nil) // want `retries op "lease-release", which is not idempotent`
+	return err
+}
+
+func (c *client) Dynamic(ctx context.Context, op string) error {
+	_, err := c.callIdempotent(ctx, op, nil) // want "not a compile-time constant"
+	return err
+}

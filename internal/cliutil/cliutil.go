@@ -104,6 +104,15 @@ type ServeFlags struct {
 	// DebugAddr, when non-empty, serves net/http/pprof on a second
 	// listener so profiling never rides the public API address.
 	DebugAddr string
+	// StoreURL, when non-empty, mounts a remote store served by
+	// chkpt-store instead of a local one — the shared-backend mode that
+	// lets several replicas serve one durable state. Mutually exclusive
+	// with DataDir.
+	StoreURL string
+	// ReplicaID names this server in a fleet (it owns the sweep-job
+	// claim leases it takes). Empty mints a random id, which is the
+	// right default: two replicas must never share one.
+	ReplicaID string
 }
 
 // AddServeFlags registers the serving flag set.
@@ -117,6 +126,8 @@ func AddServeFlags(fs *flag.FlagSet) *ServeFlags {
 	fs.StringVar(&f.DataDir, "data-dir", "", "durable store directory for sessions and sweep jobs (empty = in-memory only)")
 	fs.StringVar(&f.LogFormat, "log-format", "text", "structured log encoding: text or json")
 	fs.StringVar(&f.DebugAddr, "debug-addr", "", "listen address for the pprof debug server (empty = disabled)")
+	fs.StringVar(&f.StoreURL, "store", "", "base URL of a chkpt-store server to mount as the durable store (exclusive with -data-dir)")
+	fs.StringVar(&f.ReplicaID, "replica-id", "", "fleet-unique name for this replica's sweep-job claims (empty = random)")
 	return f
 }
 
@@ -135,6 +146,8 @@ func (f *ServeFlags) Validate() error {
 		return fmt.Errorf("-drain must be > 0, got %v", f.Drain)
 	case f.LogFormat != "text" && f.LogFormat != "json":
 		return fmt.Errorf("-log-format must be text or json, got %q", f.LogFormat)
+	case f.StoreURL != "" && f.DataDir != "":
+		return fmt.Errorf("-store and -data-dir are mutually exclusive: the store server owns the directory")
 	}
 	return nil
 }

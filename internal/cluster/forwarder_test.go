@@ -1,0 +1,110 @@
+package cluster_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// countingBackend answers its name and tallies hits.
+type countingBackend struct {
+	name string
+	mu   sync.Mutex
+	hits int
+}
+
+func (b *countingBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	b.mu.Lock()
+	b.hits++
+	b.mu.Unlock()
+	fmt.Fprint(w, b.name)
+}
+
+func (b *countingBackend) count() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hits
+}
+
+// TestForwarderRoundRobinAndFailover: requests rotate across replicas;
+// a dead replica is skipped transparently; with every replica dead the
+// client gets 502.
+func TestForwarderRoundRobinAndFailover(t *testing.T) {
+	a := &countingBackend{name: "a"}
+	b := &countingBackend{name: "b"}
+	sa := httptest.NewServer(a)
+	sb := httptest.NewServer(b)
+	t.Cleanup(sa.Close)
+	t.Cleanup(sb.Close)
+
+	fw, err := cluster.NewForwarder([]string{sa.URL, sb.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(fw)
+	t.Cleanup(front.Close)
+
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(front.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	for i := 0; i < 4; i++ {
+		if status, _ := get(); status != http.StatusOK {
+			t.Fatalf("request %d status = %d", i, status)
+		}
+	}
+	if a.count() != 2 || b.count() != 2 {
+		t.Fatalf("round robin split a=%d b=%d, want 2/2", a.count(), b.count())
+	}
+
+	// Kill one replica: every request still lands, on the survivor.
+	sa.Close()
+	for i := 0; i < 3; i++ {
+		if status, body := get(); status != http.StatusOK || body != "b" {
+			t.Fatalf("failover request %d: status=%d body=%q", i, status, body)
+		}
+	}
+
+	// Kill the other: the forwarder reports the outage itself.
+	sb.Close()
+	if status, _ := get(); status != http.StatusBadGateway {
+		t.Fatalf("all-dead status = %d, want 502", status)
+	}
+}
+
+// TestForwarderRelaysBackendErrors: an HTTP error is a backend answer,
+// not a routing failure — a 503 from the store layer must reach the
+// caller untouched, not trigger a failover that could duplicate work.
+func TestForwarderRelaysBackendErrors(t *testing.T) {
+	unhappy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "store down", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(unhappy.Close)
+	fw, err := cluster.NewForwarder([]string{unhappy.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(fw)
+	t.Cleanup(front.Close)
+
+	resp, err := http.Get(front.URL + "/v1/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want the backend's 503", resp.StatusCode)
+	}
+}

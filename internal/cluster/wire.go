@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/advisor"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+// wirePathPrefix is where the store server mounts its operations:
+// POST {prefix}{op}.
+const wirePathPrefix = "/store/v1/"
+
+// maxWireBytes bounds one wire message (either direction). Session
+// specs are capped at 16 MiB by the service; doubling that leaves room
+// for framing and replay responses.
+const maxWireBytes = 32 << 20
+
+// Wire operations, one per store.Store + store.LeaseStore method.
+const (
+	opCreated      = "created"
+	opEvent        = "event"
+	opAdvised      = "advised"
+	opTombstone    = "tombstone"
+	opReplay       = "replay"
+	opPut          = "put"
+	opGet          = "get"
+	opPutLeased    = "put-leased"
+	opLeaseAcquire = "lease-acquire"
+	opLeaseRenew   = "lease-renew"
+	opLeaseRelease = "lease-release"
+	opStats        = "stats"
+)
+
+// wireOps lists every operation in its fixed metrics order.
+var wireOps = []string{
+	opCreated, opEvent, opAdvised, opTombstone, opReplay,
+	opPut, opGet, opPutLeased,
+	opLeaseAcquire, opLeaseRenew, opLeaseRelease, opStats,
+}
+
+// retriableOps are the idempotent operations the client may retry on
+// ErrUnavailable. Session-log appends and lease release are absent by
+// design: a retried append whose first attempt landed would duplicate
+// a log record, and a failed release is moot (the ttl reclaims it).
+var retriableOps = map[string]bool{
+	opReplay:       true,
+	opPut:          true,
+	opGet:          true,
+	opPutLeased:    true,
+	opLeaseAcquire: true,
+	opLeaseRenew:   true,
+	opStats:        true,
+}
+
+// wireRequest is the request payload of every operation; each op reads
+// the fields it needs and rejects requests missing them.
+type wireRequest struct {
+	ID    string            `json:"id,omitempty"`    // session ops
+	Spec  *spec.SessionSpec `json:"spec,omitempty"`  // created
+	Event *advisor.Event    `json:"event,omitempty"` // event
+	Key   string            `json:"key,omitempty"`   // result + lease ops
+	Val   []byte            `json:"val,omitempty"`   // put, put-leased
+	Owner string            `json:"owner,omitempty"` // lease-acquire
+	TTLMS int64             `json:"ttl_ms,omitempty"`
+	Lease *store.Lease      `json:"lease,omitempty"` // fenced ops
+}
+
+// wireResponse is the response payload. Err is set instead of the data
+// fields when the operation answered a domain error.
+type wireResponse struct {
+	Err   *wireError        `json:"err,omitempty"`
+	Spec  *spec.SessionSpec `json:"spec,omitempty"`  // replay
+	Steps []wireStep        `json:"steps,omitempty"` // replay
+	Val   []byte            `json:"val,omitempty"`   // get
+	Found bool              `json:"found,omitempty"` // get
+	Lease *store.Lease      `json:"lease,omitempty"` // lease-acquire
+	Stats *store.Stats      `json:"stats,omitempty"` // stats
+}
+
+// wireStep mirrors advisor.ReplayStep, which has no JSON tags of its
+// own: either a decision-point marker or one event.
+type wireStep struct {
+	Advised bool           `json:"advised,omitempty"`
+	Event   *advisor.Event `json:"event,omitempty"`
+}
+
+// toWireSteps lowers a replayed history onto the wire.
+func toWireSteps(steps []advisor.ReplayStep) []wireStep {
+	out := make([]wireStep, len(steps))
+	for i, st := range steps {
+		if st.Advised {
+			out[i] = wireStep{Advised: true}
+		} else {
+			ev := st.Event
+			out[i] = wireStep{Event: &ev}
+		}
+	}
+	return out
+}
+
+// fromWireSteps lifts wire steps back into replay steps. A step that
+// is neither a marker nor an event is a damaged or mismatched message.
+func fromWireSteps(steps []wireStep) ([]advisor.ReplayStep, error) {
+	out := make([]advisor.ReplayStep, len(steps))
+	for i, st := range steps {
+		switch {
+		case st.Advised:
+			out[i] = advisor.ReplayStep{Advised: true}
+		case st.Event != nil:
+			out[i] = advisor.ReplayStep{Event: *st.Event}
+		default:
+			return nil, &store.CorruptError{Reason: fmt.Sprintf("wire step %d is neither advised nor an event", i)}
+		}
+	}
+	return out, nil
+}
+
+// Wire error kinds: every store sentinel the service classifies on,
+// plus the two non-domain outcomes.
+const (
+	kindNoSession  = "no_session"
+	kindTombstoned = "tombstoned"
+	kindExists     = "exists"
+	kindClosed     = "closed"
+	kindLeaseHeld  = "lease_held"
+	kindLeaseStale = "lease_stale"
+	kindCorrupt    = "corrupt"
+	kindBadRequest = "bad_request"
+	kindInternal   = "internal"
+)
+
+// wireError is a domain error on the wire: a kind the client lifts
+// back into the matching store sentinel, plus the server's rendered
+// message for operators.
+type wireError struct {
+	Kind   string `json:"kind"`
+	Msg    string `json:"msg,omitempty"`
+	Offset int    `json:"offset,omitempty"` // corrupt only
+}
+
+// toWireError lowers a store error onto the wire. Context
+// cancellations are reported as internal: the server's handler context
+// died, which the client sees alongside the broken connection anyway.
+func toWireError(err error) *wireError {
+	var ce *store.CorruptError
+	switch {
+	case err == nil:
+		return nil
+	case errors.As(err, &ce):
+		return &wireError{Kind: kindCorrupt, Msg: ce.Reason, Offset: ce.Offset}
+	case errors.Is(err, store.ErrNoSession):
+		return &wireError{Kind: kindNoSession, Msg: err.Error()}
+	case errors.Is(err, store.ErrTombstoned):
+		return &wireError{Kind: kindTombstoned, Msg: err.Error()}
+	case errors.Is(err, store.ErrSessionExists):
+		return &wireError{Kind: kindExists, Msg: err.Error()}
+	case errors.Is(err, store.ErrClosed):
+		return &wireError{Kind: kindClosed, Msg: err.Error()}
+	case errors.Is(err, store.ErrLeaseHeld):
+		return &wireError{Kind: kindLeaseHeld, Msg: err.Error()}
+	case errors.Is(err, store.ErrLeaseStale):
+		return &wireError{Kind: kindLeaseStale, Msg: err.Error()}
+	default:
+		return &wireError{Kind: kindInternal, Msg: err.Error()}
+	}
+}
+
+// remoteError preserves the server's rendered message while unwrapping
+// to the store sentinel the service classifies on.
+type remoteError struct {
+	msg  string
+	base error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.base }
+
+// lift raises a wire error back into a Go error. Sentinel kinds keep
+// their errors.Is identity; corrupt kinds become a *store.CorruptError
+// again; everything else is opaque.
+func (e *wireError) lift() error {
+	var base error
+	switch e.Kind {
+	case kindNoSession:
+		base = store.ErrNoSession
+	case kindTombstoned:
+		base = store.ErrTombstoned
+	case kindExists:
+		base = store.ErrSessionExists
+	case kindClosed:
+		base = store.ErrClosed
+	case kindLeaseHeld:
+		base = store.ErrLeaseHeld
+	case kindLeaseStale:
+		base = store.ErrLeaseStale
+	case kindCorrupt:
+		return &store.CorruptError{Offset: e.Offset, Reason: e.Msg}
+	default:
+		return fmt.Errorf("cluster: remote error (%s): %s", e.Kind, e.Msg)
+	}
+	msg := e.Msg
+	if msg == "" {
+		msg = base.Error()
+	}
+	return &remoteError{msg: msg, base: base}
+}
+
+// encodeWire frames one wire message: compact JSON inside the store's
+// CRC framing.
+func encodeWire(v any) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode wire message: %w", err)
+	}
+	return store.EncodeFrame(payload), nil
+}
+
+// decodeWire decodes one framed wire message strictly: a checksum
+// failure or a payload with unknown fields is a *store.CorruptError,
+// never silently accepted.
+func decodeWire(data []byte, v any) error {
+	payload, err := store.DecodeFrame(data)
+	if err != nil {
+		return err
+	}
+	if err := spec.DecodeStrict(bytes.NewReader(payload), v); err != nil {
+		return &store.CorruptError{Reason: fmt.Sprintf("wire payload: %v", err)}
+	}
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/spec"
+	"repro/internal/store"
 )
 
 // maxSpecBytes bounds request bodies; empirical-law specs carry sample
@@ -125,11 +126,16 @@ func writeError(w http.ResponseWriter, code int, err error) {
 // 5xx would pollute error-rate alerting.
 const statusClientClosedRequest = 499
 
-// errorStatus maps an evaluation error to an HTTP status.
+// errorStatus maps an evaluation error to an HTTP status. A remote
+// store backend being unreachable is a transient outage, not a bug in
+// this replica: 503 tells the client (and any load balancer in front)
+// to retry, where 500 would page the wrong people.
 func errorStatus(err error) int {
 	switch {
 	case errors.Is(err, errOverload):
 		return http.StatusTooManyRequests
+	case errors.Is(err, store.ErrUnavailable):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

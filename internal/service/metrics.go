@@ -68,17 +68,29 @@ type metrics struct {
 
 	// Span-fed stage histograms, constructed up front so a scrape before
 	// the first observation still renders the full bucket set.
-	replanCold  *histogram // chkpt_replan_seconds{warm="false"}
-	replanWarm  *histogram // chkpt_replan_seconds{warm="true"}
-	storeFsync  *histogram // chkpt_store_fsync_seconds
-	engineCell  *histogram // chkpt_engine_cell_seconds
-	engineHit   *histogram // chkpt_engine_cache_seconds{result="hit"}
-	engineMiss  *histogram // chkpt_engine_cache_seconds{result="miss"}
-	storeReplay *histogram // chkpt_store_replay_seconds
+	replanCold  *histogram            // chkpt_replan_seconds{warm="false"}
+	replanWarm  *histogram            // chkpt_replan_seconds{warm="true"}
+	storeFsync  *histogram            // chkpt_store_fsync_seconds
+	engineCell  *histogram            // chkpt_engine_cell_seconds
+	engineHit   *histogram            // chkpt_engine_cache_seconds{result="hit"}
+	engineMiss  *histogram            // chkpt_engine_cache_seconds{result="miss"}
+	storeReplay *histogram            // chkpt_store_replay_seconds
+	remoteRPC   map[string]*histogram // chkpt_remote_store_rpc_seconds{op,result}, keyed "op result"
+}
+
+// remoteStoreOps mirrors the remote store wire protocol's operation
+// names so every {op,result} series of
+// chkpt_remote_store_rpc_seconds renders from the first scrape, before
+// (or without) any RPC. An op this list doesn't know — a protocol
+// extension — still gets a series lazily on its first observation.
+var remoteStoreOps = []string{
+	"created", "event", "advised", "tombstone", "replay",
+	"put", "get", "put-leased",
+	"lease-acquire", "lease-renew", "lease-release", "stats",
 }
 
 func newMetrics() *metrics {
-	return &metrics{
+	m := &metrics{
 		requests:    map[string]uint64{},
 		latency:     map[string]*histogram{},
 		replanCold:  newHistogram(spanBuckets),
@@ -88,7 +100,13 @@ func newMetrics() *metrics {
 		engineHit:   newHistogram(spanBuckets),
 		engineMiss:  newHistogram(spanBuckets),
 		storeReplay: newHistogram(spanBuckets),
+		remoteRPC:   map[string]*histogram{},
 	}
+	for _, op := range remoteStoreOps {
+		m.remoteRPC[op+" ok"] = newHistogram(spanBuckets)
+		m.remoteRPC[op+" error"] = newHistogram(spanBuckets)
+	}
+	return m
 }
 
 func (m *metrics) observe(path string, code int, dur time.Duration) {
@@ -137,6 +155,18 @@ func (m *metrics) observeSpan(s obs.Span) {
 		} else {
 			m.engineMiss.observe(sec)
 		}
+	case "store.rpc":
+		op, result := attr("op"), attr("result")
+		if op == "" || result == "" {
+			return
+		}
+		key := op + " " + result
+		h, ok := m.remoteRPC[key]
+		if !ok {
+			h = newHistogram(spanBuckets)
+			m.remoteRPC[key] = h
+		}
+		h.observe(sec)
 	}
 }
 
@@ -331,6 +361,23 @@ func (m *metrics) writeTo(w io.Writer, cacheStats engine.CacheStats, hasCache bo
 	labeledHist("chkpt_engine_cache_seconds",
 		"Engine artifact resolution latency by cache outcome (misses pay the build).",
 		[]series{{`result="hit"`, m.engineHit}, {`result="miss"`, m.engineMiss}})
+	rpcKeys := make([]string, 0, len(m.remoteRPC))
+	for k := range m.remoteRPC {
+		rpcKeys = append(rpcKeys, k)
+	}
+	sort.Strings(rpcKeys)
+	rpcSeries := make([]series, 0, len(rpcKeys))
+	for _, k := range rpcKeys {
+		var op, result string
+		fmt.Sscanf(k, "%s %s", &op, &result)
+		rpcSeries = append(rpcSeries, series{
+			labels: fmt.Sprintf("op=%q,result=%q", op, result),
+			h:      m.remoteRPC[k],
+		})
+	}
+	labeledHist("chkpt_remote_store_rpc_seconds",
+		"Remote store RPC latency by wire operation and outcome (per call, across retries).",
+		rpcSeries)
 
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -352,6 +399,11 @@ func (m *metrics) writeTo(w io.Writer, cacheStats engine.CacheStats, hasCache bo
 	counter("chkpt_store_replays_total", "Session logs replayed for recovery.", st.Replays)
 	counter("chkpt_store_puts_total", "Result-store values written.", st.Puts)
 	counter("chkpt_store_gets_total", "Result-store lookups (hits and misses).", st.Gets)
+	counter("chkpt_store_lease_acquired_total", "Leases granted (fresh grants, reclaims and holder re-acquires).", st.LeaseAcquired)
+	counter("chkpt_store_lease_renewed_total", "Lease renewals accepted under a matching fencing token.", st.LeaseRenewed)
+	counter("chkpt_store_lease_released_total", "Leases released by their holder.", st.LeaseReleased)
+	counter("chkpt_store_lease_reclaimed_total", "Expired leases taken over by a new owner.", st.LeaseReclaimed)
+	counter("chkpt_store_lease_stale_total", "Lease operations fenced off with a stale token.", st.LeaseStale)
 	fmt.Fprintf(w, "# HELP chkpt_sessions_open Live advisor sessions.\n# TYPE chkpt_sessions_open gauge\nchkpt_sessions_open %d\n", ss.open)
 
 	if hasCache {

@@ -321,6 +321,7 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		"chkpt_store_replay_seconds":     {""},
 		"chkpt_engine_cell_seconds":      {""},
 		"chkpt_engine_cache_seconds":     {`result="hit"`, `result="miss"`},
+		"chkpt_remote_store_rpc_seconds": {`op="put",result="ok"`, `op="lease-acquire",result="error"`},
 	} {
 		fam, ok := families[name]
 		if !ok {
@@ -343,6 +344,24 @@ func TestMetricsExpositionFormat(t *testing.T) {
 	miss := checkHistogram(t, families["chkpt_engine_cache_seconds"], "chkpt_engine_cache_seconds", `result="miss"`)
 	if miss < 1 {
 		t.Fatalf("chkpt_engine_cache_seconds{result=miss} count = %v, want >= 1", miss)
+	}
+	// The lease-face counters render whether or not the backend ever
+	// granted a lease (MemStore has, through the sweep runner, or not —
+	// either way the family must exist with TYPE counter).
+	for _, name := range []string{
+		"chkpt_store_lease_acquired_total",
+		"chkpt_store_lease_renewed_total",
+		"chkpt_store_lease_released_total",
+		"chkpt_store_lease_reclaimed_total",
+		"chkpt_store_lease_stale_total",
+	} {
+		fam, ok := families[name]
+		if !ok {
+			t.Fatalf("family %s missing from scrape", name)
+		}
+		if fam.typ != "counter" {
+			t.Fatalf("family %s TYPE = %q, want counter", name, fam.typ)
+		}
 	}
 }
 
@@ -367,6 +386,9 @@ func TestMetricsZeroObservationScrape(t *testing.T) {
 		"chkpt_store_replay_seconds": "",
 		"chkpt_engine_cell_seconds":  "",
 		"chkpt_engine_cache_seconds": `result="hit"`,
+		// Every wire op pre-renders both outcomes, even on a server that
+		// has never spoken to a remote store.
+		"chkpt_remote_store_rpc_seconds": `op="created",result="error"`,
 	} {
 		fam, ok := families[name]
 		if !ok {

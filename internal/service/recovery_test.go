@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/advisor"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/store"
 )
@@ -373,6 +375,97 @@ func TestSweepJobCrashRestart(t *testing.T) {
 		if restarted[i] != lines[i] {
 			t.Fatalf("line %d differs after restart:\n before %s\n after  %s", i, lines[i], restarted[i])
 		}
+	}
+}
+
+// TestSweepJobLeaseReclaimAfterCrash: a replica dies mid-sweep while
+// holding the job's claim lease. The surviving replica first finds the
+// lease held (and politely waits), reclaims it once it expires,
+// restores the dead replica's persisted prefix without re-running it,
+// computes only the missing suffix, and streams output byte-identical
+// to an uninterrupted run. The dead replica's fencing token stays dead:
+// a write under it is rejected even after the job finished.
+func TestSweepJobLeaseReclaimAfterCrash(t *testing.T) {
+	es := sweepJobSpec()
+	body := marshalSpec(t, es)
+	hash, err := spec.CanonicalHash(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference output from an uninterrupted run.
+	_, tsRef := newTestServer(t, Config{})
+	ref := sweepLines(t, tsRef.URL, body)
+	if len(ref) != 4 {
+		t.Fatalf("reference sweep: %d lines", len(ref))
+	}
+
+	// The shared store, on a fake clock the test controls.
+	clock := obs.NewFakeClock(time.Unix(1_700_000_000, 0), time.Millisecond)
+	mem := store.NewMemWithClock(clock)
+	t.Cleanup(func() { mem.Close() })
+	ctx := context.Background()
+
+	// Replica A's last breath: the job record, cell 0's result, and the
+	// claim lease it died holding.
+	rec, err := json.Marshal(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Put(ctx, sweepJobPrefix+hash, rec); err != nil {
+		t.Fatal(err)
+	}
+	key0, err := spec.CanonicalCellHash(es, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Put(ctx, key0, []byte(ref[0])); err != nil {
+		t.Fatal(err)
+	}
+	deadLease, err := mem.AcquireLease(ctx, sweepLeasePrefix+hash, "replica-a", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replica B takes over. A short retry delay keeps the held-lease
+	// wait cheap; the lease TTLs run on the store's fake clock.
+	srvB, tsB := newTestServer(t, Config{
+		Store:           mem,
+		ReplicaID:       "replica-b",
+		SweepLeaseTTL:   time.Minute,
+		SweepRetryDelay: time.Millisecond,
+	})
+	code, jr := postSweepJob(t, tsB.URL, body)
+	if code != http.StatusOK || !jr.Resumed {
+		t.Fatalf("takeover submit: status %d, %+v", code, jr)
+	}
+	// Let A's lease lapse; B's next acquire attempt reclaims it.
+	clock.Advance(2 * time.Minute)
+
+	lines := jobLines(t, tsB.URL+"/v1/sweeps/"+hash)
+	for i := range ref {
+		if lines[i] != ref[i] {
+			t.Fatalf("line %d differs from the uninterrupted sweep:\n got  %s\n want %s", i, lines[i], ref[i])
+		}
+	}
+	m := srvB.Metrics()
+	if m.SweepCellsRestored != 1 || m.SweepCellsComputed != 2 {
+		t.Fatalf("takeover metrics: restored %d computed %d, want 1/2 (a duplicate run)",
+			m.SweepCellsRestored, m.SweepCellsComputed)
+	}
+	if m.Store.LeaseReclaimed < 1 {
+		t.Fatalf("lease reclaims = %d, want >= 1", m.Store.LeaseReclaimed)
+	}
+
+	// The dead replica wakes up and tries to write with its old claim:
+	// the token comparison fences it off.
+	if err := mem.PutLeased(ctx, deadLease, key0, []byte("zombie")); !errors.Is(err, store.ErrLeaseStale) {
+		t.Fatalf("zombie write error = %v, want ErrLeaseStale", err)
+	}
+	if got, _, err := mem.Get(ctx, key0); err != nil || string(got) != ref[0] {
+		t.Fatalf("cell 0 after zombie write = %q, %v", got, err)
+	}
+	if st := mem.Stats(); st.LeaseStale < 1 {
+		t.Fatalf("stale fencings = %d, want >= 1", st.LeaseStale)
 	}
 }
 

@@ -63,6 +63,21 @@ type Config struct {
 	// TraceCapacity bounds the span ring buffer served by
 	// /v1/debug/traces. Non-positive means obs.DefaultTraceCapacity.
 	TraceCapacity int
+	// ReplicaID names this server instance in the fleet: it is the lease
+	// owner for sweep-job claims. Empty mints a random one — correct for
+	// a fleet, where owners must differ; fix it only in tests.
+	ReplicaID string
+	// SweepLeaseTTL is how long a sweep-job claim lives between renewals
+	// (the window after a replica dies before another may reclaim its
+	// job). Zero means 15 seconds. Measured on the store's clock.
+	SweepLeaseTTL time.Duration
+	// SweepClaimCells is how many cells a replica computes per claim
+	// before releasing the job lease for the fleet to rebalance. Zero
+	// means 8.
+	SweepClaimCells int
+	// SweepRetryDelay is how long a replica waits before re-probing a
+	// job whose lease another replica holds. Zero means 250ms.
+	SweepRetryDelay time.Duration
 }
 
 // Server is the HTTP evaluation service over the spec/engine stack. Build
@@ -82,6 +97,13 @@ type Server struct {
 	clock   obs.Clock
 	ids     obs.IDSource
 	tracer  *obs.Tracer
+
+	// Lease-claimed sweep execution (see runSweepCells): this replica's
+	// lease owner name and its claim cadence.
+	replicaID       string
+	sweepLeaseTTL   time.Duration
+	sweepClaimCells int
+	sweepRetryDelay time.Duration
 
 	// jobsCtx bounds background sweep-job runners to the server lifetime;
 	// Close cancels it and waits for them.
@@ -142,6 +164,22 @@ func New(cfg Config) *Server {
 	if ids == nil {
 		ids = obs.NewRandomIDSource()
 	}
+	replicaID := cfg.ReplicaID
+	if replicaID == "" {
+		replicaID = "replica-" + obs.NewRandomIDSource().NewID()
+	}
+	leaseTTL := cfg.SweepLeaseTTL
+	if leaseTTL <= 0 {
+		leaseTTL = 15 * time.Second
+	}
+	claimCells := cfg.SweepClaimCells
+	if claimCells <= 0 {
+		claimCells = 8
+	}
+	retryDelay := cfg.SweepRetryDelay
+	if retryDelay <= 0 {
+		retryDelay = 250 * time.Millisecond
+	}
 	met := newMetrics()
 	tracer := obs.NewTracer(obs.TracerConfig{
 		Clock:    clock,
@@ -165,6 +203,11 @@ func New(cfg Config) *Server {
 		tracer:     tracer,
 		jobsCtx:    jobsCtx,
 		jobsCancel: jobsCancel,
+
+		replicaID:       replicaID,
+		sweepLeaseTTL:   leaseTTL,
+		sweepClaimCells: claimCells,
+		sweepRetryDelay: retryDelay,
 	}
 
 	mux := http.NewServeMux()

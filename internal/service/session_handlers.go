@@ -112,15 +112,52 @@ func (s *Server) advise(ctx context.Context, ls *liveSession) *advisor.Decision 
 	return &d
 }
 
+// writeSessionResponse renders a live session's state (with its
+// standing decision) under the given status code.
+func (s *Server) writeSessionResponse(w http.ResponseWriter, r *http.Request, ls *liveSession, expires time.Time, code int) {
+	ls.mu.Lock()
+	resp := &SessionResponse{
+		ID:        ls.id,
+		Name:      ls.name,
+		ExpiresAt: expires,
+		State:     sessionState(ls.sess),
+		Decision:  s.advise(r.Context(), ls),
+	}
+	ls.mu.Unlock()
+	writeJSON(w, code, resp)
+}
+
 // handleSessionCreate compiles a session spec and stores a live session.
 // Compilation can build DP planners, so it runs inside the same admission
 // bulkhead as evaluations; the store itself enforces the session-count
 // bound (full store → 429, like the queue).
+//
+// With ?id= the client chooses the session id, which makes creation
+// replica-transparent: two replicas racing the same creation resolve
+// through the append-once log — the loser's AppendCreated answers
+// ErrSessionExists, and it adopts the winner's session by replay
+// (bit-identical, per the replay-equivalence contract) and answers 200
+// instead of 201.
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id != "" {
+		if err := store.ValidID(id); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: chosen session id: %w", err))
+			return
+		}
+	}
 	ss, err := spec.DecodeSession(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	if err != nil {
 		writeError(w, decodeStatus(err), err)
 		return
+	}
+	// A chosen id that is already live here is an idempotent re-create:
+	// answer its current state without recompiling anything.
+	if id != "" {
+		if ls, expires, ok := s.store.get(r.Context(), id); ok {
+			s.writeSessionResponse(w, r, ls, expires, http.StatusOK)
+			return
+		}
 	}
 	// Shed a full store before compiling: DP-planner specs pay a real
 	// solve in CompileAdvisor, which a doomed creation must not burn.
@@ -152,7 +189,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ls, expires, err := s.store.create(r.Context(), ss.Name, sess)
+	ls, expires, existed, err := s.store.create(r.Context(), id, ss.Name, sess)
 	if err != nil {
 		if errors.Is(err, errSessionsFull) {
 			// Counted by the store (chkpt_sessions_rejected_total), not as
@@ -160,26 +197,31 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusTooManyRequests, err)
 			return
 		}
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	if existed {
+		// A racing creation on this replica won while we compiled.
+		s.writeSessionResponse(w, r, ls, expires, http.StatusOK)
 		return
 	}
 	// Journal the creating spec before acknowledging: a session the
 	// client has seen must be recoverable from its log.
 	if err := s.st.AppendCreated(r.Context(), ls.id, ss); err != nil {
 		s.store.drop(ls.id)
-		writeError(w, http.StatusInternalServerError, err)
+		if errors.Is(err, store.ErrSessionExists) && id != "" {
+			// Another replica (or a previous life of this one) created the
+			// id first: the append-once log is the arbiter. Adopt the
+			// winner's session by replaying its journal.
+			if ls, expires, ok := s.getSession(w, r, id); ok {
+				s.writeSessionResponse(w, r, ls, expires, http.StatusOK)
+			}
+			return
+		}
+		writeError(w, errorStatus(err), err)
 		return
 	}
-	ls.mu.Lock()
-	resp := &SessionResponse{
-		ID:        ls.id,
-		Name:      ls.name,
-		ExpiresAt: expires,
-		State:     sessionState(ls.sess),
-		Decision:  s.advise(r.Context(), ls),
-	}
-	ls.mu.Unlock()
-	writeJSON(w, http.StatusCreated, resp)
+	s.writeSessionResponse(w, r, ls, expires, http.StatusCreated)
 }
 
 // errSessionNotFound is the 404 body for unknown or expired ids.
@@ -204,7 +246,7 @@ func (s *Server) getSession(w http.ResponseWriter, r *http.Request, id string) (
 		case errors.Is(err, store.ErrNoSession), errors.Is(err, store.ErrTombstoned):
 			writeError(w, http.StatusNotFound, errSessionNotFound(id))
 		default:
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, errorStatus(err), err)
 		}
 		return nil, time.Time{}, false
 	}
@@ -238,7 +280,7 @@ func (s *Server) getSession(w http.ResponseWriter, r *http.Request, id string) (
 		case errors.Is(err, errSessionsFull):
 			writeError(w, http.StatusTooManyRequests, err)
 		default:
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, errorStatus(err), err)
 		}
 		return nil, time.Time{}, false
 	}
@@ -302,7 +344,7 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		// rehydrates from the acknowledged durable prefix.
 		if err := s.st.AppendEvent(r.Context(), ls.id, ev); err != nil {
 			s.store.drop(ls.id)
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, errorStatus(err), err)
 			return
 		}
 		resp.Applied++
@@ -328,7 +370,7 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, store.ErrNoSession), errors.Is(err, store.ErrTombstoned):
 		writeError(w, http.StatusNotFound, errSessionNotFound(id))
 	default:
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, errorStatus(err), err)
 	}
 }
 

@@ -114,32 +114,45 @@ func (st *sessionStore) full(ctx context.Context) bool {
 	return false
 }
 
-// create stores a new session under a fresh id, returning it with its
-// expiry deadline.
-func (st *sessionStore) create(ctx context.Context, name string, sess *advisor.Session) (*liveSession, time.Time, error) {
+// create stores a new session, minting a fresh id when id is empty
+// (the plain POST /v1/sessions path) or installing the caller's chosen
+// id (replica-transparent creation, ?id=). A chosen id that is already
+// live wins the race for both creators: the existing entry is returned
+// with existed=true, mirroring the append-once semantics of the
+// durable log underneath.
+func (st *sessionStore) create(ctx context.Context, id, name string, sess *advisor.Session) (ls *liveSession, expires time.Time, existed bool, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	now := st.now()
+	if id != "" {
+		if live, ok := st.byID[id]; ok && !now.After(live.expires) {
+			live.expires = now.Add(st.ttl)
+			return live, live.expires, true, nil
+		}
+	}
 	if len(st.byID) >= st.cap {
 		st.sweepLocked(ctx, now)
 	}
 	if len(st.byID) >= st.cap {
 		st.rejected++
-		return nil, time.Time{}, errSessionsFull
+		return nil, time.Time{}, false, errSessionsFull
 	}
-	var raw [16]byte
-	if _, err := rand.Read(raw[:]); err != nil {
-		return nil, time.Time{}, err
+	if id == "" {
+		var raw [16]byte
+		if _, err := rand.Read(raw[:]); err != nil {
+			return nil, time.Time{}, false, err
+		}
+		id = hex.EncodeToString(raw[:])
 	}
-	ls := &liveSession{
-		id:      hex.EncodeToString(raw[:]),
+	ls = &liveSession{
+		id:      id,
 		name:    name,
 		sess:    sess,
 		expires: now.Add(st.ttl),
 	}
 	st.byID[ls.id] = ls
 	st.created++
-	return ls, ls.expires, nil
+	return ls, ls.expires, false, nil
 }
 
 // get returns the live session and slides its expiry window, reporting

@@ -8,13 +8,20 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/spec"
+	"repro/internal/store"
 )
 
 // sweepJobPrefix namespaces job records in the result store, away from
 // the cell values they index.
 const sweepJobPrefix = "sweepjob:"
+
+// sweepLeasePrefix namespaces sweep-job claims in the store's lease
+// keyspace: replicas coordinate who computes a job through the lease
+// on sweepLeasePrefix+jobID.
+const sweepLeasePrefix = "sweeplease:"
 
 // SweepJobResponse describes a durable sweep job: POST /v1/sweeps
 // answers it at creation (201) and resumption (200), and tests read it
@@ -177,13 +184,74 @@ func (s *Server) runSweepJob(j *sweepJob) {
 	j.wakeLocked()
 }
 
+// runSweepCells computes the job's missing suffix. Over a lease-capable
+// store the work is claimed cell-range-by-cell-range: acquire the job's
+// claim, compute up to sweepClaimCells cells — each written through
+// PutLeased under the claim's fencing token, with a renewal after every
+// cell — then release and re-probe. Finding the claim held
+// (ErrLeaseHeld) or losing it mid-range (ErrLeaseStale) means another
+// replica is working the job: this replica backs off, re-syncs its
+// watermark from the store and falls in line. Completed cells therefore
+// stay a prefix with zero re-runs fleet-wide.
 func (s *Server) runSweepCells(j *sweepJob) error {
 	if err := s.adm.acquire(s.jobsCtx); err != nil {
 		return err
 	}
 	defer s.adm.release()
-	completed, _, _ := j.snapshot()
-	for res, err := range spec.RunCells(s.jobsCtx, s.eng, j.cells[completed:]) {
+	ls, leased := s.st.(store.LeaseStore)
+	if !leased {
+		// A store without a lease face is a declared single-writer
+		// deployment: run the whole suffix unguarded.
+		completed, _, _ := j.snapshot()
+		return s.computeCells(j, completed, len(j.cells), nil, store.Lease{})
+	}
+	key := sweepLeasePrefix + j.id
+	for {
+		if err := s.syncWatermark(j); err != nil {
+			return err
+		}
+		completed, _, _ := j.snapshot()
+		if completed == len(j.cells) {
+			return nil
+		}
+		lease, err := ls.AcquireLease(s.jobsCtx, key, s.replicaID, s.sweepLeaseTTL)
+		if errors.Is(err, store.ErrLeaseHeld) {
+			if err := sleepCtx(s.jobsCtx, s.sweepRetryDelay); err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		// Holding the claim freezes the watermark (no other replica can
+		// pass the fence), so re-sync once more and the range is exact.
+		if err := s.syncWatermark(j); err != nil {
+			_ = ls.ReleaseLease(s.jobsCtx, lease)
+			return err
+		}
+		completed, _, _ = j.snapshot()
+		end := min(completed+s.sweepClaimCells, len(j.cells))
+		err = s.computeCells(j, completed, end, ls, lease)
+		_ = ls.ReleaseLease(s.jobsCtx, lease)
+		if errors.Is(err, store.ErrLeaseStale) {
+			// Fenced off: a reclaiming replica owns the job now. Nothing
+			// this replica wrote past the fence landed; re-probe and follow.
+			continue
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// computeCells runs cells [from, end) in expansion order, persisting
+// each durably before advancing the watermark. With a lease (ls
+// non-nil) every write is fenced by the claim's token and the claim is
+// renewed after every cell, so a replica that keeps making progress
+// never expires mid-range.
+func (s *Server) computeCells(j *sweepJob, from, end int, ls store.LeaseStore, lease store.Lease) error {
+	for res, err := range spec.RunCells(s.jobsCtx, s.eng, j.cells[from:end]) {
 		if err != nil {
 			return err
 		}
@@ -197,7 +265,12 @@ func (s *Server) runSweepCells(j *sweepJob) error {
 		if err != nil {
 			return err
 		}
-		if err := s.st.Put(s.jobsCtx, j.keys[res.Index], b); err != nil {
+		if ls != nil {
+			err = ls.PutLeased(s.jobsCtx, lease, j.keys[res.Index], b)
+		} else {
+			err = s.st.Put(s.jobsCtx, j.keys[res.Index], b)
+		}
+		if err != nil {
 			return err
 		}
 		s.met.sweepCellCompute()
@@ -205,8 +278,55 @@ func (s *Server) runSweepCells(j *sweepJob) error {
 		j.completed = res.Index + 1
 		j.wakeLocked()
 		j.mu.Unlock()
+		if ls != nil {
+			if err := ls.RenewLease(s.jobsCtx, lease, s.sweepLeaseTTL); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// syncWatermark advances the in-memory watermark over cells other
+// replicas persisted. Completed cells always form a prefix, so probing
+// forward to the first miss is exact; newly discovered cells count as
+// restored, never computed.
+func (s *Server) syncWatermark(j *sweepJob) error {
+	completed, _, _ := j.snapshot()
+	n := 0
+	for i := completed; i < len(j.cells); i++ {
+		_, ok, err := s.st.Get(s.jobsCtx, j.keys[i])
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	s.met.sweepCellsRestore(uint64(n))
+	j.mu.Lock()
+	if completed+n > j.completed {
+		j.completed = completed + n
+		j.wakeLocked()
+	}
+	j.mu.Unlock()
+	return nil
+}
+
+// sleepCtx waits for d or the context, whichever ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // getJob finds (or rebuilds from the store) the job named by id. A
@@ -270,7 +390,7 @@ func (s *Server) handleSweepJobCreate(w http.ResponseWriter, r *http.Request) {
 		// resumed if a previous life journaled it.
 		if _, ok, err := s.st.Get(r.Context(), sweepJobPrefix+hash); err != nil {
 			s.sweeps.mu.Unlock()
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, errorStatus(err), err)
 			return
 		} else if ok {
 			resumed = true
@@ -283,14 +403,14 @@ func (s *Server) handleSweepJobCreate(w http.ResponseWriter, r *http.Request) {
 			}
 			if err != nil {
 				s.sweeps.mu.Unlock()
-				writeError(w, http.StatusInternalServerError, err)
+				writeError(w, errorStatus(err), err)
 				return
 			}
 		}
 		j, err = s.materializeJob(r.Context(), es, hash, cells)
 		if err != nil {
 			s.sweeps.mu.Unlock()
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, errorStatus(err), err)
 			return
 		}
 		s.sweeps.jobs[hash] = j
@@ -332,7 +452,7 @@ func (s *Server) handleSweepJobGet(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.getJob(r.Context(), id)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, errorStatus(err), err)
 		return
 	}
 	if j == nil {

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/advisor"
 	"repro/internal/obs"
@@ -21,6 +22,8 @@ type Options struct {
 	// SegmentBytes is the size at which a result segment is sealed and a
 	// new one started. Zero means DefaultSegmentBytes.
 	SegmentBytes int64
+	// Clock measures lease expiry. Nil means the real clock.
+	Clock obs.Clock
 }
 
 // DefaultSegmentBytes is the default result-segment rotation size.
@@ -54,7 +57,10 @@ type FileStore struct {
 	active     *os.File
 	activeN    int
 	activeSize int64
-	closed     bool
+	// lt is the lease table, rebuilt from dir/leases.log at Open so
+	// fencing tokens stay monotonic across a store-server restart.
+	lt     leaseTable
+	closed bool
 }
 
 // Open mounts (or initializes) a file store rooted at dir.
@@ -62,11 +68,15 @@ func Open(dir string, opt Options) (*FileStore, error) {
 	if opt.SegmentBytes <= 0 {
 		opt.SegmentBytes = DefaultSegmentBytes
 	}
+	if opt.Clock == nil {
+		opt.Clock = obs.NewRealClock()
+	}
 	st := &FileStore{
 		dir:      dir,
 		opt:      opt,
 		sessions: make(map[string]*fsSession),
 		idx:      make(map[string][]byte),
+		lt:       newLeaseTable(),
 	}
 	for _, sub := range []string{st.sessionsDir(), st.resultsDir()} {
 		if err := os.MkdirAll(sub, 0o755); err != nil {
@@ -76,17 +86,29 @@ func Open(dir string, opt Options) (*FileStore, error) {
 	if err := st.loadSegments(); err != nil {
 		return nil, err
 	}
+	if err := st.loadLeases(); err != nil {
+		return nil, err
+	}
 	return st, nil
 }
 
 func (st *FileStore) sessionsDir() string { return filepath.Join(st.dir, "sessions") }
 func (st *FileStore) resultsDir() string  { return filepath.Join(st.dir, "results") }
+func (st *FileStore) leasesPath() string  { return filepath.Join(st.dir, "leases.log") }
 
 func (st *FileStore) sessionPath(id string) string {
 	return filepath.Join(st.sessionsDir(), id+".log")
 }
 
 func segmentName(n int) string { return fmt.Sprintf("seg-%06d.log", n) }
+
+// ValidID reports whether id is usable as a session id on every
+// backend: non-empty, not dot-led, and drawn from [A-Za-z0-9._-] —
+// the set that is safe as a FileStore file name. The service checks
+// client-chosen session ids against it before they reach any backend,
+// so an id accepted over a MemStore is not later refused by a
+// FileStore.
+func ValidID(id string) error { return validSessionID(id) }
 
 // validSessionID accepts ids that are safe as file names: non-empty,
 // not dot-led, and drawn from [A-Za-z0-9._-]. An unsafe id wraps
@@ -425,6 +447,14 @@ func (st *FileStore) Put(ctx context.Context, key string, val []byte) error {
 	if st.closed {
 		return ErrClosed
 	}
+	return st.putLineLocked(ctx, key, val, line)
+}
+
+// putLineLocked appends one already-framed result record to the active
+// segment (rotating as needed), fsyncs it and indexes the value. The
+// caller holds st.mu and has already checked closed (and, for fenced
+// writes, the lease token).
+func (st *FileStore) putLineLocked(ctx context.Context, key string, val, line []byte) error {
 	if st.activeSize >= st.opt.SegmentBytes {
 		if err := st.active.Close(); err != nil {
 			return fmt.Errorf("store: seal segment %s: %w", segmentName(st.activeN), err)
@@ -439,7 +469,7 @@ func (st *FileStore) Put(ctx context.Context, key string, val []byte) error {
 		return fmt.Errorf("store: put %s: %w", key, err)
 	}
 	_, sp := obs.StartSpan(ctx, "store.fsync")
-	err = st.active.Sync()
+	err := st.active.Sync()
 	sp.End()
 	if err != nil {
 		return fmt.Errorf("store: put %s: %w", key, err)
@@ -466,6 +496,163 @@ func (st *FileStore) Get(_ context.Context, key string) ([]byte, bool, error) {
 	cp := make([]byte, len(v))
 	copy(cp, v)
 	return cp, true, nil
+}
+
+// loadLeases rebuilds the lease table from dir/leases.log at Open.
+// Like the session logs, a torn tail is an unacknowledged transition
+// repaired by truncation; a terminated-but-bad line is corruption.
+// The file is created empty when missing so later appends can open it
+// O_APPEND without racing on creation.
+func (st *FileStore) loadLeases() error {
+	path := st.leasesPath()
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: open leases: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("store: open leases: %w", err)
+		}
+		return syncDir(st.dir)
+	}
+	if err != nil {
+		return fmt.Errorf("store: open leases: %w", err)
+	}
+	frames, torn, err := decodeFrames(data)
+	if err != nil {
+		return fmt.Errorf("store: open leases: %w", err)
+	}
+	if torn > 0 {
+		if err := os.Truncate(path, int64(len(data)-torn)); err != nil {
+			return fmt.Errorf("store: repair leases: %w", err)
+		}
+	}
+	for _, fr := range frames {
+		rec, err := decodeLeaseRecord(fr.payload, fr.off)
+		if err != nil {
+			return fmt.Errorf("store: open leases: %w", err)
+		}
+		s := &leaseState{owner: rec.Owner, token: rec.Token, released: rec.ExpUnixMS == 0}
+		if !s.released {
+			s.exp = time.UnixMilli(rec.ExpUnixMS)
+		}
+		st.lt.leases[rec.Key] = s
+	}
+	return nil
+}
+
+// journalLeaseLocked makes key's current lease state durable. It must
+// succeed before the transition is acknowledged: a granted lease whose
+// token bump did not reach disk could, after a crash, be re-granted
+// with a stale token — exactly what fencing exists to prevent.
+func (st *FileStore) journalLeaseLocked(ctx context.Context, key string) error {
+	s := st.lt.snapshot(key)
+	rec := leaseRecord{Key: key, Owner: s.owner, Token: s.token}
+	if !s.released {
+		rec.ExpUnixMS = s.exp.UnixMilli()
+	}
+	line, err := encodeLeaseRecord(rec)
+	if err != nil {
+		return err
+	}
+	if err := appendDurable(ctx, st.leasesPath(), line); err != nil {
+		return fmt.Errorf("store: journal lease %s: %w", key, err)
+	}
+	return nil
+}
+
+func (st *FileStore) AcquireLease(ctx context.Context, key, owner string, ttl time.Duration) (Lease, error) {
+	ctx, span := obs.StartSpan(ctx, "store.lease")
+	defer span.End()
+	span.SetAttr("op", "acquire")
+	span.SetAttr("key", key)
+	if err := validLeaseArgs(key, owner, ttl); err != nil {
+		return Lease{}, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return Lease{}, ErrClosed
+	}
+	l, reclaimed, err := st.lt.acquire(key, owner, ttl, st.opt.Clock.Now())
+	if err != nil {
+		return Lease{}, fmt.Errorf("store: acquire lease %s: %w", key, err)
+	}
+	if err := st.journalLeaseLocked(ctx, key); err != nil {
+		return Lease{}, err
+	}
+	st.leaseAcquired.Add(1)
+	if reclaimed {
+		st.leaseReclaimed.Add(1)
+	}
+	return l, nil
+}
+
+func (st *FileStore) RenewLease(ctx context.Context, l Lease, ttl time.Duration) error {
+	ctx, span := obs.StartSpan(ctx, "store.lease")
+	defer span.End()
+	span.SetAttr("op", "renew")
+	span.SetAttr("key", l.Key)
+	if err := validLeaseArgs(l.Key, l.Owner, ttl); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if err := st.lt.renew(l, ttl, st.opt.Clock.Now()); err != nil {
+		return st.countLeaseErr(fmt.Errorf("store: renew lease %s: %w", l.Key, err))
+	}
+	if err := st.journalLeaseLocked(ctx, l.Key); err != nil {
+		return err
+	}
+	st.leaseRenewed.Add(1)
+	return nil
+}
+
+func (st *FileStore) ReleaseLease(ctx context.Context, l Lease) error {
+	ctx, span := obs.StartSpan(ctx, "store.lease")
+	defer span.End()
+	span.SetAttr("op", "release")
+	span.SetAttr("key", l.Key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if err := st.lt.release(l); err != nil {
+		return st.countLeaseErr(fmt.Errorf("store: release lease %s: %w", l.Key, err))
+	}
+	if err := st.journalLeaseLocked(ctx, l.Key); err != nil {
+		return err
+	}
+	st.leaseReleased.Add(1)
+	return nil
+}
+
+func (st *FileStore) PutLeased(ctx context.Context, l Lease, key string, val []byte) error {
+	ctx, span := obs.StartSpan(ctx, "store.put")
+	defer span.End()
+	span.SetAttr("key", key)
+	span.SetAttr("leased", "true")
+	if key == "" {
+		return errors.New("store: put with an empty key")
+	}
+	line, err := encodeKVRecord(key, val)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if err := st.lt.check(l); err != nil {
+		return st.countLeaseErr(fmt.Errorf("store: fenced put %s: %w", key, err))
+	}
+	return st.putLineLocked(ctx, key, val, line)
 }
 
 func (st *FileStore) Close() error {

@@ -3,7 +3,9 @@ package store
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/advisor"
 	"repro/internal/obs"
@@ -19,21 +21,33 @@ type memSession struct {
 
 // MemStore is the in-memory backend: the previous in-process behavior
 // (nothing survives the process) and the default when no -data-dir is
-// configured. It honors the full Store contract, including tombstones,
-// so the service logic is identical over both backends.
+// configured. It honors the full Store contract, including tombstones
+// and leases, so the service logic is identical over both backends.
 type MemStore struct {
 	counters
+	clock    obs.Clock
 	mu       sync.Mutex
 	sessions map[string]*memSession
 	kv       map[string][]byte
+	lt       leaseTable
 	closed   bool
 }
 
-// NewMem returns an empty in-memory store.
-func NewMem() *MemStore {
+// NewMem returns an empty in-memory store on the real clock.
+func NewMem() *MemStore { return NewMemWithClock(nil) }
+
+// NewMemWithClock returns an empty in-memory store whose lease expiry
+// is measured on clock (nil means the real clock) — the hook the lease
+// contract tests use to expire leases without sleeping.
+func NewMemWithClock(clock obs.Clock) *MemStore {
+	if clock == nil {
+		clock = obs.NewRealClock()
+	}
 	return &MemStore{
+		clock:    clock,
 		sessions: make(map[string]*memSession),
 		kv:       make(map[string][]byte),
+		lt:       newLeaseTable(),
 	}
 }
 
@@ -161,6 +175,74 @@ func (m *MemStore) Get(_ context.Context, key string) ([]byte, bool, error) {
 	cp := make([]byte, len(v))
 	copy(cp, v)
 	return cp, true, nil
+}
+
+func (m *MemStore) AcquireLease(_ context.Context, key, owner string, ttl time.Duration) (Lease, error) {
+	if err := validLeaseArgs(key, owner, ttl); err != nil {
+		return Lease{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Lease{}, ErrClosed
+	}
+	l, reclaimed, err := m.lt.acquire(key, owner, ttl, m.clock.Now())
+	if err != nil {
+		return Lease{}, fmt.Errorf("store: acquire lease %s: %w", key, err)
+	}
+	m.leaseAcquired.Add(1)
+	if reclaimed {
+		m.leaseReclaimed.Add(1)
+	}
+	return l, nil
+}
+
+func (m *MemStore) RenewLease(_ context.Context, l Lease, ttl time.Duration) error {
+	if err := validLeaseArgs(l.Key, l.Owner, ttl); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if err := m.lt.renew(l, ttl, m.clock.Now()); err != nil {
+		return m.countLeaseErr(fmt.Errorf("store: renew lease %s: %w", l.Key, err))
+	}
+	m.leaseRenewed.Add(1)
+	return nil
+}
+
+func (m *MemStore) ReleaseLease(_ context.Context, l Lease) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if err := m.lt.release(l); err != nil {
+		return m.countLeaseErr(fmt.Errorf("store: release lease %s: %w", l.Key, err))
+	}
+	m.leaseReleased.Add(1)
+	return nil
+}
+
+func (m *MemStore) PutLeased(_ context.Context, l Lease, key string, val []byte) error {
+	if key == "" {
+		return errors.New("store: put with an empty key")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if err := m.lt.check(l); err != nil {
+		return m.countLeaseErr(fmt.Errorf("store: fenced put %s: %w", key, err))
+	}
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	m.kv[key] = cp
+	m.puts.Add(1)
+	return nil
 }
 
 func (m *MemStore) Close() error {

@@ -55,6 +55,40 @@ func decodeKVRecord(payload []byte, off int) (kvRecord, error) {
 	return rec, nil
 }
 
+// leaseRecord is the JSON payload of one leases.log frame: a key's
+// full lease state after a transition. Replay folds the journal with
+// last-record-wins, so the file is a state log, not a delta log, and
+// token monotonicity survives a restart.
+type leaseRecord struct {
+	Key   string `json:"key"`
+	Owner string `json:"owner"`
+	Token uint64 `json:"token"`
+	// ExpUnixMS is the lease expiry on the store's clock in Unix
+	// milliseconds; 0 means the lease was released.
+	ExpUnixMS int64 `json:"exp_ms"`
+}
+
+// encodeLeaseRecord marshals a lease record into its framed line.
+func encodeLeaseRecord(rec leaseRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode lease record: %w", err)
+	}
+	return appendFrame(nil, payload), nil
+}
+
+// decodeLeaseRecord strictly unmarshals one lease-record payload.
+func decodeLeaseRecord(payload []byte, off int) (leaseRecord, error) {
+	var rec leaseRecord
+	if err := strictUnmarshal(payload, &rec); err != nil {
+		return rec, &CorruptError{Offset: off, Reason: fmt.Sprintf("lease record: %v", err)}
+	}
+	if rec.Key == "" || rec.Token == 0 {
+		return rec, &CorruptError{Offset: off, Reason: "lease record without a key or token"}
+	}
+	return rec, nil
+}
+
 // CorruptError reports a damaged log: a terminated line whose frame,
 // checksum or payload does not decode. It is never produced by a torn
 // tail (see doc.go), which is repaired, not reported.
@@ -197,6 +231,30 @@ func replayRecords(frames []frame) (*SessionReplay, error) {
 		}
 	}
 	return rep, nil
+}
+
+// EncodeFrame frames one payload with the store's CRC discipline:
+// "<crc32c hex8> <payload>\n". The payload must be newline-free
+// (compact JSON always is). The cluster wire protocol reuses this
+// framing so a message damaged in flight fails its checksum exactly
+// like a damaged log record.
+func EncodeFrame(payload []byte) []byte { return appendFrame(nil, payload) }
+
+// DecodeFrame decodes exactly one cleanly terminated frame, the
+// inverse of EncodeFrame. A truncated, trailing-garbage or
+// checksum-failing image answers a *CorruptError.
+func DecodeFrame(data []byte) ([]byte, error) {
+	frames, torn, err := decodeFrames(data)
+	if err != nil {
+		return nil, err
+	}
+	if torn > 0 {
+		return nil, &CorruptError{Offset: len(data) - torn, Reason: "unterminated frame"}
+	}
+	if len(frames) != 1 {
+		return nil, &CorruptError{Offset: 0, Reason: fmt.Sprintf("want exactly 1 frame, have %d", len(frames))}
+	}
+	return frames[0].payload, nil
 }
 
 // strictUnmarshal is the spec layer's strict decode over a byte slice:

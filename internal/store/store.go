@@ -93,21 +93,45 @@ type Stats struct {
 	// Puts and Gets count result-store writes and lookups (hits and
 	// misses both count as a Get).
 	Puts, Gets uint64
+	// Lease-face counters (see LeaseStore). Acquired counts granted
+	// acquires (including reclaims and idempotent holder re-acquires);
+	// Reclaimed the subset that took over an expired lease; Stale every
+	// fencing rejection (ErrLeaseStale) across renew/release/PutLeased.
+	LeaseAcquired, LeaseRenewed, LeaseReleased uint64
+	LeaseReclaimed, LeaseStale                 uint64
 }
 
 // counters is the atomic tally embedded by both backends.
 type counters struct {
-	appends atomic.Uint64
-	replays atomic.Uint64
-	puts    atomic.Uint64
-	gets    atomic.Uint64
+	appends        atomic.Uint64
+	replays        atomic.Uint64
+	puts           atomic.Uint64
+	gets           atomic.Uint64
+	leaseAcquired  atomic.Uint64
+	leaseRenewed   atomic.Uint64
+	leaseReleased  atomic.Uint64
+	leaseReclaimed atomic.Uint64
+	leaseStale     atomic.Uint64
 }
 
 func (c *counters) Stats() Stats {
 	return Stats{
-		Appends: c.appends.Load(),
-		Replays: c.replays.Load(),
-		Puts:    c.puts.Load(),
-		Gets:    c.gets.Load(),
+		Appends:        c.appends.Load(),
+		Replays:        c.replays.Load(),
+		Puts:           c.puts.Load(),
+		Gets:           c.gets.Load(),
+		LeaseAcquired:  c.leaseAcquired.Load(),
+		LeaseRenewed:   c.leaseRenewed.Load(),
+		LeaseReleased:  c.leaseReleased.Load(),
+		LeaseReclaimed: c.leaseReclaimed.Load(),
+		LeaseStale:     c.leaseStale.Load(),
 	}
+}
+
+// countLeaseErr tallies a fencing rejection.
+func (c *counters) countLeaseErr(err error) error {
+	if errors.Is(err, ErrLeaseStale) {
+		c.leaseStale.Add(1)
+	}
+	return err
 }
