@@ -1,6 +1,7 @@
 package cluster_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"io"
@@ -264,6 +265,48 @@ func TestRemoteCorruptResponse(t *testing.T) {
 	defer mu.Unlock()
 	if attempts != 1 {
 		t.Fatalf("attempts = %d, want 1 (corruption is not retried)", attempts)
+	}
+}
+
+// TestRemoteOversizedResponse: a response larger than the wire cap is
+// reported as ErrResponseTooLarge — not as corruption (the backend's
+// log is intact; only the wire cannot carry it) and not as an outage
+// (a retry answers the same bytes), so it is attempted exactly once.
+func TestRemoteOversizedResponse(t *testing.T) {
+	ctx := context.Background()
+	var attempts int
+	var mu sync.Mutex
+	chunk := bytes.Repeat([]byte("x"), 1<<20)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		for written := 0; written <= 32<<20; written += len(chunk) {
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+		}
+	}))
+	t.Cleanup(hs.Close)
+	rs, err := cluster.NewRemote(cluster.RemoteConfig{BaseURL: hs.URL, Retries: 2, Backoff: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rs.Replay(ctx, "long-lived-session")
+	if !errors.Is(err, cluster.ErrResponseTooLarge) {
+		t.Fatalf("oversized response: %v, want ErrResponseTooLarge", err)
+	}
+	var ce *store.CorruptError
+	if errors.As(err, &ce) {
+		t.Fatal("oversized response misclassified as corruption")
+	}
+	if errors.Is(err, store.ErrUnavailable) {
+		t.Fatal("oversized response misclassified as unavailability")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (an over-cap response is not retried)", attempts)
 	}
 }
 

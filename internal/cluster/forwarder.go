@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
@@ -22,6 +24,16 @@ const maxForwardBody = 32 << 20
 // the response (so NDJSON sweeps flush row by row). A replica that
 // answers — any status — owns the request: an HTTP error is a backend
 // answer, not a routing failure.
+//
+// Failover is delivery-aware: a non-idempotent request (an event
+// append, a session create) is replayed elsewhere only when the error
+// proves it never reached the replica — a dial failure, before a
+// single request byte was written. An error after that point (a reset
+// mid-exchange, an EOF instead of a response) may mean the replica
+// executed the request and died before answering; replaying it would
+// append the same log record twice, which the append-once log cannot
+// dedupe. Those answer 502 and leave the retry decision to the client,
+// which has the session state to make it safely.
 type Forwarder struct {
 	backends []*url.URL
 	client   *http.Client
@@ -76,14 +88,44 @@ func (f *Forwarder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	for i := uint64(0); i < n; i++ {
 		backend := f.backends[(start+i)%n]
 		resp, err := f.try(r, backend, body)
-		if err != nil {
+		if err == nil {
+			f.relay(w, resp)
+			return
+		}
+		if idempotentMethod(r.Method) || undelivered(err) {
 			f.log.Warn("backend unreachable", "backend", backend.Host, "err", err)
 			continue
 		}
-		f.relay(w, resp)
+		// The request may have been delivered and executed before the
+		// connection died; replaying it could duplicate a log append.
+		f.log.Warn("backend failed mid-request", "backend", backend.Host, "err", err)
+		http.Error(w, fmt.Sprintf("backend %s failed after the request may have been delivered; not replayed", backend.Host),
+			http.StatusBadGateway)
 		return
 	}
 	http.Error(w, "no backend reachable", http.StatusBadGateway)
+}
+
+// idempotentMethod reports whether a request may be replayed against
+// another replica regardless of whether a previous attempt was
+// delivered. Only the read methods qualify: the service's PUT-less API
+// makes every body-carrying method a state change.
+func idempotentMethod(method string) bool {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodOptions, http.MethodTrace:
+		return true
+	}
+	return false
+}
+
+// undelivered reports whether err proves the request never reached the
+// backend: a dial-phase failure (connection refused, no route, DNS)
+// happens before any request byte is written, so replaying elsewhere
+// cannot duplicate work. Anything later is indistinguishable from
+// "executed, then died before answering".
+func undelivered(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
 }
 
 // try sends the buffered request to one backend.

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -81,6 +82,96 @@ func TestForwarderRoundRobinAndFailover(t *testing.T) {
 	sb.Close()
 	if status, _ := get(); status != http.StatusBadGateway {
 		t.Fatalf("all-dead status = %d, want 502", status)
+	}
+}
+
+// TestForwarderFailoverDeliveryAware pins the failover safety rule:
+// a POST is replayed against the next replica only when the first
+// attempt provably never got there (connection refused — a dial
+// error). When the connection dies mid-exchange, after the request may
+// have been delivered and executed, the forwarder must answer 502
+// rather than replay the body and duplicate a log append. A GET over
+// the same mid-exchange death still fails over: reads are idempotent.
+func TestForwarderFailoverDeliveryAware(t *testing.T) {
+	// killer accepts the connection, then severs it before answering —
+	// the "replica executed the append and was SIGKILLed before the
+	// response" shape, indistinguishable from it on the wire.
+	killer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("response writer is not a hijacker")
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			t.Errorf("hijack: %v", err)
+			return
+		}
+		conn.Close()
+	}))
+	t.Cleanup(killer.Close)
+	survivor := &countingBackend{name: "b"}
+	sb := httptest.NewServer(survivor)
+	t.Cleanup(sb.Close)
+
+	// dead is a refused port: a dial error, provably undelivered.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	// Each scenario gets a fresh forwarder so its single request starts
+	// the rotation at the failing backend.
+	newFront := func(first string) *httptest.Server {
+		t.Helper()
+		fw, err := cluster.NewForwarder([]string{first, sb.URL}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		front := httptest.NewServer(fw)
+		t.Cleanup(front.Close)
+		return front
+	}
+	post := func(frontURL string) int {
+		t.Helper()
+		resp, err := http.Post(frontURL+"/v1/sessions/s1/events", "application/json",
+			strings.NewReader(`{"events":[]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// POST dying mid-exchange: 502, and the survivor must not see it —
+	// a replayed append could land a log record twice.
+	if status := post(newFront(killer.URL).URL); status != http.StatusBadGateway {
+		t.Fatalf("mid-exchange POST death: status = %d, want 502", status)
+	}
+	if survivor.count() != 0 {
+		t.Fatalf("POST was replayed against the survivor %d times after a mid-exchange death", survivor.count())
+	}
+
+	// The same mid-exchange death under a GET fails over: reads replay
+	// safely no matter when the connection died.
+	resp, err := http.Get(newFront(killer.URL).URL + "/v1/sessions/s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET after mid-exchange death: status = %d, want failover 200", resp.StatusCode)
+	}
+	if survivor.count() != 1 {
+		t.Fatalf("survivor hits = %d, want 1 (the failed-over GET)", survivor.count())
+	}
+
+	// POST against a refused port fails over: a dial error proves the
+	// request never landed anywhere, so replaying it is safe.
+	if status := post(newFront(deadURL).URL); status != http.StatusOK {
+		t.Fatalf("undelivered POST: status = %d, want failover 200", status)
+	}
+	if survivor.count() != 2 {
+		t.Fatalf("survivor hits = %d, want 2 (the failed-over POST landed)", survivor.count())
 	}
 }
 

@@ -20,6 +20,13 @@ import (
 	"repro/internal/store"
 )
 
+// ErrResponseTooLarge reports a store response exceeding maxWireBytes.
+// It is neither corruption (the backend's data is intact — only the
+// wire cannot carry it) nor an outage (retrying answers the same
+// bytes), so it is never retried and never maps to 503; the session it
+// names stays readable by any process mounting the backend locally.
+var ErrResponseTooLarge = errors.New("cluster: store response exceeds the wire cap")
+
 // Remote client defaults.
 const (
 	defaultRPCTimeout = 5 * time.Second
@@ -168,6 +175,14 @@ func (r *RemoteStore) roundTrip(ctx context.Context, op string, req *wireRequest
 	}
 	switch {
 	case httpResp.StatusCode == http.StatusOK:
+		// Distinguish an over-cap response from a damaged one before
+		// decoding: the LimitReader truncates anything larger than the
+		// wire cap, and a truncated frame would misdecode as corruption —
+		// permanent, never retried — when the backend's copy is intact.
+		if len(body) > maxWireBytes {
+			return nil, fmt.Errorf("cluster: %s %s: %w (cap %d bytes)",
+				op, r.base.Host, ErrResponseTooLarge, maxWireBytes)
+		}
 		var resp wireResponse
 		if err := decodeWire(body, &resp); err != nil {
 			return nil, fmt.Errorf("cluster: %s response: %w", op, err)

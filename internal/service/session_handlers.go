@@ -151,10 +151,18 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), err)
 		return
 	}
+	submittedHash := specDigest(ss)
 	// A chosen id that is already live here is an idempotent re-create:
-	// answer its current state without recompiling anything.
+	// answer its current state without recompiling anything — but only
+	// for a true repeat. A different spec under the same id is a client
+	// bug; silently answering the old session would hand it an advisor
+	// for the wrong scenario, so it is a 409 instead.
 	if id != "" {
 		if ls, expires, ok := s.store.get(r.Context(), id); ok {
+			if ls.specHash != submittedHash {
+				writeError(w, http.StatusConflict, errSpecMismatch(id))
+				return
+			}
 			s.writeSessionResponse(w, r, ls, expires, http.StatusOK)
 			return
 		}
@@ -189,7 +197,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ls, expires, existed, err := s.store.create(r.Context(), id, ss.Name, sess)
+	ls, expires, existed, err := s.store.create(r.Context(), id, ss.Name, submittedHash, sess)
 	if err != nil {
 		if errors.Is(err, errSessionsFull) {
 			// Counted by the store (chkpt_sessions_rejected_total), not as
@@ -201,7 +209,12 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if existed {
-		// A racing creation on this replica won while we compiled.
+		// A racing creation on this replica won while we compiled. Only a
+		// true repeat is idempotent; a different spec is a conflict.
+		if ls.specHash != submittedHash {
+			writeError(w, http.StatusConflict, errSpecMismatch(id))
+			return
+		}
 		s.writeSessionResponse(w, r, ls, expires, http.StatusOK)
 		return
 	}
@@ -212,8 +225,13 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, store.ErrSessionExists) && id != "" {
 			// Another replica (or a previous life of this one) created the
 			// id first: the append-once log is the arbiter. Adopt the
-			// winner's session by replaying its journal.
+			// winner's session by replaying its journal — and 409 if the
+			// winner's journaled spec is not the one this client submitted.
 			if ls, expires, ok := s.getSession(w, r, id); ok {
+				if ls.specHash != submittedHash {
+					writeError(w, http.StatusConflict, errSpecMismatch(id))
+					return
+				}
 				s.writeSessionResponse(w, r, ls, expires, http.StatusOK)
 			}
 			return
@@ -227,6 +245,12 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 // errSessionNotFound is the 404 body for unknown or expired ids.
 func errSessionNotFound(id string) error {
 	return fmt.Errorf("service: no live session %q (unknown, expired or deleted)", id)
+}
+
+// errSpecMismatch is the 409 body for a re-create whose spec differs
+// from the one the session was created with.
+func errSpecMismatch(id string) error {
+	return fmt.Errorf("service: session %q exists with a different spec; delete it or choose another id", id)
 }
 
 // getSession returns the live session for id, rehydrating it from the
@@ -272,7 +296,7 @@ func (s *Server) getSession(w http.ResponseWriter, r *http.Request, id string) (
 		writeError(w, http.StatusInternalServerError, err)
 		return nil, time.Time{}, false
 	}
-	ls, expires, err := s.store.adopt(r.Context(), id, rep.Spec.Name, sess)
+	ls, expires, err := s.store.adopt(r.Context(), id, rep.Spec.Name, specDigest(rep.Spec), sess)
 	if err != nil {
 		switch {
 		case errors.Is(err, store.ErrTombstoned):

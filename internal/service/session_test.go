@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/advisor"
+	"repro/internal/store"
 )
 
 // sessionSpecJSON is a cheap oneproc session document (trace fields
@@ -117,6 +118,59 @@ func TestSessionLifecycle(t *testing.T) {
 	snap := srv.Metrics()
 	if snap.SessionsCreated != 1 || snap.SessionsOpen != 0 || snap.SessionDecisions < 2 {
 		t.Fatalf("session metrics %+v", snap)
+	}
+}
+
+// TestSessionChosenIDRecreateSpecGuard: re-creating a session under a
+// chosen id is idempotent only for the identical document — a
+// different spec under the same id answers 409 instead of silently
+// handing back an advisor for the wrong scenario. The guard holds on
+// the live-entry path and on the journal-arbitered path a restarted
+// replica takes (AppendCreated → ErrSessionExists → adopt by replay).
+func TestSessionChosenIDRecreateSpecGuard(t *testing.T) {
+	specA := sessionSpecJSON(`{"kind": "young"}`)
+	specB := sessionSpecJSON(`{"kind": "dalyhigh"}`)
+	dir := t.TempDir()
+	fst, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := newTestServer(t, Config{Store: fst})
+	const url = "/v1/sessions?id=chosen-1"
+
+	resp, _ := postJSON(t, ts1.URL+url, specA)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d, want 201", resp.StatusCode)
+	}
+	// True repeat against the live entry: idempotent 200.
+	resp, b := postJSON(t, ts1.URL+url, specA)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("identical re-create status = %d: %s", resp.StatusCode, b)
+	}
+	// Different spec, same id: conflict, and the session is untouched.
+	resp, b = postJSON(t, ts1.URL+url, specB)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mismatched re-create status = %d: %s", resp.StatusCode, b)
+	}
+
+	// Restart: the live entry is gone, the journal is the arbiter.
+	ts1.Close()
+	if err := fst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fst2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fst2.Close() })
+	_, ts2 := newTestServer(t, Config{Store: fst2})
+	resp, b = postJSON(t, ts2.URL+url, specA)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart identical re-create status = %d: %s", resp.StatusCode, b)
+	}
+	resp, b = postJSON(t, ts2.URL+url, specB)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("post-restart mismatched re-create status = %d: %s", resp.StatusCode, b)
 	}
 }
 

@@ -3,13 +3,16 @@ package service
 import (
 	"context"
 	"crypto/rand"
+	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"sync"
 	"time"
 
 	"repro/internal/advisor"
 	"repro/internal/obs"
+	"repro/internal/spec"
 	"repro/internal/store"
 )
 
@@ -30,10 +33,31 @@ type liveSession struct {
 	name    string
 	sess    *advisor.Session
 	expires time.Time // guarded by sessionStore.mu, not mu
+	// specHash is the canonical digest of the spec this session was
+	// created (or rehydrated) from. Immutable once the entry is
+	// published, so reads need no lock. Idempotent re-creates (?id=)
+	// compare against it: answering an existing session for a different
+	// spec would silently hand the client the wrong advisor.
+	specHash string
 	// advised records that this live entry has consulted the policy at
 	// least once, so the next consult is a warm re-plan off the previous
 	// plan's memo rather than a cold DP build. Guarded by mu.
 	advised bool
+}
+
+// specDigest canonically hashes a session spec: SHA-256 over its
+// compact JSON encoding, which is deterministic for the decoded struct
+// (fixed field order), so the same document always digests the same —
+// including after a journal round trip.
+func specDigest(ss *spec.SessionSpec) string {
+	b, err := json.Marshal(ss)
+	if err != nil {
+		// A spec that decoded cannot fail to re-encode; guard anyway so a
+		// future unmarshalable field degrades to "never matches".
+		return "unmarshalable:" + err.Error()
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // sessionStats is a point-in-time snapshot of the store's counters.
@@ -120,7 +144,7 @@ func (st *sessionStore) full(ctx context.Context) bool {
 // live wins the race for both creators: the existing entry is returned
 // with existed=true, mirroring the append-once semantics of the
 // durable log underneath.
-func (st *sessionStore) create(ctx context.Context, id, name string, sess *advisor.Session) (ls *liveSession, expires time.Time, existed bool, err error) {
+func (st *sessionStore) create(ctx context.Context, id, name, specHash string, sess *advisor.Session) (ls *liveSession, expires time.Time, existed bool, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	now := st.now()
@@ -145,10 +169,11 @@ func (st *sessionStore) create(ctx context.Context, id, name string, sess *advis
 		id = hex.EncodeToString(raw[:])
 	}
 	ls = &liveSession{
-		id:      id,
-		name:    name,
-		sess:    sess,
-		expires: now.Add(st.ttl),
+		id:       id,
+		name:     name,
+		sess:     sess,
+		expires:  now.Add(st.ttl),
+		specHash: specHash,
 	}
 	st.byID[ls.id] = ls
 	st.created++
@@ -178,7 +203,7 @@ func (st *sessionStore) get(ctx context.Context, id string) (*liveSession, time.
 // original id, sliding (or starting) its expiry window. A racing
 // rehydration of the same id wins for both: the caller gets the entry
 // that is already live.
-func (st *sessionStore) adopt(ctx context.Context, id, name string, sess *advisor.Session) (*liveSession, time.Time, error) {
+func (st *sessionStore) adopt(ctx context.Context, id, name, specHash string, sess *advisor.Session) (*liveSession, time.Time, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	now := st.now()
@@ -200,10 +225,11 @@ func (st *sessionStore) adopt(ctx context.Context, id, name string, sess *adviso
 		return nil, time.Time{}, errSessionsFull
 	}
 	ls := &liveSession{
-		id:      id,
-		name:    name,
-		sess:    sess,
-		expires: now.Add(st.ttl),
+		id:       id,
+		name:     name,
+		sess:     sess,
+		expires:  now.Add(st.ttl),
+		specHash: specHash,
 	}
 	st.byID[id] = ls
 	st.recovered++

@@ -23,6 +23,15 @@ const sweepJobPrefix = "sweepjob:"
 // on sweepLeasePrefix+jobID.
 const sweepLeasePrefix = "sweeplease:"
 
+// sweepRenewEvery is how many cells a claim holder computes between
+// lease renewals. Every renewal is a durable journal append on a
+// FileStore backend, so renewing per cell doubles the fsync cost of a
+// sweep; renewing every few cells amortizes it. Correctness does not
+// ride on the cadence — a lease that expires mid-range keeps writing
+// until another replica actually reclaims it, at which point the
+// fencing token (not the expiry) rejects the stragglers.
+const sweepRenewEvery = 4
+
 // SweepJobResponse describes a durable sweep job: POST /v1/sweeps
 // answers it at creation (201) and resumption (200), and tests read it
 // to assert zero re-runs.
@@ -187,8 +196,8 @@ func (s *Server) runSweepJob(j *sweepJob) {
 // runSweepCells computes the job's missing suffix. Over a lease-capable
 // store the work is claimed cell-range-by-cell-range: acquire the job's
 // claim, compute up to sweepClaimCells cells — each written through
-// PutLeased under the claim's fencing token, with a renewal after every
-// cell — then release and re-probe. Finding the claim held
+// PutLeased under the claim's fencing token, with a renewal every
+// sweepRenewEvery cells — then release and re-probe. Finding the claim held
 // (ErrLeaseHeld) or losing it mid-range (ErrLeaseStale) means another
 // replica is working the job: this replica backs off, re-syncs its
 // watermark from the store and falls in line. Completed cells therefore
@@ -248,8 +257,8 @@ func (s *Server) runSweepCells(j *sweepJob) error {
 // computeCells runs cells [from, end) in expansion order, persisting
 // each durably before advancing the watermark. With a lease (ls
 // non-nil) every write is fenced by the claim's token and the claim is
-// renewed after every cell, so a replica that keeps making progress
-// never expires mid-range.
+// renewed every sweepRenewEvery cells, so a replica that keeps making
+// progress keeps its claim without paying a journal append per cell.
 func (s *Server) computeCells(j *sweepJob, from, end int, ls store.LeaseStore, lease store.Lease) error {
 	for res, err := range spec.RunCells(s.jobsCtx, s.eng, j.cells[from:end]) {
 		if err != nil {
@@ -278,7 +287,7 @@ func (s *Server) computeCells(j *sweepJob, from, end int, ls store.LeaseStore, l
 		j.completed = res.Index + 1
 		j.wakeLocked()
 		j.mu.Unlock()
-		if ls != nil {
+		if ls != nil && (res.Index+1-from)%sweepRenewEvery == 0 {
 			if err := ls.RenewLease(s.jobsCtx, lease, s.sweepLeaseTTL); err != nil {
 				return err
 			}

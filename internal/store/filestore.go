@@ -523,11 +523,6 @@ func (st *FileStore) loadLeases() error {
 	if err != nil {
 		return fmt.Errorf("store: open leases: %w", err)
 	}
-	if torn > 0 {
-		if err := os.Truncate(path, int64(len(data)-torn)); err != nil {
-			return fmt.Errorf("store: repair leases: %w", err)
-		}
-	}
 	for _, fr := range frames {
 		rec, err := decodeLeaseRecord(fr.payload, fr.off)
 		if err != nil {
@@ -539,7 +534,61 @@ func (st *FileStore) loadLeases() error {
 		}
 		st.lt.leases[rec.Key] = s
 	}
+	// The table needs one live-state record per key; a longer journal is
+	// renewal churn from past runs (and a torn tail is an unacknowledged
+	// transition). Rewriting it compacted repairs both and keeps the file
+	// from growing for the deployment's lifetime.
+	if torn > 0 || len(frames) > len(st.lt.leases) {
+		if err := st.compactLeases(); err != nil {
+			return fmt.Errorf("store: compact leases: %w", err)
+		}
+	}
 	return nil
+}
+
+// compactLeases atomically rewrites dir/leases.log as one record per
+// key — the lease table's current state, keys sorted for a
+// deterministic image — via the tmp + fsync + rename discipline, so a
+// crash mid-compaction leaves either the old or the new journal.
+func (st *FileStore) compactLeases() error {
+	keys := make([]string, 0, len(st.lt.leases))
+	for k := range st.lt.leases {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf []byte
+	for _, k := range keys {
+		s := st.lt.leases[k]
+		rec := leaseRecord{Key: k, Owner: s.owner, Token: s.token}
+		if !s.released {
+			rec.ExpUnixMS = s.exp.UnixMilli()
+		}
+		line, err := encodeLeaseRecord(rec)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, line...)
+	}
+	path := st.leasesPath()
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(st.dir)
 }
 
 // journalLeaseLocked makes key's current lease state durable. It must

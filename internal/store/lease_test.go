@@ -3,6 +3,8 @@ package store_test
 import (
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -88,6 +90,86 @@ func TestFileStoreLeaseTokenSurvivesReopen(t *testing.T) {
 	}
 	if err := st3.RenewLease(ctx, lb, time.Minute); err != nil {
 		t.Fatalf("holder's renew after reopen: %v", err)
+	}
+}
+
+// TestFileStoreLeaseJournalCompaction: leases.log accumulates one
+// record per transition (every renewal included), so reopening the
+// store compacts it to one record per key — without losing the table:
+// the holder keeps excluding other owners and its token keeps working.
+// A journal already compact is left alone.
+func TestFileStoreLeaseJournalCompaction(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	leases := filepath.Join(dir, "leases.log")
+	clock := storetest.NewClock()
+	st, err := store.Open(dir, store.Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := st.AcquireLease(ctx, "job-1", "worker-a", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := st.RenewLease(ctx, l, time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(leases)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir, store.Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(leases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("journal not compacted: %d bytes before, %d after", before.Size(), after.Size())
+	}
+	// The compacted table is the same table.
+	if _, err := st2.AcquireLease(ctx, "job-1", "worker-b", time.Hour); !errors.Is(err, store.ErrLeaseHeld) {
+		t.Fatalf("live lease not honored after compaction: %v", err)
+	}
+	if err := st2.RenewLease(ctx, l, time.Hour); err != nil {
+		t.Fatalf("holder's renew after compaction: %v", err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The renew above appended one record; a reopen compacts back to one
+	// record per key and further reopens leave the file byte-stable.
+	st3, err := store.Open(dir, store.Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	compacted, err := os.Stat(leases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st4, err := store.Open(dir, store.Options{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st4.Close() })
+	stable, err := os.Stat(leases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stable.Size() != compacted.Size() {
+		t.Fatalf("compact journal rewritten again: %d bytes then %d", compacted.Size(), stable.Size())
 	}
 }
 
